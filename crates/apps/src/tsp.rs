@@ -1,0 +1,595 @@
+//! TSP: branch-and-bound traveling salesman with a racy global bound.
+//!
+//! Workers pop path prefixes from a shared, lock-protected stack; short
+//! prefixes are expanded and pushed back, long ones solved by local
+//! depth-first search.  Pruning compares against the global best tour
+//! length, which is **read without synchronization** — exactly the
+//! performance trade-off the original program made: a stale bound only
+//! causes redundant work, never an incorrect result.  Updates to the bound
+//! (and the best path) take the bound lock.
+//!
+//! The detector therefore reports read-write races on `MinTourLen` between
+//! the unsynchronized pruning reads and the locked updates — the paper's
+//! first headline finding ("a large number of data races that result from
+//! unsynchronized read accesses to a global tour bound").
+
+use cvm_dsm::{Cluster, DsmConfig, ProcHandle, RunReport};
+use cvm_page::GAddr;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The queue lock (work stack) and the bound lock.
+const QLOCK: u32 = 0;
+/// Lock protecting `MinTourLen` updates and the best path.
+const BLOCK: u32 = 1;
+
+/// TSP parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TspParams {
+    /// Number of cities; the paper uses 19.
+    pub ncities: usize,
+    /// Instance seed (city coordinates).
+    pub seed: u64,
+    /// Prefixes shorter than this are split and re-queued; longer ones are
+    /// solved by local DFS.
+    pub cutoff: usize,
+    /// Capacity of the shared work stack (entries).
+    pub stack_capacity: usize,
+    /// Read the bound *with* the lock during pruning — the "fixed" variant
+    /// with no races (and more lock traffic).
+    pub synchronized_bound: bool,
+}
+
+impl TspParams {
+    /// The paper's input: 19 cities.
+    pub fn paper() -> Self {
+        TspParams {
+            ncities: 19,
+            seed: 1996,
+            cutoff: 3,
+            stack_capacity: 4_096,
+            synchronized_bound: false,
+        }
+    }
+
+    /// A small instance for tests.
+    pub fn small() -> Self {
+        TspParams {
+            ncities: 9,
+            seed: 7,
+            cutoff: 3,
+            stack_capacity: 1_024,
+            synchronized_bound: false,
+        }
+    }
+}
+
+/// Result of a run.
+#[derive(Clone, Debug)]
+pub struct TspResult {
+    /// Optimal tour length found.
+    pub best_len: u64,
+    /// An optimal tour (city sequence starting at 0).
+    pub best_path: Vec<u16>,
+    /// Nodes expanded across all processes.
+    pub expansions: u64,
+}
+
+/// Generates the seeded distance matrix (symmetric, integer euclidean).
+pub fn distance_matrix(ncities: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..ncities)
+        .map(|_| (rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)))
+        .collect();
+    let mut d = vec![0u64; ncities * ncities];
+    for i in 0..ncities {
+        for j in 0..ncities {
+            let dx = pts[i].0 - pts[j].0;
+            let dy = pts[i].1 - pts[j].1;
+            d[i * ncities + j] = (dx * dx + dy * dy).sqrt().round() as u64;
+        }
+    }
+    d
+}
+
+/// Nearest-neighbour heuristic tour (initial bound).
+pub fn nearest_neighbour(dist: &[u64], n: usize) -> (u64, Vec<u16>) {
+    let mut visited = vec![false; n];
+    let mut path = vec![0u16];
+    visited[0] = true;
+    let mut len = 0u64;
+    let mut cur = 0usize;
+    for _ in 1..n {
+        let (next, d) = (0..n)
+            .filter(|&j| !visited[j])
+            .map(|j| (j, dist[cur * n + j]))
+            .min_by_key(|&(_, d)| d)
+            .expect("unvisited city exists");
+        visited[next] = true;
+        path.push(next as u16);
+        len += d;
+        cur = next;
+    }
+    len += dist[cur * n];
+    (len, path)
+}
+
+/// Exact sequential solver (plain branch-and-bound, used as the reference).
+pub fn solve_reference(dist: &[u64], n: usize) -> (u64, u64) {
+    let (mut best, _) = nearest_neighbour(dist, n);
+    let min_out = min_out_edges(dist, n);
+    let mut visited = vec![false; n];
+    visited[0] = true;
+    let mut expansions = 0u64;
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        dist: &[u64],
+        n: usize,
+        min_out: &[u64],
+        visited: &mut [bool],
+        cur: usize,
+        depth: usize,
+        len: u64,
+        best: &mut u64,
+        expansions: &mut u64,
+    ) {
+        *expansions += 1;
+        if depth == n {
+            let total = len + dist[cur * n];
+            if total < *best {
+                *best = total;
+            }
+            return;
+        }
+        let remaining: u64 = (0..n).filter(|&j| !visited[j]).map(|j| min_out[j]).sum();
+        if len + remaining >= *best {
+            return;
+        }
+        #[allow(clippy::needless_range_loop)]
+        for j in 1..n {
+            if visited[j] {
+                continue;
+            }
+            visited[j] = true;
+            dfs(
+                dist,
+                n,
+                min_out,
+                visited,
+                j,
+                depth + 1,
+                len + dist[cur * n + j],
+                best,
+                expansions,
+            );
+            visited[j] = false;
+        }
+    }
+    dfs(
+        dist,
+        n,
+        &min_out,
+        &mut visited,
+        0,
+        1,
+        0,
+        &mut best,
+        &mut expansions,
+    );
+    (best, expansions)
+}
+
+/// Brute-force optimum for tiny instances (cross-check of the reference).
+pub fn brute_force(dist: &[u64], n: usize) -> u64 {
+    assert!(n <= 10, "brute force is factorial");
+    let mut order: Vec<usize> = (1..n).collect();
+    let mut best = u64::MAX;
+    permute(&mut order, 0, &mut |perm| {
+        let mut len = 0;
+        let mut cur = 0;
+        for &c in perm {
+            len += dist[cur * n + c];
+            cur = c;
+        }
+        len += dist[cur * n];
+        best = best.min(len);
+    });
+    best
+}
+
+fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == v.len() {
+        f(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute(v, k + 1, f);
+        v.swap(k, i);
+    }
+}
+
+fn min_out_edges(dist: &[u64], n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i)
+                .map(|j| dist[i * n + j])
+                .min()
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Cycles of private work per node expansion.
+const EXPAND_CYCLES: u64 = 60;
+
+/// Runs parallel branch-and-bound TSP on the DSM.
+pub fn run(cfg: DsmConfig, params: TspParams) -> (RunReport, TspResult) {
+    let n = params.ncities;
+    assert!((4..=32).contains(&n), "unsupported city count");
+    let dist = distance_matrix(n, params.seed);
+    let entry_words = (n + 2) as u64; // len, tour-length-so-far, cities...
+    let result = Mutex::new(None);
+    let expansions_total = Mutex::new(0u64);
+
+    let report = Cluster::run(
+        cfg,
+        |alloc| {
+            let dist_a = alloc.alloc("Distances", (n * n * 8) as u64).unwrap();
+            let bound = alloc.alloc("MinTourLen", 8).unwrap();
+            let best = alloc.alloc("BestPath", (n * 8) as u64).unwrap();
+            let top = alloc.alloc("StackTop", 8).unwrap();
+            let stack = alloc
+                .alloc(
+                    "TourStack",
+                    params.stack_capacity as u64 * entry_words * 8,
+                )
+                .unwrap();
+            (dist_a, bound, best, top, stack)
+        },
+        |h, &(dist_a, bound, best, top, stack)| {
+            let d_at = |i: usize, j: usize| dist_a.word((i * n + j) as u64);
+            let entry = |slot: u64| stack.word(slot * entry_words);
+            if h.proc() == 0 {
+                for i in 0..n {
+                    for j in 0..n {
+                        h.write(d_at(i, j), dist[i * n + j]);
+                    }
+                }
+                let (nn_len, nn_path) = nearest_neighbour(&dist, n);
+                h.write(bound, nn_len);
+                for (i, &c) in nn_path.iter().enumerate() {
+                    h.write(best.word(i as u64), u64::from(c));
+                }
+                // Seed the stack with the root prefix [0].
+                let e = entry(0);
+                h.write(e, 1); // Prefix length.
+                h.write(e.offset(8), 0); // Partial tour length.
+                h.write(e.offset(16), 0); // City 0.
+                h.write(top, 1);
+            }
+            h.barrier();
+
+            // Private (per-process) data: the analysis could not prove the
+            // search scratch private, so it is instrumented at run time.
+            let min_out: Vec<u64> = {
+                let mut m = vec![u64::MAX; n];
+                for (i, slot) in m.iter_mut().enumerate() {
+                    for j in 0..n {
+                        if i != j {
+                            *slot = (*slot).min(h.read(d_at(i, j)));
+                        }
+                    }
+                }
+                m
+            };
+            let read_bound = |h: &ProcHandle| -> u64 {
+                if params.synchronized_bound {
+                    h.lock(BLOCK);
+                    let b = h.read_at(bound, site::BOUND_SYNC_READ);
+                    h.unlock(BLOCK);
+                    b
+                } else {
+                    // THE RACE: unsynchronized read of the global bound.
+                    h.read_at(bound, site::BOUND_RACY_READ)
+                }
+            };
+            // Prime the bound with an unsynchronized read, as the
+            // original does before entering the search.  This read sits in
+            // the first post-barrier interval, which is concurrent with
+            // every bound update of the epoch — so as long as any process
+            // improves the bound, the read-write race is observable
+            // regardless of lock-chain timing.
+            let _ = read_bound(h);
+            let mut expansions = 0u64;
+            let mut path = vec![0u16; n];
+            let mut visited = vec![false; n];
+
+            loop {
+                // Pop one prefix.
+                h.lock(QLOCK);
+                let t = h.read(top);
+                let popped = if t > 0 {
+                    h.write(top, t - 1);
+                    let e = entry(t - 1);
+                    let len = h.read(e) as usize;
+                    let plen = h.read(e.offset(8));
+                    for (i, slot) in path.iter_mut().enumerate().take(len) {
+                        *slot = h.read(e.offset(16 + i as u64 * 8)) as u16;
+                    }
+                    Some((len, plen))
+                } else {
+                    None
+                };
+                h.unlock(QLOCK);
+                let Some((plen_cities, partial)) = popped else {
+                    // Stack drained.  (Workers may terminate while others
+                    // still expand; any work they would have pushed is
+                    // solved by whoever pushed it — expansion pushes happen
+                    // before the pop that drains, under the same lock, so
+                    // an empty stack with all prefixes at/below the cutoff
+                    // solved means completion for this worker.)
+                    break;
+                };
+                visited.iter_mut().for_each(|v| *v = false);
+                for &c in &path[..plen_cities] {
+                    visited[c as usize] = true;
+                }
+                let cur = path[plen_cities - 1] as usize;
+
+                if plen_cities < params.cutoff.min(n) {
+                    // Expand one level; push children (pruned) in one
+                    // critical section.
+                    expansions += 1;
+                    h.compute(EXPAND_CYCLES);
+                    h.private_traffic(10);
+                    let b = read_bound(h);
+                    h.lock(QLOCK);
+                    let mut t = h.read(top);
+                    #[allow(clippy::needless_range_loop)]
+                    for j in 1..n {
+                        if visited[j] {
+                            continue;
+                        }
+                        let child_len = partial + h.read(d_at(cur, j));
+                        if child_len >= b {
+                            continue;
+                        }
+                        assert!(
+                            (t as usize) < params.stack_capacity,
+                            "tour stack overflow"
+                        );
+                        let e = entry(t);
+                        h.write(e, (plen_cities + 1) as u64);
+                        h.write(e.offset(8), child_len);
+                        for (i, &c) in path.iter().enumerate().take(plen_cities) {
+                            h.write(e.offset(16 + i as u64 * 8), u64::from(c));
+                        }
+                        h.write(
+                            e.offset(16 + plen_cities as u64 * 8),
+                            j as u64,
+                        );
+                        t += 1;
+                    }
+                    h.write(top, t);
+                    h.unlock(QLOCK);
+                    continue;
+                }
+
+                // Solve the prefix by local DFS with racy pruning.
+                dfs(
+                    h,
+                    n,
+                    &d_at,
+                    &min_out,
+                    &mut visited,
+                    &mut path,
+                    plen_cities,
+                    cur,
+                    partial,
+                    bound,
+                    best,
+                    &read_bound,
+                    params.synchronized_bound,
+                    &mut expansions,
+                );
+            }
+            h.barrier();
+            *expansions_total.lock() += expansions;
+            if h.proc() == 0 {
+                let best_len = h.read(bound);
+                let best_path: Vec<u16> =
+                    (0..n).map(|i| h.read(best.word(i as u64)) as u16).collect();
+                *result.lock() = Some((best_len, best_path));
+            }
+            h.barrier();
+        },
+    );
+    let (best_len, best_path) = result.into_inner().expect("gathered");
+    (
+        report,
+        TspResult {
+            best_len,
+            best_path,
+            expansions: expansions_total.into_inner(),
+        },
+    )
+}
+
+/// Access-site ids for §6.1 replay identification.
+pub mod site {
+    /// The unsynchronized bound read in the pruning test.
+    pub const BOUND_RACY_READ: u32 = 100;
+    /// The bound read under the lock (fixed variant).
+    pub const BOUND_SYNC_READ: u32 = 101;
+    /// The bound re-read inside the update critical section.
+    pub const BOUND_UPDATE_READ: u32 = 102;
+    /// The bound write inside the update critical section.
+    pub const BOUND_UPDATE_WRITE: u32 = 103;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    h: &ProcHandle,
+    n: usize,
+    d_at: &impl Fn(usize, usize) -> GAddr,
+    min_out: &[u64],
+    visited: &mut Vec<bool>,
+    path: &mut Vec<u16>,
+    depth: usize,
+    cur: usize,
+    len: u64,
+    bound: GAddr,
+    best: GAddr,
+    read_bound: &impl Fn(&ProcHandle) -> u64,
+    synchronized: bool,
+    expansions: &mut u64,
+) {
+    *expansions += 1;
+    h.compute(EXPAND_CYCLES);
+    h.private_traffic(6);
+    if depth == n {
+        let total = len + h.read(d_at(cur, 0));
+        let b = read_bound(h);
+        if total < b {
+            h.lock(BLOCK);
+            // Re-check under the lock (the update itself is correct).
+            let cur_best = h.read_at(bound, site::BOUND_UPDATE_READ);
+            if total < cur_best {
+                h.write_at(bound, total, site::BOUND_UPDATE_WRITE);
+                for (i, &c) in path.iter().enumerate().take(n) {
+                    h.write(best.word(i as u64), u64::from(c));
+                }
+            }
+            h.unlock(BLOCK);
+        }
+        return;
+    }
+    let remaining: u64 = (0..n).filter(|&j| !visited[j]).map(|j| min_out[j]).sum();
+    let b = read_bound(h);
+    if len + remaining >= b {
+        return;
+    }
+    let _ = synchronized;
+    for j in 1..n {
+        if visited[j] {
+            continue;
+        }
+        visited[j] = true;
+        path[depth] = j as u16;
+        let step = h.read(d_at(cur, j));
+        dfs(
+            h,
+            n,
+            d_at,
+            min_out,
+            visited,
+            path,
+            depth + 1,
+            j,
+            len + step,
+            bound,
+            best,
+            read_bound,
+            synchronized,
+            expansions,
+        );
+        visited[j] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvm_race::RaceKind;
+
+    #[test]
+    fn reference_matches_brute_force() {
+        for seed in [1, 2, 3] {
+            let n = 8;
+            let dist = distance_matrix(n, seed);
+            let (bb, _) = solve_reference(&dist, n);
+            assert_eq!(bb, brute_force(&dist, n), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn nearest_neighbour_is_a_valid_upper_bound() {
+        let n = 12;
+        let dist = distance_matrix(n, 42);
+        let (nn, path) = nearest_neighbour(&dist, n);
+        let (opt, _) = solve_reference(&dist, n);
+        assert!(nn >= opt);
+        // The NN path is a permutation of all cities starting at 0.
+        let mut seen = vec![false; n];
+        for &c in &path {
+            assert!(!seen[c as usize]);
+            seen[c as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(path[0], 0);
+    }
+
+    #[test]
+    fn parallel_finds_optimum_and_the_bound_race() {
+        let params = TspParams::small();
+        let dist = distance_matrix(params.ncities, params.seed);
+        let (expect, _) = solve_reference(&dist, params.ncities);
+        let (report, result) = run(DsmConfig::new(4), params);
+        assert_eq!(result.best_len, expect, "suboptimal tour");
+        // The deliberate race on the tour bound is found, as a read-write
+        // race on the MinTourLen word.
+        let bound_addr = report
+            .segments
+            .segments()
+            .iter()
+            .find(|s| s.name == "MinTourLen")
+            .unwrap()
+            .base;
+        let bound_races = report.races.at(bound_addr);
+        assert!(
+            !bound_races.is_empty(),
+            "tour-bound race missed: races = {:?}",
+            report.races.distinct_addrs()
+        );
+        assert!(bound_races.iter().any(|r| r.kind == RaceKind::ReadWrite));
+    }
+
+    #[test]
+    fn synchronized_variant_has_no_bound_race() {
+        let mut params = TspParams::small();
+        params.synchronized_bound = true;
+        let dist = distance_matrix(params.ncities, params.seed);
+        let (expect, _) = solve_reference(&dist, params.ncities);
+        let (report, result) = run(DsmConfig::new(4), params);
+        assert_eq!(result.best_len, expect);
+        let bound_addr = report
+            .segments
+            .segments()
+            .iter()
+            .find(|s| s.name == "MinTourLen")
+            .unwrap()
+            .base;
+        assert!(
+            report.races.at(bound_addr).is_empty(),
+            "fixed variant misreported: {:?}",
+            report.races.reports()
+        );
+    }
+
+    #[test]
+    fn valid_tour_is_produced() {
+        let params = TspParams::small();
+        let (_, result) = run(DsmConfig::new(2), params);
+        let n = params.ncities;
+        let mut seen = vec![false; n];
+        assert_eq!(result.best_path.len(), n);
+        for &c in &result.best_path {
+            assert!(!seen[c as usize], "city repeated in tour");
+            seen[c as usize] = true;
+        }
+        assert!(result.expansions > 0);
+    }
+}

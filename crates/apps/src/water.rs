@@ -1,0 +1,511 @@
+//! Water: an N-squared molecular dynamics kernel with a real bug.
+//!
+//! Modelled on Splash2's Water-Nsquared (216 molecules, 5 iterations in the
+//! paper's runs): a predictor phase over per-molecule derivative state,
+//! an O(N²) inter-molecular force phase, and a correction/energy phase,
+//! separated by barriers.  Force contributions to *other* processes'
+//! molecules are accumulated locally and flushed under per-partition locks
+//! — the fine-grained synchronization behind Water's high interval count
+//! and message overhead in the paper's Tables 1 and 3.
+//!
+//! **The bug.**  The global virial accumulator is updated once per process
+//! per iteration *without* taking its lock in the buggy variant —
+//! concurrent unsynchronized read-modify-writes of one shared word.  The
+//! detector reports it as a write-write race; this models the real race
+//! the paper found in the Splash2 original ("a data race that constituted
+//! a real bug, reported to the Splash authors and fixed in their current
+//! version").  The potential-energy sum, by contrast, is correctly locked.
+//! [`WaterParams::as_fixed`] enables the repaired version.
+
+use cvm_dsm::{Cluster, DsmConfig, RunReport};
+use cvm_page::GAddr;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Number of derivative orders kept per molecule (positions, velocities,
+/// and four higher orders — the Gear-style predictor state of the
+/// original, which dominates its per-molecule memory).
+pub const ORDERS: usize = 6;
+
+/// Lock protecting the potential-energy sum (correctly used).
+const POTA_LOCK: u32 = 1;
+/// Lock protecting the virial sum (NOT taken in the buggy variant).
+const VIR_LOCK: u32 = 2;
+/// Lock protecting the kinetic-energy sum.
+const KIN_LOCK: u32 = 3;
+/// First per-partition force lock.
+const FORCE_LOCK0: u32 = 8;
+
+/// Water parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WaterParams {
+    /// Number of molecules; the paper uses 216.
+    pub nmols: usize,
+    /// Time-step iterations; the paper uses 5.
+    pub iters: usize,
+    /// Molecule partitions (one force lock each).
+    pub npartitions: usize,
+    /// Instance seed.
+    pub seed: u64,
+    /// Take the virial lock (the repaired program).
+    pub fixed: bool,
+}
+
+impl WaterParams {
+    /// The paper's input: 216 molecules, 5 iterations.
+    pub fn paper() -> Self {
+        WaterParams {
+            nmols: 216,
+            iters: 5,
+            npartitions: 54,
+            seed: 1996,
+            fixed: false,
+        }
+    }
+
+    /// A small instance for tests.
+    pub fn small() -> Self {
+        WaterParams {
+            nmols: 24,
+            iters: 3,
+            npartitions: 6,
+            seed: 11,
+            fixed: false,
+        }
+    }
+
+    /// The repaired variant of the same instance.
+    pub fn as_fixed(mut self) -> Self {
+        self.fixed = true;
+        self
+    }
+}
+
+/// Result of a run (gathered by process 0 after the last barrier).
+#[derive(Clone, Debug)]
+pub struct WaterResult {
+    /// Final positions, `[mol * 3 + dim]`.
+    pub positions: Vec<f64>,
+    /// Accumulated potential-energy sum (locked, exact up to FP order).
+    pub potential: f64,
+    /// Accumulated virial sum (racy in the buggy variant: may have lost
+    /// updates).
+    pub virial: f64,
+    /// Accumulated kinetic-energy sum.
+    pub kinetic: f64,
+}
+
+/// Deterministic initial state: jittered lattice, small seeded velocities,
+/// zeroed higher derivatives.
+pub fn initial_state(params: &WaterParams) -> Vec<f64> {
+    let n = params.nmols;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let side = (n as f64).cbrt().ceil() as usize;
+    let mut state = vec![0.0f64; n * 3 * ORDERS];
+    for m in 0..n {
+        let (x, y, z) = (m % side, (m / side) % side, m / (side * side));
+        for (dim, base) in [(x, 0usize), (y, 1), (z, 2)] {
+            // Order 0: position.
+            state[(m * 3 + base) * ORDERS] = dim as f64 * 2.0 + rng.random_range(-0.2..0.2);
+            // Order 1: velocity.
+            state[(m * 3 + base) * ORDERS + 1] = rng.random_range(-0.05..0.05);
+        }
+    }
+    state
+}
+
+const DT: f64 = 0.02;
+/// Cycles of floating-point work per molecule pair.
+const PAIR_CYCLES: u64 = 40;
+
+/// A smooth, bounded pair interaction (softened inverse-square spring):
+/// returns the force on `a` from `b`, the pair potential, and the pair's
+/// virial contribution.
+fn pair_force(pa: [f64; 3], pb: [f64; 3]) -> ([f64; 3], f64, f64) {
+    let d = [pb[0] - pa[0], pb[1] - pa[1], pb[2] - pa[2]];
+    let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+    let soft = r2 + 0.5;
+    let inv = 1.0 / soft;
+    let mag = inv - 0.05 * inv * inv;
+    let f = [d[0] * mag, d[1] * mag, d[2] * mag];
+    let pot = -inv;
+    let vir = mag * r2;
+    (f, pot, vir)
+}
+
+/// Molecule partition index (uniform blocks).
+fn partition_of(m: usize, nmols: usize, nparts: usize) -> usize {
+    let per = nmols.div_ceil(nparts);
+    m / per
+}
+
+/// First molecule of a partition.
+fn partition_lo(part: usize, nmols: usize, nparts: usize) -> usize {
+    let per = nmols.div_ceil(nparts);
+    part * per
+}
+
+/// Molecules `[lo, hi)` owned by `proc`.
+fn mol_block(n: usize, nprocs: usize, proc: usize) -> (usize, usize) {
+    crate::sor::row_block(n, nprocs, proc)
+}
+
+/// Runs Water on the DSM.
+pub fn run(cfg: DsmConfig, params: WaterParams) -> (RunReport, WaterResult) {
+    let n = params.nmols;
+    let init = initial_state(&params);
+    let result = Mutex::new(None);
+    // Per-processor state blocks and per-partition force blocks are padded
+    // to page boundaries, as the original padded its shared arrays — this
+    // is what keeps the single-writer protocol from thrashing ownership on
+    // every predictor write.
+    let nprocs = cfg.nprocs;
+    let page = cfg.geometry.page_bytes();
+    let mols_per_proc = n.div_ceil(nprocs);
+    let state_block = (mols_per_proc as u64 * 3 * ORDERS as u64 * 8).div_ceil(page) * page;
+    let mols_per_part = n.div_ceil(params.npartitions);
+    // Force partition blocks are page-padded so a flush section (already
+    // serialized by its partition lock) transfers its page once instead of
+    // ping-ponging word by word with sections of other partitions.
+    let force_block = (mols_per_part as u64 * 3 * 8).div_ceil(page) * page;
+
+    let report = Cluster::run(
+        cfg,
+        |alloc| {
+            // Per-molecule derivative state (the VAR array of the
+            // original), force accumulators, and the global sums.
+            let state = alloc
+                .alloc_page_aligned("MolState", nprocs as u64 * state_block)
+                .unwrap();
+            let force = alloc
+                .alloc_page_aligned("Forces", params.npartitions as u64 * force_block)
+                .unwrap();
+            let pota = alloc.alloc("POTA", 8).unwrap();
+            let vir = alloc.alloc("VIR", 8).unwrap();
+            let kin = alloc.alloc("KIN", 8).unwrap();
+            (state, force, pota, vir, kin)
+        },
+        |h, &(state, force, pota, vir, kin)| {
+            let s_at = |m: usize, dim: usize, order: usize| -> GAddr {
+                let proc = m / mols_per_proc;
+                let local = m - proc * mols_per_proc;
+                state
+                    .offset(proc as u64 * state_block)
+                    .word(((local * 3 + dim) * ORDERS + order) as u64)
+            };
+            let f_at = |m: usize, dim: usize| -> GAddr {
+                let part = partition_of(m, n, params.npartitions);
+                let local = m - partition_lo(part, n, params.npartitions);
+                force
+                    .offset(part as u64 * force_block)
+                    .word((local * 3 + dim) as u64)
+            };
+            let (lo, hi) = mol_block(n, h.nprocs(), h.proc());
+
+            for m in lo..hi {
+                for dim in 0..3 {
+                    for order in 0..ORDERS {
+                        h.write_f64(s_at(m, dim, order), init[(m * 3 + dim) * ORDERS + order]);
+                    }
+                    h.write_f64(f_at(m, dim), 0.0);
+                }
+            }
+            if h.proc() == 0 {
+                h.write_f64(pota, 0.0);
+                h.write_f64(vir, 0.0);
+                h.write_f64(kin, 0.0);
+            }
+            h.barrier();
+
+            for _ in 0..params.iters {
+                // PREDIC: advance owned molecules' derivative chain and
+                // zero the force accumulators.
+                for m in lo..hi {
+                    for dim in 0..3 {
+                        let mut vals = [0.0f64; ORDERS];
+                        for (o, v) in vals.iter_mut().enumerate() {
+                            *v = h.read_f64(s_at(m, dim, o));
+                        }
+                        let mut dt_pow = DT;
+                        for o in (1..ORDERS).rev() {
+                            vals[o - 1] += vals[o] * dt_pow;
+                            dt_pow *= 0.5;
+                        }
+                        for (o, v) in vals.iter().enumerate() {
+                            h.write_f64(s_at(m, dim, o), *v);
+                        }
+                        h.write_f64(f_at(m, dim), 0.0);
+                    }
+                    h.compute(PAIR_CYCLES);
+                    h.private_traffic(8);
+                }
+                h.barrier();
+
+                // INTERF: O(N^2) pair forces; contributions staged
+                // privately, flushed under per-partition locks.
+                let mut local_f = vec![0.0f64; n * 3];
+                let mut local_pot = 0.0;
+                let mut local_vir = 0.0;
+                for i in lo..hi {
+                    let pi = [
+                        h.read_f64(s_at(i, 0, 0)),
+                        h.read_f64(s_at(i, 1, 0)),
+                        h.read_f64(s_at(i, 2, 0)),
+                    ];
+                    for j in i + 1..n {
+                        let pj = [
+                            h.read_f64(s_at(j, 0, 0)),
+                            h.read_f64(s_at(j, 1, 0)),
+                            h.read_f64(s_at(j, 2, 0)),
+                        ];
+                        let (f, pot, vr) = pair_force(pi, pj);
+                        for dim in 0..3 {
+                            local_f[i * 3 + dim] += f[dim];
+                            local_f[j * 3 + dim] -= f[dim];
+                        }
+                        local_pot += pot;
+                        local_vir += vr;
+                        h.compute(PAIR_CYCLES);
+                        h.private_traffic(40);
+                    }
+                }
+                for part in 0..params.npartitions {
+                    let touched: Vec<usize> = (0..n)
+                        .filter(|&m| partition_of(m, n, params.npartitions) == part)
+                        .filter(|&m| (0..3).any(|d| local_f[m * 3 + d] != 0.0))
+                        .collect();
+                    if touched.is_empty() {
+                        continue;
+                    }
+                    h.lock(FORCE_LOCK0 + part as u32);
+                    for &m in &touched {
+                        for dim in 0..3 {
+                            let a = f_at(m, dim);
+                            let v = h.read_f64(a);
+                            h.write_f64(a, v + local_f[m * 3 + dim]);
+                        }
+                    }
+                    h.unlock(FORCE_LOCK0 + part as u32);
+                }
+
+                // Global sums.  POTA: correctly locked.
+                h.lock(POTA_LOCK);
+                let p = h.read_f64(pota);
+                h.write_f64(pota, p + local_pot);
+                h.unlock(POTA_LOCK);
+                // VIR: the bug — unsynchronized read-modify-write.
+                if params.fixed {
+                    h.lock(VIR_LOCK);
+                    let v = h.read_f64(vir);
+                    h.write_f64(vir, v + local_vir);
+                    h.unlock(VIR_LOCK);
+                } else {
+                    let v = h.read_f64(vir);
+                    h.write_f64(vir, v + local_vir);
+                }
+                h.barrier();
+
+                // CORREC + KINETI: integrate owned molecules, sum kinetic
+                // energy (locked).
+                let mut local_kin = 0.0;
+                for m in lo..hi {
+                    for dim in 0..3 {
+                        let f = h.read_f64(f_at(m, dim));
+                        let vaddr = s_at(m, dim, 1);
+                        let v = h.read_f64(vaddr) + f * DT;
+                        h.write_f64(vaddr, v);
+                        let paddr = s_at(m, dim, 0);
+                        let pos = h.read_f64(paddr) + v * DT;
+                        h.write_f64(paddr, pos);
+                        local_kin += 0.5 * v * v;
+                    }
+                    h.private_traffic(4);
+                }
+                h.lock(KIN_LOCK);
+                let k = h.read_f64(kin);
+                h.write_f64(kin, k + local_kin);
+                h.unlock(KIN_LOCK);
+                h.barrier();
+            }
+
+            if h.proc() == 0 {
+                let mut positions = vec![0.0; n * 3];
+                for (m, pos) in positions.chunks_mut(3).enumerate() {
+                    for (dim, v) in pos.iter_mut().enumerate() {
+                        *v = h.read_f64(s_at(m, dim, 0));
+                    }
+                }
+                *result.lock() = Some(WaterResult {
+                    positions,
+                    potential: h.read_f64(pota),
+                    virial: h.read_f64(vir),
+                    kinetic: h.read_f64(kin),
+                });
+            }
+            h.barrier();
+        },
+    );
+    let res = result.into_inner().expect("gathered");
+    (report, res)
+}
+
+/// Sequential reference simulation.
+pub fn reference(params: &WaterParams) -> WaterResult {
+    let n = params.nmols;
+    let mut state = initial_state(params);
+    let mut potential = 0.0;
+    let mut virial = 0.0;
+    let mut kinetic = 0.0;
+    let s = |m: usize, dim: usize, order: usize| (m * 3 + dim) * ORDERS + order;
+    for _ in 0..params.iters {
+        let mut force = vec![0.0f64; n * 3];
+        for m in 0..n {
+            for dim in 0..3 {
+                let mut vals = [0.0f64; ORDERS];
+                for (o, v) in vals.iter_mut().enumerate() {
+                    *v = state[s(m, dim, o)];
+                }
+                let mut dt_pow = DT;
+                for o in (1..ORDERS).rev() {
+                    vals[o - 1] += vals[o] * dt_pow;
+                    dt_pow *= 0.5;
+                }
+                for (o, v) in vals.iter().enumerate() {
+                    state[s(m, dim, o)] = *v;
+                }
+            }
+        }
+        for i in 0..n {
+            let pi = [state[s(i, 0, 0)], state[s(i, 1, 0)], state[s(i, 2, 0)]];
+            for j in i + 1..n {
+                let pj = [state[s(j, 0, 0)], state[s(j, 1, 0)], state[s(j, 2, 0)]];
+                let (f, pot, vr) = pair_force(pi, pj);
+                for dim in 0..3 {
+                    force[i * 3 + dim] += f[dim];
+                    force[j * 3 + dim] -= f[dim];
+                }
+                potential += pot;
+                virial += vr;
+            }
+        }
+        for m in 0..n {
+            for dim in 0..3 {
+                let v = state[s(m, dim, 1)] + force[m * 3 + dim] * DT;
+                state[s(m, dim, 1)] = v;
+                state[s(m, dim, 0)] += v * DT;
+                kinetic += 0.5 * v * v;
+            }
+        }
+    }
+    let mut positions = vec![0.0; n * 3];
+    for (m, pos) in positions.chunks_mut(3).enumerate() {
+        for (dim, v) in pos.iter_mut().enumerate() {
+            *v = state[s(m, dim, 0)];
+        }
+    }
+    WaterResult {
+        positions,
+        potential,
+        virial,
+        kinetic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvm_race::RaceKind;
+
+    fn vir_addr(report: &RunReport) -> GAddr {
+        report
+            .segments
+            .segments()
+            .iter()
+            .find(|s| s.name == "VIR")
+            .unwrap()
+            .base
+    }
+
+    #[test]
+    fn parallel_positions_match_reference() {
+        let params = WaterParams::small();
+        let (_, result) = run(DsmConfig::new(4), params);
+        let expect = reference(&params);
+        for (i, (a, b)) in result.positions.iter().zip(&expect.positions).enumerate() {
+            assert!((a - b).abs() < 1e-9, "position {i} mismatch: {a} vs {b}");
+        }
+        // Locked sums agree up to FP reassociation.
+        assert!((result.potential - expect.potential).abs() < 1e-6);
+        assert!((result.kinetic - expect.kinetic).abs() < 1e-6);
+    }
+
+    #[test]
+    fn buggy_variant_reports_write_write_race_on_vir() {
+        let (report, _) = run(DsmConfig::new(4), WaterParams::small());
+        let races = report.races.at(vir_addr(&report));
+        assert!(
+            races.iter().any(|r| r.kind == RaceKind::WriteWrite),
+            "VIR write-write race missed: {:?}",
+            report.races.distinct_addrs()
+        );
+        // The rendered report names the variable, as the paper's address +
+        // symbol-table workflow would.
+        let rendered = races[0].render(&report.segments);
+        assert!(rendered.contains("VIR"), "got: {rendered}");
+    }
+
+    #[test]
+    fn fixed_variant_is_race_free_and_exact() {
+        let params = WaterParams::small().as_fixed();
+        let (report, result) = run(DsmConfig::new(4), params);
+        assert!(
+            report.races.is_empty(),
+            "fixed Water misreported: {:?}",
+            report.races.reports()
+        );
+        let expect = reference(&params);
+        assert!((result.virial - expect.virial).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pair_force_is_antisymmetric_and_finite() {
+        let (f_ab, pot, vir) = pair_force([0.0, 0.0, 0.0], [1.0, 2.0, 2.0]);
+        let (f_ba, pot2, vir2) = pair_force([1.0, 2.0, 2.0], [0.0, 0.0, 0.0]);
+        for d in 0..3 {
+            assert!((f_ab[d] + f_ba[d]).abs() < 1e-15);
+            assert!(f_ab[d].is_finite());
+        }
+        assert_eq!(pot, pot2);
+        assert_eq!(vir, vir2);
+        // Coincident molecules do not blow up (softened potential).
+        let (f0, _, _) = pair_force([1.0; 3], [1.0; 3]);
+        assert_eq!(f0, [0.0; 3]);
+    }
+
+    #[test]
+    fn partitions_cover_all_molecules() {
+        let n = 216;
+        let parts = 54;
+        let mut counts = vec![0usize; parts];
+        for m in 0..n {
+            counts[partition_of(m, n, parts)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0));
+        assert_eq!(counts.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn reference_stays_finite() {
+        let params = WaterParams {
+            nmols: 27,
+            iters: 5,
+            npartitions: 9,
+            seed: 3,
+            fixed: true,
+        };
+        let result = reference(&params);
+        assert!(result.kinetic.is_finite() && result.kinetic > 0.0);
+        assert!(result.positions.iter().all(|p| p.is_finite()));
+    }
+}

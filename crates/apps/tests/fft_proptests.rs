@@ -1,0 +1,87 @@
+//! Property-based validation of the FFT application.
+
+use cvm_apps::fft::{self, Complex, FftParams};
+use cvm_dsm::DsmConfig;
+use proptest::prelude::*;
+
+fn arb_signal(n: usize) -> impl Strategy<Value = Vec<Complex>> {
+    proptest::collection::vec(
+        (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| Complex { re, im }),
+        n..=n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The parallel six-step FFT agrees with the naive DFT on arbitrary
+    /// inputs, across processor counts.
+    #[test]
+    fn six_step_matches_dft_on_random_inputs(
+        input in arb_signal(16),
+        nprocs in 1usize..5,
+    ) {
+        let params = FftParams { m: 4, inverse: false };
+        let (report, result) = fft::run_on(DsmConfig::new(nprocs), params, &input);
+        let expect = fft::dft_reference(&input, false);
+        for (i, (a, b)) in result.data.iter().zip(&expect).enumerate() {
+            prop_assert!(
+                (a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8,
+                "element {i}: {a:?} vs {b:?}"
+            );
+        }
+        prop_assert!(report.races.is_empty());
+    }
+
+    /// Forward then inverse recovers the signal (Parseval-style roundtrip)
+    /// on the DSM.
+    #[test]
+    fn roundtrip_recovers_random_signal(input in arb_signal(64)) {
+        let fwd = FftParams { m: 8, inverse: false };
+        let inv = FftParams { m: 8, inverse: true };
+        let (_, spectrum) = fft::run_on(DsmConfig::new(2), fwd, &input);
+        let (_, back) = fft::run_on(DsmConfig::new(2), inv, &spectrum.data);
+        for (i, (a, b)) in back.data.iter().zip(&input).enumerate() {
+            prop_assert!(
+                (a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8,
+                "element {i}: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    /// Parseval's theorem: energy is preserved (up to 1/N) by the local
+    /// kernel.
+    #[test]
+    fn parseval_holds_for_local_fft(input in arb_signal(32)) {
+        let mut buf = input.clone();
+        fft::fft_local(&mut buf, -1.0);
+        let time_energy: f64 = input.iter().map(|c| c.re * c.re + c.im * c.im).sum();
+        let freq_energy: f64 =
+            buf.iter().map(|c| c.re * c.re + c.im * c.im).sum::<f64>() / 32.0;
+        prop_assert!(
+            (time_energy - freq_energy).abs() < 1e-6 * (1.0 + time_energy),
+            "{time_energy} vs {freq_energy}"
+        );
+    }
+
+    /// Linearity of the DSM transform: FFT(a + b) = FFT(a) + FFT(b).
+    #[test]
+    fn fft_is_linear(a in arb_signal(16), b in arb_signal(16)) {
+        let params = FftParams { m: 4, inverse: false };
+        let sum: Vec<Complex> = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| *x + *y)
+            .collect();
+        let (_, fa) = fft::run_on(DsmConfig::new(2), params, &a);
+        let (_, fb) = fft::run_on(DsmConfig::new(2), params, &b);
+        let (_, fsum) = fft::run_on(DsmConfig::new(2), params, &sum);
+        for i in 0..16 {
+            let lin = fa.data[i] + fb.data[i];
+            prop_assert!(
+                (lin.re - fsum.data[i].re).abs() < 1e-8
+                    && (lin.im - fsum.data[i].im).abs() < 1e-8
+            );
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Protocol matrix: every application must produce correct results and the
+//! same race findings under both coherence protocols ("our algorithm will
+//! work identically with CVM's multi-writer protocol", §6.2).
+
+use cvm_apps::{fft, sor, tsp, water};
+use cvm_dsm::{DsmConfig, Protocol};
+
+fn cfg(nprocs: usize, protocol: Protocol) -> DsmConfig {
+    let mut cfg = DsmConfig::new(nprocs);
+    cfg.protocol = protocol;
+    cfg
+}
+
+const PROTOCOLS: [Protocol; 2] = [Protocol::SingleWriter, Protocol::MultiWriter];
+
+#[test]
+fn sor_correct_under_both_protocols() {
+    let params = sor::SorParams::small();
+    let expect = sor::reference(params);
+    for protocol in PROTOCOLS {
+        let (report, result) = sor::run(cfg(4, protocol), params);
+        for (i, (a, b)) in result.grid.iter().zip(&expect).enumerate() {
+            assert!((a - b).abs() < 1e-12, "{protocol:?} cell {i}");
+        }
+        assert!(report.races.is_empty(), "{protocol:?}");
+    }
+}
+
+#[test]
+fn fft_correct_under_both_protocols() {
+    let params = fft::FftParams {
+        m: 8,
+        inverse: false,
+    };
+    let input = fft::input_signal(params.n());
+    let expect = fft::dft_reference(&input, false);
+    for protocol in PROTOCOLS {
+        let (report, result) = fft::run_on(cfg(4, protocol), params, &input);
+        for (i, (a, b)) in result.data.iter().zip(&expect).enumerate() {
+            assert!(
+                (a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9,
+                "{protocol:?} element {i}: {a:?} vs {b:?}"
+            );
+        }
+        assert!(report.races.is_empty(), "{protocol:?}");
+    }
+}
+
+#[test]
+fn tsp_optimal_and_racy_under_both_protocols() {
+    let params = tsp::TspParams::small();
+    let dist = tsp::distance_matrix(params.ncities, params.seed);
+    let (opt, _) = tsp::solve_reference(&dist, params.ncities);
+    for protocol in PROTOCOLS {
+        let (report, result) = tsp::run(cfg(4, protocol), params);
+        assert_eq!(result.best_len, opt, "{protocol:?}");
+        let bound = report
+            .segments
+            .segments()
+            .iter()
+            .find(|s| s.name == "MinTourLen")
+            .unwrap()
+            .base;
+        assert!(
+            !report.races.at(bound).is_empty(),
+            "{protocol:?}: bound race lost"
+        );
+    }
+}
+
+#[test]
+fn water_correct_and_buggy_under_both_protocols() {
+    let params = water::WaterParams::small();
+    let expect = water::reference(&params);
+    for protocol in PROTOCOLS {
+        let (report, result) = water::run(cfg(4, protocol), params);
+        for (i, (a, b)) in result.positions.iter().zip(&expect.positions).enumerate() {
+            assert!((a - b).abs() < 1e-9, "{protocol:?} position {i}");
+        }
+        let vir = report
+            .segments
+            .segments()
+            .iter()
+            .find(|s| s.name == "VIR")
+            .unwrap()
+            .base;
+        assert!(
+            !report.races.at(vir).is_empty(),
+            "{protocol:?}: VIR race lost"
+        );
+    }
+}
+
+#[test]
+fn multiwriter_moves_diffs_not_ownership() {
+    let (report, _) = sor::run(cfg(4, Protocol::MultiWriter), sor::SorParams::small());
+    let diffs: u64 = report.nodes.iter().map(|n| n.stats.diffs_made).sum();
+    assert!(diffs > 0, "multi-writer must flush diffs");
+    let (sw_report, _) = sor::run(cfg(4, Protocol::SingleWriter), sor::SorParams::small());
+    let sw_diffs: u64 = sw_report.nodes.iter().map(|n| n.stats.diffs_made).sum();
+    assert_eq!(sw_diffs, 0, "single-writer never diffs");
+}
+
+#[test]
+fn single_proc_runs_under_both_protocols() {
+    for protocol in PROTOCOLS {
+        let (report, result) = sor::run(cfg(1, protocol), sor::SorParams::small());
+        assert!(report.races.is_empty(), "{protocol:?}");
+        assert_eq!(result.grid.len(), 24 * 24);
+    }
+}

@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks of the detector hot paths (paper §4 steps
+//! 2-5): the constant-time concurrency check, the comparison algorithm
+//! under each overlap strategy, and word-level bitmap comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cvm_page::{Geometry, PageBitmaps, PageId};
+use cvm_race::{make_interval, BitmapStore, EpochDetector, Interval, OverlapStrategy, PairEnumeration};
+use cvm_vclock::{IntervalId, IntervalStamp, ProcId, VClock};
+use std::hint::black_box;
+
+fn stamps(n: usize) -> Vec<IntervalStamp> {
+    (0..n)
+        .map(|i| {
+            let p = (i % 8) as u16;
+            let idx = (i / 8 + 1) as u32;
+            let mut vc = vec![0u32; 8];
+            vc[p as usize] = idx;
+            vc[(i + 3) % 8] = (i % 5) as u32;
+            if (i + 3) % 8 == p as usize {
+                vc[p as usize] = idx;
+            }
+            IntervalStamp::new(IntervalId::new(ProcId(p), idx), VClock::from(vc))
+        })
+        .collect()
+}
+
+fn bench_concurrency_check(c: &mut Criterion) {
+    let s = stamps(64);
+    c.bench_function("vv_concurrent_check_64x64", |b| {
+        b.iter(|| {
+            let mut count = 0u32;
+            for a in &s {
+                for x in &s {
+                    if a.concurrent_with(black_box(x)) {
+                        count += 1;
+                    }
+                }
+            }
+            black_box(count)
+        })
+    });
+}
+
+fn epoch(nintervals_per_proc: u32, pages_per_list: u32) -> Vec<Interval> {
+    let mut out = Vec::new();
+    for p in 0..8u16 {
+        for i in 1..=nintervals_per_proc {
+            let mut vc = vec![0u32; 8];
+            vc[p as usize] = i;
+            let writes: Vec<u32> = (0..pages_per_list)
+                .map(|k| (u32::from(p) * 13 + k * 7) % 256)
+                .collect();
+            let reads: Vec<u32> = (0..pages_per_list).map(|k| (i * 11 + k) % 256).collect();
+            out.push(make_interval(p, i, vc, &writes, &reads));
+        }
+    }
+    out
+}
+
+fn bench_plan_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comparison_algorithm");
+    for (label, per_proc, pages) in [("barrier_app", 2u32, 4u32), ("lock_app", 24, 12)] {
+        let intervals = epoch(per_proc, pages);
+        for strategy in [
+            OverlapStrategy::Quadratic,
+            OverlapStrategy::SortedMerge,
+            OverlapStrategy::PageBitmap,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), label),
+                &intervals,
+                |b, ivs| {
+                    let d = EpochDetector { overlap: strategy, ..Default::default() };
+                    b.iter(|| black_box(d.plan(black_box(ivs))))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pair_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pair_enumeration");
+    for (label, per_proc, pages) in [("barrier_app", 2u32, 4u32), ("lock_app", 48, 8)] {
+        let intervals = epoch(per_proc, pages);
+        for enumeration in [PairEnumeration::Naive, PairEnumeration::Pruned] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{enumeration:?}"), label),
+                &intervals,
+                |b, ivs| {
+                    let d = EpochDetector {
+                        enumeration,
+                        ..EpochDetector::new()
+                    };
+                    b.iter(|| black_box(d.plan(black_box(ivs))))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_postmortem_analysis(c: &mut Criterion) {
+    use cvm_race::trace::{analyze_trace, TraceEvent};
+    use cvm_page::PageBitmaps;
+    // A 4-process, 8-epoch trace with modest computation events.
+    let traces: Vec<Vec<TraceEvent>> = (0..4)
+        .map(|p| {
+            let mut log = Vec::new();
+            for e in 0..8u64 {
+                let mut bm = PageBitmaps::new(1024);
+                bm.write.set((p * 13 + e as usize * 7) % 1024);
+                bm.read.set((p * 5 + e as usize * 3) % 1024);
+                log.push(TraceEvent::Computation {
+                    pages: vec![(PageId((e % 4) as u32), bm)],
+                });
+                log.push(TraceEvent::BarrierArrive { epoch: e });
+                log.push(TraceEvent::BarrierResume { epoch: e });
+            }
+            log
+        })
+        .collect();
+    let g = Geometry::with_page_bytes(8192);
+    c.bench_function("postmortem_analyze_4proc_8epoch", |b| {
+        b.iter(|| black_box(analyze_trace(black_box(&traces), g)))
+    });
+}
+
+fn bench_bitmap_compare(c: &mut Criterion) {
+    let g = Geometry::with_page_bytes(8192);
+    let a = make_interval(0, 1, vec![1, 0], &[0], &[]);
+    let bvi = make_interval(1, 1, vec![0, 1], &[0], &[]);
+    let d = EpochDetector::new();
+    let mut store = BitmapStore::new();
+    let mut bm_a = PageBitmaps::new(g.page_words);
+    let mut bm_b = PageBitmaps::new(g.page_words);
+    for w in (0..g.page_words).step_by(3) {
+        bm_a.write.set(w);
+    }
+    for w in (1..g.page_words).step_by(3) {
+        bm_b.write.set(w);
+    }
+    store.insert(a.id(), PageId(0), bm_a);
+    store.insert(bvi.id(), PageId(0), bm_b);
+    let intervals = vec![a, bvi];
+    c.bench_function("bitmap_compare_8k_page_false_sharing", |b| {
+        b.iter(|| {
+            let mut plan = d.plan(black_box(&intervals));
+            let reports = d.compare(&mut plan, &store, g, 0).unwrap();
+            black_box(reports)
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_concurrency_check, bench_plan_strategies, bench_pair_enumeration, bench_postmortem_analysis, bench_bitmap_compare
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the substrates: bitmaps, diffs, the wire
+//! codec, and a whole small cluster run (lock hand-off latency).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvm_dsm::{Cluster, DsmConfig, Msg};
+use cvm_net::wire::Wire;
+use cvm_page::{Bitmap, Diff, PageId};
+use cvm_race::make_interval;
+use cvm_vclock::VClock;
+use std::hint::black_box;
+
+fn bench_bitmap_ops(c: &mut Criterion) {
+    let mut a = Bitmap::new(1024);
+    let mut b = Bitmap::new(1024);
+    for i in (0..1024).step_by(5) {
+        a.set(i);
+    }
+    for i in (2..1024).step_by(7) {
+        b.set(i);
+    }
+    c.bench_function("bitmap_overlap_1024", |bch| {
+        bch.iter(|| black_box(a.overlaps(black_box(&b))))
+    });
+    c.bench_function("bitmap_overlap_words_1024", |bch| {
+        bch.iter(|| black_box(a.overlap_words(&b).count()))
+    });
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let twin: Vec<u64> = (0..1024).map(|i| i as u64).collect();
+    let mut cur = twin.clone();
+    for i in (0..1024).step_by(9) {
+        cur[i] ^= 0xFF;
+    }
+    c.bench_function("diff_make_1024_words", |b| {
+        b.iter(|| black_box(Diff::make(PageId(0), black_box(&twin), black_box(&cur))))
+    });
+    let d = Diff::make(PageId(0), &twin, &cur);
+    c.bench_function("diff_apply_114_entries", |b| {
+        b.iter(|| {
+            let mut data = twin.clone();
+            d.apply(&mut data);
+            black_box(data)
+        })
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let records: Vec<_> = (0..32)
+        .map(|i| {
+            let mut vc = vec![0u32; 8];
+            vc[(i % 8) as usize] = i / 8 + 1;
+            make_interval(
+                (i % 8) as u16,
+                i / 8 + 1,
+                vc,
+                &[i, i + 1, i + 2],
+                &[i + 3, i + 4, i + 5, i + 6],
+            )
+        })
+        .collect();
+    let msg = Msg::LockGrant {
+        lock: 3,
+        records,
+        vc: VClock::from(vec![4, 4, 4, 4, 4, 4, 4, 4]),
+        trace_from: None,
+    };
+    let bytes = msg.to_bytes();
+    c.bench_function("encode_lock_grant_32_records", |b| {
+        b.iter(|| black_box(msg.to_bytes()))
+    });
+    c.bench_function("decode_lock_grant_32_records", |b| {
+        b.iter(|| black_box(Msg::from_bytes(black_box(&bytes)).unwrap()))
+    });
+}
+
+fn bench_lock_handoff(c: &mut Criterion) {
+    c.bench_function("cluster_2proc_lock_pingpong_x50", |b| {
+        b.iter(|| {
+            let report = Cluster::run(
+                DsmConfig::new(2),
+                |alloc| alloc.alloc("n", 8).unwrap(),
+                |h, &n| {
+                    for _ in 0..50 {
+                        h.lock(1);
+                        let v = h.read(n);
+                        h.write(n, v + 1);
+                        h.unlock(1);
+                    }
+                    h.barrier();
+                },
+            );
+            black_box(report.virtual_cycles())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_bitmap_ops, bench_diff, bench_codec, bench_lock_handoff
+}
+criterion_main!(benches);

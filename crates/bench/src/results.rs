@@ -1,0 +1,72 @@
+//! CSV artifacts for the harness binaries.
+//!
+//! Every table/figure binary both prints its table and appends the same
+//! rows to `bench_results/<name>.csv`, so downstream plotting and the
+//! EXPERIMENTS.md bookkeeping have a machine-readable record.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directory the harness writes artifacts into.
+pub const RESULTS_DIR: &str = "bench_results";
+
+/// A CSV writer for one experiment.
+pub struct Csv {
+    path: PathBuf,
+    rows: Vec<String>,
+}
+
+impl Csv {
+    /// Starts a CSV with the given header columns.
+    pub fn new(name: &str, header: &[&str]) -> Csv {
+        Csv {
+            path: Path::new(RESULTS_DIR).join(format!("{name}.csv")),
+            rows: vec![header.join(",")],
+        }
+    }
+
+    /// Appends one row; values are rendered with `Display`.
+    pub fn row(&mut self, values: &[&dyn std::fmt::Display]) {
+        let rendered: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        self.rows.push(rendered.join(","));
+    }
+
+    /// Writes the file (best-effort: the printed table is the primary
+    /// output, so IO failures only warn).
+    pub fn flush(self) {
+        if let Err(e) = self.try_flush() {
+            eprintln!("warning: could not write {}: {e}", self.path.display());
+        }
+    }
+
+    fn try_flush(&self) -> std::io::Result<()> {
+        fs::create_dir_all(RESULTS_DIR)?;
+        let mut f = fs::File::create(&self.path)?;
+        for row in &self.rows {
+            writeln!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_renders_rows() {
+        let mut csv = Csv::new("unit_test_artifact", &["app", "value"]);
+        csv.row(&[&"FFT", &2.08f64]);
+        csv.row(&[&"SOR", &1.83f64]);
+        assert_eq!(csv.rows.len(), 3);
+        assert_eq!(csv.rows[0], "app,value");
+        assert_eq!(csv.rows[1], "FFT,2.08");
+        // Flush into the artifacts directory and verify round-trip.
+        let path = csv.path.clone();
+        csv.flush();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("SOR,1.83"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,735 @@
+//! The barrier-master comparison algorithm (paper §4, steps 2–5).
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use cvm_page::{Bitmap, Geometry, PageBitmaps, PageId};
+use cvm_vclock::IntervalId;
+
+use crate::{DetectorStats, Interval, RaceKind, RaceReport};
+
+/// Strategy for intersecting two intervals' page notice lists.
+///
+/// The paper uses a naive `O(n^2)` scan because lists are "usually very
+/// small (i.e. less than ten)" and notes (§6.2) that bitmap-backed page
+/// lists would make the comparison linear in the number of pages; all three
+/// are implemented (and benchmarked against each other) here.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OverlapStrategy {
+    /// Naive scan for short lists, merge for long ones.
+    #[default]
+    Auto,
+    /// The paper's naive `O(n*m)` nested scan.
+    Quadratic,
+    /// Linear merge of the (sorted) notice lists.
+    SortedMerge,
+    /// Bitmap over the page id space (§6.2's suggested improvement).
+    PageBitmap,
+}
+
+/// How concurrent interval pairs are enumerated during planning.
+///
+/// The paper uses "a very simple interval comparison algorithm ...
+/// primarily because the major system overhead is elsewhere", noting that
+/// "synchronization and program order allow many of the comparisons to be
+/// bypassed".  [`PairEnumeration::Pruned`] implements that bypass: within
+/// one process, interval indices are totally ordered and knowledge only
+/// grows, so for a fixed interval `a` of process `p`, the intervals of
+/// process `q` ordered *before* `a` form a prefix (indices `<=
+/// a.vc[q]`) and those ordered *after* form a suffix (the first whose
+/// clock has seen `a`); the concurrent ones are the contiguous middle,
+/// found by two binary searches instead of a full scan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PairEnumeration {
+    /// The paper's all-pairs scan.
+    #[default]
+    Naive,
+    /// Binary-search pruning over per-process sorted interval lists.
+    ///
+    /// Requires stamps from a real execution: a process's knowledge of any
+    /// peer must be non-decreasing in program order (always true of
+    /// clocks produced by the protocol).
+    Pruned,
+}
+
+/// Classification of one interval pair during planning.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PairClass {
+    /// Ordered by happens-before-1; cannot race.
+    Ordered,
+    /// Concurrent, but their page access lists are disjoint.
+    ConcurrentNoOverlap,
+    /// Concurrent with overlapping pages: unsynchronized sharing (true or
+    /// false) — goes on the check list.
+    ConcurrentOverlap,
+}
+
+/// One check-list entry: a concurrent interval pair and the pages both
+/// touched in a conflicting way.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CheckEntry {
+    /// First interval (belonging to the lower-numbered process).
+    pub a: IntervalId,
+    /// Second interval.
+    pub b: IntervalId,
+    /// Overlapping pages, sorted.
+    pub pages: Vec<PageId>,
+}
+
+/// The check list (paper §4, step 3): every concurrent interval pair with
+/// page overlap, to be resolved at word granularity with bitmaps.
+#[derive(Clone, Default, Debug)]
+pub struct CheckList {
+    /// Entries in discovery order.
+    pub entries: Vec<CheckEntry>,
+}
+
+impl CheckList {
+    /// Returns `true` if nothing needs word-level comparison.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Output of the planning phase (steps 2–3): the check list, the bitmaps to
+/// fetch, and the counters accumulated so far.
+#[derive(Clone, Debug)]
+pub struct DetectionPlan {
+    /// Pairs needing bitmap comparison.
+    pub check: CheckList,
+    /// Statistics for this epoch (bitmap counters filled in during
+    /// [`EpochDetector::compare`]).
+    pub stats: DetectorStats,
+    requests: BTreeSet<(IntervalId, PageId)>,
+}
+
+impl DetectionPlan {
+    /// Distinct `(interval, page)` bitmaps the master must retrieve in the
+    /// extra barrier round (step 4), sorted.
+    pub fn bitmap_requests(&self) -> impl Iterator<Item = (IntervalId, PageId)> + '_ {
+        self.requests.iter().copied()
+    }
+
+    /// Number of distinct bitmaps to retrieve.
+    pub fn request_count(&self) -> usize {
+        self.requests.len()
+    }
+}
+
+/// Storage for access bitmaps keyed by `(interval, page)`.
+///
+/// Each node keeps bitmaps for the intervals it created until they have
+/// been checked at a barrier; the master assembles the subset named by the
+/// check list into one of these before comparing.
+#[derive(Clone, Default, Debug)]
+pub struct BitmapStore {
+    map: HashMap<(IntervalId, PageId), PageBitmaps>,
+}
+
+impl BitmapStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        BitmapStore::default()
+    }
+
+    /// Inserts (or replaces) the bitmaps for `(interval, page)`.
+    pub fn insert(&mut self, interval: IntervalId, page: PageId, bitmaps: PageBitmaps) {
+        self.map.insert((interval, page), bitmaps);
+    }
+
+    /// Looks up the bitmaps for `(interval, page)`.
+    pub fn get(&self, interval: IntervalId, page: PageId) -> Option<&PageBitmaps> {
+        self.map.get(&(interval, page))
+    }
+
+    /// Number of stored bitmap pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Removes every bitmap belonging to `interval`.
+    pub fn evict_interval(&mut self, interval: IntervalId) {
+        self.map.retain(|(id, _), _| *id != interval);
+    }
+
+    /// Retains only the bitmaps whose key satisfies `keep` (used for
+    /// epoch-boundary garbage collection).
+    pub fn retain(&mut self, mut keep: impl FnMut(&(IntervalId, PageId)) -> bool) {
+        self.map.retain(|k, _| keep(k));
+    }
+}
+
+/// Error from the word-level comparison phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DetectError {
+    /// A bitmap named by the check list was not supplied.
+    MissingBitmap {
+        /// Interval whose bitmap is missing.
+        interval: IntervalId,
+        /// Page whose bitmap is missing.
+        page: PageId,
+    },
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::MissingBitmap { interval, page } => {
+                write!(f, "missing access bitmap for {interval:?} on {page:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+/// The epoch-level race detector run by the barrier master.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochDetector {
+    /// Page-list intersection strategy.
+    pub overlap: OverlapStrategy,
+    /// Concurrent-pair enumeration strategy.
+    pub enumeration: PairEnumeration,
+}
+
+impl EpochDetector {
+    /// Creates a detector with the default (auto) overlap strategy.
+    pub fn new() -> Self {
+        EpochDetector::default()
+    }
+
+    /// Steps 2–3: enumerate concurrent interval pairs among `intervals`
+    /// (one barrier epoch) and build the check list.
+    ///
+    /// Intervals of the same process are never compared — program order
+    /// already orders them — so the version-vector comparison count is
+    /// bounded by `O(i^2 p^2)` exactly as in the paper.
+    pub fn plan(&self, intervals: &[Interval]) -> DetectionPlan {
+        let mut stats = DetectorStats {
+            intervals_total: intervals.len() as u64,
+            ..DetectorStats::default()
+        };
+        for iv in intervals {
+            stats.bitmaps_total +=
+                (iv.write_notices.len() + iv.read_notices.len()) as u64;
+        }
+
+        let mut plan = Planner {
+            detector: self,
+            stats,
+            check: CheckList::default(),
+            requests: BTreeSet::new(),
+            used: BTreeSet::new(),
+        };
+        match self.enumeration {
+            PairEnumeration::Naive => plan.naive(intervals),
+            PairEnumeration::Pruned => plan.pruned(intervals),
+        }
+        plan.stats.intervals_used = plan.used.len() as u64;
+        plan.stats.bitmaps_requested = plan.requests.len() as u64;
+        DetectionPlan {
+            check: plan.check,
+            stats: plan.stats,
+            requests: plan.requests,
+        }
+    }
+
+    /// Classifies a single interval pair (exposed for the figure-level unit
+    /// tests and the ablation benches).
+    pub fn classify_pair(&self, a: &Interval, b: &Interval) -> PairClass {
+        if !a.stamp.concurrent_with(&b.stamp) {
+            return PairClass::Ordered;
+        }
+        if self.overlap_pages(a, b).is_empty() {
+            PairClass::ConcurrentNoOverlap
+        } else {
+            PairClass::ConcurrentOverlap
+        }
+    }
+
+    /// Pages on which `a` and `b` conflict: written by one and read *or*
+    /// written by the other.
+    pub fn overlap_pages(&self, a: &Interval, b: &Interval) -> Vec<PageId> {
+        let mut pages = match self.overlap {
+            OverlapStrategy::Quadratic => {
+                let mut v = quadratic_intersect(&a.write_notices, &b.write_notices);
+                v.extend(quadratic_intersect(&a.write_notices, &b.read_notices));
+                v.extend(quadratic_intersect(&a.read_notices, &b.write_notices));
+                v
+            }
+            OverlapStrategy::SortedMerge => {
+                let mut v = merge_intersect(&a.write_notices, &b.write_notices);
+                v.extend(merge_intersect(&a.write_notices, &b.read_notices));
+                v.extend(merge_intersect(&a.read_notices, &b.write_notices));
+                v
+            }
+            OverlapStrategy::PageBitmap => bitmap_conflict(a, b),
+            OverlapStrategy::Auto => {
+                let longest = a
+                    .write_notices
+                    .len()
+                    .max(a.read_notices.len())
+                    .max(b.write_notices.len())
+                    .max(b.read_notices.len());
+                let strategy = if longest <= 16 {
+                    OverlapStrategy::Quadratic
+                } else {
+                    OverlapStrategy::SortedMerge
+                };
+                return EpochDetector {
+                    overlap: strategy,
+                    ..*self
+                }
+                .overlap_pages(a, b);
+            }
+        };
+        pages.sort_unstable();
+        pages.dedup();
+        pages
+    }
+
+    /// Step 5: word-level bitmap comparison for every check-list entry.
+    ///
+    /// `epoch` tags the resulting reports.  Updates `plan.stats` with the
+    /// comparison and race counters.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::MissingBitmap`] if `bitmaps` lacks an entry named by
+    /// the check list.
+    pub fn compare(
+        &self,
+        plan: &mut DetectionPlan,
+        bitmaps: &BitmapStore,
+        geometry: Geometry,
+        epoch: u64,
+    ) -> Result<Vec<RaceReport>, DetectError> {
+        let mut reports = Vec::new();
+        for entry in &plan.check.entries {
+            for &page in &entry.pages {
+                let ba = bitmaps
+                    .get(entry.a, page)
+                    .ok_or(DetectError::MissingBitmap {
+                        interval: entry.a,
+                        page,
+                    })?;
+                let bb = bitmaps
+                    .get(entry.b, page)
+                    .ok_or(DetectError::MissingBitmap {
+                        interval: entry.b,
+                        page,
+                    })?;
+                plan.stats.bitmap_comparisons += 1;
+                compare_page(entry, page, ba, bb, geometry, epoch, &mut reports);
+            }
+        }
+        plan.stats.races_found += reports.len() as u64;
+        Ok(reports)
+    }
+}
+
+/// Planning state shared by both enumeration strategies.
+struct Planner<'d> {
+    detector: &'d EpochDetector,
+    stats: DetectorStats,
+    check: CheckList,
+    requests: BTreeSet<(IntervalId, PageId)>,
+    used: BTreeSet<IntervalId>,
+}
+
+impl Planner<'_> {
+    /// Handles one *known-concurrent* pair: page overlap + check list.
+    fn concurrent_pair(&mut self, a: &Interval, b: &Interval) {
+        self.stats.pairs_concurrent += 1;
+        if a.is_quiet() && b.is_quiet() {
+            return;
+        }
+        let pages = self.detector.overlap_pages(a, b);
+        if pages.is_empty() {
+            return;
+        }
+        self.stats.pairs_overlapping += 1;
+        self.used.insert(a.id());
+        self.used.insert(b.id());
+        for &pg in &pages {
+            self.requests.insert((a.id(), pg));
+            self.requests.insert((b.id(), pg));
+        }
+        self.check.entries.push(CheckEntry {
+            a: a.id(),
+            b: b.id(),
+            pages,
+        });
+    }
+
+    /// The paper's all-pairs scan.
+    fn naive(&mut self, intervals: &[Interval]) {
+        for (i, a) in intervals.iter().enumerate() {
+            for b in &intervals[i + 1..] {
+                if a.proc() == b.proc() {
+                    continue;
+                }
+                self.stats.pair_comparisons += 1;
+                if a.stamp.concurrent_with(&b.stamp) {
+                    self.concurrent_pair(a, b);
+                }
+            }
+        }
+    }
+
+    /// Binary-search pruning: per process pair, the intervals of `q`
+    /// concurrent with a fixed interval of `p` form a contiguous run.
+    fn pruned(&mut self, intervals: &[Interval]) {
+        use std::collections::BTreeMap;
+        let mut by_proc: BTreeMap<cvm_vclock::ProcId, Vec<&Interval>> = BTreeMap::new();
+        for iv in intervals {
+            by_proc.entry(iv.proc()).or_default().push(iv);
+        }
+        for list in by_proc.values_mut() {
+            list.sort_by_key(|iv| iv.id().index);
+        }
+        let procs: Vec<_> = by_proc.keys().copied().collect();
+        for (x, &p) in procs.iter().enumerate() {
+            for &q in &procs[x + 1..] {
+                let pa = &by_proc[&p];
+                let qb = &by_proc[&q];
+                for a in pa {
+                    // Prefix of q ordered before a: indices <= a.vc[q].
+                    let known = a.stamp.vc.get(q);
+                    let lo = partition_probe(qb, &mut self.stats, |b| {
+                        b.id().index <= known
+                    });
+                    // Suffix of q ordered after a: the first whose clock
+                    // has seen a (knowledge is monotone in program order).
+                    let own = a.id().index;
+                    let hi = partition_probe(&qb[lo..], &mut self.stats, |b| {
+                        b.stamp.vc.get(p) < own
+                    }) + lo;
+                    for b in &qb[lo..hi] {
+                        debug_assert!(a.stamp.concurrent_with(&b.stamp));
+                        self.concurrent_pair(a, b);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `partition_point` that counts each probe as one version-vector
+/// comparison in the statistics.
+fn partition_probe(
+    list: &[&Interval],
+    stats: &mut DetectorStats,
+    mut pred: impl FnMut(&Interval) -> bool,
+) -> usize {
+    let mut lo = 0;
+    let mut hi = list.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        stats.pair_comparisons += 1;
+        if pred(list[mid]) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Compares one page's bitmaps for one concurrent interval pair.
+fn compare_page(
+    entry: &CheckEntry,
+    page: PageId,
+    a: &PageBitmaps,
+    b: &PageBitmaps,
+    geometry: Geometry,
+    epoch: u64,
+    out: &mut Vec<RaceReport>,
+) {
+    let report = |word: usize, kind: RaceKind| RaceReport {
+        addr: geometry.addr_of(page, word),
+        kind,
+        a: entry.a,
+        b: entry.b,
+        epoch,
+    };
+    // Write-write conflicts take precedence; collect them first.
+    let mut ww = Bitmap::new(a.write.len());
+    for w in a.write.overlap_words(&b.write) {
+        ww.set(w);
+        out.push(report(w, RaceKind::WriteWrite));
+    }
+    for w in a.write.overlap_words(&b.read) {
+        if !ww.get(w) {
+            out.push(report(w, RaceKind::ReadWrite));
+        }
+    }
+    for w in a.read.overlap_words(&b.write) {
+        if !ww.get(w) && !a.write.get(w) {
+            out.push(report(w, RaceKind::ReadWrite));
+        }
+    }
+}
+
+fn quadratic_intersect(a: &[PageId], b: &[PageId]) -> Vec<PageId> {
+    let mut out = Vec::new();
+    for &x in a {
+        for &y in b {
+            if x == y {
+                out.push(x);
+            }
+        }
+    }
+    out
+}
+
+fn merge_intersect(a: &[PageId], b: &[PageId]) -> Vec<PageId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn bitmap_conflict(a: &Interval, b: &Interval) -> Vec<PageId> {
+    let max_page = a
+        .pages_touched()
+        .iter()
+        .chain(b.pages_touched().iter())
+        .map(|p| p.0)
+        .max()
+        .map_or(0, |m| m as usize + 1);
+    let mut wa = Bitmap::new(max_page);
+    let mut ra = Bitmap::new(max_page);
+    let mut wb = Bitmap::new(max_page);
+    let mut rb = Bitmap::new(max_page);
+    for p in &a.write_notices {
+        wa.set(p.index());
+    }
+    for p in &a.read_notices {
+        ra.set(p.index());
+    }
+    for p in &b.write_notices {
+        wb.set(p.index());
+    }
+    for p in &b.read_notices {
+        rb.set(p.index());
+    }
+    let mut out: Vec<PageId> = wa
+        .overlap_words(&wb)
+        .chain(wa.overlap_words(&rb))
+        .chain(ra.overlap_words(&wb))
+        .map(|i| PageId(i as u32))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::make_interval;
+
+    const STRATEGIES: [OverlapStrategy; 4] = [
+        OverlapStrategy::Auto,
+        OverlapStrategy::Quadratic,
+        OverlapStrategy::SortedMerge,
+        OverlapStrategy::PageBitmap,
+    ];
+
+    #[test]
+    fn overlap_requires_a_writer() {
+        // Read-read sharing on page 3 is not a conflict.
+        let a = make_interval(0, 1, vec![1, 0], &[], &[3]);
+        let b = make_interval(1, 1, vec![0, 1], &[], &[3]);
+        for s in STRATEGIES {
+            let d = EpochDetector { overlap: s, ..Default::default() };
+            assert!(d.overlap_pages(&a, &b).is_empty(), "{s:?}");
+            assert_eq!(d.classify_pair(&a, &b), PairClass::ConcurrentNoOverlap);
+        }
+    }
+
+    #[test]
+    fn overlap_detects_all_three_conflict_shapes() {
+        // a writes 1, reads 2; b writes 2, reads 1; both write 5.
+        let a = make_interval(0, 1, vec![1, 0], &[1, 5], &[2]);
+        let b = make_interval(1, 1, vec![0, 1], &[2, 5], &[1]);
+        for s in STRATEGIES {
+            let d = EpochDetector { overlap: s, ..Default::default() };
+            assert_eq!(
+                d.overlap_pages(&a, &b),
+                vec![PageId(1), PageId(2), PageId(5)],
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_pairs_are_never_checked() {
+        // b's clock has seen a's interval: ordered, even with page overlap.
+        let a = make_interval(0, 1, vec![1, 0], &[7], &[]);
+        let b = make_interval(1, 1, vec![1, 1], &[7], &[]);
+        let d = EpochDetector::new();
+        assert_eq!(d.classify_pair(&a, &b), PairClass::Ordered);
+        let plan = d.plan(&[a, b]);
+        assert!(plan.check.is_empty());
+        assert_eq!(plan.stats.pairs_concurrent, 0);
+        assert_eq!(plan.stats.pair_comparisons, 1);
+    }
+
+    #[test]
+    fn same_process_intervals_skip_comparison() {
+        let a = make_interval(0, 1, vec![1, 0], &[1], &[]);
+        let b = make_interval(0, 2, vec![2, 0], &[1], &[]);
+        let plan = EpochDetector::new().plan(&[a, b]);
+        assert_eq!(plan.stats.pair_comparisons, 0);
+        assert!(plan.check.is_empty());
+    }
+
+    #[test]
+    fn plan_builds_check_list_and_requests() {
+        let a = make_interval(0, 1, vec![1, 0], &[4], &[9]);
+        let b = make_interval(1, 1, vec![0, 1], &[9], &[]);
+        let plan = EpochDetector::new().plan(&[a, b]);
+        assert_eq!(plan.check.len(), 1);
+        let entry = &plan.check.entries[0];
+        assert_eq!(entry.pages, vec![PageId(9)]);
+        let reqs: Vec<_> = plan.bitmap_requests().collect();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(plan.stats.intervals_used, 2);
+        assert_eq!(plan.stats.intervals_total, 2);
+        // a has 2 notices, b has 1: denominator is 3; 2 requested.
+        assert_eq!(plan.stats.bitmaps_total, 3);
+        assert_eq!(plan.stats.bitmaps_requested, 2);
+    }
+
+    #[test]
+    fn compare_separates_false_and_true_sharing() {
+        let g = Geometry::default();
+        let a = make_interval(0, 1, vec![1, 0], &[0], &[]);
+        let b = make_interval(1, 1, vec![0, 1], &[0], &[]);
+        let d = EpochDetector::new();
+        let mut plan = d.plan(&[a.clone(), b.clone()]);
+
+        // False sharing: different words of page 0.
+        let mut store = BitmapStore::new();
+        let mut ba = PageBitmaps::new(g.page_words);
+        ba.write.set(0);
+        let mut bb = PageBitmaps::new(g.page_words);
+        bb.write.set(1);
+        store.insert(a.id(), PageId(0), ba.clone());
+        store.insert(b.id(), PageId(0), bb);
+        let reports = d.compare(&mut plan, &store, g, 0).unwrap();
+        assert!(reports.is_empty(), "false sharing must not be reported");
+        assert_eq!(plan.stats.bitmap_comparisons, 1);
+
+        // True sharing: same word.
+        let mut plan2 = d.plan(&[a.clone(), b.clone()]);
+        let mut bb2 = PageBitmaps::new(g.page_words);
+        bb2.write.set(0);
+        let mut store2 = BitmapStore::new();
+        store2.insert(a.id(), PageId(0), ba);
+        store2.insert(b.id(), PageId(0), bb2);
+        let reports = d.compare(&mut plan2, &store2, g, 5).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, RaceKind::WriteWrite);
+        assert_eq!(reports[0].addr, g.addr_of(PageId(0), 0));
+        assert_eq!(reports[0].epoch, 5);
+        assert_eq!(plan2.stats.races_found, 1);
+    }
+
+    #[test]
+    fn compare_reports_read_write_in_both_directions() {
+        let g = Geometry::default();
+        // a reads word 3 of page 2; b writes it.
+        let a = make_interval(0, 1, vec![1, 0], &[], &[2]);
+        let b = make_interval(1, 1, vec![0, 1], &[2], &[]);
+        let d = EpochDetector::new();
+        let mut plan = d.plan(&[a.clone(), b.clone()]);
+        let mut store = BitmapStore::new();
+        let mut ba = PageBitmaps::new(g.page_words);
+        ba.read.set(3);
+        let mut bb = PageBitmaps::new(g.page_words);
+        bb.write.set(3);
+        store.insert(a.id(), PageId(2), ba);
+        store.insert(b.id(), PageId(2), bb);
+        let reports = d.compare(&mut plan, &store, g, 0).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, RaceKind::ReadWrite);
+        assert_eq!(reports[0].addr, g.addr_of(PageId(2), 3));
+    }
+
+    #[test]
+    fn write_write_takes_precedence_over_read_write() {
+        let g = Geometry::default();
+        let a = make_interval(0, 1, vec![1, 0], &[0], &[0]);
+        let b = make_interval(1, 1, vec![0, 1], &[0], &[0]);
+        let d = EpochDetector::new();
+        let mut plan = d.plan(&[a.clone(), b.clone()]);
+        let mut store = BitmapStore::new();
+        // Both read AND write word 7.
+        let mut bm = PageBitmaps::new(g.page_words);
+        bm.read.set(7);
+        bm.write.set(7);
+        store.insert(a.id(), PageId(0), bm.clone());
+        store.insert(b.id(), PageId(0), bm);
+        let reports = d.compare(&mut plan, &store, g, 0).unwrap();
+        assert_eq!(reports.len(), 1, "one report per racy word per pair");
+        assert_eq!(reports[0].kind, RaceKind::WriteWrite);
+    }
+
+    #[test]
+    fn missing_bitmap_is_an_error() {
+        let g = Geometry::default();
+        let a = make_interval(0, 1, vec![1, 0], &[0], &[]);
+        let b = make_interval(1, 1, vec![0, 1], &[0], &[]);
+        let d = EpochDetector::new();
+        let mut plan = d.plan(&[a.clone(), b]);
+        let err = d
+            .compare(&mut plan, &BitmapStore::new(), g, 0)
+            .unwrap_err();
+        assert!(matches!(err, DetectError::MissingBitmap { .. }));
+        assert!(err.to_string().contains("missing access bitmap"));
+    }
+
+    #[test]
+    fn bitmap_store_eviction() {
+        let mut store = BitmapStore::new();
+        let a = make_interval(0, 1, vec![1, 0], &[0], &[]);
+        store.insert(a.id(), PageId(0), PageBitmaps::new(8));
+        store.insert(a.id(), PageId(1), PageBitmaps::new(8));
+        assert_eq!(store.len(), 2);
+        store.evict_interval(a.id());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn quiet_pairs_do_not_reach_overlap() {
+        let a = make_interval(0, 1, vec![1, 0], &[], &[]);
+        let b = make_interval(1, 1, vec![0, 1], &[], &[]);
+        let plan = EpochDetector::new().plan(&[a, b]);
+        assert_eq!(plan.stats.pairs_concurrent, 1);
+        assert_eq!(plan.stats.pairs_overlapping, 0);
+        assert_eq!(plan.stats.intervals_used, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! "First race" filtering (paper §6.4).
+//!
+//! Adve's accuracy discussion distinguishes *all* data races from *first*
+//! data races — those not affected or caused by any prior race.  The paper
+//! observes that barriers are semantically releases to the master followed
+//! by releases to everyone, so any race in a prior barrier epoch affects all
+//! races in later epochs: **all first races occur in the same (earliest)
+//! barrier epoch**.  Within that epoch a race is first when no other race's
+//! intervals happen-before-1 its own.  The paper calls implementing this
+//! check "a trivial extension"; here it is.
+
+use std::collections::HashMap;
+
+use cvm_vclock::{IntervalId, IntervalStamp};
+
+use crate::RaceReport;
+
+/// Filters `reports` down to first races.
+///
+/// `stamps` must contain the stamp of every interval named by the reports
+/// (the barrier master has all of them — they arrived with the epoch's
+/// consistency information).  Reports naming unknown intervals are treated
+/// conservatively as first races and retained.
+pub fn filter_first_races(
+    reports: &[RaceReport],
+    stamps: &HashMap<IntervalId, IntervalStamp>,
+) -> Vec<RaceReport> {
+    if reports.is_empty() {
+        return Vec::new();
+    }
+    // Rule 1: only the earliest epoch containing any race can hold first
+    // races.
+    let first_epoch = reports.iter().map(|r| r.epoch).min().expect("non-empty");
+    let in_epoch: Vec<&RaceReport> =
+        reports.iter().filter(|r| r.epoch == first_epoch).collect();
+
+    // Rule 2: within the epoch, drop a race if some *other* race strictly
+    // affects it: an interval of the other race happens-before-1 an
+    // interval of this one, and not vice versa (mutually-affecting races
+    // are both retained, conservatively).
+    let affects = |x: &RaceReport, y: &RaceReport| -> bool {
+        let pairs = [(x.a, y.a), (x.a, y.b), (x.b, y.a), (x.b, y.b)];
+        pairs.iter().any(|(from, to)| {
+            match (stamps.get(from), stamps.get(to)) {
+                (Some(f), Some(t)) => f.happens_before(t),
+                _ => false,
+            }
+        })
+    };
+
+    let mut first = Vec::new();
+    for (i, r) in in_epoch.iter().enumerate() {
+        let dominated = in_epoch
+            .iter()
+            .enumerate()
+            .any(|(j, other)| i != j && affects(other, r) && !affects(r, other));
+        if !dominated {
+            first.push((*r).clone());
+        }
+    }
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvm_page::GAddr;
+    use cvm_vclock::{ProcId, VClock};
+
+    use crate::RaceKind;
+
+    fn stamp(proc: u16, index: u32, vc: Vec<u32>) -> IntervalStamp {
+        IntervalStamp::new(IntervalId::new(ProcId(proc), index), VClock::from(vc))
+    }
+
+    fn report(addr: u64, a: IntervalId, b: IntervalId, epoch: u64) -> RaceReport {
+        RaceReport {
+            addr: GAddr(addr),
+            kind: RaceKind::WriteWrite,
+            a,
+            b,
+            epoch,
+        }
+    }
+
+    #[test]
+    fn later_epochs_are_dropped() {
+        let stamps = HashMap::new();
+        let a = IntervalId::new(ProcId(0), 1);
+        let b = IntervalId::new(ProcId(1), 1);
+        let reports = vec![
+            report(100, a, b, 2),
+            report(200, a, b, 1),
+            report(300, a, b, 5),
+        ];
+        let first = filter_first_races(&reports, &stamps);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].addr, GAddr(200));
+    }
+
+    #[test]
+    fn affected_race_within_epoch_is_dropped() {
+        // Race 1 involves s0^1 and s1^1; race 2 involves s0^2 (which s0^1
+        // precedes by program order) and s1^1 again.
+        let s01 = stamp(0, 1, vec![1, 0]);
+        let s02 = stamp(0, 2, vec![2, 0]);
+        let s11 = stamp(1, 1, vec![0, 1]);
+        let mut stamps = HashMap::new();
+        for s in [&s01, &s02, &s11] {
+            stamps.insert(s.id, s.clone());
+        }
+        let r1 = report(100, s01.id, s11.id, 0);
+        let r2 = report(200, s02.id, s11.id, 0);
+        let first = filter_first_races(&[r1.clone(), r2], &stamps);
+        assert_eq!(first, vec![r1]);
+    }
+
+    #[test]
+    fn independent_races_are_both_first() {
+        let s01 = stamp(0, 1, vec![1, 0, 0]);
+        let s11 = stamp(1, 1, vec![0, 1, 0]);
+        let s21 = stamp(2, 1, vec![0, 0, 1]);
+        let mut stamps = HashMap::new();
+        for s in [&s01, &s11, &s21] {
+            stamps.insert(s.id, s.clone());
+        }
+        let r1 = report(100, s01.id, s11.id, 0);
+        let r2 = report(200, s11.id, s21.id, 0);
+        let first = filter_first_races(&[r1, r2], &stamps);
+        assert_eq!(first.len(), 2);
+    }
+
+    #[test]
+    fn unknown_intervals_are_retained() {
+        let stamps = HashMap::new();
+        let r = report(
+            100,
+            IntervalId::new(ProcId(0), 1),
+            IntervalId::new(ProcId(1), 1),
+            0,
+        );
+        assert_eq!(filter_first_races(std::slice::from_ref(&r), &stamps), vec![r]);
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(filter_first_races(&[], &HashMap::new()).is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+//! Race reports and the cluster-wide race log.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cvm_net::wire::{Reader, Wire, WireError};
+use cvm_page::{GAddr, SegmentMap};
+use cvm_vclock::IntervalId;
+
+/// Kind of conflicting access pair.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum RaceKind {
+    /// One interval read the word, the other wrote it.
+    ReadWrite,
+    /// Both intervals wrote the word.
+    WriteWrite,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaceKind::ReadWrite => write!(f, "read-write"),
+            RaceKind::WriteWrite => write!(f, "write-write"),
+        }
+    }
+}
+
+/// One detected data race: a word accessed by two concurrent intervals,
+/// at least one access a write.
+///
+/// The system "prints the shared segment address for each detected race
+/// condition, together with the interval indexes" (§6.1); combined with the
+/// allocator's segment map this identifies the exact variable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RaceReport {
+    /// Address of the racy word.
+    pub addr: GAddr,
+    /// Conflict kind.
+    pub kind: RaceKind,
+    /// First involved interval (lower process id).
+    pub a: IntervalId,
+    /// Second involved interval.
+    pub b: IntervalId,
+    /// Barrier epoch in which the race was detected (0-based).
+    pub epoch: u64,
+}
+
+impl RaceReport {
+    /// Renders the report, symbolizing the address through `map`.
+    pub fn render(&self, map: &SegmentMap) -> String {
+        format!(
+            "DATA RACE ({}): {} at {} between {:?} and {:?} [epoch {}]",
+            self.kind,
+            map.symbolize(self.addr),
+            self.addr,
+            self.a,
+            self.b,
+            self.epoch
+        )
+    }
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DATA RACE ({}): {} between {:?} and {:?} [epoch {}]",
+            self.kind, self.addr, self.a, self.b, self.epoch
+        )
+    }
+}
+
+impl Wire for RaceKind {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(match self {
+            RaceKind::ReadWrite => 0,
+            RaceKind::WriteWrite => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(RaceKind::ReadWrite),
+            1 => Ok(RaceKind::WriteWrite),
+            tag => Err(WireError::BadTag {
+                what: "RaceKind",
+                tag,
+            }),
+        }
+    }
+    fn wire_size(&self) -> u64 {
+        1
+    }
+}
+
+impl Wire for RaceReport {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.addr.0.encode(buf);
+        self.kind.encode(buf);
+        self.a.encode(buf);
+        self.b.encode(buf);
+        self.epoch.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(RaceReport {
+            addr: GAddr(u64::decode(r)?),
+            kind: RaceKind::decode(r)?,
+            a: IntervalId::decode(r)?,
+            b: IntervalId::decode(r)?,
+            epoch: u64::decode(r)?,
+        })
+    }
+    fn wire_size(&self) -> u64 {
+        8 + 1 + 6 + 6 + 8
+    }
+}
+
+/// Accumulated race reports for a whole execution.
+#[derive(Clone, Debug, Default)]
+pub struct RaceLog {
+    reports: Vec<RaceReport>,
+}
+
+impl RaceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        RaceLog::default()
+    }
+
+    /// Appends reports from one epoch.
+    pub fn extend(&mut self, reports: impl IntoIterator<Item = RaceReport>) {
+        self.reports.extend(reports);
+    }
+
+    /// All reports, in detection order.
+    pub fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+
+    /// Number of reports.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Returns `true` if no race was detected.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Distinct racy addresses, sorted.
+    pub fn distinct_addrs(&self) -> Vec<GAddr> {
+        let set: BTreeSet<GAddr> = self.reports.iter().map(|r| r.addr).collect();
+        set.into_iter().collect()
+    }
+
+    /// Reports touching `addr`.
+    pub fn at(&self, addr: GAddr) -> Vec<&RaceReport> {
+        self.reports.iter().filter(|r| r.addr == addr).collect()
+    }
+
+    /// Returns `true` if any report has the given kind.
+    pub fn has_kind(&self, kind: RaceKind) -> bool {
+        self.reports.iter().any(|r| r.kind == kind)
+    }
+
+    /// Per-address summary: `(addr, read-write reports, write-write
+    /// reports)`, sorted by address — the condensed view a user reads
+    /// first (one racy variable usually generates many interval pairs).
+    pub fn summary(&self) -> Vec<(GAddr, usize, usize)> {
+        let mut map: std::collections::BTreeMap<GAddr, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        for r in &self.reports {
+            let e = map.entry(r.addr).or_default();
+            match r.kind {
+                RaceKind::ReadWrite => e.0 += 1,
+                RaceKind::WriteWrite => e.1 += 1,
+            }
+        }
+        map.into_iter().map(|(a, (rw, ww))| (a, rw, ww)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvm_page::{Geometry, SharedAlloc};
+    use cvm_vclock::ProcId;
+
+    fn report(addr: u64, kind: RaceKind) -> RaceReport {
+        RaceReport {
+            addr: GAddr(addr),
+            kind,
+            a: IntervalId::new(ProcId(0), 1),
+            b: IntervalId::new(ProcId(1), 2),
+            epoch: 3,
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let r = report(cvm_page::SHARED_BASE + 64, RaceKind::WriteWrite);
+        let bytes = r.to_bytes();
+        assert_eq!(bytes.len() as u64, r.wire_size());
+        assert_eq!(RaceReport::from_bytes(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn render_symbolizes_via_segment_map() {
+        let mut alloc = SharedAlloc::new(Geometry::default(), 1 << 16);
+        let bound = alloc.alloc("MinTourLen", 8).unwrap();
+        let map = alloc.into_map();
+        let r = report(bound.0, RaceKind::ReadWrite);
+        let text = r.render(&map);
+        assert!(text.contains("MinTourLen"), "got: {text}");
+        assert!(text.contains("read-write"));
+        assert!(text.contains("s0^1"));
+    }
+
+    #[test]
+    fn log_queries() {
+        let mut log = RaceLog::new();
+        assert!(log.is_empty());
+        log.extend([
+            report(100, RaceKind::ReadWrite),
+            report(100, RaceKind::WriteWrite),
+            report(200, RaceKind::ReadWrite),
+        ]);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.distinct_addrs(), vec![GAddr(100), GAddr(200)]);
+        assert_eq!(log.at(GAddr(100)).len(), 2);
+        assert!(log.has_kind(RaceKind::WriteWrite));
+    }
+
+    #[test]
+    fn display_mentions_kind_and_intervals() {
+        let r = report(64, RaceKind::WriteWrite);
+        let s = r.to_string();
+        assert!(s.contains("write-write"));
+        assert!(s.contains("s0^1") && s.contains("s1^2"));
+    }
+}

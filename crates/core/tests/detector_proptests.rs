@@ -1,0 +1,280 @@
+//! Property-based tests for the comparison algorithm.
+//!
+//! The detector must agree with a brute-force oracle that compares every
+//! access of every interval pair directly, on randomly generated epochs.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cvm_page::{Geometry, PageBitmaps, PageId};
+use cvm_race::{
+    BitmapStore, EpochDetector, Interval, OverlapStrategy, RaceKind,
+};
+use cvm_vclock::{IntervalId, IntervalStamp, ProcId, VClock};
+use proptest::prelude::*;
+
+const NPROCS: usize = 3;
+const NPAGES: u32 = 4;
+const PAGE_WORDS: usize = 16;
+
+/// A randomly generated interval: per-proc index plus raw word accesses.
+#[derive(Debug, Clone)]
+struct RawInterval {
+    proc: usize,
+    /// Entries of the vector clock for other processes (own entry is the
+    /// interval index, assigned during normalization).
+    knowledge: Vec<u32>,
+    /// `(page, word, is_write)` accesses.
+    accesses: Vec<(u32, usize, bool)>,
+}
+
+fn arb_raw(proc: usize) -> impl Strategy<Value = RawInterval> {
+    (
+        proptest::collection::vec(0u32..3, NPROCS),
+        proptest::collection::vec((0..NPAGES, 0..PAGE_WORDS, any::<bool>()), 0..12),
+    )
+        .prop_map(move |(knowledge, accesses)| RawInterval {
+            proc,
+            knowledge,
+            accesses,
+        })
+}
+
+/// One epoch: two intervals per process with monotone clocks.
+fn arb_epoch() -> impl Strategy<Value = Vec<RawInterval>> {
+    let per_proc: Vec<_> = (0..NPROCS)
+        .map(|p| proptest::collection::vec(arb_raw(p), 2))
+        .collect();
+    per_proc.prop_map(|v| v.into_iter().flatten().collect())
+}
+
+/// Normalizes raw intervals into well-formed `Interval`s + bitmaps.
+///
+/// Clocks are made self-consistent: per process, interval k gets index k+1
+/// and its knowledge entries are clamped to be monotone in program order
+/// and capped by how many intervals the source process has (so that stamps
+/// describe a *possible* execution; exactness does not matter for the
+/// oracle equivalence, which uses the same stamps).
+fn normalize(raw: &[RawInterval]) -> (Vec<Interval>, BitmapStore) {
+    let mut per_index: Vec<u32> = vec![0; NPROCS];
+    let mut prev_knowledge: Vec<Vec<u32>> = vec![vec![0; NPROCS]; NPROCS];
+    let mut intervals = Vec::new();
+    let mut store = BitmapStore::new();
+    for r in raw {
+        let idx = per_index[r.proc] + 1;
+        per_index[r.proc] = idx;
+        let mut vc = vec![0u32; NPROCS];
+        for q in 0..NPROCS {
+            if q == r.proc {
+                vc[q] = idx;
+            } else {
+                // Monotone in program order, and can't know an interval the
+                // peer hasn't closed; a closed interval of q exists only up
+                // to per_index[q] (conservative but consistent).
+                let capped = r.knowledge[q].min(per_index[q]);
+                vc[q] = capped.max(prev_knowledge[r.proc][q]);
+            }
+        }
+        prev_knowledge[r.proc] = vc.clone();
+        let id = IntervalId::new(ProcId::from_index(r.proc), idx);
+        let stamp = IntervalStamp::new(id, VClock::from(vc));
+        let mut writes = Vec::new();
+        let mut reads = Vec::new();
+        let mut maps: HashMap<u32, PageBitmaps> = HashMap::new();
+        for &(page, word, is_write) in &r.accesses {
+            let bm = maps
+                .entry(page)
+                .or_insert_with(|| PageBitmaps::new(PAGE_WORDS));
+            if is_write {
+                bm.write.set(word);
+                writes.push(PageId(page));
+            } else {
+                bm.read.set(word);
+                reads.push(PageId(page));
+            }
+        }
+        for (page, bm) in maps {
+            store.insert(id, PageId(page), bm);
+        }
+        intervals.push(Interval::new(stamp, writes, reads));
+    }
+    (intervals, store)
+}
+
+/// Brute-force oracle: every pair of accesses, compared directly.
+fn oracle_races(raw: &[RawInterval], intervals: &[Interval]) -> BTreeSet<(u32, usize)> {
+    let by_id: HashMap<IntervalId, &Interval> =
+        intervals.iter().map(|iv| (iv.id(), iv)).collect();
+    let mut racy = BTreeSet::new();
+    let idx_of = |r: &RawInterval, seen: &mut Vec<u32>| -> IntervalId {
+        let idx = seen[r.proc] + 1;
+        seen[r.proc] = idx;
+        IntervalId::new(ProcId::from_index(r.proc), idx)
+    };
+    let mut seen = vec![0u32; NPROCS];
+    let ids: Vec<IntervalId> = raw.iter().map(|r| idx_of(r, &mut seen)).collect();
+    for (i, a) in raw.iter().enumerate() {
+        for (j, b) in raw.iter().enumerate().skip(i + 1) {
+            if a.proc == b.proc {
+                continue;
+            }
+            let sa = &by_id[&ids[i]].stamp;
+            let sb = &by_id[&ids[j]].stamp;
+            if !sa.concurrent_with(sb) {
+                continue;
+            }
+            for &(pa, wa, wra) in &a.accesses {
+                for &(pb, wb, wrb) in &b.accesses {
+                    if pa == pb && wa == wb && (wra || wrb) {
+                        racy.insert((pa, wa));
+                    }
+                }
+            }
+        }
+    }
+    racy
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The detector finds exactly the racy words the oracle finds.
+    #[test]
+    fn detector_matches_bruteforce_oracle(raw in arb_epoch()) {
+        let (intervals, store) = normalize(&raw);
+        let expected = oracle_races(&raw, &intervals);
+        let g = Geometry { page_words: PAGE_WORDS };
+        let d = EpochDetector::new();
+        let mut plan = d.plan(&intervals);
+        let reports = d.compare(&mut plan, &store, g, 0).expect("bitmaps present");
+        let got: BTreeSet<(u32, usize)> = reports
+            .iter()
+            .map(|r| {
+                let (page, word) = g.locate(r.addr);
+                (page.0, word)
+            })
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// All four overlap strategies produce identical check lists.
+    #[test]
+    fn overlap_strategies_agree(raw in arb_epoch()) {
+        let (intervals, _) = normalize(&raw);
+        let reference = EpochDetector { overlap: OverlapStrategy::Quadratic, ..Default::default() };
+        for s in [
+            OverlapStrategy::Auto,
+            OverlapStrategy::SortedMerge,
+            OverlapStrategy::PageBitmap,
+        ] {
+            let d = EpochDetector { overlap: s, ..Default::default() };
+            for a in &intervals {
+                for b in &intervals {
+                    if a.proc() == b.proc() {
+                        continue;
+                    }
+                    prop_assert_eq!(
+                        d.overlap_pages(a, b),
+                        reference.overlap_pages(a, b),
+                        "strategy {:?} disagrees on {:?} vs {:?}",
+                        s, a.id(), b.id()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Write-write reports always name a word both intervals wrote;
+    /// read-write reports name a word with at least one write.
+    #[test]
+    fn report_kinds_are_consistent_with_bitmaps(raw in arb_epoch()) {
+        let (intervals, store) = normalize(&raw);
+        let g = Geometry { page_words: PAGE_WORDS };
+        let d = EpochDetector::new();
+        let mut plan = d.plan(&intervals);
+        let reports = d.compare(&mut plan, &store, g, 0).unwrap();
+        for r in &reports {
+            let (page, word) = g.locate(r.addr);
+            let ba = store.get(r.a, page).unwrap();
+            let bb = store.get(r.b, page).unwrap();
+            match r.kind {
+                RaceKind::WriteWrite => {
+                    prop_assert!(ba.write.get(word) && bb.write.get(word));
+                }
+                RaceKind::ReadWrite => {
+                    prop_assert!(
+                        (ba.read.get(word) && bb.write.get(word))
+                            || (ba.write.get(word) && bb.read.get(word))
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pruned enumeration finds exactly the same concurrent pairs and
+    /// check entries as the paper's all-pairs scan, with (at most) as many
+    /// version-vector comparisons.
+    #[test]
+    fn pruned_enumeration_matches_naive(raw in arb_epoch()) {
+        use cvm_race::PairEnumeration;
+        let (intervals, _) = normalize(&raw);
+        let naive = EpochDetector::new().plan(&intervals);
+        let pruned = EpochDetector {
+            enumeration: PairEnumeration::Pruned,
+            ..EpochDetector::new()
+        }
+        .plan(&intervals);
+        // Same pairs and requests (order may differ: compare as sets).
+        let key = |e: &cvm_race::CheckEntry| {
+            let (lo, hi) = if e.a < e.b { (e.a, e.b) } else { (e.b, e.a) };
+            (lo, hi, e.pages.clone())
+        };
+        let mut naive_entries: Vec<_> = naive.check.entries.iter().map(key).collect();
+        let mut pruned_entries: Vec<_> = pruned.check.entries.iter().map(key).collect();
+        naive_entries.sort();
+        pruned_entries.sort();
+        prop_assert_eq!(naive_entries, pruned_entries);
+        prop_assert_eq!(
+            naive.bitmap_requests().collect::<Vec<_>>(),
+            pruned.bitmap_requests().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(naive.stats.pairs_concurrent, pruned.stats.pairs_concurrent);
+        prop_assert_eq!(naive.stats.pairs_overlapping, pruned.stats.pairs_overlapping);
+        prop_assert_eq!(naive.stats.intervals_used, pruned.stats.intervals_used);
+    }
+}
+
+/// On a barrier-heavy epoch (mostly ordered intervals), pruning does far
+/// fewer version-vector comparisons than the quadratic scan.
+#[test]
+fn pruned_enumeration_reduces_comparisons_on_ordered_epochs() {
+    use cvm_race::{make_interval, PairEnumeration};
+    // A lock-chain epoch: every interval of P1 is ordered after all of
+    // P0's (P1 kept acquiring from P0), so no pair is concurrent.
+    let mut intervals = Vec::new();
+    let n = 64u32;
+    for i in 1..=n {
+        intervals.push(make_interval(0, i, vec![i, 0], &[i], &[]));
+    }
+    for j in 1..=n {
+        // P1's interval j has seen all of P0.
+        intervals.push(make_interval(1, j, vec![n, j], &[j + 1000], &[]));
+    }
+    let naive = EpochDetector::new().plan(&intervals);
+    let pruned = EpochDetector {
+        enumeration: PairEnumeration::Pruned,
+        ..EpochDetector::new()
+    }
+    .plan(&intervals);
+    assert_eq!(naive.stats.pairs_concurrent, 0);
+    assert_eq!(pruned.stats.pairs_concurrent, 0);
+    assert_eq!(naive.stats.pair_comparisons, u64::from(n) * u64::from(n));
+    assert!(
+        pruned.stats.pair_comparisons < u64::from(n) * 16,
+        "pruned did {} comparisons",
+        pruned.stats.pair_comparisons
+    );
+}

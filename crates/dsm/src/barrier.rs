@@ -1,0 +1,402 @@
+//! The central barrier, where detection happens.
+//!
+//! Arrival messages carry each worker's interval records since the last
+//! barrier, so the master has "complete and current information on all
+//! intervals in the entire system" (paper §4, step 2).  The master then:
+//!
+//! 1. enumerates concurrent interval pairs (constant-time vector checks),
+//! 2. builds the check list from page-notice overlaps,
+//! 3. runs the *extra message round* retrieving word bitmaps (mod iii),
+//! 4. compares bitmaps, separating false sharing from true races,
+//! 5. piggybacks race reports and missing consistency records on the
+//!    release messages.
+//!
+//! The barrier implementation creates two interval structures per barrier
+//! (as the paper notes of CVM's): arrival closes the epoch's working
+//! interval, and the release receipt closes the (empty) interval opened at
+//! arrival — which is why barrier-only applications show two intervals per
+//! barrier in Table 1.
+
+use std::collections::HashMap;
+
+use crossbeam::channel::bounded;
+use cvm_page::PageId;
+use cvm_race::{filter_first_races, BitmapStore, DetectionPlan, EpochDetector, Interval};
+use cvm_vclock::{IntervalId, ProcId, VClock};
+
+use crate::msg::Msg;
+use crate::node::NodeCore;
+use crate::pages::Node;
+use crate::simtime::OverheadCat;
+
+/// Master-side barrier state machine (lives on node 0).
+#[derive(Debug)]
+pub(crate) struct BarrierMaster {
+    nprocs: usize,
+    phase: Phase,
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Waiting for arrivals.
+    Collecting {
+        /// `(worker, clock-at-arrival)`.
+        arrived: Vec<(ProcId, VClock)>,
+        /// All interval records of the epoch.
+        records: Vec<Interval>,
+    },
+    /// Check list built; waiting for bitmap replies.
+    AwaitingBitmaps {
+        arrived: Vec<(ProcId, VClock)>,
+        records: Vec<Interval>,
+        plan: DetectionPlan,
+        store: BitmapStore,
+        pending: usize,
+    },
+}
+
+impl BarrierMaster {
+    pub(crate) fn new(nprocs: usize) -> Self {
+        BarrierMaster {
+            nprocs,
+            phase: Phase::Collecting {
+                arrived: Vec::new(),
+                records: Vec::new(),
+            },
+        }
+    }
+}
+
+/// Application-thread `barrier()`.
+pub(crate) fn app_barrier(node: &Node, consolidation: bool) {
+    let mut st = node.state.lock();
+    if consolidation {
+        st.stats.consolidations += 1;
+    } else {
+        st.stats.barriers += 1;
+    }
+    // Arrival is a release: close the working interval.
+    st.close_interval(&node.sender);
+    if st.cfg.trace {
+        let epoch = st.epoch;
+        st.trace
+            .push(cvm_race::trace::TraceEvent::BarrierArrive { epoch });
+    }
+    let records = take_unsent(&mut st);
+    // Open the between-arrival-and-release interval (closed, empty, at
+    // release receipt).
+    st.open_interval();
+    let (tx, rx) = bounded(1);
+    assert!(st.barrier_wait.is_none(), "nested barrier()");
+    st.barrier_wait = Some(tx);
+    let me = st.proc;
+    let vc = st.vc.clone();
+    if me == ProcId(0) {
+        on_arrive(&mut st, node, me, vc, records);
+    } else {
+        let msg = Msg::BarrierArrive {
+            from: me,
+            vc,
+            records,
+        };
+        st.send_msg(&node.sender, ProcId(0), &msg);
+    }
+    drop(st);
+    rx.recv().expect("barrier release lost");
+}
+
+fn take_unsent(st: &mut NodeCore) -> Vec<Interval> {
+    let ids = std::mem::take(&mut st.unsent_own);
+    ids.iter()
+        .map(|id| st.log.get(id).expect("unsent record must be logged").clone())
+        .collect()
+}
+
+/// Master: one arrival (from the network or from its own app thread).
+pub(crate) fn on_arrive(
+    st: &mut NodeCore,
+    node: &Node,
+    from: ProcId,
+    vc: VClock,
+    records: Vec<Interval>,
+) {
+    let c = st.cfg.costs;
+    st.clock.add(OverheadCat::Base, c.barrier_arrival);
+    let master = st.barrier.as_mut().expect("arrival at non-master");
+    let all_arrived = {
+        let Phase::Collecting { arrived, records: all } = &mut master.phase else {
+            panic!("arrival during bitmap round");
+        };
+        arrived.push((from, vc));
+        all.extend(records);
+        arrived.len() == master.nprocs
+    };
+    if all_arrived {
+        run_detection(st, node);
+    }
+}
+
+/// Steps 2–4: plan, then fetch bitmaps (or release immediately).
+fn run_detection(st: &mut NodeCore, node: &Node) {
+    let master = st.barrier.as_mut().expect("master only");
+    let Phase::Collecting { arrived, records } = std::mem::replace(
+        &mut master.phase,
+        Phase::Collecting {
+            arrived: Vec::new(),
+            records: Vec::new(),
+        },
+    ) else {
+        unreachable!("run_detection outside Collecting");
+    };
+
+    if !st.cfg.detect.enabled || st.cfg.detect.instrumentation_only {
+        do_release(st, node, arrived, records, Vec::new());
+        return;
+    }
+
+    let detector = EpochDetector {
+        overlap: st.cfg.detect.overlap,
+        enumeration: st.cfg.detect.enumeration,
+    };
+    let plan = detector.plan(&records);
+    // "Intervals" overhead: the comparison algorithm, serialized at the
+    // master (the effect behind Figure 4's scaling).
+    let c = st.cfg.costs;
+    st.clock.add(
+        OverheadCat::Intervals,
+        plan.stats.pair_comparisons * c.vv_compare,
+    );
+
+    // Gather bitmap requests per owning process (step 4).
+    let mut per_proc: HashMap<ProcId, Vec<(IntervalId, PageId)>> = HashMap::new();
+    for (id, page) in plan.bitmap_requests() {
+        per_proc.entry(id.proc).or_default().push((id, page));
+    }
+    let mut store = BitmapStore::new();
+    // The master's own bitmaps are local.
+    if let Some(own) = per_proc.remove(&st.proc) {
+        for (id, page) in own {
+            let bm = st
+                .bitmaps
+                .get(id, page)
+                .expect("own bitmap requested but not retained")
+                .clone();
+            store.insert(id, page, bm);
+        }
+    }
+    let pending = per_proc.len();
+    if pending == 0 {
+        finish_detection(st, node, arrived, records, plan, store);
+        return;
+    }
+    let reqs: Vec<(ProcId, Msg)> = per_proc
+        .into_iter()
+        .map(|(p, items)| (p, Msg::BitmapReq { items }))
+        .collect();
+    for (p, msg) in reqs {
+        st.send_msg(&node.sender, p, &msg);
+    }
+    let master = st.barrier.as_mut().expect("master only");
+    master.phase = Phase::AwaitingBitmaps {
+        arrived,
+        records,
+        plan,
+        store,
+        pending,
+    };
+}
+
+/// Master: a bitmap reply from one worker.
+pub(crate) fn on_bitmap_reply(
+    st: &mut NodeCore,
+    node: &Node,
+    items: Vec<(IntervalId, (PageId, cvm_page::PageBitmaps))>,
+) {
+    let finished = {
+        let master = st.barrier.as_mut().expect("bitmap reply at non-master");
+        let Phase::AwaitingBitmaps { store, pending, .. } = &mut master.phase else {
+            panic!("bitmap reply outside bitmap round");
+        };
+        for (id, (page, bm)) in items {
+            store.insert(id, page, bm);
+        }
+        *pending -= 1;
+        *pending == 0
+    };
+    if finished {
+        let master = st.barrier.as_mut().expect("master only");
+        let Phase::AwaitingBitmaps {
+            arrived,
+            records,
+            plan,
+            store,
+            ..
+        } = std::mem::replace(
+            &mut master.phase,
+            Phase::Collecting {
+                arrived: Vec::new(),
+                records: Vec::new(),
+            },
+        ) else {
+            unreachable!();
+        };
+        finish_detection(st, node, arrived, records, plan, store);
+    }
+}
+
+/// Step 5: word-level comparison, reporting, release.
+fn finish_detection(
+    st: &mut NodeCore,
+    node: &Node,
+    arrived: Vec<(ProcId, VClock)>,
+    records: Vec<Interval>,
+    mut plan: DetectionPlan,
+    store: BitmapStore,
+) {
+    let detector = EpochDetector {
+        overlap: st.cfg.detect.overlap,
+        enumeration: st.cfg.detect.enumeration,
+    };
+    let geometry = st.cfg.geometry;
+    let epoch = st.epoch;
+    let reports = detector
+        .compare(&mut plan, &store, geometry, epoch)
+        .expect("check-listed bitmaps must have been retrieved");
+    let c = st.cfg.costs;
+    let blocks = geometry.page_words.div_ceil(64) as u64;
+    st.clock.add(
+        OverheadCat::Bitmaps,
+        plan.stats.bitmap_comparisons * blocks * c.bitmap_block_cmp,
+    );
+
+    let reports = if st.cfg.detect.first_races_only {
+        if st.race_log.is_empty() {
+            // All first races live in the earliest racy epoch (§6.4).
+            let stamps: HashMap<IntervalId, cvm_vclock::IntervalStamp> = records
+                .iter()
+                .map(|r| (r.id(), r.stamp.clone()))
+                .collect();
+            filter_first_races(&reports, &stamps)
+        } else {
+            Vec::new()
+        }
+    } else {
+        reports
+    };
+
+    st.det_stats.add(&plan.stats);
+    do_release(st, node, arrived, records, reports);
+}
+
+/// Sends releases and completes the barrier at the master itself.
+fn do_release(
+    st: &mut NodeCore,
+    node: &Node,
+    arrived: Vec<(ProcId, VClock)>,
+    records: Vec<Interval>,
+    races: Vec<cvm_race::RaceReport>,
+) {
+    // Merged knowledge: every arrival clock joined with the master's.
+    let mut merged = st.vc.clone();
+    for (_, vc) in &arrived {
+        merged.merge(vc);
+    }
+    let epoch = st.epoch;
+    for (worker, wvc) in &arrived {
+        if *worker == st.proc {
+            continue;
+        }
+        let missing: Vec<Interval> = records
+            .iter()
+            .filter(|r| r.id().index > wvc.get(r.id().proc))
+            .cloned()
+            .collect();
+        let msg = Msg::BarrierRelease {
+            vc: merged.clone(),
+            records: missing,
+            races: races.clone(),
+            epoch,
+        };
+        st.send_msg(&node.sender, *worker, &msg);
+    }
+    // The master releases itself.
+    let own_missing: Vec<Interval> = records
+        .iter()
+        .filter(|r| r.id().index > st.vc.get(r.id().proc))
+        .cloned()
+        .collect();
+    apply_release(st, own_missing, merged, races, epoch);
+}
+
+/// Worker (and master) release application: merge, close the empty
+/// arrival interval, open the next epoch's working interval, GC.
+pub(crate) fn apply_release(
+    st: &mut NodeCore,
+    records: Vec<Interval>,
+    vc: VClock,
+    races: Vec<cvm_race::RaceReport>,
+    epoch: u64,
+) {
+    assert_eq!(epoch, st.epoch, "barrier epoch mismatch");
+    // Close the empty between interval (second structure per barrier).
+    // Note: it has no accesses, so no sender interaction is needed; use a
+    // direct close without diff flushing.
+    debug_assert!(st.cur.dirty.is_empty());
+    let boundary = st.cur.index; // The quiet interval's index.
+    close_quiet(st);
+    if st.cfg.trace {
+        st.trace
+            .push(cvm_race::trace::TraceEvent::BarrierResume { epoch });
+    }
+    st.apply_records(records, &vc);
+    st.open_interval();
+    st.race_log.extend(races);
+    st.epoch += 1;
+    // GC (§6.3): everything checked this epoch is ordered with respect to
+    // all future intervals; drop the records and bitmaps.  Keep only our
+    // just-closed quiet interval (still unshipped).
+    let me = st.proc;
+    st.log
+        .retain(|id, _| id.proc == me && id.index >= boundary);
+    st.bitmaps.retain(|(id, _)| id.proc != me || id.index >= boundary);
+    let tx = st.barrier_wait.take().expect("release without waiter");
+    let _ = tx.send(());
+}
+
+/// Closes the current (empty) interval without network interaction.
+fn close_quiet(st: &mut NodeCore) {
+    let c = st.cfg.costs;
+    st.clock.add(OverheadCat::Base, c.interval_setup);
+    if st.cfg.detect.enabled && !st.cfg.detect.instrumentation_only {
+        st.clock
+            .add(OverheadCat::CvmMods, c.interval_detect_extra);
+    }
+    let id = IntervalId::new(st.proc, st.cur.index);
+    let stamp = cvm_vclock::IntervalStamp::new(id, st.cur.stamp_vc.clone());
+    let record = Interval::new(stamp, Vec::new(), Vec::new());
+    st.log.insert(id, record);
+    st.unsent_own.push(id);
+    st.vc.set(st.proc, st.cur.index);
+    st.stats.intervals += 1;
+}
+
+/// Worker: answer the master's bitmap request from retained bitmaps.
+pub(crate) fn on_bitmap_req(
+    st: &mut NodeCore,
+    node: &Node,
+    items: Vec<(IntervalId, PageId)>,
+) {
+    let replies: Vec<(IntervalId, (PageId, cvm_page::PageBitmaps))> = items
+        .into_iter()
+        .map(|(id, page)| {
+            let bm = st
+                .bitmaps
+                .get(id, page)
+                .unwrap_or_else(|| panic!("bitmap for {id:?}/{page:?} requested but absent"))
+                .clone();
+            (id, (page, bm))
+        })
+        .collect();
+    let msg = Msg::BitmapReply { items: replies };
+    st.send_msg(&node.sender, ProcId(0), &msg);
+}

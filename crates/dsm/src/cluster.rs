@@ -1,0 +1,267 @@
+//! Cluster construction, the service loop, and run orchestration.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cvm_net::wire::Wire;
+use cvm_net::{Endpoint, NetError, Network};
+use cvm_page::SharedAlloc;
+use cvm_vclock::ProcId;
+use parking_lot::Mutex;
+
+use crate::barrier::BarrierMaster;
+use crate::config::DsmConfig;
+use crate::handle::ProcHandle;
+use crate::msg::Msg;
+use crate::node::NodeCore;
+use crate::pages::Node;
+use crate::replay::ReplayCursor;
+use crate::report::{NodeReport, RunReport};
+
+/// Builder/runner for simulated CVM clusters.
+///
+/// A run proceeds in three phases, mirroring how the original programs were
+/// structured:
+///
+/// 1. **setup** — a closure allocates named shared segments (every process
+///    sees the same deterministic addresses) and returns the application's
+///    address bundle;
+/// 2. **parallel execution** — one application thread per process runs the
+///    body against its [`ProcHandle`], while one service thread per node
+///    handles protocol messages;
+/// 3. **teardown** — service threads stop, per-node state is collected into
+///    a [`RunReport`].
+pub struct Cluster;
+
+impl Cluster {
+    /// Runs `body` on `cfg.nprocs` simulated processes.
+    ///
+    /// `setup` allocates shared data; its return value is passed (shared)
+    /// to every process body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, if allocation exceeds the
+    /// shared segment, or if any application thread panics (application
+    /// assertion failures propagate).
+    pub fn run<S, F>(cfg: DsmConfig, setup: impl FnOnce(&mut SharedAlloc) -> S, body: F) -> RunReport
+    where
+        S: Sync,
+        F: Fn(&ProcHandle, &S) + Sync,
+    {
+        cfg.validate();
+        let started = Instant::now();
+        let nprocs = cfg.nprocs;
+
+        let mut alloc = SharedAlloc::new(cfg.geometry, cfg.shared_capacity);
+        let app_state = setup(&mut alloc);
+        let segments = alloc.into_map();
+
+        let (endpoints, net_stats) = match cfg.net_loss {
+            None => Network::new(nprocs, cfg.net),
+            Some(loss) => {
+                let (eps, stats, _rstats) = Network::with_loss(nprocs, cfg.net, loss);
+                (eps, stats)
+            }
+        };
+        let shutdown_txs: Vec<cvm_net::NetSender> =
+            endpoints.iter().map(Endpoint::sender).collect();
+
+        let nodes: Vec<Arc<Node>> = endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                let proc = ProcId::from_index(i);
+                let mut core = NodeCore::new(cfg.clone(), proc);
+                if i == 0 {
+                    core.barrier = Some(BarrierMaster::new(nprocs));
+                }
+                if let Some(schedule) = &cfg.replay {
+                    core.replay = Some(ReplayCursor::new(schedule.clone()));
+                }
+                Arc::new(Node {
+                    state: Mutex::new(core),
+                    sender: ep.sender(),
+                })
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            // A panic in any node thread would leave peers blocked on
+            // channels forever; fail the whole process fast instead.
+            let die = |what: &str, i: usize, e: Box<dyn std::any::Any + Send>| -> ! {
+                let msg = e
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| e.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".into());
+                eprintln!("FATAL: {what} thread of P{i} panicked: {msg}");
+                std::process::exit(101);
+            };
+            // Service threads own their endpoints.
+            for (i, (node, ep)) in nodes.iter().zip(endpoints).enumerate() {
+                let node = Arc::clone(node);
+                scope.spawn(move || {
+                    if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || service_loop(&node, ep),
+                    )) {
+                        die("service", i, e);
+                    }
+                });
+            }
+            // Application threads.
+            let mut apps = Vec::new();
+            for (i, node) in nodes.iter().enumerate() {
+                let handle = ProcHandle {
+                    node: Arc::clone(node),
+                    proc: i,
+                    nprocs,
+                };
+                let body = &body;
+                let app_state = &app_state;
+                apps.push(scope.spawn(move || {
+                    if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || body(&handle, app_state),
+                    )) {
+                        die("application", i, e);
+                    }
+                }));
+            }
+            let mut failed = Vec::new();
+            for (i, app) in apps.into_iter().enumerate() {
+                if app.join().is_err() {
+                    failed.push(i);
+                }
+            }
+            // Stop service threads (also unblocks them if a peer died).
+            let payload = Msg::Shutdown.to_bytes();
+            for (i, tx) in shutdown_txs.iter().enumerate() {
+                let b = Msg::Shutdown.breakdown();
+                let _ = tx.send(ProcId::from_index(i), 0, b, payload.clone());
+            }
+            assert!(
+                failed.is_empty(),
+                "application thread(s) {failed:?} panicked"
+            );
+        });
+
+        // Collect per-node state.
+        let mut reports = Vec::with_capacity(nprocs);
+        let mut races = None;
+        let mut det_stats = cvm_race::DetectorStats::default();
+        let mut schedule = crate::replay::SyncSchedule::new();
+        let mut watch_hits = Vec::new();
+        let mut traces = Vec::with_capacity(nprocs);
+        for node in nodes {
+            let node = Arc::into_inner(node).expect("all threads joined");
+            let core = node.state.into_inner();
+            if core.proc == ProcId(0) {
+                races = Some(core.race_log.clone());
+                det_stats = core.det_stats;
+            }
+            schedule.merge(core.sched_rec.clone());
+            watch_hits.extend(core.watch_hits.iter().copied());
+            traces.push(core.trace.clone());
+            reports.push(NodeReport {
+                proc: core.proc,
+                stats: core.stats,
+                cycles: core.clock.now(),
+                cats: core.clock.cats(),
+                shared_calls: core.analysis.shared_calls(),
+                private_calls: core.analysis.private_calls(),
+            });
+        }
+
+        RunReport {
+            nodes: reports,
+            races: races.expect("master node present"),
+            det_stats,
+            net: net_stats.snapshot(),
+            segments,
+            schedule,
+            watch_hits,
+            traces,
+            wall: started.elapsed(),
+        }
+    }
+}
+
+/// The per-node message dispatch loop (CVM's SIGIO handler, as a thread).
+fn service_loop(node: &Node, ep: Endpoint) {
+    loop {
+        let pkt = match ep.recv() {
+            Ok(pkt) => pkt,
+            Err(NetError::Disconnected) => return,
+            Err(e) => panic!("service recv: {e}"),
+        };
+        let msg = Msg::from_bytes(&pkt.payload).expect("malformed protocol message");
+        if matches!(msg, Msg::Shutdown) {
+            return;
+        }
+        let mut st = node.state.lock();
+        st.clock_recv(&pkt);
+        match msg {
+            Msg::LockReq {
+                lock,
+                requester,
+                vc,
+            } => crate::locks::mgr_handle_req(&mut st, node, lock, requester, vc),
+            Msg::LockFwd {
+                lock,
+                requester,
+                vc,
+            } => crate::locks::handle_fwd(&mut st, node, lock, requester, vc),
+            Msg::LockGrant {
+                lock,
+                records,
+                vc,
+                trace_from,
+            } => crate::locks::handle_grant(&mut st, lock, records, vc, trace_from),
+            Msg::PageReadReq { page, requester } => {
+                crate::pages::on_page_read_req(&mut st, node, page, requester)
+            }
+            Msg::PageReadFwd { page, requester } => {
+                crate::pages::on_page_read_fwd(&mut st, node, page, requester)
+            }
+            Msg::PageReadReply { page, data } => {
+                crate::pages::on_page_reply(&mut st, page, data, false)
+            }
+            Msg::PageOwnReq { page, requester } => {
+                crate::pages::on_page_own_req(&mut st, node, page, requester)
+            }
+            Msg::PageOwnFwd { page, requester } => {
+                crate::pages::on_page_own_fwd(&mut st, node, page, requester)
+            }
+            Msg::PageOwnReply { page, data } => {
+                crate::pages::on_page_reply(&mut st, page, data, true)
+            }
+            Msg::PageFetchReq {
+                page,
+                requester,
+                needed,
+            } => crate::pages::on_page_fetch_req(&mut st, node, page, requester, needed),
+            Msg::PageFetchReply { page, data } => {
+                crate::pages::on_page_reply(&mut st, page, data, false)
+            }
+            Msg::DiffFlush {
+                writer,
+                interval,
+                diffs,
+            } => crate::pages::on_diff_flush(&mut st, node, writer, interval, diffs),
+            Msg::BarrierArrive { from, vc, records } => {
+                crate::barrier::on_arrive(&mut st, node, from, vc, records)
+            }
+            Msg::BitmapReq { items } => crate::barrier::on_bitmap_req(&mut st, node, items),
+            Msg::BitmapReply { items } => {
+                crate::barrier::on_bitmap_reply(&mut st, node, items)
+            }
+            Msg::BarrierRelease {
+                vc,
+                records,
+                races,
+                epoch,
+            } => crate::barrier::apply_release(&mut st, records, vc, races, epoch),
+            Msg::Shutdown => unreachable!("handled above"),
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Run configuration.
+
+use cvm_net::reliable::LossConfig;
+use cvm_net::NetConfig;
+use cvm_page::{GAddr, Geometry};
+use cvm_race::{OverlapStrategy, PairEnumeration};
+
+use crate::replay::SyncSchedule;
+use crate::simtime::CostModel;
+
+/// Which coherence protocol backs the shared pages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Protocol {
+    /// Single-writer: one writable copy, ownership moves through the page
+    /// home.  The paper's prototype uses this protocol "to minimize
+    /// complexity" (§6.2).
+    #[default]
+    SingleWriter,
+    /// Multi-writer, home-based: concurrent writers twin pages and flush
+    /// diffs to the home at interval close.
+    MultiWriter,
+}
+
+/// How write accesses are detected for the race detector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WriteDetection {
+    /// Both loads and stores are instrumented (the paper's implementation).
+    #[default]
+    Instrumentation,
+    /// Write bitmaps are derived from multi-writer diffs (§6.5): store
+    /// instrumentation is skipped, at the cost of missing races that
+    /// overwrite a value with itself.  Requires [`Protocol::MultiWriter`].
+    Diffs,
+}
+
+/// §6.1's second-run facility: gather access sites touching one address in
+/// one barrier epoch (after replaying the synchronization order).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Watch {
+    /// The racy address from the first run's report.
+    pub addr: GAddr,
+    /// The barrier epoch the race was detected in.
+    pub epoch: u64,
+}
+
+/// Race-detection configuration (off for the uninstrumented baseline runs).
+#[derive(Clone, Copy, Debug)]
+pub struct DetectConfig {
+    /// Master switch: when off, CVM runs unmodified (no read notices, no
+    /// bitmaps, no extra barrier round, no instrumentation cost).
+    pub enabled: bool,
+    /// Instrumented binary on an *unmodified* CVM: accesses pay the
+    /// procedure-call and access-check costs, but no notices, bitmaps, or
+    /// detection exist.  This is the intermediate configuration the paper
+    /// measures to separate instrumentation overhead from the CVM
+    /// modifications in Figure 3.
+    pub instrumentation_only: bool,
+    /// Report only "first" races (§6.4) instead of all races.
+    pub first_races_only: bool,
+    /// Page-list intersection strategy for the comparison algorithm.
+    pub overlap: OverlapStrategy,
+    /// Concurrent-pair enumeration strategy (the paper's simple scan, or
+    /// the binary-search pruning its discussion alludes to).
+    pub enumeration: PairEnumeration,
+    /// Source of write-access information.
+    pub write_detection: WriteDetection,
+    /// Optional §6.1 watchpoint for replay runs.
+    pub watch: Option<Watch>,
+}
+
+impl DetectConfig {
+    /// Detection fully enabled with the paper's defaults.
+    pub fn on() -> Self {
+        DetectConfig {
+            enabled: true,
+            instrumentation_only: false,
+            first_races_only: false,
+            overlap: OverlapStrategy::Auto,
+            enumeration: PairEnumeration::Naive,
+            write_detection: WriteDetection::Instrumentation,
+            watch: None,
+        }
+    }
+
+    /// Instrumented binary, unmodified CVM (Figure 3's middle ground).
+    pub fn instrumentation_only() -> Self {
+        DetectConfig {
+            instrumentation_only: true,
+            ..DetectConfig::on()
+        }
+    }
+
+    /// Detection disabled (baseline CVM).
+    pub fn off() -> Self {
+        DetectConfig {
+            enabled: false,
+            ..DetectConfig::on()
+        }
+    }
+}
+
+/// Full configuration of a simulated CVM cluster run.
+#[derive(Clone, Debug)]
+pub struct DsmConfig {
+    /// Number of processes (one per simulated node).
+    pub nprocs: usize,
+    /// Page geometry of the shared segment.
+    pub geometry: Geometry,
+    /// Shared-segment capacity in bytes.
+    pub shared_capacity: u64,
+    /// Coherence protocol.
+    pub protocol: Protocol,
+    /// Race-detection settings.
+    pub detect: DetectConfig,
+    /// Network limits.
+    pub net: NetConfig,
+    /// Run over a lossy wire with the reliability protocol (CVM's UDP
+    /// deployment) instead of perfect channels.
+    pub net_loss: Option<LossConfig>,
+    /// Virtual-time cost constants.
+    pub costs: CostModel,
+    /// Record per-process trace logs for the post-mortem baseline
+    /// ([`cvm_race::trace`]): computation events with access bitmaps plus
+    /// synchronization events with pairing information.  Tracing pays the
+    /// same instrumentation costs as online detection but keeps growing
+    /// state instead of garbage-collected state.
+    pub trace: bool,
+    /// Record the synchronization order of this run.
+    pub record_sync: bool,
+    /// Enforce a previously recorded synchronization order (§6.1 replay).
+    pub replay: Option<SyncSchedule>,
+}
+
+impl DsmConfig {
+    /// A cluster of `nprocs` nodes with detection on and defaults
+    /// everywhere else.
+    pub fn new(nprocs: usize) -> Self {
+        DsmConfig {
+            nprocs,
+            geometry: Geometry::default(),
+            shared_capacity: 64 << 20,
+            protocol: Protocol::default(),
+            detect: DetectConfig::on(),
+            net: NetConfig::default(),
+            net_loss: None,
+            costs: CostModel::default(),
+            trace: false,
+            record_sync: false,
+            replay: None,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical combinations (zero processes, diff-based write
+    /// detection without the multi-writer protocol).
+    pub fn validate(&self) {
+        assert!(self.nprocs > 0, "cluster needs at least one process");
+        assert!(
+            self.nprocs <= u16::MAX as usize,
+            "too many processes for ProcId"
+        );
+        if self.detect.enabled && self.detect.write_detection == WriteDetection::Diffs {
+            assert_eq!(
+                self.protocol,
+                Protocol::MultiWriter,
+                "diff-based write detection requires the multi-writer protocol"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        DsmConfig::new(8).validate();
+        DsmConfig::new(1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_procs_invalid() {
+        DsmConfig::new(0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-writer")]
+    fn diff_detection_requires_multiwriter() {
+        let mut c = DsmConfig::new(2);
+        c.detect.write_detection = WriteDetection::Diffs;
+        c.validate();
+    }
+
+    #[test]
+    fn diff_detection_with_multiwriter_is_valid() {
+        let mut c = DsmConfig::new(2);
+        c.protocol = Protocol::MultiWriter;
+        c.detect.write_detection = WriteDetection::Diffs;
+        c.validate();
+    }
+
+    #[test]
+    fn detect_on_off_toggles() {
+        assert!(DetectConfig::on().enabled);
+        assert!(!DetectConfig::off().enabled);
+    }
+}

@@ -1,0 +1,62 @@
+//! DSM-level errors.
+
+use std::fmt;
+
+use cvm_net::NetError;
+use cvm_page::AllocError;
+
+/// Errors surfaced by the DSM to applications and the harness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DsmError {
+    /// Shared-segment allocation failed.
+    Alloc(AllocError),
+    /// A protocol message could not be sent (typically: over the system's
+    /// maximum message size, the limitation of §5.3).
+    Net(NetError),
+    /// A node panicked or disconnected mid-run.
+    NodeFailed {
+        /// The failed process.
+        proc: u16,
+    },
+}
+
+impl fmt::Display for DsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsmError::Alloc(e) => write!(f, "allocation failure: {e}"),
+            DsmError::Net(e) => write!(f, "network failure: {e}"),
+            DsmError::NodeFailed { proc } => write!(f, "process P{proc} failed"),
+        }
+    }
+}
+
+impl std::error::Error for DsmError {}
+
+impl From<AllocError> for DsmError {
+    fn from(e: AllocError) -> Self {
+        DsmError::Alloc(e)
+    }
+}
+
+impl From<NetError> for DsmError {
+    fn from(e: NetError) -> Self {
+        DsmError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let a = DsmError::Alloc(AllocError {
+            requested: 10,
+            remaining: 0,
+        });
+        assert!(a.to_string().contains("allocation"));
+        let n = DsmError::Net(NetError::Disconnected);
+        assert!(n.to_string().contains("network"));
+        assert!(DsmError::NodeFailed { proc: 3 }.to_string().contains("P3"));
+    }
+}

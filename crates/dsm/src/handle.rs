@@ -1,0 +1,118 @@
+//! The application-facing API: what a CVM program sees.
+
+use std::sync::Arc;
+
+use cvm_page::GAddr;
+
+use crate::pages::{shared_access, Node};
+use crate::simtime::OverheadCat;
+
+/// A process's handle onto the DSM: shared accesses, synchronization, and
+/// the cost-model hooks applications use to model their private work.
+///
+/// One handle exists per simulated process, owned by its application
+/// thread.  All shared accesses are word-granularity, as tracked by the
+/// instrumentation.
+pub struct ProcHandle {
+    pub(crate) node: Arc<Node>,
+    pub(crate) proc: usize,
+    pub(crate) nprocs: usize,
+}
+
+impl ProcHandle {
+    /// This process's rank (0-based).
+    pub fn proc(&self) -> usize {
+        self.proc
+    }
+
+    /// Number of processes in the cluster.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Reads one shared word.
+    pub fn read(&self, addr: GAddr) -> u64 {
+        shared_access(&self.node, addr, false, 0, 0)
+    }
+
+    /// Writes one shared word.
+    pub fn write(&self, addr: GAddr, value: u64) {
+        shared_access(&self.node, addr, true, value, 0);
+    }
+
+    /// Reads one shared word, tagged with an access-site id (the modelled
+    /// program counter used by §6.1 replay debugging).
+    pub fn read_at(&self, addr: GAddr, site: u32) -> u64 {
+        shared_access(&self.node, addr, false, 0, site)
+    }
+
+    /// Writes one shared word, tagged with an access-site id.
+    pub fn write_at(&self, addr: GAddr, value: u64, site: u32) {
+        shared_access(&self.node, addr, true, value, site);
+    }
+
+    /// Reads a shared `f64`.
+    pub fn read_f64(&self, addr: GAddr) -> f64 {
+        f64::from_bits(self.read(addr))
+    }
+
+    /// Writes a shared `f64`.
+    pub fn write_f64(&self, addr: GAddr, value: f64) {
+        self.write(addr, value.to_bits());
+    }
+
+    /// Acquires a lock (release-consistent acquire access).
+    pub fn lock(&self, lock: u32) {
+        crate::locks::app_lock(&self.node, lock);
+    }
+
+    /// Releases a lock (release-consistent release access).
+    pub fn unlock(&self, lock: u32) {
+        crate::locks::app_unlock(&self.node, lock);
+    }
+
+    /// Global barrier; the race detector runs at the master (paper §4).
+    pub fn barrier(&self) {
+        crate::barrier::app_barrier(&self.node, false);
+    }
+
+    /// Global consolidation for lock-only programs (§6.3): runs the same
+    /// gather/detect/release machinery outside any program barrier.
+    pub fn consolidate(&self) {
+        crate::barrier::app_barrier(&self.node, true);
+    }
+
+    /// Models `cycles` of private computation (loop bodies, arithmetic).
+    pub fn compute(&self, cycles: u64) {
+        let mut st = self.node.state.lock();
+        st.clock.add(OverheadCat::Base, cycles);
+    }
+
+    /// Models `calls` instrumented accesses that turn out to be private
+    /// data — the majority of dynamic analysis-routine calls (Table 3).
+    ///
+    /// Each costs one base access always, plus the procedure call and the
+    /// access check when detection is on.
+    pub fn private_traffic(&self, calls: u64) {
+        let mut st = self.node.state.lock();
+        let c = st.cfg.costs;
+        st.clock.add(OverheadCat::Base, calls * c.access);
+        if st.cfg.detect.enabled {
+            st.clock.add(OverheadCat::ProcCall, calls * c.proc_call);
+            st.clock
+                .add(OverheadCat::AccessCheck, calls * c.access_check);
+            st.analysis.count_private(calls);
+        }
+    }
+
+    /// Number of races reported to this node so far (workers learn about
+    /// races from barrier release messages).
+    pub fn races_so_far(&self) -> usize {
+        self.node.state.lock().race_log.len()
+    }
+
+    /// This node's current virtual time in cycles.
+    pub fn virtual_now(&self) -> u64 {
+        self.node.state.lock().clock.now()
+    }
+}

@@ -1,0 +1,268 @@
+//! Distributed locks with lazy-release-consistent grants.
+//!
+//! Each lock has a static manager (`lock % nprocs`).  Requests go to the
+//! manager, which forwards them to the last process it sent the token
+//! towards; holders chain at most one successor, forming a distributed
+//! queue (the TreadMarks algorithm).  A grant carries the interval records
+//! the requester lacks — this is where LRC piggybacks consistency
+//! information on synchronization (paper §3.1).
+//!
+//! Interval boundaries: a *remote* acquire closes the current interval
+//! before requesting (the acquire begins a new interval whose stamp must
+//! reflect the merged knowledge); an unlock always closes the current
+//! interval (the release point that orders prior accesses before any
+//! future acquirer).  Re-acquiring a cached token creates no interval —
+//! there is no remote synchronization to order against, and program order
+//! already covers local accesses.
+
+use crossbeam::channel::bounded;
+use cvm_vclock::{ProcId, VClock};
+
+use crate::msg::Msg;
+use crate::node::{LockLocal, LockMgr, NodeCore};
+use crate::pages::Node;
+use crate::simtime::OverheadCat;
+
+impl NodeCore {
+    fn lock_local(&mut self, lock: u32) -> &mut LockLocal {
+        let is_mgr = self.manager_of(lock) == self.proc;
+        self.locks.entry(lock).or_insert_with(|| LockLocal {
+            // The manager starts out holding every token it manages.
+            have_token: is_mgr,
+            ..LockLocal::default()
+        })
+    }
+
+    fn lock_mgr(&mut self, lock: u32) -> &mut LockMgr {
+        debug_assert_eq!(self.manager_of(lock), self.proc);
+        let me = self.proc;
+        self.lock_mgr.entry(lock).or_insert(LockMgr { last: me })
+    }
+}
+
+/// Application-thread `lock()`.
+pub(crate) fn app_lock(node: &Node, lock: u32) {
+    let mut st = node.state.lock();
+    let c = st.cfg.costs;
+    st.clock.add(OverheadCat::Base, c.lock_handling);
+    // Recording/replaying runs disable token caching: a cached-token
+    // reacquire bypasses the manager and therefore the schedule, which
+    // would leave the recorded grant order an incomplete account of the
+    // critical-section order (and replay unable to reproduce it exactly).
+    let cache_ok = !st.cfg.record_sync && st.cfg.replay.is_none();
+    {
+        let l = st.lock_local(lock);
+        assert!(!l.held, "recursive lock({lock})");
+        if l.have_token && cache_ok {
+            l.held = true;
+            st.stats.locks_local += 1;
+            if st.cfg.trace {
+                // A cached-token reacquire pairs with our own release:
+                // program order already covers it.
+                st.trace
+                    .push(cvm_race::trace::TraceEvent::Acquire { lock, from: None });
+            }
+            return;
+        }
+    }
+    st.stats.locks_remote += 1;
+    // Remote acquire: interval boundary (close now; reopen at grant, after
+    // the merge).
+    st.close_interval(&node.sender);
+    let (tx, rx) = bounded(1);
+    st.lock_local(lock).waiter = Some(tx);
+    let me = st.proc;
+    let vc = st.vc.clone();
+    let mgr = st.manager_of(lock);
+    if mgr == me {
+        mgr_handle_req(&mut st, node, lock, me, vc);
+    } else {
+        let msg = Msg::LockReq {
+            lock,
+            requester: me,
+            vc,
+        };
+        st.send_msg(&node.sender, mgr, &msg);
+    }
+    drop(st);
+    rx.recv().expect("lock grant lost");
+}
+
+/// Application-thread `unlock()`.
+pub(crate) fn app_unlock(node: &Node, lock: u32) {
+    let mut st = node.state.lock();
+    let c = st.cfg.costs;
+    st.clock.add(OverheadCat::Base, c.lock_handling);
+    {
+        let l = st.lock_local(lock);
+        assert!(l.held, "unlock({lock}) without holding it");
+        l.held = false;
+    }
+    // Release point: close the interval so its record is available to the
+    // next acquirer, and snapshot the released knowledge — a later grant
+    // must not carry anything newer (happens-before-1 orders the acquirer
+    // after the release, not after the grant).
+    st.close_interval(&node.sender);
+    st.open_interval();
+    if st.cfg.trace {
+        st.trace
+            .push(cvm_race::trace::TraceEvent::Release { lock });
+        let idx = (st.trace.len() - 1) as u32;
+        st.trace_last_release.insert(lock, idx);
+    }
+    let release_vc = st.vc.clone();
+    st.lock_local(lock).release_vc = Some(release_vc);
+    if let Some((succ, vc)) = st.lock_local(lock).successor.take() {
+        grant(&mut st, node, lock, succ, &vc);
+    }
+}
+
+/// Manager-side request handling, including replay gating (§6.1).
+pub(crate) fn mgr_handle_req(
+    st: &mut NodeCore,
+    node: &Node,
+    lock: u32,
+    requester: ProcId,
+    vc: VClock,
+) {
+    if let Some(cursor) = &st.replay {
+        if let Some(expected) = cursor.expected(lock) {
+            if expected != requester {
+                // Ahead of its recorded turn: hold it back.
+                st.replay_pending
+                    .entry(lock)
+                    .or_default()
+                    .push((requester, vc));
+                return;
+            }
+        }
+    }
+    forward(st, node, lock, requester, vc);
+    // Forwarding may unblock held-back requests in recorded order.
+    loop {
+        let expected = match &st.replay {
+            Some(cursor) => cursor.expected(lock),
+            None => None,
+        };
+        let Some(expected) = expected else { break };
+        let Some(pending) = st.replay_pending.get_mut(&lock) else {
+            break;
+        };
+        let Some(pos) = pending.iter().position(|(p, _)| *p == expected) else {
+            break;
+        };
+        let (p, pvc) = pending.remove(pos);
+        forward(st, node, lock, p, pvc);
+    }
+}
+
+fn forward(st: &mut NodeCore, node: &Node, lock: u32, requester: ProcId, vc: VClock) {
+    if st.cfg.record_sync {
+        st.sched_rec.record(lock, requester);
+    }
+    if let Some(cursor) = &mut st.replay {
+        if cursor.expected(lock) == Some(requester) {
+            cursor.advance(lock);
+        }
+    }
+    let last = {
+        let mgr = st.lock_mgr(lock);
+        let last = mgr.last;
+        mgr.last = requester;
+        last
+    };
+    // `last == requester` happens when the tail re-requests a token it
+    // still caches (recording/replay runs disable the local fast path):
+    // the forward goes back to the requester, which self-grants.
+    if last == st.proc {
+        handle_fwd(st, node, lock, requester, vc);
+    } else {
+        let msg = Msg::LockFwd {
+            lock,
+            requester,
+            vc,
+        };
+        st.send_msg(&node.sender, last, &msg);
+    }
+}
+
+/// A forwarded request arriving at the (believed) token holder.
+pub(crate) fn handle_fwd(
+    st: &mut NodeCore,
+    node: &Node,
+    lock: u32,
+    requester: ProcId,
+    vc: VClock,
+) {
+    let c = st.cfg.costs;
+    st.clock.add(OverheadCat::Base, c.lock_handling);
+    let can_grant = {
+        let l = st.lock_local(lock);
+        l.have_token && !l.held && l.successor.is_none()
+    };
+    if can_grant {
+        grant(st, node, lock, requester, &vc);
+    } else {
+        let l = st.lock_local(lock);
+        assert!(
+            l.successor.is_none(),
+            "lock {lock}: second successor queued at one node"
+        );
+        l.successor = Some((requester, vc));
+    }
+}
+
+fn grant(st: &mut NodeCore, node: &Node, lock: u32, to: ProcId, to_vc: &VClock) {
+    let release_vc = {
+        let l = st.lock_local(lock);
+        debug_assert!(l.have_token && !l.held);
+        l.have_token = false;
+        l.release_vc.clone()
+    };
+    // No release yet (the manager's pristine token): the acquire imposes
+    // no ordering and carries no consistency information.
+    let vc = release_vc.unwrap_or_else(|| VClock::new(st.cfg.nprocs));
+    let records = st.records_between(to_vc, &vc);
+    // Trace pairing: which of our Release events this grant hands over
+    // (None for a pristine token).
+    let trace_from = if st.cfg.trace {
+        st.trace_last_release
+            .get(&lock)
+            .map(|&idx| (st.proc, idx))
+    } else {
+        None
+    };
+    let msg = Msg::LockGrant {
+        lock,
+        records,
+        vc,
+        trace_from,
+    };
+    st.send_msg(&node.sender, to, &msg);
+}
+
+/// A grant arriving at a blocked requester.
+pub(crate) fn handle_grant(
+    st: &mut NodeCore,
+    lock: u32,
+    records: Vec<cvm_race::Interval>,
+    vc: VClock,
+    trace_from: Option<(ProcId, u32)>,
+) {
+    st.apply_records(records, &vc);
+    st.open_interval();
+    if st.cfg.trace {
+        st.trace.push(cvm_race::trace::TraceEvent::Acquire {
+            lock,
+            from: trace_from,
+        });
+    }
+    let waiter = {
+        let l = st.lock_local(lock);
+        l.have_token = true;
+        l.held = true;
+        l.waiter.take()
+    };
+    let tx = waiter.expect("grant without a waiting acquirer");
+    let _ = tx.send(());
+}

@@ -1,0 +1,536 @@
+//! Protocol messages.
+//!
+//! Every message really is encoded to bytes before transmission; the byte
+//! breakdown attributes consistency metadata, read notices (the paper's
+//! modification ii), page/diff data, and bitmaps (modification iii) to
+//! separate traffic classes so the bandwidth-overhead metric of Table 3
+//! falls out of the accounting.
+
+use cvm_net::wire::{Reader, Wire, WireError};
+use cvm_net::{ByteBreakdown, TrafficClass};
+use cvm_page::{Diff, PageBitmaps, PageId};
+use cvm_race::{Interval, RaceReport};
+use cvm_vclock::{IntervalId, ProcId, VClock};
+
+/// All CVM protocol messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Lock request, sent to the lock's manager.
+    LockReq {
+        /// Lock identifier.
+        lock: u32,
+        /// Requesting process.
+        requester: ProcId,
+        /// Requester's clock (so the granter can compute missing records).
+        vc: VClock,
+    },
+    /// Lock request forwarded by the manager to the last holder.
+    LockFwd {
+        /// Lock identifier.
+        lock: u32,
+        /// Requesting process.
+        requester: ProcId,
+        /// Requester's clock.
+        vc: VClock,
+    },
+    /// Lock grant: the token plus the consistency information the
+    /// requester lacks.
+    LockGrant {
+        /// Lock identifier.
+        lock: u32,
+        /// Interval records unknown to the requester.
+        records: Vec<Interval>,
+        /// The releaser's clock at its release of this lock.
+        vc: VClock,
+        /// Post-mortem trace pairing: `(releaser, trace index of the
+        /// paired Release event)`; only present in tracing runs.
+        trace_from: Option<(ProcId, u32)>,
+    },
+    /// Read-copy request (single-writer), sent to the page home.
+    PageReadReq {
+        /// Requested page.
+        page: PageId,
+        /// Faulting process.
+        requester: ProcId,
+    },
+    /// Read-copy request forwarded by the home to the current owner.
+    PageReadFwd {
+        /// Requested page.
+        page: PageId,
+        /// Faulting process.
+        requester: ProcId,
+    },
+    /// Page contents for a read fault.
+    PageReadReply {
+        /// The page.
+        page: PageId,
+        /// Page contents.
+        data: Vec<u64>,
+    },
+    /// Ownership request (single-writer write fault), sent to the home.
+    PageOwnReq {
+        /// Requested page.
+        page: PageId,
+        /// Faulting process.
+        requester: ProcId,
+    },
+    /// Ownership request forwarded by the home to the current owner.
+    PageOwnFwd {
+        /// Requested page.
+        page: PageId,
+        /// Faulting process.
+        requester: ProcId,
+    },
+    /// Ownership transfer: page contents + the write token.
+    PageOwnReply {
+        /// The page.
+        page: PageId,
+        /// Page contents.
+        data: Vec<u64>,
+    },
+    /// Multi-writer page fetch from the home, gated on the diffs the
+    /// requester's clock requires.
+    PageFetchReq {
+        /// Requested page.
+        page: PageId,
+        /// Faulting process.
+        requester: ProcId,
+        /// Minimum `(writer, interval index)` diffs that must be applied
+        /// at the home before the reply (write notices already seen).
+        needed: Vec<(ProcId, u32)>,
+    },
+    /// Multi-writer page contents from the home.
+    PageFetchReply {
+        /// The page.
+        page: PageId,
+        /// Page contents.
+        data: Vec<u64>,
+    },
+    /// Multi-writer diff flush to a page home at interval close.
+    DiffFlush {
+        /// Writing process.
+        writer: ProcId,
+        /// Interval index (of `writer`) the diffs belong to.
+        interval: u32,
+        /// The diffs for pages homed at the destination.
+        diffs: Vec<Diff>,
+    },
+    /// Barrier arrival: the worker's records since the last barrier.
+    BarrierArrive {
+        /// Arriving process.
+        from: ProcId,
+        /// Worker's clock.
+        vc: VClock,
+        /// Interval records created since the last barrier.
+        records: Vec<Interval>,
+    },
+    /// The extra round (modification iii): master asks a node for access
+    /// bitmaps named by the check list.
+    BitmapReq {
+        /// `(interval, page)` bitmaps wanted.
+        items: Vec<(IntervalId, PageId)>,
+    },
+    /// Bitmaps returned to the master.
+    BitmapReply {
+        /// The bitmaps, in request order.
+        items: Vec<(IntervalId, (PageId, PageBitmaps))>,
+    },
+    /// Barrier release: consistency info the worker lacks + race reports.
+    BarrierRelease {
+        /// Master's merged clock.
+        vc: VClock,
+        /// Records the worker has not seen.
+        records: Vec<Interval>,
+        /// Races detected this epoch.
+        races: Vec<RaceReport>,
+        /// Epoch number just completed.
+        epoch: u64,
+    },
+    /// Orderly service-thread shutdown.
+    Shutdown,
+}
+
+const TAG_LOCK_REQ: u8 = 0;
+const TAG_LOCK_FWD: u8 = 1;
+const TAG_LOCK_GRANT: u8 = 2;
+const TAG_PAGE_READ_REQ: u8 = 3;
+const TAG_PAGE_READ_FWD: u8 = 4;
+const TAG_PAGE_READ_REPLY: u8 = 5;
+const TAG_PAGE_OWN_REQ: u8 = 6;
+const TAG_PAGE_OWN_FWD: u8 = 7;
+const TAG_PAGE_OWN_REPLY: u8 = 8;
+const TAG_PAGE_FETCH_REQ: u8 = 9;
+const TAG_PAGE_FETCH_REPLY: u8 = 10;
+const TAG_DIFF_FLUSH: u8 = 11;
+const TAG_BARRIER_ARRIVE: u8 = 12;
+const TAG_BITMAP_REQ: u8 = 13;
+const TAG_BITMAP_REPLY: u8 = 14;
+const TAG_BARRIER_RELEASE: u8 = 15;
+const TAG_SHUTDOWN: u8 = 16;
+
+impl Wire for Msg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Msg::LockReq { lock, requester, vc } => {
+                buf.push(TAG_LOCK_REQ);
+                lock.encode(buf);
+                requester.encode(buf);
+                vc.encode(buf);
+            }
+            Msg::LockFwd { lock, requester, vc } => {
+                buf.push(TAG_LOCK_FWD);
+                lock.encode(buf);
+                requester.encode(buf);
+                vc.encode(buf);
+            }
+            Msg::LockGrant {
+                lock,
+                records,
+                vc,
+                trace_from,
+            } => {
+                buf.push(TAG_LOCK_GRANT);
+                lock.encode(buf);
+                records.encode(buf);
+                vc.encode(buf);
+                trace_from.encode(buf);
+            }
+            Msg::PageReadReq { page, requester } => {
+                buf.push(TAG_PAGE_READ_REQ);
+                page.encode(buf);
+                requester.encode(buf);
+            }
+            Msg::PageReadFwd { page, requester } => {
+                buf.push(TAG_PAGE_READ_FWD);
+                page.encode(buf);
+                requester.encode(buf);
+            }
+            Msg::PageReadReply { page, data } => {
+                buf.push(TAG_PAGE_READ_REPLY);
+                page.encode(buf);
+                data.encode(buf);
+            }
+            Msg::PageOwnReq { page, requester } => {
+                buf.push(TAG_PAGE_OWN_REQ);
+                page.encode(buf);
+                requester.encode(buf);
+            }
+            Msg::PageOwnFwd { page, requester } => {
+                buf.push(TAG_PAGE_OWN_FWD);
+                page.encode(buf);
+                requester.encode(buf);
+            }
+            Msg::PageOwnReply { page, data } => {
+                buf.push(TAG_PAGE_OWN_REPLY);
+                page.encode(buf);
+                data.encode(buf);
+            }
+            Msg::PageFetchReq {
+                page,
+                requester,
+                needed,
+            } => {
+                buf.push(TAG_PAGE_FETCH_REQ);
+                page.encode(buf);
+                requester.encode(buf);
+                needed.encode(buf);
+            }
+            Msg::PageFetchReply { page, data } => {
+                buf.push(TAG_PAGE_FETCH_REPLY);
+                page.encode(buf);
+                data.encode(buf);
+            }
+            Msg::DiffFlush {
+                writer,
+                interval,
+                diffs,
+            } => {
+                buf.push(TAG_DIFF_FLUSH);
+                writer.encode(buf);
+                interval.encode(buf);
+                diffs.encode(buf);
+            }
+            Msg::BarrierArrive { from, vc, records } => {
+                buf.push(TAG_BARRIER_ARRIVE);
+                from.encode(buf);
+                vc.encode(buf);
+                records.encode(buf);
+            }
+            Msg::BitmapReq { items } => {
+                buf.push(TAG_BITMAP_REQ);
+                items.encode(buf);
+            }
+            Msg::BitmapReply { items } => {
+                buf.push(TAG_BITMAP_REPLY);
+                items.encode(buf);
+            }
+            Msg::BarrierRelease {
+                vc,
+                records,
+                races,
+                epoch,
+            } => {
+                buf.push(TAG_BARRIER_RELEASE);
+                vc.encode(buf);
+                records.encode(buf);
+                races.encode(buf);
+                epoch.encode(buf);
+            }
+            Msg::Shutdown => buf.push(TAG_SHUTDOWN),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::decode(r)? {
+            TAG_LOCK_REQ => Msg::LockReq {
+                lock: u32::decode(r)?,
+                requester: ProcId::decode(r)?,
+                vc: VClock::decode(r)?,
+            },
+            TAG_LOCK_FWD => Msg::LockFwd {
+                lock: u32::decode(r)?,
+                requester: ProcId::decode(r)?,
+                vc: VClock::decode(r)?,
+            },
+            TAG_LOCK_GRANT => Msg::LockGrant {
+                lock: u32::decode(r)?,
+                records: Vec::<Interval>::decode(r)?,
+                vc: VClock::decode(r)?,
+                trace_from: Option::<(ProcId, u32)>::decode(r)?,
+            },
+            TAG_PAGE_READ_REQ => Msg::PageReadReq {
+                page: PageId::decode(r)?,
+                requester: ProcId::decode(r)?,
+            },
+            TAG_PAGE_READ_FWD => Msg::PageReadFwd {
+                page: PageId::decode(r)?,
+                requester: ProcId::decode(r)?,
+            },
+            TAG_PAGE_READ_REPLY => Msg::PageReadReply {
+                page: PageId::decode(r)?,
+                data: Vec::<u64>::decode(r)?,
+            },
+            TAG_PAGE_OWN_REQ => Msg::PageOwnReq {
+                page: PageId::decode(r)?,
+                requester: ProcId::decode(r)?,
+            },
+            TAG_PAGE_OWN_FWD => Msg::PageOwnFwd {
+                page: PageId::decode(r)?,
+                requester: ProcId::decode(r)?,
+            },
+            TAG_PAGE_OWN_REPLY => Msg::PageOwnReply {
+                page: PageId::decode(r)?,
+                data: Vec::<u64>::decode(r)?,
+            },
+            TAG_PAGE_FETCH_REQ => Msg::PageFetchReq {
+                page: PageId::decode(r)?,
+                requester: ProcId::decode(r)?,
+                needed: Vec::<(ProcId, u32)>::decode(r)?,
+            },
+            TAG_PAGE_FETCH_REPLY => Msg::PageFetchReply {
+                page: PageId::decode(r)?,
+                data: Vec::<u64>::decode(r)?,
+            },
+            TAG_DIFF_FLUSH => Msg::DiffFlush {
+                writer: ProcId::decode(r)?,
+                interval: u32::decode(r)?,
+                diffs: Vec::<Diff>::decode(r)?,
+            },
+            TAG_BARRIER_ARRIVE => Msg::BarrierArrive {
+                from: ProcId::decode(r)?,
+                vc: VClock::decode(r)?,
+                records: Vec::<Interval>::decode(r)?,
+            },
+            TAG_BITMAP_REQ => Msg::BitmapReq {
+                items: Vec::<(IntervalId, PageId)>::decode(r)?,
+            },
+            TAG_BITMAP_REPLY => Msg::BitmapReply {
+                items: Vec::<(IntervalId, (PageId, PageBitmaps))>::decode(r)?,
+            },
+            TAG_BARRIER_RELEASE => Msg::BarrierRelease {
+                vc: VClock::decode(r)?,
+                records: Vec::<Interval>::decode(r)?,
+                races: Vec::<RaceReport>::decode(r)?,
+                epoch: u64::decode(r)?,
+            },
+            TAG_SHUTDOWN => Msg::Shutdown,
+            tag => return Err(WireError::BadTag { what: "Msg", tag }),
+        })
+    }
+}
+
+impl Msg {
+    /// Byte breakdown of this message's encoding for traffic accounting.
+    ///
+    /// Read notices riding inside interval records are split out as
+    /// [`TrafficClass::ReadNotice`] (the detector's bandwidth cost); page
+    /// contents and diffs are [`TrafficClass::Data`]; bitmap traffic is
+    /// [`TrafficClass::Bitmap`]; the rest of a synchronization message is
+    /// [`TrafficClass::Sync`]; pure requests are [`TrafficClass::Control`].
+    pub fn breakdown(&self) -> ByteBreakdown {
+        let total = self.wire_size();
+        match self {
+            Msg::LockGrant { records, .. } | Msg::BarrierArrive { records, .. } => {
+                let rn: u64 = records.iter().map(Interval::read_notice_attr_bytes).sum();
+                let mut b = ByteBreakdown::single(TrafficClass::Sync, total - rn);
+                b.add(TrafficClass::ReadNotice, rn);
+                b
+            }
+            Msg::BarrierRelease { records, .. } => {
+                let rn: u64 = records.iter().map(Interval::read_notice_attr_bytes).sum();
+                let mut b = ByteBreakdown::single(TrafficClass::Sync, total - rn);
+                b.add(TrafficClass::ReadNotice, rn);
+                b
+            }
+            Msg::PageReadReply { data, .. }
+            | Msg::PageOwnReply { data, .. }
+            | Msg::PageFetchReply { data, .. } => {
+                let payload = data.len() as u64 * 8;
+                let mut b = ByteBreakdown::single(TrafficClass::Control, total - payload);
+                b.add(TrafficClass::Data, payload);
+                b
+            }
+            Msg::DiffFlush { diffs, .. } => {
+                let payload: u64 = diffs.iter().map(|d| d.entries.len() as u64 * 12).sum();
+                let mut b = ByteBreakdown::single(TrafficClass::Control, total - payload);
+                b.add(TrafficClass::Data, payload);
+                b
+            }
+            Msg::BitmapReq { .. } | Msg::BitmapReply { .. } => {
+                ByteBreakdown::single(TrafficClass::Bitmap, total)
+            }
+            Msg::LockReq { .. } | Msg::LockFwd { .. } => {
+                ByteBreakdown::single(TrafficClass::Sync, total)
+            }
+            _ => ByteBreakdown::single(TrafficClass::Control, total),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvm_race::make_interval;
+
+    fn roundtrip(msg: Msg) {
+        let bytes = msg.to_bytes();
+        assert_eq!(bytes.len() as u64, msg.wire_size(), "{msg:?}");
+        assert_eq!(Msg::from_bytes(&bytes).unwrap(), msg);
+        // Breakdown must account for every byte.
+        assert_eq!(msg.breakdown().total(), bytes.len() as u64, "{msg:?}");
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        let iv = make_interval(1, 3, vec![2, 3], &[1, 2], &[7, 8, 9]);
+        roundtrip(Msg::LockReq {
+            lock: 5,
+            requester: ProcId(1),
+            vc: VClock::from(vec![1, 2]),
+        });
+        roundtrip(Msg::LockFwd {
+            lock: 5,
+            requester: ProcId(1),
+            vc: VClock::from(vec![1, 2]),
+        });
+        roundtrip(Msg::LockGrant {
+            lock: 5,
+            records: vec![iv.clone()],
+            vc: VClock::from(vec![4, 4]),
+            trace_from: Some((ProcId(1), 7)),
+        });
+        roundtrip(Msg::PageReadReq {
+            page: PageId(3),
+            requester: ProcId(0),
+        });
+        roundtrip(Msg::PageReadFwd {
+            page: PageId(3),
+            requester: ProcId(0),
+        });
+        roundtrip(Msg::PageReadReply {
+            page: PageId(3),
+            data: vec![1, 2, 3],
+        });
+        roundtrip(Msg::PageOwnReq {
+            page: PageId(3),
+            requester: ProcId(0),
+        });
+        roundtrip(Msg::PageOwnFwd {
+            page: PageId(3),
+            requester: ProcId(0),
+        });
+        roundtrip(Msg::PageOwnReply {
+            page: PageId(3),
+            data: vec![9; 16],
+        });
+        roundtrip(Msg::PageFetchReq {
+            page: PageId(1),
+            requester: ProcId(1),
+            needed: vec![(ProcId(0), 4)],
+        });
+        roundtrip(Msg::PageFetchReply {
+            page: PageId(1),
+            data: vec![0; 8],
+        });
+        roundtrip(Msg::DiffFlush {
+            writer: ProcId(1),
+            interval: 7,
+            diffs: vec![Diff {
+                page: PageId(2),
+                entries: vec![(0, 5), (10, 6)],
+            }],
+        });
+        roundtrip(Msg::BarrierArrive {
+            from: ProcId(2),
+            vc: VClock::from(vec![1, 2, 3]),
+            records: vec![iv.clone()],
+        });
+        roundtrip(Msg::BitmapReq {
+            items: vec![(iv.id(), PageId(1))],
+        });
+        roundtrip(Msg::BitmapReply {
+            items: vec![(iv.id(), (PageId(1), PageBitmaps::new(64)))],
+        });
+        roundtrip(Msg::BarrierRelease {
+            vc: VClock::from(vec![5, 5]),
+            records: vec![iv.clone()],
+            races: vec![],
+            epoch: 9,
+        });
+        roundtrip(Msg::Shutdown);
+    }
+
+    #[test]
+    fn grant_breakdown_separates_read_notices() {
+        let iv = make_interval(0, 1, vec![1, 0], &[1], &[2, 3, 4, 5, 6]);
+        let rn = iv.read_notice_bytes();
+        let msg = Msg::LockGrant {
+            lock: 0,
+            records: vec![iv],
+            vc: VClock::from(vec![1, 0]),
+            trace_from: None,
+        };
+        let b = msg.breakdown();
+        assert_eq!(b.get(TrafficClass::ReadNotice), rn);
+        assert_eq!(b.total(), msg.wire_size());
+        assert!(b.get(TrafficClass::Sync) > 0);
+    }
+
+    #[test]
+    fn page_reply_breakdown_is_mostly_data() {
+        let msg = Msg::PageReadReply {
+            page: PageId(0),
+            data: vec![0; 512],
+        };
+        let b = msg.breakdown();
+        assert_eq!(b.get(TrafficClass::Data), 4096);
+        assert!(b.get(TrafficClass::Control) < 16);
+    }
+
+    #[test]
+    fn garbage_decoding_fails_cleanly() {
+        assert!(Msg::from_bytes(&[99]).is_err());
+        assert!(Msg::from_bytes(&[]).is_err());
+        assert!(Msg::from_bytes(&[TAG_LOCK_GRANT, 1]).is_err());
+    }
+}

@@ -1,0 +1,736 @@
+//! Per-node protocol state and the shared-memory access path.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use crossbeam::channel::Sender;
+use cvm_instrument::AnalysisRuntime;
+use cvm_net::wire::Wire;
+use cvm_net::{NetSender, Packet, TrafficClass};
+use cvm_page::{Diff, GAddr, PageBitmaps, PageId, PageStore, Protection};
+use cvm_race::{BitmapStore, Interval, RaceLog};
+use cvm_vclock::{IntervalId, IntervalStamp, ProcId, VClock};
+
+use crate::config::{DsmConfig, Protocol, WriteDetection};
+use crate::msg::Msg;
+use crate::replay::{ReplayCursor, SyncSchedule};
+use crate::report::WatchHit;
+use crate::simtime::{OverheadCat, VirtualClock};
+
+/// The interval currently being accumulated by a process.
+#[derive(Debug)]
+pub(crate) struct OpenInterval {
+    /// Interval index (own clock entry at close).
+    pub index: u32,
+    /// Vector timestamp snapshotted at interval begin.
+    pub stamp_vc: VClock,
+    /// Pages written this interval (write notices at close).
+    pub dirty: BTreeSet<PageId>,
+    /// Pages read this interval (read notices at close; detection only).
+    pub read: BTreeSet<PageId>,
+    /// Word-granularity access bitmaps (detection only).
+    pub bitmaps: HashMap<PageId, PageBitmaps>,
+}
+
+/// Local state of one lock.
+#[derive(Debug, Default)]
+pub(crate) struct LockLocal {
+    /// This node holds the token (may grant without the manager).
+    pub have_token: bool,
+    /// The application currently holds the lock.
+    pub held: bool,
+    /// The next process in the distributed queue, waiting for our release.
+    pub successor: Option<(ProcId, VClock)>,
+    /// Application thread blocked in `lock()`.
+    pub waiter: Option<Sender<()>>,
+    /// The releaser's clock at its most recent `unlock()` of this lock.
+    ///
+    /// Happens-before-1 orders the acquirer after the *release*, not after
+    /// the grant: a grant sent later (when the forwarded request arrives)
+    /// must carry only the knowledge the releaser had at the unlock.
+    /// Shipping the granter's current clock would impose extra ordering
+    /// and hide races that follow the unlock — e.g. Water's unlocked
+    /// virial update, which sits between the last unlock and the barrier.
+    pub release_vc: Option<VClock>,
+}
+
+/// Manager-side state of one lock (only at `lock % nprocs`).
+#[derive(Debug)]
+pub(crate) struct LockMgr {
+    /// Last process the token was forwarded towards (tail of the queue).
+    pub last: ProcId,
+}
+
+/// A queued remote page request that cannot be serviced yet (single-writer
+/// ownership is in flight).
+#[derive(Debug)]
+pub(crate) enum QueuedPageReq {
+    /// A forwarded read-copy request.
+    Read(ProcId),
+    /// A forwarded ownership request (always last in the queue).
+    Own(ProcId),
+}
+
+/// Diff watermarks a fetch is gated on: `(writer, interval index)` pairs.
+pub(crate) type DiffNeeds = Vec<(ProcId, u32)>;
+
+/// Multi-writer master-copy bookkeeping at the page home.
+#[derive(Debug, Default)]
+pub(crate) struct MwHome {
+    /// Highest interval index applied per writer.
+    pub applied: HashMap<ProcId, u32>,
+    /// Fetches waiting for diffs to arrive: `(requester, needed)`.
+    pub waiting: Vec<(ProcId, DiffNeeds)>,
+    /// Local application thread waiting for diffs (home's own fault).
+    pub local_waiter: Option<(Sender<()>, DiffNeeds)>,
+}
+
+/// Plain counters of protocol activity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NodeStats {
+    /// Intervals closed.
+    pub intervals: u64,
+    /// Barriers completed.
+    pub barriers: u64,
+    /// Consolidations (barrier machinery run for lock-only programs, §6.3).
+    pub consolidations: u64,
+    /// Lock acquisitions satisfied locally (token cached).
+    pub locks_local: u64,
+    /// Lock acquisitions requiring messages.
+    pub locks_remote: u64,
+    /// Read faults taken.
+    pub read_faults: u64,
+    /// Write faults taken.
+    pub write_faults: u64,
+    /// Pages sent to other nodes (copies or ownership transfers).
+    pub pages_sent: u64,
+    /// Diffs created (multi-writer).
+    pub diffs_made: u64,
+    /// Total words across created diffs.
+    pub diff_words: u64,
+    /// Remote interval records applied.
+    pub records_applied: u64,
+    /// Shared reads performed.
+    pub shared_reads: u64,
+    /// Shared writes performed.
+    pub shared_writes: u64,
+    /// High-water mark of retained interval records (GC boundedness).
+    pub log_high_water: u64,
+    /// High-water mark of retained access bitmaps (GC boundedness).
+    pub bitmap_high_water: u64,
+}
+
+/// Mutable state of one node, shared between its application thread and its
+/// service thread.
+pub(crate) struct NodeCore {
+    pub cfg: DsmConfig,
+    pub proc: ProcId,
+    pub clock: VirtualClock,
+    pub pages: PageStore,
+    /// Last *closed* interval index per process (own entry included).
+    pub vc: VClock,
+    pub cur: OpenInterval,
+    /// Known interval records (own and received), for lock grants.
+    pub log: BTreeMap<IntervalId, Interval>,
+    /// Own records not yet shipped at a barrier.
+    pub unsent_own: Vec<IntervalId>,
+    /// Retained access bitmaps for own intervals (until checked).
+    pub bitmaps: BitmapStore,
+    pub analysis: AnalysisRuntime,
+    /// Single-writer: current owner of pages homed here.
+    pub home_owner: HashMap<PageId, ProcId>,
+    /// Pages with a local fault in flight (waiting app thread).
+    pub page_wait: HashMap<PageId, Sender<()>>,
+    /// Pages whose ownership just arrived for a local write that has not
+    /// executed yet; remote requests stay deferred until it does (closes
+    /// the steal window between reply processing and the app's retry).
+    pub pending_local_write: std::collections::HashSet<PageId>,
+    /// Remote requests deferred until local ownership arrives.
+    pub page_queue: HashMap<PageId, VecDeque<QueuedPageReq>>,
+    /// Multi-writer home state for pages homed here.
+    pub mw_home: HashMap<PageId, MwHome>,
+    /// Multi-writer: highest write-notice interval seen per page/writer.
+    pub mw_seen: HashMap<PageId, Vec<(ProcId, u32)>>,
+    pub locks: HashMap<u32, LockLocal>,
+    pub lock_mgr: HashMap<u32, LockMgr>,
+    /// Barrier master state (node 0 only).
+    pub barrier: Option<crate::barrier::BarrierMaster>,
+    /// Application thread blocked in `barrier()`.
+    pub barrier_wait: Option<Sender<()>>,
+    /// Barrier epochs completed.
+    pub epoch: u64,
+    /// Races detected (authoritative at the master; workers keep the copies
+    /// delivered in release messages).
+    pub race_log: RaceLog,
+    /// Detector statistics (master only).
+    pub det_stats: cvm_race::DetectorStats,
+    /// Recorded lock-grant order (when recording).
+    pub sched_rec: SyncSchedule,
+    /// Replay cursor (when replaying).
+    pub replay: Option<ReplayCursor>,
+    /// Lock requests held back by replay ordering.
+    pub replay_pending: HashMap<u32, Vec<(ProcId, VClock)>>,
+    pub stats: NodeStats,
+    /// §6.1 watchpoint hits.
+    pub watch_hits: Vec<WatchHit>,
+    /// Post-mortem trace log (when `cfg.trace` is on).
+    pub trace: Vec<cvm_race::trace::TraceEvent>,
+    /// Trace index of the last `Release` event per lock (for grant
+    /// pairing).
+    pub trace_last_release: HashMap<u32, u32>,
+}
+
+impl NodeCore {
+    pub(crate) fn new(cfg: DsmConfig, proc: ProcId) -> Self {
+        let nprocs = cfg.nprocs;
+        let mut vc = VClock::new(nprocs);
+        let index = 1;
+        let mut stamp_vc = vc.clone();
+        stamp_vc.set(proc, index);
+        let _ = &mut vc;
+        NodeCore {
+            pages: PageStore::new(cfg.geometry),
+            cfg,
+            proc,
+            clock: VirtualClock::new(),
+            vc,
+            cur: OpenInterval {
+                index,
+                stamp_vc,
+                dirty: BTreeSet::new(),
+                read: BTreeSet::new(),
+                bitmaps: HashMap::new(),
+            },
+            log: BTreeMap::new(),
+            unsent_own: Vec::new(),
+            bitmaps: BitmapStore::new(),
+            analysis: AnalysisRuntime::new(),
+            home_owner: HashMap::new(),
+            page_wait: HashMap::new(),
+            pending_local_write: std::collections::HashSet::new(),
+            page_queue: HashMap::new(),
+            mw_home: HashMap::new(),
+            mw_seen: HashMap::new(),
+            locks: HashMap::new(),
+            lock_mgr: HashMap::new(),
+            barrier: None,
+            barrier_wait: None,
+            epoch: 0,
+            race_log: RaceLog::new(),
+            det_stats: cvm_race::DetectorStats::default(),
+            sched_rec: SyncSchedule::new(),
+            replay: None,
+            replay_pending: HashMap::new(),
+            stats: NodeStats::default(),
+            watch_hits: Vec::new(),
+            trace: Vec::new(),
+            trace_last_release: HashMap::new(),
+        }
+    }
+
+    /// Returns `true` if shared accesses must be tracked at word
+    /// granularity (online detection or baseline tracing).
+    #[inline]
+    pub fn tracking(&self) -> bool {
+        self.cfg.detect.enabled || self.cfg.trace
+    }
+
+    /// Home node of a page (static distribution).
+    #[inline]
+    pub fn home_of(&self, page: PageId) -> ProcId {
+        ProcId::from_index(page.index() % self.cfg.nprocs)
+    }
+
+    /// Manager node of a lock (static distribution).
+    #[inline]
+    pub fn manager_of(&self, lock: u32) -> ProcId {
+        ProcId::from_index(lock as usize % self.cfg.nprocs)
+    }
+
+    /// Single-writer: current owner of a page homed *here*.
+    pub fn owner_of(&mut self, page: PageId) -> ProcId {
+        let home = self.home_of(page);
+        debug_assert_eq!(home, self.proc, "owner_of() called off the home node");
+        *self.home_owner.entry(page).or_insert(home)
+    }
+
+    /// Encodes and transmits a message, charging sender-side costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded message exceeds the configured system maximum
+    /// — the hard limit that capped the paper's input sizes (§5.3).
+    pub fn send_msg(&mut self, sender: &NetSender, dst: ProcId, msg: &Msg) {
+        let payload = msg.to_bytes();
+        let breakdown = msg.breakdown();
+        // Sender-side packetization cost, attributed per class: read-notice
+        // bytes are detection overhead ("CVM Mods"), bitmap bytes belong to
+        // the extra barrier round, the rest is base protocol cost.
+        let c = self.cfg.costs;
+        let rn = breakdown.get(TrafficClass::ReadNotice);
+        let bm = breakdown.get(TrafficClass::Bitmap);
+        let base = breakdown.total() - rn - bm;
+        self.clock.add(OverheadCat::Base, base * c.send_per_byte);
+        if rn > 0 {
+            self.clock.add(OverheadCat::CvmMods, rn * c.send_per_byte);
+        }
+        if bm > 0 {
+            self.clock.add(OverheadCat::Bitmaps, bm * c.send_per_byte);
+        }
+        sender
+            .send(dst, self.clock.now(), breakdown, payload)
+            .unwrap_or_else(|e| {
+                panic!("P{} -> P{} {:?}: {e}", self.proc.0, dst.0, msg_kind(msg))
+            });
+    }
+
+    /// Synchronizes the clock with an incoming packet.
+    pub fn clock_recv(&mut self, pkt: &Packet) {
+        let transit = self.cfg.costs.transit(pkt.breakdown.total());
+        self.clock.recv(pkt.sent_at, transit);
+    }
+
+    /// Closes the current interval: builds its record (write notices from
+    /// the dirty set, read notices from the read set), stores its bitmaps,
+    /// flushes multi-writer diffs, and advances the closed clock.
+    ///
+    /// The caller opens the next interval (after any acquire-side merge).
+    pub fn close_interval(&mut self, sender: &NetSender) {
+        let c = self.cfg.costs;
+        self.clock.add(OverheadCat::Base, c.interval_setup);
+        let detect = self.cfg.detect.enabled && !self.cfg.detect.instrumentation_only;
+        if detect {
+            self.clock.add(OverheadCat::CvmMods, c.interval_detect_extra);
+        }
+
+        let id = IntervalId::new(self.proc, self.cur.index);
+
+        // Multi-writer: summarize writes as diffs and flush them home.
+        if self.cfg.protocol == Protocol::MultiWriter && !self.cur.dirty.is_empty() {
+            self.flush_diffs(sender, id);
+        }
+
+        let write_notices: Vec<PageId> = self.cur.dirty.iter().copied().collect();
+        // Read notices ride on messages only for the online detector; a
+        // pure tracing run leaves CVM's messages unmodified.
+        let read_notices: Vec<PageId> = if detect {
+            self.cur.read.iter().copied().collect()
+        } else {
+            Vec::new()
+        };
+        let stamp = IntervalStamp::new(id, self.cur.stamp_vc.clone());
+        let record = Interval::new(stamp, write_notices, read_notices);
+
+        if self.cfg.trace && !self.cur.bitmaps.is_empty() {
+            let mut pages: Vec<(PageId, PageBitmaps)> = self
+                .cur
+                .bitmaps
+                .iter()
+                .map(|(p, bm)| (*p, bm.clone()))
+                .collect();
+            pages.sort_by_key(|(p, _)| *p);
+            self.trace
+                .push(cvm_race::trace::TraceEvent::Computation { pages });
+        }
+        if detect {
+            for (page, bm) in self.cur.bitmaps.drain() {
+                self.bitmaps.insert(id, page, bm);
+            }
+        }
+
+        self.log.insert(id, record);
+        self.unsent_own.push(id);
+        self.vc.set(self.proc, self.cur.index);
+        self.stats.intervals += 1;
+        self.cur.dirty.clear();
+        self.cur.read.clear();
+        self.cur.bitmaps.clear();
+        self.note_high_water();
+    }
+
+    /// Updates the retained-state high-water marks (used to verify that
+    /// epoch-boundary garbage collection keeps memory bounded — the system
+    /// "only discards trace information when it has been checked for
+    /// races", §6.4, and discards it then).
+    pub fn note_high_water(&mut self) {
+        self.stats.log_high_water = self.stats.log_high_water.max(self.log.len() as u64);
+        self.stats.bitmap_high_water =
+            self.stats.bitmap_high_water.max(self.bitmaps.len() as u64);
+    }
+
+    /// Opens the next interval with a fresh stamp snapshot.
+    pub fn open_interval(&mut self) {
+        let index = self.vc.get(self.proc) + 1;
+        let mut stamp_vc = self.vc.clone();
+        stamp_vc.set(self.proc, index);
+        self.cur.index = index;
+        self.cur.stamp_vc = stamp_vc;
+        debug_assert!(self.cur.dirty.is_empty() && self.cur.read.is_empty());
+    }
+
+    fn flush_diffs(&mut self, sender: &NetSender, id: IntervalId) {
+        let c = self.cfg.costs;
+        let mut by_home: HashMap<ProcId, Vec<Diff>> = HashMap::new();
+        let dirty: Vec<PageId> = self.cur.dirty.iter().copied().collect();
+        for page in dirty {
+            let frame = self
+                .pages
+                .frame_mut(page)
+                .expect("dirty page must be resident");
+            let twin = frame.twin.take().expect("dirty page must have a twin");
+            let diff = Diff::make(page, &twin, &frame.data);
+            self.stats.diffs_made += 1;
+            self.stats.diff_words += diff.len() as u64;
+            self.clock
+                .add(OverheadCat::Base, diff.len() as u64 * c.diff_per_word);
+            // Diff-derived write detection (§6.5): the write bitmap is the
+            // set of words whose value changed; same-value overwrites are
+            // invisible, the documented weaker guarantee.
+            if self.cfg.detect.enabled
+                && self.cfg.detect.write_detection == WriteDetection::Diffs
+            {
+                let bm = self
+                    .cur
+                    .bitmaps
+                    .entry(page)
+                    .or_insert_with(|| PageBitmaps::new(self.cfg.geometry.page_words));
+                for w in diff.words() {
+                    bm.write.set(w);
+                }
+            }
+            let home = self.home_of(page);
+            if home == self.proc {
+                // Our frame is the master copy: the writes are already in
+                // place; just advance the applied watermark.
+                let entry = self.mw_home.entry(page).or_default();
+                entry.applied.insert(self.proc, id.index);
+            } else {
+                by_home.entry(home).or_default().push(diff);
+            }
+        }
+        for (home, diffs) in by_home {
+            let msg = Msg::DiffFlush {
+                writer: self.proc,
+                interval: id.index,
+                diffs,
+            };
+            self.send_msg(sender, home, &msg);
+        }
+        // Home-local watermark changes may unblock queued fetches.
+        self.service_mw_waiters(sender);
+    }
+
+    /// Applies received interval records: logs them, invalidates pages named
+    /// by write notices, and merges the sender's clock.
+    pub fn apply_records(&mut self, records: Vec<Interval>, sender_vc: &VClock) {
+        for rec in records {
+            let id = rec.id();
+            if id.proc == self.proc || id.index <= self.vc.get(id.proc) {
+                continue; // Already known.
+            }
+            for &page in &rec.write_notices {
+                // Single-writer: if we currently hold the page writable we
+                // are its owner, and ownership transfers carry the full
+                // page contents — the noticed write already reached us
+                // through the transfer chain (writers stop writing before
+                // transferring away).  Invalidating here would discard the
+                // authoritative copy and deadlock the refetch on ourselves.
+                let keep = self.cfg.protocol == Protocol::SingleWriter
+                    && self.pages.protection(page).writable();
+                if !keep {
+                    self.pages.invalidate(page);
+                }
+                if self.cfg.protocol == Protocol::MultiWriter {
+                    let seen = self.mw_seen.entry(page).or_default();
+                    match seen.iter_mut().find(|(p, _)| *p == id.proc) {
+                        Some((_, idx)) => *idx = (*idx).max(id.index),
+                        None => seen.push((id.proc, id.index)),
+                    }
+                }
+            }
+            self.stats.records_applied += 1;
+            self.log.insert(id, rec);
+        }
+        self.note_high_water();
+        // The clock update: everything the sender had closed, we have now
+        // (transitively) seen.
+        self.vc.merge(sender_vc);
+    }
+
+    /// Records above `requester_vc` but within `upper` — the consistency
+    /// information a lock grant carries: what the releaser knew *at the
+    /// release*, minus what the requester already has.
+    pub fn records_between(&self, requester_vc: &VClock, upper: &VClock) -> Vec<Interval> {
+        self.log
+            .values()
+            .filter(|rec| {
+                let p = rec.id().proc;
+                rec.id().index > requester_vc.get(p) && rec.id().index <= upper.get(p)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Tracks a shared access in the detection structures: notices, the
+    /// per-page bitmap bit, and the §6.1 watchpoint.
+    pub fn track_access(&mut self, addr: GAddr, page: PageId, word: usize, write: bool, site: u32) {
+        let detect = self.cfg.detect;
+        if !self.tracking() {
+            return;
+        }
+        let instrument_stores = detect.write_detection == WriteDetection::Instrumentation;
+        let c = self.cfg.costs;
+        if write && !instrument_stores {
+            // §6.5: stores are not instrumented; writes surface via diffs.
+        } else {
+            self.clock.add(OverheadCat::ProcCall, c.proc_call);
+            self.clock.add(OverheadCat::AccessCheck, c.access_check);
+            let shared = self.analysis.check(addr);
+            debug_assert!(shared);
+            if detect.instrumentation_only && !self.cfg.trace {
+                // Instrumented binary on unmodified CVM: the analysis call
+                // happens, but there is nowhere to record the bit.
+                return;
+            }
+            let bm = self
+                .cur
+                .bitmaps
+                .entry(page)
+                .or_insert_with(|| PageBitmaps::new(self.cfg.geometry.page_words));
+            if write {
+                bm.write.set(word);
+            } else {
+                bm.read.set(word);
+            }
+            if write {
+                // Notice-list upkeep: the dirty set is maintained by the
+                // protocol itself below.
+            } else {
+                self.cur.read.insert(page);
+            }
+        }
+        if let Some(watch) = detect.watch {
+            if watch.addr == addr && watch.epoch == self.epoch {
+                self.watch_hits.push(WatchHit {
+                    proc: self.proc,
+                    site,
+                    write,
+                    interval: self.cur.index,
+                });
+            }
+        }
+    }
+
+    /// Services deferred multi-writer fetches whose needed diffs arrived.
+    pub fn service_mw_waiters(&mut self, sender: &NetSender) {
+        let pages: Vec<PageId> = self
+            .mw_home
+            .iter()
+            .filter(|(_, h)| !h.waiting.is_empty() || h.local_waiter.is_some())
+            .map(|(&p, _)| p)
+            .collect();
+        for page in pages {
+            let satisfied = |applied: &HashMap<ProcId, u32>, needed: &[(ProcId, u32)]| {
+                needed
+                    .iter()
+                    .all(|(p, idx)| applied.get(p).copied().unwrap_or(0) >= *idx)
+            };
+            // Remote fetchers.
+            let ready: Vec<ProcId> = {
+                let h = self.mw_home.get_mut(&page).expect("listed above");
+                let mut ready = Vec::new();
+                h.waiting.retain(|(req, needed)| {
+                    if satisfied(&h.applied, needed) {
+                        ready.push(*req);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                ready
+            };
+            for req in ready {
+                self.reply_mw_fetch(sender, page, req);
+            }
+            // Local waiter (the home's own application thread).
+            let local = {
+                let h = self.mw_home.get_mut(&page).expect("listed above");
+                match &h.local_waiter {
+                    Some((_, needed)) if satisfied(&h.applied, needed) => {
+                        h.local_waiter.take().map(|(tx, _)| tx)
+                    }
+                    _ => None,
+                }
+            };
+            if let Some(tx) = local {
+                // Re-validate the master copy for local use.
+                if self.pages.frame(page).is_none() {
+                    self.pages.install_zeroed(page, Protection::Read);
+                } else {
+                    self.pages.protect(page, Protection::Read);
+                }
+                let _ = tx.send(());
+            }
+        }
+    }
+
+    /// Sends the master copy of `page` to `req` (multi-writer fetch reply).
+    pub fn reply_mw_fetch(&mut self, sender: &NetSender, page: PageId, req: ProcId) {
+        if self.pages.frame(page).is_none() {
+            self.pages.install_zeroed(page, Protection::Read);
+        }
+        let data = self.pages.frame(page).expect("just ensured").data.to_vec();
+        let words = data.len() as u64;
+        self.clock
+            .add(OverheadCat::Base, words * self.cfg.costs.copy_per_word);
+        self.stats.pages_sent += 1;
+        self.send_msg(sender, req, &Msg::PageFetchReply { page, data });
+    }
+}
+
+fn msg_kind(msg: &Msg) -> &'static str {
+    match msg {
+        Msg::LockReq { .. } => "LockReq",
+        Msg::LockFwd { .. } => "LockFwd",
+        Msg::LockGrant { .. } => "LockGrant",
+        Msg::PageReadReq { .. } => "PageReadReq",
+        Msg::PageReadFwd { .. } => "PageReadFwd",
+        Msg::PageReadReply { .. } => "PageReadReply",
+        Msg::PageOwnReq { .. } => "PageOwnReq",
+        Msg::PageOwnFwd { .. } => "PageOwnFwd",
+        Msg::PageOwnReply { .. } => "PageOwnReply",
+        Msg::PageFetchReq { .. } => "PageFetchReq",
+        Msg::PageFetchReply { .. } => "PageFetchReply",
+        Msg::DiffFlush { .. } => "DiffFlush",
+        Msg::BarrierArrive { .. } => "BarrierArrive",
+        Msg::BitmapReq { .. } => "BitmapReq",
+        Msg::BitmapReply { .. } => "BitmapReply",
+        Msg::BarrierRelease { .. } => "BarrierRelease",
+        Msg::Shutdown => "Shutdown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvm_net::{NetConfig, Network};
+
+    fn core_pair() -> (NodeCore, NetSender) {
+        let cfg = DsmConfig::new(2);
+        let (eps, _) = Network::new(2, NetConfig::default());
+        (NodeCore::new(cfg, ProcId(0)), eps[0].sender())
+    }
+
+    #[test]
+    fn initial_interval_is_one_with_self_stamp() {
+        let (core, _) = core_pair();
+        assert_eq!(core.cur.index, 1);
+        assert_eq!(core.cur.stamp_vc.get(ProcId(0)), 1);
+        assert_eq!(core.vc.get(ProcId(0)), 0);
+    }
+
+    #[test]
+    fn close_and_open_advance_indices() {
+        let (mut core, tx) = core_pair();
+        core.cur.dirty.insert(PageId(3));
+        core.close_interval(&tx);
+        assert_eq!(core.vc.get(ProcId(0)), 1);
+        assert_eq!(core.stats.intervals, 1);
+        let rec = core.log.get(&IntervalId::new(ProcId(0), 1)).unwrap();
+        assert_eq!(rec.write_notices, vec![PageId(3)]);
+        core.open_interval();
+        assert_eq!(core.cur.index, 2);
+        assert_eq!(core.cur.stamp_vc.get(ProcId(0)), 2);
+        assert!(core.cur.dirty.is_empty());
+    }
+
+    #[test]
+    fn apply_records_invalidates_and_merges() {
+        let (mut core, _) = core_pair();
+        core.pages.install_zeroed(PageId(7), Protection::Read);
+        let rec = cvm_race::make_interval(1, 1, vec![0, 1], &[7], &[]);
+        let sender_vc = VClock::from(vec![0, 1]);
+        core.apply_records(vec![rec], &sender_vc);
+        assert_eq!(core.pages.protection(PageId(7)), Protection::Invalid);
+        assert_eq!(core.vc.get(ProcId(1)), 1);
+        assert_eq!(core.stats.records_applied, 1);
+        // Re-applying is a no-op.
+        let rec2 = cvm_race::make_interval(1, 1, vec![0, 1], &[7], &[]);
+        core.apply_records(vec![rec2], &sender_vc);
+        assert_eq!(core.stats.records_applied, 1);
+    }
+
+    #[test]
+    fn records_between_filters_by_both_clocks() {
+        let (mut core, tx) = core_pair();
+        core.cur.dirty.insert(PageId(0));
+        core.close_interval(&tx);
+        core.open_interval();
+        core.cur.dirty.insert(PageId(1));
+        core.close_interval(&tx);
+        core.open_interval();
+        // Requester has seen interval 1 of P0 but not 2; the release knew
+        // both.
+        let missing =
+            core.records_between(&VClock::from(vec![1, 0]), &VClock::from(vec![2, 0]));
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].id().index, 2);
+        // A release older than the requester's knowledge ships nothing.
+        assert!(core
+            .records_between(&VClock::from(vec![2, 0]), &VClock::from(vec![1, 0]))
+            .is_empty());
+        // A fully caught-up requester gets nothing either.
+        assert!(core
+            .records_between(&VClock::from(vec![2, 0]), &VClock::from(vec![2, 0]))
+            .is_empty());
+    }
+
+    #[test]
+    fn home_and_manager_distribution() {
+        let (mut core, _) = core_pair();
+        assert_eq!(core.home_of(PageId(0)), ProcId(0));
+        assert_eq!(core.home_of(PageId(1)), ProcId(1));
+        assert_eq!(core.home_of(PageId(2)), ProcId(0));
+        assert_eq!(core.manager_of(5), ProcId(1));
+        assert_eq!(core.owner_of(PageId(0)), ProcId(0));
+    }
+
+    #[test]
+    fn track_access_sets_bitmaps_and_notices() {
+        let (mut core, _) = core_pair();
+        let g = core.cfg.geometry;
+        let addr = g.addr_of(PageId(2), 5);
+        core.track_access(addr, PageId(2), 5, false, 0);
+        assert!(core.cur.read.contains(&PageId(2)));
+        assert!(core.cur.bitmaps[&PageId(2)].read.get(5));
+        core.track_access(addr, PageId(2), 5, true, 0);
+        assert!(core.cur.bitmaps[&PageId(2)].write.get(5));
+        assert_eq!(core.analysis.total_calls(), 2);
+    }
+
+    #[test]
+    fn track_access_disabled_when_detection_off() {
+        let mut cfg = DsmConfig::new(2);
+        cfg.detect = crate::config::DetectConfig::off();
+        let mut core = NodeCore::new(cfg, ProcId(0));
+        let g = core.cfg.geometry;
+        core.track_access(g.addr_of(PageId(0), 0), PageId(0), 0, false, 0);
+        assert!(core.cur.bitmaps.is_empty());
+        assert_eq!(core.analysis.total_calls(), 0);
+        assert_eq!(core.clock.now(), 0);
+    }
+
+    #[test]
+    fn watch_records_hits_in_matching_epoch() {
+        let mut cfg = DsmConfig::new(2);
+        let g = cfg.geometry;
+        let addr = g.addr_of(PageId(0), 3);
+        cfg.detect.watch = Some(crate::config::Watch { addr, epoch: 0 });
+        let mut core = NodeCore::new(cfg, ProcId(0));
+        core.track_access(addr, PageId(0), 3, true, 42);
+        core.epoch = 1;
+        core.track_access(addr, PageId(0), 3, true, 43);
+        assert_eq!(core.watch_hits.len(), 1);
+        assert_eq!(core.watch_hits[0].site, 42);
+        assert!(core.watch_hits[0].write);
+    }
+}

@@ -1,0 +1,536 @@
+//! The shared-memory access path and page coherence protocols.
+//!
+//! Applications access shared memory one word at a time through
+//! [`shared_access`]; the software page table stands in for `mprotect`:
+//! an access without sufficient rights raises a *software fault* handled
+//! exactly as CVM's SIGSEGV handler would — by fetching data or rights
+//! from the page's home/owner and retrying.
+//!
+//! **Single-writer** (the paper's baseline): one writable copy per page;
+//! a static home node tracks the current owner and forwards requests;
+//! ownership transfers carry the page contents.  Requests that reach a
+//! node whose own ownership transfer is still in flight are queued and
+//! drained after the local access completes (FIFO links make the queue
+//! hold at most reads followed by one ownership transfer).
+//!
+//! **Multi-writer** (home-based): any node upgrades a readable copy to
+//! writable locally by twinning; diffs flush to the home at interval
+//! close; faulting nodes fetch the master copy from the home, gated on
+//! the write notices they have already seen (so a fetch never returns a
+//! copy missing a diff the requester's clock requires).
+
+use crossbeam::channel::bounded;
+use cvm_page::{Frame, GAddr, PageId, Protection};
+use cvm_vclock::ProcId;
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::config::Protocol;
+use crate::msg::Msg;
+use crate::node::{NodeCore, QueuedPageReq};
+use crate::simtime::OverheadCat;
+
+/// One simulated node: protocol state plus its sending half.
+pub(crate) struct Node {
+    pub state: Mutex<NodeCore>,
+    pub sender: cvm_net::NetSender,
+}
+
+/// Application-thread shared access.  Returns the value read (or the value
+/// written, for writes).
+pub(crate) fn shared_access(
+    node: &Node,
+    addr: GAddr,
+    write: bool,
+    value: u64,
+    site: u32,
+) -> u64 {
+    let mut st = node.state.lock();
+    let c = st.cfg.costs;
+    st.clock.add(OverheadCat::Base, c.access);
+    let (page, word) = st.cfg.geometry.locate(addr);
+    st.track_access(addr, page, word, write, site);
+    loop {
+        let prot = st.pages.protection(page);
+        match (write, prot) {
+            (false, p) if p.readable() => {
+                st.stats.shared_reads += 1;
+                return st.pages.read_word(page, word);
+            }
+            (true, Protection::Write) => {
+                if !st.cur.dirty.contains(&page) {
+                    if st.cfg.protocol == Protocol::MultiWriter {
+                        st.pages
+                            .frame_mut(page)
+                            .expect("writable page must be resident")
+                            .ensure_twin();
+                    }
+                    st.cur.dirty.insert(page);
+                }
+                st.stats.shared_writes += 1;
+                st.pages.write_word(page, word, value);
+                if st.pending_local_write.remove(&page) {
+                    drain_page_queue(&mut st, node, page);
+                }
+                return value;
+            }
+            (true, Protection::Read) if st.cfg.protocol == Protocol::MultiWriter => {
+                // Local upgrade: twin and write; no messages (the whole
+                // point of multiple writers).
+                let frame = st.pages.frame_mut(page).expect("readable frame");
+                frame.ensure_twin();
+                frame.prot = Protection::Write;
+                st.cur.dirty.insert(page);
+                st.stats.shared_writes += 1;
+                st.pages.write_word(page, word, value);
+                return value;
+            }
+            _ => {
+                st = fault(node, st, page, write);
+            }
+        }
+    }
+}
+
+/// Takes a software page fault: resolves it locally when possible, or
+/// sends the request and blocks until the reply installs the page.
+/// Returns with the state lock re-acquired; the caller retries.
+fn fault<'a>(
+    node: &'a Node,
+    mut st: MutexGuard<'a, NodeCore>,
+    page: PageId,
+    write: bool,
+) -> MutexGuard<'a, NodeCore> {
+    let c = st.cfg.costs;
+    st.clock.add(OverheadCat::Base, c.fault);
+    if write {
+        st.stats.write_faults += 1;
+    } else {
+        st.stats.read_faults += 1;
+    }
+    let me = st.proc;
+    let home = st.home_of(page);
+
+    match st.cfg.protocol {
+        Protocol::SingleWriter => {
+            if home == me {
+                let owner = st.owner_of(page);
+                if owner == me {
+                    // First touch at the home: install a zeroed frame; the
+                    // home starts out owning its pages.
+                    debug_assert!(
+                        st.pages.frame(page).is_none(),
+                        "home owner with a resident frame cannot fault"
+                    );
+                    st.pages.install_zeroed(page, Protection::Write);
+                    return st;
+                }
+                // Forward straight to the owner (we are the home).
+                let (tx, rx) = bounded(1);
+                st.page_wait.insert(page, tx);
+                if write {
+                    st.home_owner.insert(page, me);
+                    let msg = Msg::PageOwnFwd {
+                        page,
+                        requester: me,
+                    };
+                    st.send_msg(&node.sender, owner, &msg);
+                } else {
+                    let msg = Msg::PageReadFwd {
+                        page,
+                        requester: me,
+                    };
+                    st.send_msg(&node.sender, owner, &msg);
+                }
+                drop(st);
+                rx.recv().expect("page reply lost");
+                node.state.lock()
+            } else {
+                let (tx, rx) = bounded(1);
+                st.page_wait.insert(page, tx);
+                let msg = if write {
+                    Msg::PageOwnReq {
+                        page,
+                        requester: me,
+                    }
+                } else {
+                    Msg::PageReadReq {
+                        page,
+                        requester: me,
+                    }
+                };
+                st.send_msg(&node.sender, home, &msg);
+                drop(st);
+                rx.recv().expect("page reply lost");
+                node.state.lock()
+            }
+        }
+        Protocol::MultiWriter => {
+            let needed: Vec<(ProcId, u32)> =
+                st.mw_seen.get(&page).cloned().unwrap_or_default();
+            if home == me {
+                let satisfied = {
+                    let h = st.mw_home.entry(page).or_default();
+                    needed
+                        .iter()
+                        .all(|(p, idx)| h.applied.get(p).copied().unwrap_or(0) >= *idx)
+                };
+                if satisfied {
+                    if st.pages.frame(page).is_none() {
+                        st.pages.install_zeroed(page, Protection::Read);
+                    } else {
+                        st.pages.protect(page, Protection::Read);
+                    }
+                    return st;
+                }
+                // Wait for the missing diffs to arrive at ourselves.
+                let (tx, rx) = bounded(1);
+                st.mw_home
+                    .get_mut(&page)
+                    .expect("entry created above")
+                    .local_waiter = Some((tx, needed));
+                drop(st);
+                rx.recv().expect("diff wait lost");
+                node.state.lock()
+            } else {
+                let (tx, rx) = bounded(1);
+                st.page_wait.insert(page, tx);
+                let msg = Msg::PageFetchReq {
+                    page,
+                    requester: me,
+                    needed,
+                };
+                st.send_msg(&node.sender, home, &msg);
+                drop(st);
+                rx.recv().expect("page fetch lost");
+                node.state.lock()
+            }
+        }
+    }
+}
+
+/// Services remote requests deferred while our own ownership transfer was
+/// in flight (called after the local access completes).
+pub(crate) fn drain_page_queue(st: &mut NodeCore, node: &Node, page: PageId) {
+    let Some(queue) = st.page_queue.remove(&page) else {
+        return;
+    };
+    for req in queue {
+        match req {
+            QueuedPageReq::Read(requester) => reply_read(st, node, page, requester),
+            QueuedPageReq::Own(requester) => transfer_ownership(st, node, page, requester),
+        }
+    }
+}
+
+fn page_data(st: &mut NodeCore, page: PageId) -> Vec<u64> {
+    let c = st.cfg.costs;
+    let data = st
+        .pages
+        .frame(page)
+        .expect("serving a page we do not hold")
+        .data
+        .to_vec();
+    st.clock
+        .add(OverheadCat::Base, data.len() as u64 * c.copy_per_word);
+    st.stats.pages_sent += 1;
+    data
+}
+
+fn reply_read(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
+    let data = page_data(st, page);
+    st.send_msg(&node.sender, requester, &Msg::PageReadReply { page, data });
+}
+
+fn transfer_ownership(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
+    debug_assert!(st.pages.protection(page).writable(), "transfer by non-owner");
+    let data = page_data(st, page);
+    st.pages.protect(page, Protection::Read);
+    st.send_msg(&node.sender, requester, &Msg::PageOwnReply { page, data });
+}
+
+/// Home node: a read-copy request (single-writer).
+pub(crate) fn on_page_read_req(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
+    debug_assert_eq!(st.home_of(page), st.proc);
+    let owner = st.owner_of(page);
+    if owner == st.proc {
+        // First genuine touch installs the zeroed master copy; if our own
+        // ownership reclaim is in flight the fwd handler defers instead.
+        if st.pages.frame(page).is_none() && !st.page_wait.contains_key(&page) {
+            st.pages.install_zeroed(page, Protection::Write);
+        }
+        on_page_read_fwd(st, node, page, requester);
+    } else {
+        let msg = Msg::PageReadFwd { page, requester };
+        st.send_msg(&node.sender, owner, &msg);
+    }
+}
+
+/// Home node: an ownership request (single-writer).
+pub(crate) fn on_page_own_req(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
+    debug_assert_eq!(st.home_of(page), st.proc);
+    let owner = st.owner_of(page);
+    st.home_owner.insert(page, requester);
+    if owner == st.proc {
+        if st.pages.frame(page).is_none() && !st.page_wait.contains_key(&page) {
+            st.pages.install_zeroed(page, Protection::Write);
+        }
+        on_page_own_fwd(st, node, page, requester);
+    } else {
+        let msg = Msg::PageOwnFwd { page, requester };
+        st.send_msg(&node.sender, owner, &msg);
+    }
+}
+
+/// Believed owner: a forwarded read-copy request.
+pub(crate) fn on_page_read_fwd(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
+    if st.page_wait.contains_key(&page)
+        || st.pending_local_write.contains(&page)
+        || !st.pages.protection(page).writable()
+    {
+        // Our own ownership transfer is still in flight: defer.
+        st.page_queue
+            .entry(page)
+            .or_default()
+            .push_back(QueuedPageReq::Read(requester));
+    } else {
+        reply_read(st, node, page, requester);
+    }
+}
+
+/// Believed owner: a forwarded ownership request.
+pub(crate) fn on_page_own_fwd(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
+    if st.page_wait.contains_key(&page)
+        || st.pending_local_write.contains(&page)
+        || !st.pages.protection(page).writable()
+    {
+        st.page_queue
+            .entry(page)
+            .or_default()
+            .push_back(QueuedPageReq::Own(requester));
+    } else {
+        transfer_ownership(st, node, page, requester);
+    }
+}
+
+/// Faulting node: page contents arrive (read copy or ownership).
+pub(crate) fn on_page_reply(st: &mut NodeCore, page: PageId, data: Vec<u64>, own: bool) {
+    let prot = if own { Protection::Write } else { Protection::Read };
+    if own {
+        st.pending_local_write.insert(page);
+    }
+    st.pages.install(page, Frame::from_data(data, prot));
+    let tx = st
+        .page_wait
+        .remove(&page)
+        .expect("page reply without a waiting fault");
+    let _ = tx.send(());
+}
+
+/// Home node: a multi-writer fetch, gated on required diffs.
+pub(crate) fn on_page_fetch_req(
+    st: &mut NodeCore,
+    node: &Node,
+    page: PageId,
+    requester: ProcId,
+    needed: Vec<(ProcId, u32)>,
+) {
+    debug_assert_eq!(st.home_of(page), st.proc);
+    let satisfied = {
+        let h = st.mw_home.entry(page).or_default();
+        needed
+            .iter()
+            .all(|(p, idx)| h.applied.get(p).copied().unwrap_or(0) >= *idx)
+    };
+    if satisfied {
+        st.reply_mw_fetch(&node.sender, page, requester);
+    } else {
+        st.mw_home
+            .get_mut(&page)
+            .expect("entry created above")
+            .waiting
+            .push((requester, needed));
+    }
+}
+
+/// Home node: diffs arriving from a remote writer.
+pub(crate) fn on_diff_flush(
+    st: &mut NodeCore,
+    node: &Node,
+    writer: ProcId,
+    interval: u32,
+    diffs: Vec<cvm_page::Diff>,
+) {
+    let c = st.cfg.costs;
+    for diff in diffs {
+        let page = diff.page;
+        debug_assert_eq!(st.home_of(page), st.proc);
+        if st.pages.frame(page).is_none() {
+            // Master copies survive invalidation (data retained), but the
+            // very first touch may come from a remote writer.
+            st.pages.install_zeroed(page, Protection::Invalid);
+        }
+        st.clock
+            .add(OverheadCat::Base, diff.len() as u64 * c.diff_per_word);
+        let frame = st.pages.frame_mut(page).expect("just ensured");
+        diff.apply(&mut frame.data);
+        let h = st.mw_home.entry(page).or_default();
+        let e = h.applied.entry(writer).or_insert(0);
+        *e = (*e).max(interval);
+    }
+    st.service_mw_waiters(&node.sender);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DsmConfig;
+    use cvm_net::{NetConfig, Network};
+    use cvm_vclock::ProcId;
+
+    fn two_nodes() -> (Node, Node, Vec<cvm_net::Endpoint>) {
+        let cfg = DsmConfig::new(2);
+        let (eps, _) = Network::new(2, NetConfig::default());
+        let n0 = Node {
+            state: Mutex::new(NodeCore::new(cfg.clone(), ProcId(0))),
+            sender: eps[0].sender(),
+        };
+        let n1 = Node {
+            state: Mutex::new(NodeCore::new(cfg, ProcId(1))),
+            sender: eps[1].sender(),
+        };
+        (n0, n1, eps)
+    }
+
+    #[test]
+    fn home_first_touch_installs_owned_zeroed_page() {
+        let (n0, _n1, _eps) = two_nodes();
+        // Page 0 is homed at P0; a local write fault self-resolves.
+        let g = n0.state.lock().cfg.geometry;
+        let addr = g.addr_of(PageId(0), 3);
+        let v = shared_access(&n0, addr, true, 99, 0);
+        assert_eq!(v, 99);
+        let st = n0.state.lock();
+        assert_eq!(st.pages.protection(PageId(0)), Protection::Write);
+        assert_eq!(st.pages.read_word(PageId(0), 3), 99);
+        assert!(st.cur.dirty.contains(&PageId(0)));
+        assert_eq!(st.stats.write_faults, 1);
+        assert_eq!(st.stats.shared_writes, 1);
+    }
+
+    #[test]
+    fn read_after_write_hits_locally() {
+        let (n0, _n1, _eps) = two_nodes();
+        let g = n0.state.lock().cfg.geometry;
+        let addr = g.addr_of(PageId(0), 0);
+        shared_access(&n0, addr, true, 7, 0);
+        let v = shared_access(&n0, addr, false, 0, 0);
+        assert_eq!(v, 7);
+        // Second access takes no fault.
+        assert_eq!(n0.state.lock().stats.read_faults, 0);
+    }
+
+    #[test]
+    fn remote_request_queues_while_ownership_in_flight() {
+        let (n0, _n1, _eps) = two_nodes();
+        let mut st = n0.state.lock();
+        // Simulate an in-flight local fault on page 0.
+        let (tx, _rx) = bounded(1);
+        st.page_wait.insert(PageId(0), tx);
+        on_page_read_fwd(&mut st, &n0, PageId(0), ProcId(1));
+        assert_eq!(st.page_queue[&PageId(0)].len(), 1);
+        on_page_own_fwd(&mut st, &n0, PageId(0), ProcId(1));
+        assert_eq!(st.page_queue[&PageId(0)].len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod mw_tests {
+    use super::*;
+    use crate::config::{DsmConfig, Protocol};
+    use cvm_net::{NetConfig, Network};
+    use cvm_vclock::ProcId;
+
+    fn mw_node(proc: u16) -> (Node, Vec<cvm_net::Endpoint>) {
+        let mut cfg = DsmConfig::new(2);
+        cfg.protocol = Protocol::MultiWriter;
+        let (eps, _) = Network::new(2, NetConfig::default());
+        let node = Node {
+            state: Mutex::new(NodeCore::new(cfg, ProcId(proc))),
+            sender: eps[proc as usize].sender(),
+        };
+        (node, eps)
+    }
+
+    #[test]
+    fn fetch_waits_for_required_diffs() {
+        // Home = P0 for page 0.  A fetch needing P1's interval 3 must not
+        // be answered until that diff arrives.
+        let (home, eps) = mw_node(0);
+        {
+            let mut st = home.state.lock();
+            on_page_fetch_req(
+                &mut st,
+                &home,
+                PageId(0),
+                ProcId(1),
+                vec![(ProcId(1), 3)],
+            );
+            assert_eq!(
+                st.mw_home[&PageId(0)].waiting.len(),
+                1,
+                "fetch must queue until the diff arrives"
+            );
+            // Diff for interval 2 is not enough.
+            on_diff_flush(
+                &mut st,
+                &home,
+                ProcId(1),
+                2,
+                vec![cvm_page::Diff {
+                    page: PageId(0),
+                    entries: vec![(0, 7)],
+                }],
+            );
+            assert_eq!(st.mw_home[&PageId(0)].waiting.len(), 1);
+            // Interval 3 satisfies the gate; the reply goes out.
+            on_diff_flush(
+                &mut st,
+                &home,
+                ProcId(1),
+                3,
+                vec![cvm_page::Diff {
+                    page: PageId(0),
+                    entries: vec![(1, 9)],
+                }],
+            );
+            assert!(st.mw_home[&PageId(0)].waiting.is_empty());
+            assert_eq!(st.stats.pages_sent, 1);
+        }
+        // The reply carries the master copy with both diffs applied.
+        use cvm_net::wire::Wire as _;
+        let pkt = eps[1].try_recv().expect("fetch reply sent");
+        let decoded = crate::msg::Msg::from_bytes(&pkt.payload).unwrap();
+        match decoded {
+            crate::msg::Msg::PageFetchReply { page, data } => {
+                assert_eq!(page, PageId(0));
+                assert_eq!(data[0], 7);
+                assert_eq!(data[1], 9);
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_with_no_requirements_answers_immediately() {
+        let (home, eps) = mw_node(0);
+        {
+            let mut st = home.state.lock();
+            on_page_fetch_req(&mut st, &home, PageId(0), ProcId(1), vec![]);
+            assert!(st
+                .mw_home
+                .get(&PageId(0))
+                .is_none_or(|h| h.waiting.is_empty()));
+        }
+        assert!(eps[1].try_recv().is_ok(), "immediate reply expected");
+    }
+}

@@ -1,0 +1,142 @@
+//! Synchronization-order record & replay (paper §6.1).
+//!
+//! Identifying the *instructions* of a race requires program-counter
+//! information the first run does not keep.  The paper's remedy: record the
+//! synchronization order of run 1, enforce the same order in run 2, and
+//! gather access sites only for the conflicting address in the racy epoch.
+//! Lock-grant order is the only source of nondeterminism in these programs
+//! (barriers are inherently ordered), so the schedule is simply, per lock,
+//! the sequence of processes the manager forwarded it to.
+
+use std::collections::HashMap;
+
+use cvm_vclock::ProcId;
+
+/// A recorded synchronization order: per lock, the grant sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SyncSchedule {
+    grants: HashMap<u32, Vec<ProcId>>,
+}
+
+impl SyncSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        SyncSchedule::default()
+    }
+
+    /// Records that `lock` was granted to `proc` (recording run).
+    pub fn record(&mut self, lock: u32, proc: ProcId) {
+        self.grants.entry(lock).or_default().push(proc);
+    }
+
+    /// Grant sequence of one lock.
+    pub fn sequence(&self, lock: u32) -> &[ProcId] {
+        self.grants.get(&lock).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total recorded grants.
+    pub fn len(&self) -> usize {
+        self.grants.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merges per-manager partial schedules into one (each lock is managed
+    /// by exactly one node, so the maps are disjoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if both schedules recorded the same lock.
+    pub fn merge(&mut self, other: SyncSchedule) {
+        for (lock, seq) in other.grants {
+            let prev = self.grants.insert(lock, seq);
+            assert!(prev.is_none(), "lock {lock} recorded by two managers");
+        }
+    }
+}
+
+/// Replay cursor over a [`SyncSchedule`], used by lock managers to hold
+/// back requests that arrive ahead of their recorded turn.
+#[derive(Clone, Debug)]
+pub struct ReplayCursor {
+    schedule: SyncSchedule,
+    next: HashMap<u32, usize>,
+}
+
+impl ReplayCursor {
+    /// Creates a cursor at the beginning of `schedule`.
+    pub fn new(schedule: SyncSchedule) -> Self {
+        ReplayCursor {
+            schedule,
+            next: HashMap::new(),
+        }
+    }
+
+    /// The process whose request for `lock` must be forwarded next, or
+    /// `None` once the recorded sequence is exhausted (FIFO afterwards).
+    pub fn expected(&self, lock: u32) -> Option<ProcId> {
+        let i = self.next.get(&lock).copied().unwrap_or(0);
+        self.schedule.sequence(lock).get(i).copied()
+    }
+
+    /// Advances past one grant of `lock`.
+    pub fn advance(&mut self, lock: u32) {
+        *self.next.entry(lock).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_sequence() {
+        let mut s = SyncSchedule::new();
+        s.record(1, ProcId(0));
+        s.record(1, ProcId(2));
+        s.record(3, ProcId(1));
+        assert_eq!(s.sequence(1), &[ProcId(0), ProcId(2)]);
+        assert_eq!(s.sequence(3), &[ProcId(1)]);
+        assert_eq!(s.sequence(9), &[]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn merge_disjoint_managers() {
+        let mut a = SyncSchedule::new();
+        a.record(0, ProcId(1));
+        let mut b = SyncSchedule::new();
+        b.record(1, ProcId(0));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "two managers")]
+    fn merge_conflict_panics() {
+        let mut a = SyncSchedule::new();
+        a.record(0, ProcId(1));
+        let mut b = SyncSchedule::new();
+        b.record(0, ProcId(0));
+        a.merge(b);
+    }
+
+    #[test]
+    fn cursor_walks_sequence_then_exhausts() {
+        let mut s = SyncSchedule::new();
+        s.record(7, ProcId(1));
+        s.record(7, ProcId(0));
+        let mut c = ReplayCursor::new(s);
+        assert_eq!(c.expected(7), Some(ProcId(1)));
+        c.advance(7);
+        assert_eq!(c.expected(7), Some(ProcId(0)));
+        c.advance(7);
+        assert_eq!(c.expected(7), None);
+        // Unrecorded locks have no constraint.
+        assert_eq!(c.expected(8), None);
+    }
+}

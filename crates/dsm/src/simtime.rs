@@ -1,0 +1,262 @@
+//! Deterministic virtual time.
+//!
+//! The paper reports wall-clock slowdowns on 250 MHz Alphas over ATM; those
+//! absolute numbers are functions of 1996 hardware.  What *is* reproducible
+//! is the structure of the overhead: which mechanism costs what, relative
+//! to the uninstrumented run.  Every node therefore carries a virtual cycle
+//! clock advanced by an explicit cost model:
+//!
+//! * local costs (accesses, instrumentation calls, fault handling, interval
+//!   bookkeeping, comparison work) add cycles directly, attributed to one
+//!   of the paper's Figure 3 overhead categories;
+//! * messages carry their sender's virtual timestamp; a receiver processing
+//!   a message advances to `max(own, sent_at + wire latency + bytes ×
+//!   per-byte)` — waiting time therefore *emerges* from the protocol rather
+//!   than being modelled directly, including the serialization of interval
+//!   and bitmap comparison at the barrier master that drives Figure 4's
+//!   scaling behaviour.
+//!
+//! Per-category cost totals are exactly reproducible for deterministic
+//! applications.  End-to-end virtual *times* are reproducible when message
+//! handling happens at quiescent points (e.g. single-writer barrier apps);
+//! protocols that service asynchronous requests mid-computation (e.g.
+//! multi-writer home fetches) pick up a few percent of jitter, because the
+//! single per-node clock serializes service handling with whatever
+//! application progress the wall-clock interleaving happened to charge
+//! first — the same perturbation a real single-CPU node experiences.
+//! Lock-racing applications additionally vary with the acquisition order,
+//! mirroring the nondeterminism of the original testbed.
+
+/// Simulated CPU frequency: 250 MHz, the paper's Alpha workstations.
+pub const CLOCK_HZ: u64 = 250_000_000;
+
+/// Overhead attribution categories (the bars of the paper's Figure 3),
+/// plus `Base` for work the uninstrumented system also performs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(usize)]
+pub enum OverheadCat {
+    /// Work present in the uninstrumented baseline.
+    Base = 0,
+    /// "CVM Mods": detection data structures + read-notice bandwidth.
+    CvmMods = 1,
+    /// "Proc Call": the inserted procedure-call overhead (ATOM cannot
+    /// inline instrumentation).
+    ProcCall = 2,
+    /// "Access Check": deciding shared vs private and setting the bitmap
+    /// bit inside the analysis routine.
+    AccessCheck = 3,
+    /// "Intervals": the concurrent-interval comparison algorithm.
+    Intervals = 4,
+    /// "Bitmaps": the extra barrier round and bitmap comparisons.
+    Bitmaps = 5,
+}
+
+/// Number of overhead categories.
+pub const NCATS: usize = 6;
+
+impl OverheadCat {
+    /// All categories in display order.
+    pub const ALL: [OverheadCat; NCATS] = [
+        OverheadCat::Base,
+        OverheadCat::CvmMods,
+        OverheadCat::ProcCall,
+        OverheadCat::AccessCheck,
+        OverheadCat::Intervals,
+        OverheadCat::Bitmaps,
+    ];
+
+    /// Human-readable label matching the paper's figure legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            OverheadCat::Base => "Base",
+            OverheadCat::CvmMods => "CVM Mods",
+            OverheadCat::ProcCall => "Proc Call",
+            OverheadCat::AccessCheck => "Access Check",
+            OverheadCat::Intervals => "Intervals",
+            OverheadCat::Bitmaps => "Bitmaps",
+        }
+    }
+}
+
+/// Cycle costs of primitive operations.
+///
+/// Values are calibrated to 250 MHz Alpha / 155 Mbit ATM magnitudes: a
+/// procedure call with spilled registers costs on the order of 10² cycles,
+/// small-message latency is tens of microseconds, and wire bandwidth is
+/// roughly 13 cycles per byte at this clock.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// One un-instrumented memory access (cache-average).
+    pub access: u64,
+    /// Procedure-call overhead of an instrumentation call.
+    pub proc_call: u64,
+    /// Shared-segment check + bitmap-bit set inside the analysis routine.
+    pub access_check: u64,
+    /// Software fault handling (signal delivery + protocol entry).
+    pub fault: u64,
+    /// One-way small-message latency (cycles).
+    pub msg_latency: u64,
+    /// Per-byte wire cost (cycles/byte).
+    pub per_byte: u64,
+    /// Per-byte sender-side packetization cost (cycles/byte).
+    pub send_per_byte: u64,
+    /// One version-vector (interval) comparison.
+    pub vv_compare: u64,
+    /// Bitmap comparison, per 64-word block.
+    pub bitmap_block_cmp: u64,
+    /// Creating/logging an interval structure (base CVM).
+    pub interval_setup: u64,
+    /// Extra per-interval detection bookkeeping (read notices, bitmaps).
+    pub interval_detect_extra: u64,
+    /// Handling one lock request/grant.
+    pub lock_handling: u64,
+    /// Barrier master per-arrival processing.
+    pub barrier_arrival: u64,
+    /// Making or applying a diff, per word.
+    pub diff_per_word: u64,
+    /// Copying a page, per word.
+    pub copy_per_word: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            // Cache-average cost of one application access, including the
+            // surrounding address arithmetic and loop control it amortizes
+            // (1996 Alphas stalled long on misses).
+            access: 60,
+            // The call itself is the small piece (the paper measures the
+            // removable ATOM procedure-call overhead at ~6.7% of total
+            // overhead); the shared-segment check + bitmap update inside
+            // the analysis routine dominates the per-call cost.
+            proc_call: 15,
+            access_check: 120,
+            fault: 3_000,
+            msg_latency: 25_000,
+            per_byte: 13,
+            send_per_byte: 4,
+            vv_compare: 12,
+            bitmap_block_cmp: 4,
+            interval_setup: 500,
+            interval_detect_extra: 700,
+            lock_handling: 900,
+            barrier_arrival: 600,
+            diff_per_word: 3,
+            copy_per_word: 2,
+        }
+    }
+}
+
+impl CostModel {
+    /// Transit time of a message of `bytes` encoded bytes.
+    #[inline]
+    pub fn transit(&self, bytes: u64) -> u64 {
+        self.msg_latency + bytes * self.per_byte
+    }
+}
+
+/// A node's virtual clock with per-category attribution.
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    now: u64,
+    cats: [u64; NCATS],
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Current virtual time in cycles.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Advances by `cycles`, attributed to `cat`.
+    #[inline]
+    pub fn add(&mut self, cat: OverheadCat, cycles: u64) {
+        self.now += cycles;
+        self.cats[cat as usize] += cycles;
+    }
+
+    /// Synchronizes with an incoming message sent at `sent_at` whose
+    /// transit time is `transit`: the clock jumps forward if the message
+    /// arrives "later" than local time.  Waiting time is not attributed to
+    /// any category; it emerges in the total.
+    #[inline]
+    pub fn recv(&mut self, sent_at: u64, transit: u64) {
+        self.now = self.now.max(sent_at + transit);
+    }
+
+    /// Jumps to `t` if it is in the future (barrier releases).
+    #[inline]
+    pub fn advance_to(&mut self, t: u64) {
+        self.now = self.now.max(t);
+    }
+
+    /// Cycles attributed to `cat` so far.
+    pub fn cat(&self, cat: OverheadCat) -> u64 {
+        self.cats[cat as usize]
+    }
+
+    /// All category accumulators.
+    pub fn cats(&self) -> [u64; NCATS] {
+        self.cats
+    }
+
+    /// Virtual seconds elapsed.
+    pub fn seconds(&self) -> f64 {
+        self.now as f64 / CLOCK_HZ as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_and_attributes() {
+        let mut c = VirtualClock::new();
+        c.add(OverheadCat::Base, 100);
+        c.add(OverheadCat::ProcCall, 40);
+        c.add(OverheadCat::Base, 10);
+        assert_eq!(c.now(), 150);
+        assert_eq!(c.cat(OverheadCat::Base), 110);
+        assert_eq!(c.cat(OverheadCat::ProcCall), 40);
+        assert_eq!(c.cat(OverheadCat::Bitmaps), 0);
+    }
+
+    #[test]
+    fn recv_jumps_only_forward() {
+        let mut c = VirtualClock::new();
+        c.add(OverheadCat::Base, 1_000);
+        c.recv(100, 200); // Arrives at 300 < 1000: no jump.
+        assert_eq!(c.now(), 1_000);
+        c.recv(2_000, 500); // Arrives at 2500: jump.
+        assert_eq!(c.now(), 2_500);
+        // Waiting is not attributed.
+        assert_eq!(c.cat(OverheadCat::Base), 1_000);
+    }
+
+    #[test]
+    fn transit_scales_with_bytes() {
+        let m = CostModel::default();
+        assert_eq!(m.transit(0), m.msg_latency);
+        assert_eq!(m.transit(100), m.msg_latency + 100 * m.per_byte);
+    }
+
+    #[test]
+    fn seconds_uses_alpha_clock() {
+        let mut c = VirtualClock::new();
+        c.add(OverheadCat::Base, CLOCK_HZ);
+        assert!((c.seconds() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_match_figure3() {
+        assert_eq!(OverheadCat::CvmMods.label(), "CVM Mods");
+        assert_eq!(OverheadCat::ALL.len(), NCATS);
+    }
+}

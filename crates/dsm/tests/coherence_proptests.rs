@@ -1,0 +1,182 @@
+//! Randomized coherence tests: the DSM must deliver the memory model it
+//! promises for properly synchronized programs, at every scale.
+
+use cvm_dsm::{Cluster, DsmConfig, Protocol};
+use proptest::prelude::*;
+
+/// Exclusive-writer pattern: each proc owns a random set of words, writes
+/// random values, crosses a barrier; everyone must read exactly what the
+/// owner wrote (ordered by the barrier), under both protocols.
+fn exclusive_writer_case(
+    nprocs: usize,
+    protocol: Protocol,
+    owners: &[usize],
+    values: &[u64],
+) {
+    let report = Cluster::run(
+        {
+            let mut c = DsmConfig::new(nprocs);
+            c.protocol = protocol;
+            c
+        },
+        |alloc| alloc.alloc("words", (owners.len() * 8) as u64).unwrap(),
+        |h, &base| {
+            let me = h.proc();
+            for (w, (&owner, &v)) in owners.iter().zip(values).enumerate() {
+                if owner % nprocs == me {
+                    h.write(base.word(w as u64), v);
+                }
+            }
+            h.barrier();
+            for (w, &v) in values.iter().enumerate() {
+                assert_eq!(
+                    h.read(base.word(w as u64)),
+                    v,
+                    "P{me} read stale word {w} under {protocol:?}"
+                );
+            }
+            h.barrier();
+        },
+    );
+    // Exclusive writers + barrier ordering: race-free by construction.
+    assert!(
+        report.races.is_empty(),
+        "{protocol:?}: {:?}",
+        report.races.reports()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn exclusive_writers_are_coherent_and_race_free(
+        nprocs in 1usize..5,
+        owners in proptest::collection::vec(0usize..8, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let values: Vec<u64> = owners
+            .iter()
+            .enumerate()
+            .map(|(i, _)| seed.wrapping_mul(i as u64 + 1).wrapping_add(1))
+            .collect();
+        exclusive_writer_case(nprocs, Protocol::SingleWriter, &owners, &values);
+        exclusive_writer_case(nprocs, Protocol::MultiWriter, &owners, &values);
+    }
+
+    /// Lock-protected counters over random contention patterns always sum
+    /// exactly (mutual exclusion + grant-carried consistency).
+    #[test]
+    fn random_lock_contention_preserves_counts(
+        nprocs in 2usize..5,
+        // Per-proc: sequence of (lock, increments) rounds.
+        rounds in proptest::collection::vec(
+            proptest::collection::vec((0u32..3, 1u64..4), 0..6),
+            2..5,
+        ),
+    ) {
+        let nprocs = nprocs.min(rounds.len());
+        let rounds = &rounds[..nprocs];
+        let mut expected = [0u64; 3];
+        for proc_rounds in rounds {
+            for &(lock, incs) in proc_rounds {
+                expected[lock as usize] += incs;
+            }
+        }
+        let report = Cluster::run(
+            DsmConfig::new(nprocs),
+            |alloc| alloc.alloc("counters", 3 * 8).unwrap(),
+            |h, &base| {
+                for &(lock, incs) in &rounds[h.proc()] {
+                    h.lock(lock);
+                    let addr = base.word(u64::from(lock));
+                    let v = h.read(addr);
+                    h.write(addr, v + incs);
+                    h.unlock(lock);
+                }
+                h.barrier();
+                for (i, &want) in expected.iter().enumerate() {
+                    assert_eq!(h.read(base.word(i as u64)), want, "counter {i}");
+                }
+                h.barrier();
+            },
+        );
+        prop_assert!(report.races.is_empty(), "{:?}", report.races.reports());
+    }
+}
+
+#[test]
+fn lock_fast_path_is_message_free() {
+    // A lock reacquired by its manager without contention never leaves the
+    // node: all acquisitions are local after the first.
+    let report = Cluster::run(
+        DsmConfig::new(2),
+        |alloc| alloc.alloc("x", 8).unwrap(),
+        |h, &x| {
+            if h.proc() == 0 {
+                // Lock 0's manager is P0: every acquisition is the cached
+                // token.
+                for i in 0..50 {
+                    h.lock(0);
+                    h.write(x, i);
+                    h.unlock(0);
+                }
+            }
+            h.barrier();
+        },
+    );
+    let p0 = &report.nodes[0].stats;
+    assert_eq!(p0.locks_local, 50);
+    assert_eq!(p0.locks_remote, 0);
+}
+
+#[test]
+fn lock_token_caching_after_remote_acquire() {
+    // P1 acquires lock 0 (managed by P0) once remotely, then reuses the
+    // cached token.
+    let report = Cluster::run(
+        DsmConfig::new(2),
+        |alloc| alloc.alloc("x", 8).unwrap(),
+        |h, &x| {
+            if h.proc() == 1 {
+                for i in 0..10 {
+                    h.lock(0);
+                    h.write(x, i);
+                    h.unlock(0);
+                }
+            }
+            h.barrier();
+        },
+    );
+    let p1 = &report.nodes[1].stats;
+    assert_eq!(p1.locks_remote, 1, "only the first acquisition is remote");
+    assert_eq!(p1.locks_local, 9);
+}
+
+#[test]
+fn lock_chain_rotates_through_all_procs() {
+    // Heavy contention on one lock: every proc gets the counter to the
+    // right total, and the token moves at least once per proc.
+    let nprocs = 4;
+    let report = Cluster::run(
+        DsmConfig::new(nprocs),
+        |alloc| alloc.alloc("n", 8).unwrap(),
+        |h, &n| {
+            for _ in 0..10 {
+                h.lock(2);
+                let v = h.read(n);
+                h.write(n, v + 1);
+                h.unlock(2);
+            }
+            h.barrier();
+            assert_eq!(h.read(n), 40);
+        },
+    );
+    for node in &report.nodes {
+        assert!(
+            node.stats.locks_remote >= 1,
+            "P{} never acquired remotely",
+            node.proc.0
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! The static classifier: which loads and stores can be eliminated.
+
+use core::fmt;
+use std::collections::BTreeSet;
+
+use crate::{Inst, ObjectFile, Reg, Section};
+
+/// Outcome of classifying one load/store site (the columns of Table 2,
+/// plus the §6.5 inter-procedural refinement).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AccessClass {
+    /// Frame/stack-pointer based: stack data, never shared.
+    Stack,
+    /// Global-pointer based: statically allocated data; CVM allocates all
+    /// shared memory dynamically, so these are private.
+    Static,
+    /// Inside a shared library; the studied applications pass no shared
+    /// pointers to libraries.
+    Library,
+    /// Inside the CVM runtime itself.
+    Cvm,
+    /// Proven private by the inter-procedural provenance analysis (§6.5's
+    /// future work) — eliminated despite using a general register.
+    ProvenPrivate,
+    /// Could reference shared memory: instrumented with an analysis call.
+    Instrumented,
+}
+
+impl fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessClass::Stack => "Stack",
+            AccessClass::Static => "Static",
+            AccessClass::Library => "Library",
+            AccessClass::Cvm => "CVM",
+            AccessClass::ProvenPrivate => "Proven",
+            AccessClass::Instrumented => "Inst.",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifier configuration.
+#[derive(Clone, Debug, Default)]
+pub struct ClassifyConfig {
+    /// "Dirty" library functions that may receive shared pointers: their
+    /// accesses are instrumented rather than blanket-eliminated.  The
+    /// paper's applications need none ("none of our applications pass
+    /// segment pointers to any libraries"), but §5.1 notes the mechanism.
+    pub dirty_library_functions: BTreeSet<String>,
+    /// Enable the inter-procedural provenance analysis of §6.5, which
+    /// eliminates general-register accesses whose pointers provably derive
+    /// from private data across procedure boundaries.
+    pub interprocedural: bool,
+}
+
+/// Classifies one instruction according to the paper's elimination rules
+/// (§5.1), default configuration (basic-block analysis, clean libraries).
+pub fn classify(inst: &Inst) -> AccessClass {
+    classify_with(&ClassifyConfig::default(), None, inst)
+}
+
+/// Classifies one instruction under `config` (the object file supplies the
+/// function table for dirty-library lookups).
+pub fn classify_with(
+    config: &ClassifyConfig,
+    obj: Option<&ObjectFile>,
+    inst: &Inst,
+) -> AccessClass {
+    match inst.section {
+        Section::Library => {
+            if !config.dirty_library_functions.is_empty() {
+                if let Some(obj) = obj {
+                    let name = &obj.func_of(inst).name;
+                    if config.dirty_library_functions.contains(name) {
+                        return AccessClass::Instrumented;
+                    }
+                }
+            }
+            AccessClass::Library
+        }
+        Section::Cvm => AccessClass::Cvm,
+        Section::App => match inst.base {
+            Reg::Fp | Reg::Sp => AccessClass::Stack,
+            Reg::Gp => AccessClass::Static,
+            Reg::Gen(_) => {
+                if config.interprocedural && inst.private_provenance {
+                    AccessClass::ProvenPrivate
+                } else {
+                    AccessClass::Instrumented
+                }
+            }
+        },
+    }
+}
+
+/// Per-class instruction counts: one row of the paper's Table 2.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    /// Stack accesses (frame/stack pointer based).
+    pub stack: u64,
+    /// Statically allocated data accesses (global pointer based).
+    pub static_data: u64,
+    /// Shared-library instructions.
+    pub library: u64,
+    /// CVM-internal instructions.
+    pub cvm: u64,
+    /// Sites eliminated by the inter-procedural analysis (§6.5).
+    pub proven_private: u64,
+    /// Instrumented instructions (possible shared references).
+    pub instrumented: u64,
+}
+
+impl ClassCounts {
+    /// Adds one classified instruction.
+    pub fn record(&mut self, class: AccessClass) {
+        match class {
+            AccessClass::Stack => self.stack += 1,
+            AccessClass::Static => self.static_data += 1,
+            AccessClass::Library => self.library += 1,
+            AccessClass::Cvm => self.cvm += 1,
+            AccessClass::ProvenPrivate => self.proven_private += 1,
+            AccessClass::Instrumented => self.instrumented += 1,
+        }
+    }
+
+    /// Total loads and stores.
+    pub fn total(&self) -> u64 {
+        self.stack
+            + self.static_data
+            + self.library
+            + self.cvm
+            + self.proven_private
+            + self.instrumented
+    }
+
+    /// Fraction of sites statically eliminated (the paper's ">99 %").
+    pub fn elimination_frac(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        1.0 - self.instrumented as f64 / self.total() as f64
+    }
+}
+
+/// Result of running the instrumentation pass over a binary.
+#[derive(Clone, Debug)]
+pub struct InstrumentedBinary {
+    /// Binary name.
+    pub name: String,
+    /// Classification counts (Table 2 row).
+    pub counts: ClassCounts,
+    /// Indices (into the original instruction stream) of the instrumented
+    /// sites — the ones rewritten to call the analysis routine.
+    pub instrumented_sites: Vec<usize>,
+}
+
+impl InstrumentedBinary {
+    /// Runs the pass with the default configuration.
+    pub fn build(obj: &ObjectFile) -> Self {
+        Self::build_with(&ClassifyConfig::default(), obj)
+    }
+
+    /// Runs the pass under `config`.
+    pub fn build_with(config: &ClassifyConfig, obj: &ObjectFile) -> Self {
+        let mut counts = ClassCounts::default();
+        let mut sites = Vec::new();
+        for (i, inst) in obj.insts.iter().enumerate() {
+            let class = classify_with(config, Some(obj), inst);
+            counts.record(class);
+            if class == AccessClass::Instrumented {
+                sites.push(i);
+            }
+        }
+        InstrumentedBinary {
+            name: obj.name.clone(),
+            counts,
+            instrumented_sites: sites,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FuncDesc, MemOp};
+
+    fn inst(base: Reg, section: Section) -> Inst {
+        Inst::simple(MemOp::Load, base, section)
+    }
+
+    #[test]
+    fn classification_rules_match_paper() {
+        assert_eq!(classify(&inst(Reg::Fp, Section::App)), AccessClass::Stack);
+        assert_eq!(classify(&inst(Reg::Sp, Section::App)), AccessClass::Stack);
+        assert_eq!(classify(&inst(Reg::Gp, Section::App)), AccessClass::Static);
+        assert_eq!(
+            classify(&inst(Reg::Gen(3), Section::App)),
+            AccessClass::Instrumented
+        );
+        // Section dominates the base register: library/CVM code is never
+        // instrumented, whatever it dereferences.
+        assert_eq!(
+            classify(&inst(Reg::Gen(3), Section::Library)),
+            AccessClass::Library
+        );
+        assert_eq!(classify(&inst(Reg::Fp, Section::Cvm)), AccessClass::Cvm);
+    }
+
+    #[test]
+    fn counts_and_elimination() {
+        let obj = ObjectFile::new(
+            "toy",
+            vec![
+                inst(Reg::Fp, Section::App),
+                inst(Reg::Gp, Section::App),
+                inst(Reg::Gen(0), Section::App),
+                inst(Reg::Gen(1), Section::Library),
+                inst(Reg::Gen(2), Section::Cvm),
+            ],
+        );
+        let ib = InstrumentedBinary::build(&obj);
+        assert_eq!(ib.counts.stack, 1);
+        assert_eq!(ib.counts.static_data, 1);
+        assert_eq!(ib.counts.library, 1);
+        assert_eq!(ib.counts.cvm, 1);
+        assert_eq!(ib.counts.instrumented, 1);
+        assert_eq!(ib.counts.total(), 5);
+        assert!((ib.counts.elimination_frac() - 0.8).abs() < 1e-12);
+        assert_eq!(ib.instrumented_sites, vec![2]);
+    }
+
+    #[test]
+    fn dirty_library_functions_are_instrumented() {
+        let funcs = vec![
+            FuncDesc {
+                name: "main".into(),
+                section: Section::App,
+            },
+            FuncDesc {
+                name: "memcpy".into(),
+                section: Section::Library,
+            },
+            FuncDesc {
+                name: "sin".into(),
+                section: Section::Library,
+            },
+        ];
+        let mut dirty = Inst::simple(MemOp::Store, Reg::Gen(5), Section::Library);
+        dirty.func = 1;
+        let mut clean = Inst::simple(MemOp::Load, Reg::Gen(5), Section::Library);
+        clean.func = 2;
+        let obj = ObjectFile::with_funcs("toy", funcs, vec![dirty, clean]);
+        let mut config = ClassifyConfig::default();
+        config.dirty_library_functions.insert("memcpy".into());
+        let ib = InstrumentedBinary::build_with(&config, &obj);
+        assert_eq!(ib.counts.instrumented, 1, "memcpy instrumented");
+        assert_eq!(ib.counts.library, 1, "sin left alone");
+        assert_eq!(ib.instrumented_sites, vec![0]);
+    }
+
+    #[test]
+    fn interprocedural_analysis_eliminates_proven_private_sites() {
+        let mut provable = Inst::simple(MemOp::Load, Reg::Gen(1), Section::App);
+        provable.private_provenance = true;
+        let unknown = Inst::simple(MemOp::Load, Reg::Gen(2), Section::App);
+        let obj = ObjectFile::new("toy", vec![provable, unknown]);
+
+        let basic = InstrumentedBinary::build(&obj);
+        assert_eq!(basic.counts.instrumented, 2, "basic analysis keeps both");
+
+        let config = ClassifyConfig {
+            interprocedural: true,
+            ..ClassifyConfig::default()
+        };
+        let better = InstrumentedBinary::build_with(&config, &obj);
+        assert_eq!(better.counts.instrumented, 1);
+        assert_eq!(better.counts.proven_private, 1);
+        assert!(better.counts.elimination_frac() > basic.counts.elimination_frac());
+    }
+
+    #[test]
+    fn empty_binary_eliminates_nothing() {
+        let ib = InstrumentedBinary::build(&ObjectFile::new("empty", vec![]));
+        assert_eq!(ib.counts.total(), 0);
+        assert_eq!(ib.counts.elimination_frac(), 0.0);
+        assert!(ib.instrumented_sites.is_empty());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AccessClass::Cvm.to_string(), "CVM");
+        assert_eq!(AccessClass::Instrumented.to_string(), "Inst.");
+        assert_eq!(AccessClass::ProvenPrivate.to_string(), "Proven");
+    }
+}

@@ -1,0 +1,187 @@
+//! A modelled executable: just enough structure for the classifier.
+
+use core::fmt;
+
+/// Base register of a memory access, the attribute the static analysis
+/// keys on (Alpha addressing is always base + displacement).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Reg {
+    /// Frame pointer — stack data.
+    Fp,
+    /// Stack pointer — also stack data.
+    Sp,
+    /// Global-data base register (`$gp` on Alpha) — statically allocated
+    /// data, never shared under CVM.
+    Gp,
+    /// A general-purpose register holding a computed pointer; could point
+    /// anywhere, including the shared segment.
+    Gen(u8),
+}
+
+/// Which body of code an instruction belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Section {
+    /// Application text.
+    App,
+    /// Shared-library text (libc, libm, ...).
+    Library,
+    /// The CVM runtime itself.
+    Cvm,
+}
+
+/// Load or store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum MemOp {
+    /// A load instruction.
+    Load,
+    /// A store instruction.
+    Store,
+}
+
+/// One function of the binary (the symbol-table granularity ATOM works
+/// at).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FuncDesc {
+    /// Symbol name (e.g. `"memcpy"`, `"interf"`).
+    pub name: String,
+    /// Owning section.
+    pub section: Section,
+}
+
+/// One memory-access instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Inst {
+    /// Load or store.
+    pub op: MemOp,
+    /// Base register of the effective address.
+    pub base: Reg,
+    /// Owning section.
+    pub section: Section,
+    /// Enclosing function (index into [`ObjectFile::funcs`]).
+    pub func: u16,
+    /// Ground truth for general-register accesses: the pointer provably
+    /// derives from private (stack or static) data across procedure
+    /// boundaries.  The paper's basic-block analysis cannot see this and
+    /// conservatively instruments the access; the inter-procedural
+    /// analysis sketched in §6.5 eliminates it.
+    pub private_provenance: bool,
+}
+
+impl Inst {
+    /// A plain instruction with no function/provenance refinement.
+    pub fn simple(op: MemOp, base: Reg, section: Section) -> Self {
+        Inst {
+            op,
+            base,
+            section,
+            func: 0,
+            private_provenance: false,
+        }
+    }
+}
+
+/// A modelled executable: functions plus the sequence of its load/store
+/// instructions.
+///
+/// Non-memory instructions are irrelevant to the instrumentation pass and
+/// are not modelled.
+#[derive(Clone, Debug)]
+pub struct ObjectFile {
+    /// Binary name (e.g. `"FFT"`).
+    pub name: String,
+    /// Function table.
+    pub funcs: Vec<FuncDesc>,
+    /// All load/store instructions, in text order.
+    pub insts: Vec<Inst>,
+}
+
+impl ObjectFile {
+    /// Creates an object file with a trivial one-function table.
+    pub fn new(name: impl Into<String>, insts: Vec<Inst>) -> Self {
+        ObjectFile {
+            name: name.into(),
+            funcs: vec![FuncDesc {
+                name: "main".to_string(),
+                section: Section::App,
+            }],
+            insts,
+        }
+    }
+
+    /// Creates an object file with an explicit function table.
+    pub fn with_funcs(
+        name: impl Into<String>,
+        funcs: Vec<FuncDesc>,
+        insts: Vec<Inst>,
+    ) -> Self {
+        let obj = ObjectFile {
+            name: name.into(),
+            funcs,
+            insts,
+        };
+        debug_assert!(obj
+            .insts
+            .iter()
+            .all(|i| (i.func as usize) < obj.funcs.len()));
+        obj
+    }
+
+    /// Total load/store count.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if the binary has no memory instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The function containing `inst`.
+    pub fn func_of(&self, inst: &Inst) -> &FuncDesc {
+        &self.funcs[inst.func as usize]
+    }
+}
+
+impl fmt::Display for ObjectFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} loads/stores, {} functions)",
+            self.name,
+            self.insts.len(),
+            self.funcs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_file_basics() {
+        let obj = ObjectFile::new("toy", vec![Inst::simple(MemOp::Load, Reg::Fp, Section::App)]);
+        assert_eq!(obj.len(), 1);
+        assert!(!obj.is_empty());
+        assert_eq!(obj.to_string(), "toy (1 loads/stores, 1 functions)");
+        assert_eq!(obj.func_of(&obj.insts[0]).name, "main");
+    }
+
+    #[test]
+    fn explicit_function_table() {
+        let funcs = vec![
+            FuncDesc {
+                name: "solve".into(),
+                section: Section::App,
+            },
+            FuncDesc {
+                name: "memcpy".into(),
+                section: Section::Library,
+            },
+        ];
+        let mut inst = Inst::simple(MemOp::Store, Reg::Gen(4), Section::Library);
+        inst.func = 1;
+        let obj = ObjectFile::with_funcs("toy", funcs, vec![inst]);
+        assert_eq!(obj.func_of(&obj.insts[0]).name, "memcpy");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the static classifier.
+
+use std::collections::BTreeSet;
+
+use cvm_instrument::{
+    classify_with, AccessClass, ClassifyConfig, FuncDesc, Inst, InstrumentedBinary, MemOp,
+    ObjectFile, Reg, Section,
+};
+use proptest::prelude::*;
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    (
+        any::<bool>(),
+        prop_oneof![
+            Just(Reg::Fp),
+            Just(Reg::Sp),
+            Just(Reg::Gp),
+            (0u8..31).prop_map(Reg::Gen),
+        ],
+        prop_oneof![
+            Just(Section::App),
+            Just(Section::Library),
+            Just(Section::Cvm),
+        ],
+        0u16..4,
+        any::<bool>(),
+    )
+        .prop_map(|(store, base, section, func, prov)| Inst {
+            op: if store { MemOp::Store } else { MemOp::Load },
+            base,
+            section,
+            func,
+            private_provenance: prov,
+        })
+}
+
+fn funcs() -> Vec<FuncDesc> {
+    vec![
+        FuncDesc {
+            name: "main".into(),
+            section: Section::App,
+        },
+        FuncDesc {
+            name: "memcpy".into(),
+            section: Section::Library,
+        },
+        FuncDesc {
+            name: "sin".into(),
+            section: Section::Library,
+        },
+        FuncDesc {
+            name: "cvm_fault".into(),
+            section: Section::Cvm,
+        },
+    ]
+}
+
+proptest! {
+    /// Enabling the inter-procedural analysis never *adds* instrumented
+    /// sites, and dirty-library marking never *removes* them.
+    #[test]
+    fn config_monotonicity(insts in proptest::collection::vec(arb_inst(), 1..200)) {
+        let obj = ObjectFile::with_funcs("rand", funcs(), insts);
+        let basic = InstrumentedBinary::build(&obj);
+        let ip = InstrumentedBinary::build_with(
+            &ClassifyConfig { interprocedural: true, ..ClassifyConfig::default() },
+            &obj,
+        );
+        prop_assert!(ip.counts.instrumented <= basic.counts.instrumented);
+        let dirty = ClassifyConfig {
+            dirty_library_functions: BTreeSet::from(["memcpy".to_string(), "sin".to_string()]),
+            ..ClassifyConfig::default()
+        };
+        let d = InstrumentedBinary::build_with(&dirty, &obj);
+        prop_assert!(d.counts.instrumented >= basic.counts.instrumented);
+        // Totals are invariant: classification only moves sites between
+        // buckets.
+        prop_assert_eq!(basic.counts.total(), obj.len() as u64);
+        prop_assert_eq!(ip.counts.total(), obj.len() as u64);
+        prop_assert_eq!(d.counts.total(), obj.len() as u64);
+    }
+
+    /// The classifier is total and section-dominant: library/CVM sites are
+    /// never instrumented under the default config, whatever their
+    /// registers.
+    #[test]
+    fn section_dominance(inst in arb_inst()) {
+        let obj = ObjectFile::with_funcs("one", funcs(), vec![inst]);
+        let class = classify_with(&ClassifyConfig::default(), Some(&obj), &inst);
+        match inst.section {
+            Section::Library => prop_assert_eq!(class, AccessClass::Library),
+            Section::Cvm => prop_assert_eq!(class, AccessClass::Cvm),
+            Section::App => match inst.base {
+                Reg::Fp | Reg::Sp => prop_assert_eq!(class, AccessClass::Stack),
+                Reg::Gp => prop_assert_eq!(class, AccessClass::Static),
+                Reg::Gen(_) => prop_assert_eq!(class, AccessClass::Instrumented),
+            },
+        }
+    }
+
+    /// Instrumented-site indices always point at `Instrumented` sites.
+    #[test]
+    fn site_indices_are_consistent(insts in proptest::collection::vec(arb_inst(), 0..100)) {
+        let obj = ObjectFile::with_funcs("rand", funcs(), insts);
+        let ib = InstrumentedBinary::build(&obj);
+        for &i in &ib.instrumented_sites {
+            let class = classify_with(&ClassifyConfig::default(), Some(&obj), &obj.insts[i]);
+            prop_assert_eq!(class, AccessClass::Instrumented);
+        }
+        prop_assert_eq!(ib.instrumented_sites.len() as u64, ib.counts.instrumented);
+    }
+}

@@ -1,0 +1,351 @@
+//! Reliable delivery over a lossy datagram wire.
+//!
+//! CVM's communication layer is a set of "efficient, end-to-end protocols
+//! built on top of UDP" — the kernel gives it datagrams that can vanish,
+//! and the library supplies ordering, retransmission, and dedup.  The
+//! plain [`Network`](crate::Network) skips all of that (its channels are
+//! reliable), which is fine for most experiments; this module supplies the
+//! real thing for runs that want wire-level failure injection:
+//!
+//! * a seeded Bernoulli *loss model* drops data and ACK datagrams alike;
+//! * per-flow sequence numbers with cumulative ACKs;
+//! * receiver-side reordering and duplicate suppression;
+//! * timer-driven retransmission of unacknowledged datagrams.
+//!
+//! The application-facing API is unchanged: [`Network::with_loss`] hands
+//! out the same [`Endpoint`]s/[`NetSender`]s, so the whole DSM (and the
+//! race detector above it) runs unmodified over a lossy wire — see the
+//! `lossy_wire` cluster tests.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use cvm_vclock::ProcId;
+
+use crate::{Packet, TrafficClass};
+
+/// Wire loss model: each datagram (data or ACK) is independently dropped
+/// with probability `drop_rate`, from a seeded generator so runs are
+/// reproducible.
+#[derive(Clone, Copy, Debug)]
+pub struct LossConfig {
+    /// Probability in `[0, 1)` that any single datagram is lost.
+    pub drop_rate: f64,
+    /// Seed for the drop decisions.
+    pub seed: u64,
+    /// Retransmission timeout.
+    pub rto: Duration,
+}
+
+impl LossConfig {
+    /// A loss model with the given rate and seed and a 2 ms RTO.
+    pub fn new(drop_rate: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&drop_rate), "drop rate out of range");
+        LossConfig {
+            drop_rate,
+            seed,
+            rto: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Counters kept by the reliability layer.
+#[derive(Debug, Default)]
+pub struct ReliabilityStats {
+    /// Datagrams dropped by the simulated wire.
+    pub wire_drops: AtomicU64,
+    /// Data retransmissions performed.
+    pub retransmissions: AtomicU64,
+    /// Duplicate data datagrams suppressed at receivers.
+    pub duplicates: AtomicU64,
+}
+
+impl ReliabilityStats {
+    /// Snapshot of `(wire drops, retransmissions, duplicates)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.wire_drops.load(Ordering::Relaxed),
+            self.retransmissions.load(Ordering::Relaxed),
+            self.duplicates.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One datagram on the simulated wire.
+enum Dgram {
+    Data {
+        flow_src: ProcId,
+        seq: u64,
+        packet: Packet,
+    },
+    /// Cumulative acknowledgement: all data with `seq <= upto` received.
+    Ack {
+        flow_dst: ProcId,
+        upto: u64,
+    },
+}
+
+/// Sending-half state for one flow (this node → one peer).
+struct FlowTx {
+    next_seq: u64,
+    /// Unacked data, with last transmission time.
+    unacked: Vec<(u64, Packet, Instant)>,
+}
+
+/// Receiving-half state for one flow (one peer → this node).
+struct FlowRx {
+    /// Next in-order sequence number expected.
+    expected: u64,
+    /// Out-of-order buffer.
+    buffer: HashMap<u64, Packet>,
+}
+
+/// Per-node reliability engine, run on its own thread.
+pub(crate) struct ReliabilityEngine {
+    node: ProcId,
+    /// Raw wire senders to every node (lossy).
+    wire_txs: Vec<Sender<Dgram>>,
+    /// Raw wire receiver.
+    wire_rx: Receiver<Dgram>,
+    /// New outbound packets from this node's senders.
+    outbound_rx: Receiver<(ProcId, Packet)>,
+    /// In-order delivery to the application endpoint.
+    deliver_tx: Sender<Packet>,
+    config: LossConfig,
+    drop_rng: DropRng,
+    stats: Arc<ReliabilityStats>,
+    tx_flows: HashMap<ProcId, FlowTx>,
+    rx_flows: HashMap<ProcId, FlowRx>,
+}
+
+/// A tiny deterministic Bernoulli source (splitmix64 under the hood), so
+/// the loss pattern is reproducible per seed without a rand dependency in
+/// the hot path.
+struct DropRng {
+    state: u64,
+    threshold: u64,
+}
+
+impl DropRng {
+    fn new(seed: u64, drop_rate: f64) -> Self {
+        DropRng {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+            threshold: (drop_rate * u64::MAX as f64) as u64,
+        }
+    }
+
+    fn drop(&mut self) -> bool {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z < self.threshold
+    }
+}
+
+impl ReliabilityEngine {
+    fn send_wire(&mut self, dst: ProcId, dgram: Dgram) {
+        if self.drop_rng.drop() {
+            self.stats.wire_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // A closed peer means shutdown is in progress; losing the datagram
+        // is indistinguishable from wire loss at that point.
+        let _ = self.wire_txs[dst.index()].send(dgram);
+    }
+
+    fn handle_outbound(&mut self, dst: ProcId, packet: Packet) {
+        let flow = self.tx_flows.entry(dst).or_insert(FlowTx {
+            next_seq: 1,
+            unacked: Vec::new(),
+        });
+        let seq = flow.next_seq;
+        flow.next_seq += 1;
+        flow.unacked.push((seq, packet.clone(), Instant::now()));
+        let src = self.node;
+        self.send_wire(
+            dst,
+            Dgram::Data {
+                flow_src: src,
+                seq,
+                packet,
+            },
+        );
+    }
+
+    fn handle_wire(&mut self, dgram: Dgram) {
+        match dgram {
+            Dgram::Data {
+                flow_src,
+                seq,
+                packet,
+            } => {
+                let flow = self.rx_flows.entry(flow_src).or_insert(FlowRx {
+                    expected: 1,
+                    buffer: HashMap::new(),
+                });
+                if seq < flow.expected || flow.buffer.contains_key(&seq) {
+                    self.stats.duplicates.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    flow.buffer.insert(seq, packet);
+                    while let Some(pkt) = flow.buffer.remove(&flow.expected) {
+                        flow.expected += 1;
+                        // The application endpoint outliving us is not
+                        // required during shutdown.
+                        let _ = self.deliver_tx.send(pkt);
+                    }
+                }
+                // (Re-)acknowledge cumulatively; covers lost ACKs too.
+                let upto = self.rx_flows[&flow_src].expected - 1;
+                let me = self.node;
+                self.send_wire(flow_src, Dgram::Ack { flow_dst: me, upto });
+            }
+            Dgram::Ack { flow_dst, upto } => {
+                if let Some(flow) = self.tx_flows.get_mut(&flow_dst) {
+                    flow.unacked.retain(|(seq, _, _)| *seq > upto);
+                }
+            }
+        }
+    }
+
+    fn retransmit_due(&mut self) {
+        let now = Instant::now();
+        let rto = self.config.rto;
+        let due: Vec<(ProcId, u64, Packet)> = self
+            .tx_flows
+            .iter_mut()
+            .flat_map(|(&dst, flow)| {
+                flow.unacked
+                    .iter_mut()
+                    .filter(|(_, _, sent)| now.duration_since(*sent) >= rto)
+                    .map(|(seq, pkt, sent)| {
+                        *sent = now;
+                        (dst, *seq, pkt.clone())
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (dst, seq, packet) in due {
+            self.stats.retransmissions.fetch_add(1, Ordering::Relaxed);
+            let src = self.node;
+            self.send_wire(
+                dst,
+                Dgram::Data {
+                    flow_src: src,
+                    seq,
+                    packet,
+                },
+            );
+        }
+    }
+
+    fn run(mut self) {
+        // Event loop: new outbound sends, wire arrivals, and a periodic
+        // retransmission scan.  Exits when both input channels close and
+        // nothing remains unacked (or peers are gone).
+        let tick = self.config.rto / 2;
+        let mut outbound_open = true;
+        let mut wire_open = true;
+        loop {
+            crossbeam::channel::select! {
+                recv(self.outbound_rx) -> msg => match msg {
+                    Ok((dst, pkt)) => self.handle_outbound(dst, pkt),
+                    Err(_) => outbound_open = false,
+                },
+                recv(self.wire_rx) -> msg => match msg {
+                    Ok(dgram) => self.handle_wire(dgram),
+                    Err(_) => wire_open = false,
+                },
+                default(tick) => {}
+            }
+            self.retransmit_due();
+            if !outbound_open {
+                let drained = self.tx_flows.values().all(|f| f.unacked.is_empty());
+                if drained || !wire_open {
+                    return;
+                }
+            }
+            if !wire_open && !outbound_open {
+                return;
+            }
+        }
+    }
+}
+
+/// Per-node wiring of a lossy network: outbound senders (for
+/// `NetSender`), in-order receivers (for `Endpoint`), and the shared
+/// stats block.
+pub(crate) type ReliableFabric = (
+    Vec<Sender<(ProcId, Packet)>>,
+    Vec<Receiver<Packet>>,
+    Arc<ReliabilityStats>,
+);
+
+/// Builds the per-node engines and wiring for a lossy network.
+pub(crate) fn build_reliable_fabric(n: usize, config: LossConfig) -> ReliableFabric {
+    let stats = Arc::new(ReliabilityStats::default());
+    let mut wire_txs = Vec::with_capacity(n);
+    let mut wire_rxs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel::unbounded::<Dgram>();
+        wire_txs.push(tx);
+        wire_rxs.push(rx);
+    }
+    let mut outbound_txs = Vec::with_capacity(n);
+    let mut deliver_rxs = Vec::with_capacity(n);
+    for (i, wire_rx) in wire_rxs.into_iter().enumerate() {
+        let (outbound_tx, outbound_rx) = channel::unbounded();
+        let (deliver_tx, deliver_rx) = channel::unbounded();
+        outbound_txs.push(outbound_tx);
+        deliver_rxs.push(deliver_rx);
+        let engine = ReliabilityEngine {
+            node: ProcId::from_index(i),
+            wire_txs: wire_txs.clone(),
+            wire_rx,
+            outbound_rx,
+            deliver_tx,
+            config,
+            drop_rng: DropRng::new(config.seed ^ (i as u64).wrapping_mul(0x1234_5677), config.drop_rate),
+            stats: Arc::clone(&stats),
+            tx_flows: HashMap::new(),
+            rx_flows: HashMap::new(),
+        };
+        std::thread::Builder::new()
+            .name(format!("reliability-{i}"))
+            .spawn(move || engine.run())
+            .expect("spawn reliability engine");
+    }
+    (outbound_txs, deliver_rxs, stats)
+}
+
+/// Marker for unused traffic-class import when compiled without tests.
+#[allow(dead_code)]
+fn _class(_: TrafficClass) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_rng_matches_rate_roughly() {
+        let mut rng = DropRng::new(42, 0.25);
+        let drops = (0..10_000).filter(|_| rng.drop()).count();
+        assert!((2_000..3_000).contains(&drops), "drops = {drops}");
+        let mut never = DropRng::new(42, 0.0);
+        assert_eq!((0..1000).filter(|_| never.drop()).count(), 0);
+    }
+
+    #[test]
+    fn drop_rng_is_deterministic_per_seed() {
+        let seq = |seed| {
+            let mut rng = DropRng::new(seed, 0.5);
+            (0..64).map(|_| rng.drop()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+}

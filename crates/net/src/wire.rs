@@ -1,0 +1,497 @@
+//! A small explicit wire codec.
+//!
+//! Hand-rolled rather than pulled from a serialization crate so that the
+//! encoded size of every protocol structure is exact and auditable: the
+//! paper's bandwidth-overhead metric is defined in terms of bytes added to
+//! synchronization messages by read notices, and we reproduce it from real
+//! encoded sizes.
+//!
+//! All integers are little-endian and fixed-width.  Collections are
+//! prefixed with a `u32` count.
+
+use std::fmt;
+
+/// Error produced when decoding malformed or truncated bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes remained than the decoder needed.
+    Truncated {
+        /// Bytes the decoder asked for.
+        needed: usize,
+        /// Bytes that remained.
+        remaining: usize,
+    },
+    /// A tag or discriminant byte had no matching variant.
+    BadTag {
+        /// Name of the type being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// Trailing bytes remained after a complete decode.
+    Trailing(usize),
+    /// A declared length was implausibly large.
+    BadLength(u64),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => {
+                write!(f, "truncated message: needed {needed} bytes, had {remaining}")
+            }
+            WireError::BadTag { what, tag } => write!(f, "bad tag {tag} decoding {what}"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after decode"),
+            WireError::BadLength(n) => write!(f, "implausible length {n}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Decoding cursor over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Finishes decoding, failing if bytes remain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Trailing`] if any bytes were not consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Trailing(self.remaining()))
+        }
+    }
+}
+
+/// Types that can be encoded to and decoded from the wire format.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated or malformed input.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Encodes `self` into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decodes a value from a complete buffer, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated, malformed, or oversized input.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    /// Exact encoded size in bytes.
+    fn wire_size(&self) -> u64 {
+        // Default implementation encodes; override for hot paths if needed.
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len() as u64
+    }
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                let n = core::mem::size_of::<$t>();
+                let b = r.take(n)?;
+                Ok(<$t>::from_le_bytes(b.try_into().expect("sized take")))
+            }
+            fn wire_size(&self) -> u64 {
+                core::mem::size_of::<$t>() as u64
+            }
+        }
+    )*};
+}
+
+wire_int!(u8, u16, u32, u64, i32, i64);
+
+impl Wire for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+    fn wire_size(&self) -> u64 {
+        8
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { what: "bool", tag }),
+        }
+    }
+    fn wire_size(&self) -> u64 {
+        1
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = u32::decode(r)?;
+        // A count can never exceed the remaining byte count (items are at
+        // least one byte); reject early to avoid huge preallocations.
+        if n as usize > r.remaining() {
+            return Err(WireError::BadLength(u64::from(n)));
+        }
+        let mut v = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+    fn wire_size(&self) -> u64 {
+        4 + self.iter().map(Wire::wire_size).sum::<u64>()
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::BadTag { what: "Option", tag }),
+        }
+    }
+    fn wire_size(&self) -> u64 {
+        1 + self.as_ref().map_or(0, Wire::wire_size)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+    fn wire_size(&self) -> u64 {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let n = u32::decode(r)? as usize;
+        let b = r.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::BadTag {
+            what: "String(utf8)",
+            tag: 0,
+        })
+    }
+    fn wire_size(&self) -> u64 {
+        4 + self.len() as u64
+    }
+}
+
+// Wire implementations for the page-substrate vocabulary, kept here so the
+// page crate stays free of serialization concerns.
+use cvm_page::{Bitmap, Diff, GAddr, PageBitmaps, PageId};
+
+impl Wire for PageId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PageId(u32::decode(r)?))
+    }
+    fn wire_size(&self) -> u64 {
+        4
+    }
+}
+
+impl Wire for GAddr {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(GAddr(u64::decode(r)?))
+    }
+    fn wire_size(&self) -> u64 {
+        8
+    }
+}
+
+impl Wire for Bitmap {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for w in self.raw() {
+            w.encode(buf);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let nbits = u32::decode(r)? as usize;
+        let nwords = nbits.div_ceil(64);
+        if nwords * 8 > r.remaining() {
+            return Err(WireError::BadLength(nbits as u64));
+        }
+        let mut raw = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            raw.push(u64::decode(r)?);
+        }
+        Ok(Bitmap::from_raw(nbits, raw))
+    }
+    fn wire_size(&self) -> u64 {
+        4 + self.wire_bytes()
+    }
+}
+
+impl Wire for PageBitmaps {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.read.encode(buf);
+        self.write.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(PageBitmaps {
+            read: Bitmap::decode(r)?,
+            write: Bitmap::decode(r)?,
+        })
+    }
+    fn wire_size(&self) -> u64 {
+        self.read.wire_size() + self.write.wire_size()
+    }
+}
+
+impl Wire for Diff {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.page.encode(buf);
+        self.entries.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Diff {
+            page: PageId::decode(r)?,
+            entries: Vec::<(u32, u64)>::decode(r)?,
+        })
+    }
+    fn wire_size(&self) -> u64 {
+        self.page.wire_size() + 4 + self.entries.len() as u64 * 12
+    }
+}
+
+// Wire implementations for the vclock vocabulary types, kept here so the
+// vclock crate stays dependency-free.
+use cvm_vclock::{IntervalId, IntervalStamp, ProcId, VClock};
+
+impl Wire for ProcId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ProcId(u16::decode(r)?))
+    }
+    fn wire_size(&self) -> u64 {
+        2
+    }
+}
+
+impl Wire for VClock {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.entries().to_vec().encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(VClock::from(Vec::<u32>::decode(r)?))
+    }
+    fn wire_size(&self) -> u64 {
+        4 + self.len() as u64 * 4
+    }
+}
+
+impl Wire for IntervalId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.proc.encode(buf);
+        self.index.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(IntervalId {
+            proc: ProcId::decode(r)?,
+            index: u32::decode(r)?,
+        })
+    }
+    fn wire_size(&self) -> u64 {
+        6
+    }
+}
+
+impl Wire for IntervalStamp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.vc.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let id = IntervalId::decode(r)?;
+        let vc = VClock::decode(r)?;
+        Ok(IntervalStamp::new(id, vc))
+    }
+    fn wire_size(&self) -> u64 {
+        self.id.wire_size() + self.vc.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len() as u64, v.wire_size(), "wire_size mismatch");
+        let back = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(0xabu8);
+        roundtrip(0x1234u16);
+        roundtrip(0xdead_beefu32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(-1i32);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(3.25f64);
+        roundtrip(f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn collection_roundtrips() {
+        roundtrip(Vec::<u32>::new());
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Some(7u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip((5u8, vec![1u16, 2]));
+        roundtrip("hello".to_string());
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn vclock_vocabulary_roundtrips() {
+        roundtrip(ProcId(3));
+        roundtrip(VClock::from(vec![1, 2, 3]));
+        roundtrip(IntervalId::new(ProcId(1), 9));
+        roundtrip(IntervalStamp::new(
+            IntervalId::new(ProcId(1), 9),
+            VClock::from(vec![4, 9]),
+        ));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = 0xdead_beefu32.to_bytes();
+        assert!(matches!(
+            u64::from_bytes(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 1u32.to_bytes();
+        bytes.push(0);
+        assert_eq!(u32::from_bytes(&bytes), Err(WireError::Trailing(1)));
+    }
+
+    #[test]
+    fn bad_bool_tag_rejected() {
+        assert!(matches!(
+            bool::from_bytes(&[7]),
+            Err(WireError::BadTag { what: "bool", .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // Declared count of u32::MAX with a 5-byte body must not allocate.
+        let mut bytes = u32::MAX.to_bytes();
+        bytes.push(1);
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(WireError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = WireError::Truncated { needed: 8, remaining: 3 };
+        assert!(e.to_string().contains("needed 8"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based round-trip tests for the wire codec.
+
+use cvm_net::wire::{Wire, WireError};
+use cvm_vclock::{IntervalId, IntervalStamp, ProcId, VClock};
+use proptest::prelude::*;
+
+fn check_roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) -> Result<(), TestCaseError> {
+    let bytes = v.to_bytes();
+    prop_assert_eq!(bytes.len() as u64, v.wire_size());
+    let back = T::from_bytes(&bytes).expect("decode of own encoding");
+    prop_assert_eq!(&back, v);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn u64_roundtrip(v: u64) { check_roundtrip(&v)?; }
+
+    #[test]
+    fn i64_roundtrip(v: i64) { check_roundtrip(&v)?; }
+
+    #[test]
+    fn f64_roundtrip(v: f64) {
+        // NaN compares unequal; compare bit patterns instead.
+        let bytes = v.to_bytes();
+        let back = f64::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn vec_roundtrip(v: Vec<u32>) { check_roundtrip(&v)?; }
+
+    #[test]
+    fn nested_roundtrip(v: Vec<(u16, Vec<u64>)>) { check_roundtrip(&v)?; }
+
+    #[test]
+    fn option_roundtrip(v: Option<u64>) { check_roundtrip(&v)?; }
+
+    #[test]
+    fn string_roundtrip(v: String) { check_roundtrip(&v)?; }
+
+    #[test]
+    fn vclock_roundtrip(entries in proptest::collection::vec(any::<u32>(), 0..16)) {
+        check_roundtrip(&VClock::from(entries))?;
+    }
+
+    #[test]
+    fn interval_stamp_roundtrip(
+        p in 0u16..8,
+        idx in 1u32..1000,
+        rest in proptest::collection::vec(0u32..1000, 8),
+    ) {
+        let mut entries = rest;
+        entries[p as usize] = idx;
+        let stamp = IntervalStamp::new(
+            IntervalId::new(ProcId(p), idx),
+            VClock::from(entries),
+        );
+        check_roundtrip(&stamp)?;
+    }
+
+    /// Decoding arbitrary garbage must never panic — it either produces a
+    /// value or a structured error.
+    #[test]
+    fn decode_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Vec::<u64>::from_bytes(&bytes);
+        let _ = Vec::<(u16, Vec<u32>)>::from_bytes(&bytes);
+        let _ = Option::<u64>::from_bytes(&bytes);
+        let _ = String::from_bytes(&bytes);
+        let _ = VClock::from_bytes(&bytes);
+    }
+
+    /// Truncating a valid encoding must yield an error, not a bogus value.
+    #[test]
+    fn truncation_detected(v: Vec<u64>, cut in 1usize..8) {
+        let bytes = v.to_bytes();
+        if bytes.len() >= cut {
+            let truncated = &bytes[..bytes.len() - cut];
+            let got = Vec::<u64>::from_bytes(truncated);
+            prop_assert!(
+                matches!(got, Err(WireError::Truncated { .. }) | Err(WireError::BadLength(_))),
+                "truncated decode produced {got:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Shared-segment allocation and address symbolization.
+//!
+//! All CVM shared memory is dynamically allocated from one segment — the
+//! fact the instrumentation pass exploits to prune accesses to statically
+//! allocated data (paper §5.1).  Allocations are *named*, which lets race
+//! reports be symbolized back to `variable + offset` the way the paper
+//! combines segment addresses with symbol tables (§6.1).
+
+use std::fmt;
+
+use crate::{GAddr, Geometry, PageId, SHARED_BASE, WORD_BYTES};
+
+/// Error returned when the shared segment is exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocError {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes remaining in the segment.
+    pub remaining: u64,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shared segment exhausted: requested {} bytes, {} remaining",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Metadata of one named allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Allocation name (a variable name, e.g. `"MinTourLen"`).
+    pub name: String,
+    /// First byte address.
+    pub base: GAddr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl SegmentInfo {
+    /// Returns `true` if `addr` falls inside this allocation.
+    pub fn contains(&self, addr: GAddr) -> bool {
+        addr.0 >= self.base.0 && addr.0 < self.base.0 + self.len
+    }
+}
+
+/// Bump allocator over the shared segment.
+///
+/// Deterministic and append-only: the same allocation sequence always
+/// produces the same addresses, which keeps multi-node setups trivially
+/// consistent (every node performs the same setup allocations) and makes
+/// race reports reproducible across runs.
+#[derive(Debug, Clone)]
+pub struct SharedAlloc {
+    geometry: Geometry,
+    next: u64,
+    limit: u64,
+    segments: Vec<SegmentInfo>,
+}
+
+impl SharedAlloc {
+    /// Creates an allocator over a shared segment of `capacity_bytes`.
+    pub fn new(geometry: Geometry, capacity_bytes: u64) -> Self {
+        SharedAlloc {
+            geometry,
+            next: SHARED_BASE,
+            limit: SHARED_BASE + capacity_bytes,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Allocates `len` bytes under `name`, word-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the segment cannot fit the request.
+    pub fn alloc(&mut self, name: &str, len: u64) -> Result<GAddr, AllocError> {
+        self.alloc_aligned(name, len, WORD_BYTES)
+    }
+
+    /// Allocates `len` bytes under `name`, aligned to the next page boundary.
+    ///
+    /// Page-aligned allocations let applications avoid false sharing between
+    /// data structures, exactly as the original benchmarks laid out one row
+    /// per VM page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the segment cannot fit the request.
+    pub fn alloc_page_aligned(&mut self, name: &str, len: u64) -> Result<GAddr, AllocError> {
+        self.alloc_aligned(name, len, self.geometry.page_bytes())
+    }
+
+    fn alloc_aligned(&mut self, name: &str, len: u64, align: u64) -> Result<GAddr, AllocError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = self.next.next_multiple_of(align);
+        let padded = len.max(1).next_multiple_of(WORD_BYTES);
+        if base + padded > self.limit {
+            return Err(AllocError {
+                requested: padded,
+                remaining: self.limit.saturating_sub(self.next),
+            });
+        }
+        self.next = base + padded;
+        let info = SegmentInfo {
+            name: name.to_string(),
+            base: GAddr(base),
+            len: padded,
+        };
+        self.segments.push(info);
+        Ok(GAddr(base))
+    }
+
+    /// Total bytes allocated so far (including alignment padding).
+    pub fn used_bytes(&self) -> u64 {
+        self.next - SHARED_BASE
+    }
+
+    /// Number of pages touched by allocations so far.
+    pub fn used_pages(&self) -> u32 {
+        (self.used_bytes().div_ceil(self.geometry.page_bytes())) as u32
+    }
+
+    /// Highest page id in use, if any allocation was made.
+    pub fn last_page(&self) -> Option<PageId> {
+        let pages = self.used_pages();
+        pages.checked_sub(1).map(PageId)
+    }
+
+    /// Finishes allocation, producing the symbol map.
+    pub fn into_map(self) -> SegmentMap {
+        SegmentMap {
+            segments: self.segments,
+            used: self.next - SHARED_BASE,
+        }
+    }
+
+    /// The allocations made so far.
+    pub fn segments(&self) -> &[SegmentInfo] {
+        &self.segments
+    }
+}
+
+/// Immutable map from shared addresses back to named allocations.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentMap {
+    segments: Vec<SegmentInfo>,
+    used: u64,
+}
+
+impl SegmentMap {
+    /// Finds the allocation containing `addr`, with the byte offset into it.
+    pub fn resolve(&self, addr: GAddr) -> Option<(&SegmentInfo, u64)> {
+        // Segments are sorted by base (bump allocation); binary search.
+        let idx = self
+            .segments
+            .partition_point(|s| s.base.0 + s.len <= addr.0);
+        let seg = self.segments.get(idx)?;
+        seg.contains(addr).then(|| (seg, addr.0 - seg.base.0))
+    }
+
+    /// Renders `addr` as `name+offset`, or the raw address if unmapped.
+    pub fn symbolize(&self, addr: GAddr) -> String {
+        match self.resolve(addr) {
+            Some((seg, 0)) => seg.name.clone(),
+            Some((seg, off)) => format!("{}+0x{:x}", seg.name, off),
+            None => format!("{addr}"),
+        }
+    }
+
+    /// Total shared bytes in use.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// All named allocations.
+    pub fn segments(&self) -> &[SegmentInfo] {
+        &self.segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc() -> SharedAlloc {
+        SharedAlloc::new(Geometry::default(), 1 << 20)
+    }
+
+    #[test]
+    fn bump_allocation_is_contiguous_and_aligned() {
+        let mut a = alloc();
+        let x = a.alloc("x", 8).unwrap();
+        let y = a.alloc("y", 12).unwrap();
+        let z = a.alloc("z", 8).unwrap();
+        assert_eq!(x.0, SHARED_BASE);
+        assert_eq!(y.0, SHARED_BASE + 8);
+        // 12 bytes pads to 16.
+        assert_eq!(z.0, SHARED_BASE + 24);
+        assert_eq!(a.used_bytes(), 32);
+    }
+
+    #[test]
+    fn page_aligned_allocation_skips_to_boundary() {
+        let mut a = alloc();
+        let _ = a.alloc("small", 8).unwrap();
+        let big = a.alloc_page_aligned("grid", 4096).unwrap();
+        assert_eq!(big.0, SHARED_BASE + 4096);
+        assert_eq!(a.used_pages(), 2);
+        assert_eq!(a.last_page(), Some(PageId(1)));
+    }
+
+    #[test]
+    fn exhaustion_returns_error() {
+        let mut a = SharedAlloc::new(Geometry::default(), 64);
+        assert!(a.alloc("fits", 64).is_ok());
+        let err = a.alloc("nope", 8).unwrap_err();
+        assert_eq!(err.remaining, 0);
+        assert_eq!(err.requested, 8);
+        assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn resolve_and_symbolize() {
+        let mut a = alloc();
+        let x = a.alloc("bound", 8).unwrap();
+        let arr = a.alloc("forces", 4096).unwrap();
+        let map = a.into_map();
+        assert_eq!(map.symbolize(x), "bound");
+        assert_eq!(map.symbolize(arr.offset(16)), "forces+0x10");
+        let (seg, off) = map.resolve(arr.offset(4088)).unwrap();
+        assert_eq!(seg.name, "forces");
+        assert_eq!(off, 4088);
+        // One past the end of the last segment is unmapped.
+        assert!(map.resolve(arr.offset(4096)).is_none());
+        assert_eq!(map.symbolize(arr.offset(4096)), format!("{}", arr.offset(4096)));
+    }
+
+    #[test]
+    fn zero_len_allocation_occupies_one_word() {
+        let mut a = alloc();
+        let x = a.alloc("empty", 0).unwrap();
+        let y = a.alloc("next", 8).unwrap();
+        assert_eq!(y.0 - x.0, 8);
+    }
+
+    #[test]
+    fn used_pages_counts_partial_pages() {
+        let mut a = alloc();
+        let _ = a.alloc("tiny", 8).unwrap();
+        assert_eq!(a.used_pages(), 1);
+        let _ = a.alloc_page_aligned("two", 8192).unwrap();
+        assert_eq!(a.used_pages(), 3);
+    }
+}

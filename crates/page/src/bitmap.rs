@@ -1,0 +1,295 @@
+//! Word-granularity access bitmaps.
+//!
+//! The instrumentation inserted by the ATOM pass sets one bit per accessed
+//! word in a per-page bitmap (paper §4).  At barriers, the race detector
+//! retrieves bitmaps for pages on the check list and intersects them; a
+//! non-empty intersection of a write bitmap with another interval's read or
+//! write bitmap is a data race, while page overlap without word overlap is
+//! false sharing.
+
+use core::fmt;
+
+/// A fixed-width bitset, one bit per word of a page.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitmap {
+    bits: Vec<u64>,
+    nbits: usize,
+}
+
+impl Bitmap {
+    /// Creates an empty bitmap covering `nbits` words.
+    pub fn new(nbits: usize) -> Self {
+        Bitmap {
+            bits: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// Number of bits (words) covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nbits
+    }
+
+    /// Returns `true` if the bitmap covers zero words.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nbits == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.nbits, "bit {i} out of range ({})", self.nbits);
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.nbits, "bit {i} out of range ({})", self.nbits);
+        self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Returns `true` if any bit is set.
+    pub fn any(&self) -> bool {
+        self.bits.iter().any(|&w| w != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if `self` and `other` share any set bit.
+    ///
+    /// This is the constant-time (in page size) bitmap comparison of the
+    /// paper's step 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmaps have different widths.
+    pub fn overlaps(&self, other: &Bitmap) -> bool {
+        assert_eq!(self.nbits, other.nbits, "comparing bitmaps of different widths");
+        self.bits.iter().zip(&other.bits).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the indices of bits set in both `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmaps have different widths.
+    pub fn overlap_words<'a>(&'a self, other: &'a Bitmap) -> impl Iterator<Item = usize> + 'a {
+        assert_eq!(self.nbits, other.nbits, "comparing bitmaps of different widths");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .enumerate()
+            .flat_map(|(wi, (a, b))| {
+                let mut bits = a & b;
+                core::iter::from_fn(move || {
+                    if bits == 0 {
+                        None
+                    } else {
+                        let tz = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        Some(wi * 64 + tz)
+                    }
+                })
+            })
+    }
+
+    /// Iterates over the indices of set bits.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            core::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Unions `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmaps have different widths.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.nbits, other.nbits, "merging bitmaps of different widths");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Encoded size in bytes on the wire (raw bit words, no compression).
+    ///
+    /// The paper transfers raw bitmaps in the extra barrier round; keeping
+    /// the size exact lets the bandwidth accounting in `cvm-net` reproduce
+    /// the paper's message-overhead metric.
+    pub fn wire_bytes(&self) -> u64 {
+        self.bits.len() as u64 * 8
+    }
+
+    /// Raw backing words (for wire encoding).
+    pub fn raw(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a bitmap from raw backing words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is not exactly the backing length for `nbits`.
+    pub fn from_raw(nbits: usize, raw: Vec<u64>) -> Self {
+        assert_eq!(raw.len(), nbits.div_ceil(64), "raw length mismatch");
+        Bitmap { bits: raw, nbits }
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitmap[{}/{} set]", self.count(), self.nbits)
+    }
+}
+
+/// The read and write access bitmaps an interval keeps for one page.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PageBitmaps {
+    /// Words read during the interval.
+    pub read: Bitmap,
+    /// Words written during the interval.
+    pub write: Bitmap,
+}
+
+impl PageBitmaps {
+    /// Creates empty bitmaps for a page of `page_words` words.
+    pub fn new(page_words: usize) -> Self {
+        PageBitmaps {
+            read: Bitmap::new(page_words),
+            write: Bitmap::new(page_words),
+        }
+    }
+
+    /// Returns `true` if either bitmap has a bit set.
+    pub fn any(&self) -> bool {
+        self.read.any() || self.write.any()
+    }
+
+    /// Encoded wire size of both bitmaps.
+    pub fn wire_bytes(&self) -> u64 {
+        self.read.wire_bytes() + self.write.wire_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Bitmap::new(512);
+        assert!(!b.any());
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(511);
+        for i in 0..512 {
+            assert_eq!(b.get(i), matches!(i, 0 | 63 | 64 | 511), "bit {i}");
+        }
+        assert_eq!(b.count(), 4);
+    }
+
+    #[test]
+    fn overlaps_and_overlap_words() {
+        let mut a = Bitmap::new(256);
+        let mut b = Bitmap::new(256);
+        a.set(10);
+        a.set(100);
+        a.set(200);
+        b.set(100);
+        b.set(201);
+        assert!(a.overlaps(&b));
+        let common: Vec<usize> = a.overlap_words(&b).collect();
+        assert_eq!(common, vec![100]);
+    }
+
+    #[test]
+    fn disjoint_bitmaps_do_not_overlap() {
+        let mut a = Bitmap::new(128);
+        let mut b = Bitmap::new(128);
+        a.set(1);
+        b.set(2);
+        assert!(!a.overlaps(&b));
+        assert_eq!(a.overlap_words(&b).count(), 0);
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let mut a = Bitmap::new(64);
+        let mut b = Bitmap::new(64);
+        a.set(3);
+        b.set(60);
+        a.union_with(&b);
+        assert!(a.get(3) && a.get(60));
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn iter_set_yields_sorted_indices() {
+        let mut b = Bitmap::new(300);
+        for i in [7, 64, 65, 128, 299] {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_set().collect();
+        assert_eq!(got, vec![7, 64, 65, 128, 299]);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let mut b = Bitmap::new(100);
+        b.set(99);
+        let r = Bitmap::from_raw(100, b.raw().to_vec());
+        assert_eq!(b, r);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = Bitmap::new(64);
+        b.set(5);
+        b.clear();
+        assert!(!b.any());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut b = Bitmap::new(10);
+        b.set(10);
+    }
+
+    #[test]
+    fn wire_bytes_counts_backing_words() {
+        assert_eq!(Bitmap::new(512).wire_bytes(), 64);
+        assert_eq!(Bitmap::new(65).wire_bytes(), 16);
+        assert_eq!(PageBitmaps::new(512).wire_bytes(), 128);
+    }
+}

@@ -1,0 +1,136 @@
+//! Word diffs for the multi-writer protocol.
+//!
+//! TreadMarks-style multi-writer LRC lets several nodes write one page
+//! concurrently.  Each writer *twins* the page at its first write of an
+//! interval and later summarizes its modifications as a diff — the list of
+//! `(word, new value)` pairs where the page departs from the twin.  Faulting
+//! readers fetch and apply the diffs of all writers in happens-before-1
+//! order.
+//!
+//! §6.5 of the paper observes that diffs can replace store instrumentation
+//! for write detection, at the cost of missing races that overwrite a value
+//! with itself — `cvm-dsm` exposes exactly that trade-off.
+
+use crate::PageId;
+
+/// A diff: the words of one page modified relative to its twin.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diff {
+    /// The page this diff applies to.
+    pub page: PageId,
+    /// `(word index, new value)` pairs, sorted by word index.
+    pub entries: Vec<(u32, u64)>,
+}
+
+impl Diff {
+    /// Computes the diff of `current` against `twin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn make(page: PageId, twin: &[u64], current: &[u64]) -> Self {
+        assert_eq!(twin.len(), current.len(), "twin/page length mismatch");
+        let entries = twin
+            .iter()
+            .zip(current)
+            .enumerate()
+            .filter(|(_, (t, c))| t != c)
+            .map(|(i, (_, c))| (i as u32, *c))
+            .collect();
+        Diff { page, entries }
+    }
+
+    /// Applies the diff to a page frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry's word index is out of range for `data`.
+    pub fn apply(&self, data: &mut [u64]) {
+        for &(w, v) in &self.entries {
+            data[w as usize] = v;
+        }
+    }
+
+    /// Returns `true` if no words changed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of modified words.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over modified word indices.
+    pub fn words(&self) -> impl Iterator<Item = usize> + '_ {
+        self.entries.iter().map(|&(w, _)| w as usize)
+    }
+
+    /// Encoded size in bytes: page id + count + 12 bytes per entry.
+    pub fn wire_bytes(&self) -> u64 {
+        8 + self.entries.len() as u64 * 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_captures_only_changes() {
+        let twin = vec![0, 1, 2, 3];
+        let cur = vec![0, 9, 2, 7];
+        let d = Diff::make(PageId(4), &twin, &cur);
+        assert_eq!(d.entries, vec![(1, 9), (3, 7)]);
+        assert_eq!(d.page, PageId(4));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn apply_reproduces_current() {
+        let twin = vec![5u64; 32];
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        cur[31] = 2;
+        let d = Diff::make(PageId(0), &twin, &cur);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        assert_eq!(rebuilt, cur);
+    }
+
+    #[test]
+    fn identical_pages_make_empty_diff() {
+        let twin = vec![1, 2, 3];
+        let d = Diff::make(PageId(0), &twin, &twin);
+        assert!(d.is_empty());
+        assert_eq!(d.wire_bytes(), 8);
+    }
+
+    #[test]
+    fn same_value_overwrite_is_invisible() {
+        // The documented weakness of diff-based write detection (§6.5):
+        // writing a value equal to the old one leaves no trace in the diff.
+        let twin = vec![42u64, 0];
+        let mut cur = twin.clone();
+        cur[0] = 42; // Overwrite with the same value.
+        cur[1] = 1;
+        let d = Diff::make(PageId(0), &twin, &cur);
+        assert_eq!(d.words().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn overlapping_diffs_apply_in_order() {
+        // Later (happens-after) diffs must win when applied in hb1 order.
+        let base = vec![0u64; 4];
+        let mut a = base.clone();
+        a[2] = 10;
+        let mut b = base.clone();
+        b[2] = 20;
+        let da = Diff::make(PageId(0), &base, &a);
+        let db = Diff::make(PageId(0), &base, &b);
+        let mut data = base.clone();
+        da.apply(&mut data);
+        db.apply(&mut data);
+        assert_eq!(data[2], 20);
+    }
+}

@@ -1,0 +1,59 @@
+//! Paged global address space for the CVM software DSM.
+//!
+//! CVM exposes a single shared data segment to all processes, backed by
+//! per-node page frames and kept coherent by the LRC protocol in `cvm-dsm`.
+//! This crate provides the memory substrate:
+//!
+//! * [`Geometry`] — word and page sizing, address arithmetic;
+//! * [`GAddr`]/[`PageId`] — global byte addresses and page ids;
+//! * [`Bitmap`]/[`PageBitmaps`] — the word-granularity read/write access
+//!   bitmaps set by the ATOM-inserted instrumentation (paper §4) and
+//!   compared by the race detector;
+//! * [`Frame`]/[`PageStore`] — per-node page frames with software
+//!   protection state (standing in for `mprotect`-driven faults);
+//! * [`Diff`] — run-length word diffs for the multi-writer protocol;
+//! * [`SharedAlloc`]/[`SegmentMap`] — the shared-segment allocator, which
+//!   doubles as the symbol table used to turn racy addresses back into
+//!   variable names (paper §6.1).
+//!
+//! # Examples
+//!
+//! Word-granularity bitmaps distinguish false sharing from true sharing:
+//!
+//! ```
+//! use cvm_page::Bitmap;
+//!
+//! let mut p0_writes = Bitmap::new(512);
+//! let mut p1_writes = Bitmap::new(512);
+//! p0_writes.set(4);
+//! p1_writes.set(5);                          // Same page, different word.
+//! assert!(!p0_writes.overlaps(&p1_writes));  // False sharing: no race.
+//! p1_writes.set(4);
+//! assert_eq!(p0_writes.overlap_words(&p1_writes).collect::<Vec<_>>(), vec![4]);
+//! ```
+//!
+//! Named allocations symbolize race addresses:
+//!
+//! ```
+//! use cvm_page::{Geometry, SharedAlloc};
+//!
+//! let mut alloc = SharedAlloc::new(Geometry::default(), 1 << 20);
+//! let bound = alloc.alloc("MinTourLen", 8).unwrap();
+//! let map = alloc.into_map();
+//! assert_eq!(map.symbolize(bound), "MinTourLen");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod bitmap;
+mod diff;
+mod frame;
+mod geometry;
+
+pub use alloc::{AllocError, SegmentInfo, SegmentMap, SharedAlloc};
+pub use bitmap::{Bitmap, PageBitmaps};
+pub use diff::Diff;
+pub use frame::{Frame, PageStore, Protection};
+pub use geometry::{GAddr, Geometry, PageId, SHARED_BASE, WORD_BYTES};

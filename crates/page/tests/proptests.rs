@@ -1,0 +1,99 @@
+//! Property-based tests for bitmaps and diffs.
+
+use cvm_page::{Bitmap, Diff, GAddr, Geometry, PageId, SharedAlloc};
+use proptest::prelude::*;
+
+fn arb_bits(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..n, 0..64)
+}
+
+proptest! {
+    #[test]
+    fn bitmap_set_get_consistency(idxs in arb_bits(512)) {
+        let mut b = Bitmap::new(512);
+        for &i in &idxs {
+            b.set(i);
+        }
+        for i in 0..512 {
+            prop_assert_eq!(b.get(i), idxs.contains(&i));
+        }
+        let mut sorted: Vec<usize> = idxs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(b.count(), sorted.len());
+        prop_assert_eq!(b.iter_set().collect::<Vec<_>>(), sorted);
+    }
+
+    #[test]
+    fn bitmap_overlap_matches_set_intersection(
+        a in arb_bits(256),
+        b in arb_bits(256),
+    ) {
+        let mut ba = Bitmap::new(256);
+        let mut bb = Bitmap::new(256);
+        for &i in &a { ba.set(i); }
+        for &i in &b { bb.set(i); }
+        let mut expect: Vec<usize> =
+            a.iter().filter(|i| b.contains(i)).copied().collect();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(ba.overlaps(&bb), !expect.is_empty());
+        prop_assert_eq!(ba.overlap_words(&bb).collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn bitmap_union_is_superset(a in arb_bits(128), b in arb_bits(128)) {
+        let mut ba = Bitmap::new(128);
+        let mut bb = Bitmap::new(128);
+        for &i in &a { ba.set(i); }
+        for &i in &b { bb.set(i); }
+        let mut u = ba.clone();
+        u.union_with(&bb);
+        for i in 0..128 {
+            prop_assert_eq!(u.get(i), ba.get(i) || bb.get(i));
+        }
+    }
+
+    #[test]
+    fn diff_make_apply_roundtrip(
+        twin in proptest::collection::vec(any::<u64>(), 64),
+        writes in proptest::collection::vec((0usize..64, any::<u64>()), 0..32),
+    ) {
+        let mut cur = twin.clone();
+        for &(i, v) in &writes {
+            cur[i] = v;
+        }
+        let d = Diff::make(PageId(9), &twin, &cur);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        prop_assert_eq!(rebuilt, cur.clone());
+        // Every diffed word really differs from the twin.
+        for w in d.words() {
+            prop_assert_ne!(twin[w], cur[w]);
+        }
+    }
+
+    #[test]
+    fn allocator_segments_never_overlap(
+        sizes in proptest::collection::vec(1u64..10_000, 1..20),
+    ) {
+        let mut a = SharedAlloc::new(Geometry::default(), 1 << 24);
+        let mut bases: Vec<(GAddr, u64)> = Vec::new();
+        for (i, &len) in sizes.iter().enumerate() {
+            let base = a.alloc(&format!("s{i}"), len).unwrap();
+            bases.push((base, len));
+        }
+        for w in bases.windows(2) {
+            let (prev, plen) = (w[0].0, w[0].1);
+            let (next, _) = (w[1].0, w[1].1);
+            prop_assert!(prev.0 + plen <= next.0, "segments overlap");
+        }
+        // Every allocated byte resolves to its own segment.
+        let map = a.into_map();
+        for (i, &(base, len)) in bases.iter().enumerate() {
+            let (seg, off) = map.resolve(base.offset(len - 1)).unwrap();
+            prop_assert_eq!(&seg.name, &format!("s{i}"));
+            prop_assert_eq!(off, len - 1);
+        }
+    }
+}

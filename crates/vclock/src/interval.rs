@@ -1,0 +1,143 @@
+//! Interval identity and the constant-time concurrency check.
+
+use core::fmt;
+
+use crate::{ProcId, VClock};
+
+/// Globally unique identifier of an LRC interval: the creating process plus
+/// that process's interval index (starting at 1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntervalId {
+    /// Process that created the interval.
+    pub proc: ProcId,
+    /// Per-process interval index, starting at 1.
+    pub index: u32,
+}
+
+impl IntervalId {
+    /// Creates an interval id.
+    pub fn new(proc: ProcId, index: u32) -> Self {
+        IntervalId { proc, index }
+    }
+}
+
+impl fmt::Debug for IntervalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Mirrors the paper's sigma notation, e.g. `s1^2` for interval 2 of P1.
+        write!(f, "s{}^{}", self.proc.0, self.index)
+    }
+}
+
+impl fmt::Display for IntervalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interval {} of {}", self.index, self.proc)
+    }
+}
+
+/// An interval's vector timestamp together with its identity.
+///
+/// The stamp is assigned when the interval *begins*: it is the creating
+/// process's current clock after applying every acquire that triggered the
+/// interval boundary, with the process's own entry set to the new interval
+/// index.  Consequently, for two stamps `a` and `b`:
+///
+/// * `a` happens-before-1 `b` iff `b.vc[a.proc] >= a.index`, and
+/// * `a` and `b` are concurrent iff neither happens before the other —
+///   exactly two integer comparisons, the constant-time check the paper
+///   leverages (§4, step 2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IntervalStamp {
+    /// Identity of the interval.
+    pub id: IntervalId,
+    /// Vector timestamp at interval begin (own entry = `id.index`).
+    pub vc: VClock,
+}
+
+impl IntervalStamp {
+    /// Creates a stamp, checking the internal consistency of `vc` and `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc[id.proc] != id.index`.
+    pub fn new(id: IntervalId, vc: VClock) -> Self {
+        assert_eq!(
+            vc.get(id.proc),
+            id.index,
+            "interval stamp must carry its own index in its clock entry"
+        );
+        IntervalStamp { id, vc }
+    }
+
+    /// Returns `true` if `self` happens-before-1 `other`.
+    ///
+    /// This holds iff `other` began after (transitively) acquiring from a
+    /// release that closed `self` — which is the case exactly when `other`'s
+    /// clock has seen interval `self.id.index` of `self.id.proc`.
+    #[inline]
+    pub fn happens_before(&self, other: &IntervalStamp) -> bool {
+        other.vc.get(self.id.proc) >= self.id.index && self.id != other.id
+    }
+
+    /// Constant-time concurrency check: true iff the intervals are distinct
+    /// and neither happens-before-1 the other.
+    ///
+    /// An interval is not considered concurrent with itself: accesses within
+    /// one interval are ordered by program order.
+    #[inline]
+    pub fn concurrent_with(&self, other: &IntervalStamp) -> bool {
+        self.id != other.id && !self.happens_before(other) && !other.happens_before(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamp(proc: u16, index: u32, vc: &[u32]) -> IntervalStamp {
+        IntervalStamp::new(IntervalId::new(ProcId(proc), index), VClock::from(vc.to_vec()))
+    }
+
+    #[test]
+    fn paper_figure2_ordering() {
+        // Figure 2: P1 has intervals 1 and 2; P2 has intervals 1 and 2.
+        // P2's interval 2 begins with the acquire of the lock released at
+        // the end of P1's interval 1, so s1^1 -> s2^2, while s1^2 and s2^2
+        // are concurrent.
+        let s1_1 = stamp(0, 1, &[1, 0]);
+        let s1_2 = stamp(0, 2, &[2, 0]);
+        let s2_1 = stamp(1, 1, &[0, 1]);
+        let s2_2 = stamp(1, 2, &[1, 2]);
+
+        assert!(s1_1.happens_before(&s2_2));
+        assert!(!s2_2.happens_before(&s1_1));
+        assert!(s1_2.concurrent_with(&s2_2));
+        assert!(s2_2.concurrent_with(&s1_2));
+        assert!(s1_1.happens_before(&s1_2));
+        assert!(s2_1.happens_before(&s2_2));
+        assert!(s1_1.concurrent_with(&s2_1));
+    }
+
+    #[test]
+    fn happens_before_is_irreflexive() {
+        let s = stamp(0, 3, &[3, 1]);
+        assert!(!s.happens_before(&s));
+        assert!(!s.concurrent_with(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "own index")]
+    fn stamp_clock_mismatch_panics() {
+        let _ = stamp(0, 2, &[1, 0]);
+    }
+
+    #[test]
+    fn program_order_totally_orders_same_proc() {
+        let a = stamp(1, 1, &[0, 1]);
+        let b = stamp(1, 2, &[0, 2]);
+        let c = stamp(1, 3, &[2, 3]);
+        assert!(a.happens_before(&b));
+        assert!(b.happens_before(&c));
+        assert!(a.happens_before(&c));
+        assert!(!c.happens_before(&a));
+    }
+}

@@ -1,0 +1,43 @@
+//! Version vectors and the *happens-before-1* partial order.
+//!
+//! Lazy release consistency (LRC) divides the execution of each process into
+//! *intervals*, delimited by synchronization accesses (acquires and
+//! releases).  Intervals are related by the *happens-before-1* partial order
+//! of Adve and Hill: program order on a single process, release-to-acquire
+//! order across processes, and the transitive closure of both.
+//!
+//! LRC implementations tag every interval with a [`VClock`] (a vector
+//! timestamp in the sense of Mattern).  The key property this crate provides
+//! — and the key intuition of the OSDI '96 data-race paper built on top of
+//! it — is that two intervals can be checked for concurrency in constant
+//! time ("two integer comparisons"), see [`IntervalStamp::concurrent_with`].
+//!
+//! This crate is intentionally small and dependency-free: it is the
+//! vocabulary shared by the DSM protocol engine (`cvm-dsm`) and the race
+//! detector (`cvm-race`).
+//!
+//! # Examples
+//!
+//! ```
+//! use cvm_vclock::{IntervalId, IntervalStamp, ProcId, VClock};
+//!
+//! // P0's interval 2 began knowing nothing of P1; P1's interval 2 began
+//! // after acquiring from P0's interval 1.
+//! let a = IntervalStamp::new(IntervalId::new(ProcId(0), 2), VClock::from(vec![2, 0]));
+//! let b = IntervalStamp::new(IntervalId::new(ProcId(1), 2), VClock::from(vec![1, 2]));
+//! assert!(a.concurrent_with(&b));          // Two integer comparisons.
+//!
+//! let first = IntervalStamp::new(IntervalId::new(ProcId(0), 1), VClock::from(vec![1, 0]));
+//! assert!(first.happens_before(&b));       // Release-acquire ordering.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod interval;
+mod proc_id;
+mod vclock;
+
+pub use interval::{IntervalId, IntervalStamp};
+pub use proc_id::ProcId;
+pub use vclock::{CausalOrder, VClock};

@@ -1,0 +1,84 @@
+//! Process identifiers.
+
+use core::fmt;
+
+/// Identifier of a DSM process (one per simulated node).
+///
+/// The paper's testbed ran one process per workstation; we keep the same
+/// one-process-per-node model.  Process ids are dense, starting at zero, so
+/// they double as indices into [`VClock`](crate::VClock)s and per-process
+/// tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcId(pub u16);
+
+impl ProcId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Builds a `ProcId` from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u16`; simulated clusters are far
+    /// smaller than that.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ProcId(u16::try_from(index).expect("process index exceeds u16::MAX"))
+    }
+
+    /// Iterates over the ids `0..n`.
+    pub fn all(n: usize) -> impl Iterator<Item = ProcId> {
+        (0..n).map(ProcId::from_index)
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u16> for ProcId {
+    fn from(v: u16) -> Self {
+        ProcId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in [0usize, 1, 7, 65535] {
+            assert_eq!(ProcId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn all_yields_dense_ids() {
+        let ids: Vec<ProcId> = ProcId::all(4).collect();
+        assert_eq!(ids, vec![ProcId(0), ProcId(1), ProcId(2), ProcId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u16::MAX")]
+    fn from_index_overflow_panics() {
+        let _ = ProcId::from_index(70_000);
+    }
+
+    #[test]
+    fn display_formats_as_pn() {
+        assert_eq!(ProcId(3).to_string(), "P3");
+        assert_eq!(format!("{:?}", ProcId(12)), "P12");
+    }
+}

@@ -1,0 +1,214 @@
+//! Vector timestamps.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+use crate::ProcId;
+
+/// Result of comparing two [`VClock`]s under the causal partial order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CausalOrder {
+    /// The two clocks are identical.
+    Equal,
+    /// The left clock causally precedes the right one.
+    Before,
+    /// The left clock causally follows the right one.
+    After,
+    /// Neither clock dominates the other.
+    Concurrent,
+}
+
+/// A vector timestamp: one logical-clock entry per process.
+///
+/// Entry `p` of a process's clock records the index of the most recent
+/// interval of process `p` whose record this process has seen (its own entry
+/// records the index of its currently open interval).  Interval indices
+/// start at 1; entry 0 means "nothing seen yet".
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// Creates a zero clock for `nprocs` processes.
+    pub fn new(nprocs: usize) -> Self {
+        VClock(vec![0; nprocs])
+    }
+
+    /// Number of process entries.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the clock has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns entry `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for this clock.
+    #[inline]
+    pub fn get(&self, p: ProcId) -> u32 {
+        self.0[p.index()]
+    }
+
+    /// Sets entry `p` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for this clock.
+    #[inline]
+    pub fn set(&mut self, p: ProcId, value: u32) {
+        self.0[p.index()] = value;
+    }
+
+    /// Increments entry `p` and returns the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for this clock.
+    #[inline]
+    pub fn bump(&mut self, p: ProcId) -> u32 {
+        let e = &mut self.0[p.index()];
+        *e += 1;
+        *e
+    }
+
+    /// Merges `other` into `self`, taking the entrywise maximum.
+    ///
+    /// This is the acquire-side clock update of LRC: after applying the
+    /// consistency information piggybacked on a lock grant or barrier
+    /// release, the acquirer's knowledge is the join of both clocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different lengths.
+    pub fn merge(&mut self, other: &VClock) {
+        assert_eq!(self.0.len(), other.0.len(), "merging clocks of different widths");
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Returns `true` if every entry of `self` is `>=` the matching entry of
+    /// `other` (i.e. `self` has seen at least everything `other` has).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different lengths.
+    pub fn dominates(&self, other: &VClock) -> bool {
+        assert_eq!(self.0.len(), other.0.len(), "comparing clocks of different widths");
+        self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+    }
+
+    /// Compares two clocks under the causal partial order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clocks have different lengths.
+    pub fn causal_cmp(&self, other: &VClock) -> CausalOrder {
+        let mut le = true;
+        let mut ge = true;
+        for (a, b) in self.0.iter().zip(&other.0) {
+            match a.cmp(b) {
+                Ordering::Less => ge = false,
+                Ordering::Greater => le = false,
+                Ordering::Equal => {}
+            }
+        }
+        match (le, ge) {
+            (true, true) => CausalOrder::Equal,
+            (true, false) => CausalOrder::Before,
+            (false, true) => CausalOrder::After,
+            (false, false) => CausalOrder::Concurrent,
+        }
+    }
+
+    /// Iterates over `(proc, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcId, u32)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (ProcId::from_index(i), v))
+    }
+
+    /// Raw entries, indexed by process.
+    pub fn entries(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl From<Vec<u32>> for VClock {
+    fn from(v: Vec<u32>) -> Self {
+        VClock(v)
+    }
+}
+
+impl fmt::Debug for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(entries: &[u32]) -> VClock {
+        VClock::from(entries.to_vec())
+    }
+
+    #[test]
+    fn new_is_zero() {
+        let c = VClock::new(3);
+        assert_eq!(c.entries(), &[0, 0, 0]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn bump_increments_single_entry() {
+        let mut c = VClock::new(2);
+        assert_eq!(c.bump(ProcId(1)), 1);
+        assert_eq!(c.bump(ProcId(1)), 2);
+        assert_eq!(c.entries(), &[0, 2]);
+    }
+
+    #[test]
+    fn merge_takes_entrywise_max() {
+        let mut a = vc(&[3, 0, 5]);
+        a.merge(&vc(&[1, 4, 5]));
+        assert_eq!(a.entries(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_entrywise() {
+        let a = vc(&[2, 2]);
+        assert!(a.dominates(&a));
+        assert!(a.dominates(&vc(&[2, 1])));
+        assert!(!a.dominates(&vc(&[3, 0])));
+    }
+
+    #[test]
+    fn causal_cmp_all_cases() {
+        assert_eq!(vc(&[1, 1]).causal_cmp(&vc(&[1, 1])), CausalOrder::Equal);
+        assert_eq!(vc(&[1, 1]).causal_cmp(&vc(&[2, 1])), CausalOrder::Before);
+        assert_eq!(vc(&[2, 1]).causal_cmp(&vc(&[1, 1])), CausalOrder::After);
+        assert_eq!(vc(&[2, 0]).causal_cmp(&vc(&[0, 2])), CausalOrder::Concurrent);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn merge_width_mismatch_panics() {
+        let mut a = VClock::new(2);
+        a.merge(&VClock::new(3));
+    }
+}

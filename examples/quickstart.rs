@@ -1,0 +1,54 @@
+//! Quickstart: run a tiny program on the CVM DSM and catch its data race.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Two processes increment a shared counter — first without
+//! synchronization (a write-write race the detector reports at the next
+//! barrier), then correctly under a lock (no reports).
+
+use cvm_dsm::{Cluster, DsmConfig};
+
+fn main() {
+    // --- Racy version -----------------------------------------------------
+    let report = Cluster::run(
+        DsmConfig::new(2),
+        |alloc| alloc.alloc("Counter", 8).unwrap(),
+        |h, &counter| {
+            // Unsynchronized read-modify-write on shared memory: a bug.
+            let v = h.read(counter);
+            h.write(counter, v + 1);
+            h.barrier(); // Detection runs here, at the barrier master.
+        },
+    );
+    println!("== racy increment ==");
+    for race in report.races.reports() {
+        println!("  {}", race.render(&report.segments));
+    }
+    assert!(!report.races.is_empty(), "the race must be caught");
+
+    // --- Fixed version ----------------------------------------------------
+    let report = Cluster::run(
+        DsmConfig::new(2),
+        |alloc| alloc.alloc("Counter", 8).unwrap(),
+        |h, &counter| {
+            h.lock(1);
+            let v = h.read(counter);
+            h.write(counter, v + 1);
+            h.unlock(1);
+            h.barrier();
+        },
+    );
+    println!("== locked increment ==");
+    println!(
+        "  races: {} (lock ordering makes the accesses happen-before-1 ordered)",
+        report.races.len()
+    );
+    assert!(report.races.is_empty());
+
+    println!(
+        "\nDetector work: {} interval pairs compared, {} bitmaps fetched — all online, no trace logs.",
+        report.det_stats.pair_comparisons, report.det_stats.bitmaps_requested
+    );
+}

@@ -1,0 +1,20 @@
+//! Reproduction of "Online Data-Race Detection via Coherency Guarantees" (OSDI 1996).
+//!
+//! This facade crate re-exports the workspace members; see the README for
+//! the architecture and `DESIGN.md` for the experiment index.
+//!
+//! * [`cvm_race`] — the race detector (the paper's contribution);
+//! * [`cvm_dsm`] — the CVM LRC software DSM substrate;
+//! * [`cvm_apps`] — the four evaluation applications;
+//! * [`cvm_vclock`], [`cvm_page`], [`cvm_net`], [`cvm_instrument`] — the
+//!   supporting substrates.
+
+#![forbid(unsafe_code)]
+
+pub use cvm_apps as apps;
+pub use cvm_dsm as dsm;
+pub use cvm_instrument as instrument;
+pub use cvm_net as net;
+pub use cvm_page as page;
+pub use cvm_race as race;
+pub use cvm_vclock as vclock;

@@ -1,0 +1,200 @@
+//! Cross-crate invariants exercised on whole cluster runs.
+
+use cvm_repro::dsm::{Cluster, DetectConfig, DsmConfig, Protocol};
+use cvm_repro::net::TrafficClass;
+use cvm_repro::race::OverlapStrategy;
+
+/// Every overlap strategy yields identical race sets on the same
+/// deterministic program.
+#[test]
+fn overlap_strategies_agree_end_to_end() {
+    let run = |overlap: OverlapStrategy| {
+        let mut cfg = DsmConfig::new(3);
+        cfg.detect.overlap = overlap;
+        Cluster::run(
+            cfg,
+            |alloc| alloc.alloc("arr", 8 * 64).unwrap(),
+            |h, &arr| {
+                // Proc p writes words p, p+8, ... and reads word (p+1)*2:
+                // a deterministic mix of races and false sharing.
+                let me = h.proc() as u64;
+                for k in 0..8u64 {
+                    h.write(arr.word(me + k * 8), me);
+                }
+                let _ = h.read(arr.word((me + 1) * 2));
+                h.barrier();
+            },
+        )
+    };
+    let reference = run(OverlapStrategy::Quadratic);
+    let mut ref_addrs = reference.races.distinct_addrs();
+    ref_addrs.sort();
+    for strategy in [
+        OverlapStrategy::Auto,
+        OverlapStrategy::SortedMerge,
+        OverlapStrategy::PageBitmap,
+    ] {
+        let got = run(strategy);
+        let mut addrs = got.races.distinct_addrs();
+        addrs.sort();
+        assert_eq!(addrs, ref_addrs, "{strategy:?} diverged");
+    }
+}
+
+/// The same racy program under both protocols reports the same racy
+/// addresses.
+#[test]
+fn protocols_agree_on_races() {
+    let run = |protocol: Protocol| {
+        let mut cfg = DsmConfig::new(2);
+        cfg.protocol = protocol;
+        Cluster::run(
+            cfg,
+            |alloc| alloc.alloc("xy", 16).unwrap(),
+            |h, &xy| {
+                if h.proc() == 0 {
+                    h.write(xy, 1);
+                    let _ = h.read(xy.word(1));
+                } else {
+                    h.write(xy.word(1), 2);
+                    let _ = h.read(xy);
+                }
+                h.barrier();
+            },
+        )
+    };
+    let sw = run(Protocol::SingleWriter);
+    let mw = run(Protocol::MultiWriter);
+    assert_eq!(sw.races.distinct_addrs(), mw.races.distinct_addrs());
+    assert_eq!(sw.races.distinct_addrs().len(), 2);
+}
+
+/// The detector's bandwidth cost is visible and bounded: read notices and
+/// bitmaps exist only with detection on, and page data dominates both.
+#[test]
+fn traffic_class_accounting_is_sane() {
+    let run = |detect: DetectConfig| {
+        let mut cfg = DsmConfig::new(4);
+        cfg.detect = detect;
+        Cluster::run(
+            cfg,
+            |alloc| alloc.alloc_page_aligned("grid", 4096 * 4).unwrap(),
+            |h, &grid| {
+                let me = h.proc() as u64;
+                for k in 0..64 {
+                    h.write(grid.offset(me * 4096).word(k), k);
+                }
+                h.barrier();
+                let next = (me + 1) % h.nprocs() as u64;
+                for k in 0..64 {
+                    let _ = h.read(grid.offset(next * 4096).word(k));
+                }
+                h.barrier();
+            },
+        )
+    };
+    let on = run(DetectConfig::on());
+    assert!(on.net.class_bytes(TrafficClass::ReadNotice) > 0);
+    assert!(on.net.class_bytes(TrafficClass::Data) > 0);
+    let off = run(DetectConfig::off());
+    assert_eq!(off.net.class_bytes(TrafficClass::ReadNotice), 0);
+    assert_eq!(off.net.class_bytes(TrafficClass::Bitmap), 0);
+    // Both runs move the same page data.
+    assert_eq!(
+        on.net.class_bytes(TrafficClass::Data),
+        off.net.class_bytes(TrafficClass::Data)
+    );
+}
+
+/// Virtual-time *accounting* is deterministic for deterministic
+/// (barrier-only) programs: per-category cost totals, traffic bytes, and
+/// detector statistics reproduce exactly.  The end-to-end critical path
+/// picks up a few percent of jitter from service-thread interleaving
+/// (see `cvm_dsm::simtime`), so it is only checked to a tolerance.
+#[test]
+fn virtual_time_is_reproducible() {
+    let run = || {
+        Cluster::run(
+            DsmConfig::new(4),
+            |alloc| alloc.alloc_page_aligned("g", 4096 * 4).unwrap(),
+            |h, &g| {
+                let me = h.proc() as u64;
+                for i in 0..128 {
+                    h.write(g.offset(me * 4096).word(i % 512), i);
+                }
+                h.barrier();
+                let next = (me + 1) % 4;
+                for i in 0..128 {
+                    let _ = h.read(g.offset(next * 4096).word(i % 512));
+                }
+                h.barrier();
+            },
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.cats_total(), b.cats_total(), "attributed costs must match");
+    assert_eq!(a.net.total_bytes(), b.net.total_bytes());
+    assert_eq!(a.det_stats, b.det_stats);
+    let (ta, tb) = (a.virtual_cycles() as f64, b.virtual_cycles() as f64);
+    assert!(
+        (ta - tb).abs() / ta.max(tb) < 0.15,
+        "critical path diverged beyond jitter: {ta} vs {tb}"
+    );
+}
+
+/// Memory accounting: the segment map records what setup allocated, and
+/// race reports symbolize through it.
+#[test]
+fn segment_map_reflects_setup() {
+    let report = Cluster::run(
+        DsmConfig::new(2),
+        |alloc| {
+            let a = alloc.alloc("alpha", 100).unwrap();
+            let _b = alloc.alloc("beta", 256).unwrap();
+            a
+        },
+        |h, &a| {
+            h.write(a, h.proc() as u64);
+            h.barrier();
+        },
+    );
+    let names: Vec<&str> = report
+        .segments
+        .segments()
+        .iter()
+        .map(|s| s.name.as_str())
+        .collect();
+    assert_eq!(names, vec!["alpha", "beta"]);
+    assert!(report.segments.used_bytes() >= 360);
+    assert_eq!(report.races.len(), 1);
+    assert!(report.races.reports()[0]
+        .render(&report.segments)
+        .contains("alpha"));
+}
+
+/// Consolidation (§6.3) and barrier detection find the same race in a
+/// lock-only program.
+#[test]
+fn consolidation_equals_barrier_detection() {
+    let run = |consolidate: bool| {
+        Cluster::run(
+            DsmConfig::new(2),
+            |alloc| alloc.alloc("x", 8).unwrap(),
+            |h, &x| {
+                h.write(x, h.proc() as u64 + 1);
+                if consolidate {
+                    h.consolidate();
+                } else {
+                    h.barrier();
+                }
+            },
+        )
+    };
+    let via_barrier = run(false);
+    let via_consolidation = run(true);
+    assert_eq!(
+        via_barrier.races.distinct_addrs(),
+        via_consolidation.races.distinct_addrs()
+    );
+}

@@ -1,0 +1,204 @@
+//! The paper's illustrative figures, as executable tests.
+
+use std::collections::HashMap;
+
+use cvm_repro::dsm::{Cluster, DsmConfig};
+use cvm_repro::page::{Geometry, PageBitmaps, PageId};
+use cvm_repro::race::{
+    filter_first_races, make_interval, BitmapStore, EpochDetector, PairClass, RaceKind,
+};
+use cvm_repro::vclock::{IntervalId, IntervalStamp, ProcId, VClock};
+
+/// Figure 1: with `flag == 0`, only `w1-r2` is an *actual* race; `w1-r3`
+/// is ordered by the unlock/lock pair.
+///
+/// Modelled at the detector level: P1's write happens in its locked
+/// interval; P2's first (unsynchronized) read is concurrent with it, while
+/// P2's locked read happens after acquiring the lock P1 released.
+#[test]
+fn figure1_actual_vs_ordered_accesses() {
+    let g = Geometry { page_words: 64 };
+    // P1: interval 1 = lock..unlock containing w1(x); page 0, word 0.
+    let w1 = make_interval(0, 1, vec![1, 0], &[0], &[]);
+    // P2: interval 1 contains the unsynchronized r2(x).
+    let r2 = make_interval(1, 1, vec![0, 1], &[], &[0]);
+    // P2: interval 2 begins at the Lock(L) acquire (merging P1's release),
+    // contains r3(x).
+    let r3 = make_interval(1, 2, vec![1, 2], &[], &[0]);
+
+    let d = EpochDetector::new();
+    assert_eq!(d.classify_pair(&w1, &r2), PairClass::ConcurrentOverlap);
+    assert_eq!(d.classify_pair(&w1, &r3), PairClass::Ordered);
+
+    let mut plan = d.plan(&[w1.clone(), r2.clone(), r3.clone()]);
+    let mut store = BitmapStore::new();
+    let mut wbm = PageBitmaps::new(64);
+    wbm.write.set(0);
+    let mut rbm = PageBitmaps::new(64);
+    rbm.read.set(0);
+    store.insert(w1.id(), PageId(0), wbm);
+    store.insert(r2.id(), PageId(0), rbm.clone());
+    store.insert(r3.id(), PageId(0), rbm);
+    let reports = d.compare(&mut plan, &store, g, 0).unwrap();
+    // Exactly one actual race: w1-r2.
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].kind, RaceKind::ReadWrite);
+    assert_eq!(
+        (reports[0].a, reports[0].b),
+        (w1.id(), r2.id()),
+        "the race must pair w1 with r2, not r3"
+    );
+}
+
+/// Figure 2: interval orderings of the two-process lock handoff.
+#[test]
+fn figure2_interval_orderings() {
+    let s1_1 = IntervalStamp::new(
+        IntervalId::new(ProcId(0), 1),
+        VClock::from(vec![1, 0]),
+    );
+    let s1_2 = IntervalStamp::new(
+        IntervalId::new(ProcId(0), 2),
+        VClock::from(vec![2, 0]),
+    );
+    let s2_1 = IntervalStamp::new(
+        IntervalId::new(ProcId(1), 1),
+        VClock::from(vec![0, 1]),
+    );
+    let s2_2 = IntervalStamp::new(
+        IntervalId::new(ProcId(1), 2),
+        VClock::from(vec![1, 2]),
+    );
+    // The release in s1^1 pairs with the acquire beginning s2^2.
+    assert!(s1_1.happens_before(&s2_2));
+    // "if the second write of P1 were to x, it would constitute a data
+    // race ... because intervals s1^2 and s2^2 are concurrent".
+    assert!(s1_2.concurrent_with(&s2_2));
+    assert!(s1_1.concurrent_with(&s2_1));
+    assert!(s2_1.happens_before(&s2_2));
+}
+
+/// Figure 2 continued, end to end: the second write of P1 to x races with
+/// the locked access of P2.
+#[test]
+fn figure2_end_to_end() {
+    let report = Cluster::run(
+        DsmConfig::new(2),
+        |alloc| {
+            (
+                alloc.alloc("x", 8).unwrap(),
+                alloc.alloc("turn", 8).unwrap(),
+            )
+        },
+        |h, &(x, turn)| {
+            if h.proc() == 0 {
+                // sigma_1^1: the locked write, marking the turn.
+                h.lock(9);
+                h.write(x, 1);
+                h.write(turn, 1);
+                h.unlock(9);
+                // sigma_1^2: the racy second write (after the release).
+                h.write(x, 2);
+            } else {
+                // Poll under the lock until P1's critical section is
+                // visible (deterministic handoff order, as in the figure).
+                loop {
+                    h.lock(9);
+                    let t = h.read(turn);
+                    if t == 1 {
+                        h.write(x, 3); // sigma_2^2.
+                        h.unlock(9);
+                        break;
+                    }
+                    h.unlock(9);
+                    std::thread::yield_now();
+                }
+            }
+            h.barrier();
+        },
+    );
+    assert!(
+        report.races.has_kind(RaceKind::WriteWrite),
+        "s1^2 vs s2^2 write-write race expected: {:?}",
+        report.races.reports()
+    );
+}
+
+/// Figure 5: the weak-memory-only element races (see also
+/// `examples/weak_memory_races.rs` and the `fig5` harness binary).
+#[test]
+fn figure5_weak_memory_races() {
+    let report = Cluster::run(
+        DsmConfig::new(3),
+        |alloc| {
+            (
+                alloc.alloc("qPtr", 8).unwrap(),
+                alloc.alloc("qEmpty", 8).unwrap(),
+                alloc.alloc("qData", 8 * 128).unwrap(),
+            )
+        },
+        |h, &(q_ptr, q_empty, data)| {
+            if h.proc() == 0 {
+                h.write(q_ptr, 37);
+                h.write(q_empty, 1);
+            }
+            h.barrier();
+            if h.proc() != 0 {
+                let _ = h.read(q_ptr);
+                let _ = h.read(q_empty);
+            }
+            h.barrier();
+            match h.proc() {
+                0 => {
+                    h.write(q_ptr, 100);
+                    h.write(q_empty, 0);
+                }
+                1 => {
+                    let _ = h.read(q_empty);
+                    let ptr = h.read(q_ptr);
+                    assert_eq!(ptr, 37, "stale pointer expected under LRC");
+                    h.write(data.word(ptr), 1);
+                    h.write(data.word(ptr + 1), 1);
+                }
+                _ => {
+                    for w in 37..=40u64 {
+                        h.write(data.word(w), 2);
+                    }
+                }
+            }
+            h.barrier();
+        },
+    );
+    let data_races: Vec<_> = report
+        .races
+        .reports()
+        .iter()
+        .filter(|r| report.segments.symbolize(r.addr).starts_with("qData"))
+        .collect();
+    assert_eq!(
+        data_races.len(),
+        2,
+        "w2(37)-w3(37) and w2(38)-w3(38): {:?}",
+        report.races.reports()
+    );
+    assert!(data_races.iter().all(|r| r.kind == RaceKind::WriteWrite));
+    // The pointer/flag races are visible too (the system reports all
+    // races, §6.4).
+    assert!(report.races.len() >= 4);
+}
+
+/// §6.4: first-race filtering confines reports to the earliest epoch.
+#[test]
+fn first_race_rule_all_first_races_in_one_epoch() {
+    let stamps: HashMap<IntervalId, IntervalStamp> = HashMap::new();
+    let mk = |addr: u64, epoch: u64| cvm_repro::race::RaceReport {
+        addr: cvm_repro::page::GAddr(addr),
+        kind: RaceKind::WriteWrite,
+        a: IntervalId::new(ProcId(0), 1),
+        b: IntervalId::new(ProcId(1), 1),
+        epoch,
+    };
+    let filtered = filter_first_races(&[mk(8, 4), mk(16, 2), mk(24, 2), mk(32, 9)], &stamps);
+    assert_eq!(filtered.len(), 2);
+    assert!(filtered.iter().all(|r| r.epoch == 2));
+}

@@ -1,0 +1,218 @@
+//! Online detection vs the post-mortem baseline (Adve et al., the paper's
+//! closest related work): identical executions must yield identical racy
+//! addresses, while the baseline's trace storage grows without bound and
+//! the online detector's retained state does not.
+
+use std::collections::BTreeSet;
+
+use cvm_repro::dsm::{Cluster, DsmConfig, ProcHandle};
+use cvm_repro::page::{GAddr, Geometry};
+use cvm_repro::race::trace::analyze_trace;
+
+fn addrs(iter: impl IntoIterator<Item = GAddr>) -> BTreeSet<u64> {
+    iter.into_iter().map(|a| a.0).collect()
+}
+
+/// Runs a body with both online detection and tracing, then checks the
+/// offline analysis finds exactly the same racy addresses.
+fn assert_equivalent<S: Sync>(
+    nprocs: usize,
+    setup: impl FnOnce(&mut cvm_repro::page::SharedAlloc) -> S,
+    body: impl Fn(&ProcHandle, &S) + Sync,
+) -> usize {
+    let mut cfg = DsmConfig::new(nprocs);
+    cfg.trace = true;
+    let geometry = cfg.geometry;
+    let report = Cluster::run(cfg, setup, body);
+    let online = addrs(report.races.distinct_addrs());
+    let (pm_reports, stats) = analyze_trace(&report.traces, geometry);
+    let postmortem = addrs(pm_reports.iter().map(|r| r.addr));
+    assert_eq!(
+        online, postmortem,
+        "online and post-mortem disagree (trace events: {})",
+        stats.events
+    );
+    online.len()
+}
+
+#[test]
+fn equivalent_on_unsynchronized_writes() {
+    let n = assert_equivalent(
+        3,
+        |alloc| alloc.alloc("x", 8).unwrap(),
+        |h, &x| {
+            h.write(x, h.proc() as u64);
+            h.barrier();
+        },
+    );
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn equivalent_on_lock_ordered_program() {
+    let n = assert_equivalent(
+        3,
+        |alloc| alloc.alloc("n", 8).unwrap(),
+        |h, &counter| {
+            for _ in 0..5 {
+                h.lock(1);
+                let v = h.read(counter);
+                h.write(counter, v + 1);
+                h.unlock(1);
+            }
+            h.barrier();
+        },
+    );
+    assert_eq!(n, 0, "locked counter must be clean in both analyses");
+}
+
+#[test]
+fn equivalent_on_mixed_racy_program() {
+    let n = assert_equivalent(
+        4,
+        |alloc| {
+            (
+                alloc.alloc("locked", 8).unwrap(),
+                alloc.alloc("racy", 8).unwrap(),
+                alloc.alloc("scratch", 8 * 16).unwrap(),
+            )
+        },
+        |h, &(locked, racy, scratch)| {
+            let me = h.proc() as u64;
+            for round in 0..3u64 {
+                h.lock(2);
+                let v = h.read(locked);
+                h.write(locked, v + 1);
+                h.unlock(2);
+                // The bug: unsynchronized read-modify-write.
+                let v = h.read(racy);
+                h.write(racy, v + round);
+                // Private-ish scratch: per-proc words (false sharing only).
+                h.write(scratch.word(me), round);
+                h.barrier();
+            }
+        },
+    );
+    assert_eq!(n, 1, "only the racy word is reported by both");
+}
+
+#[test]
+fn equivalent_on_multi_epoch_tsp_style_contention() {
+    let n = assert_equivalent(
+        3,
+        |alloc| {
+            (
+                alloc.alloc("bound", 8).unwrap(),
+                alloc.alloc("queue", 8 * 8).unwrap(),
+            )
+        },
+        |h, &(bound, queue)| {
+            let me = h.proc() as u64;
+            for _ in 0..4 {
+                h.lock(0);
+                let q = h.read(queue.word(me));
+                h.write(queue.word(me), q + 1);
+                h.unlock(0);
+                let _ = h.read(bound); // Unsynchronized bound read.
+                if me == 0 {
+                    h.lock(1);
+                    let b = h.read(bound);
+                    h.write(bound, b + 1); // Locked update.
+                    h.unlock(1);
+                }
+            }
+            h.barrier();
+        },
+    );
+    assert!(n >= 1, "bound race visible to both");
+}
+
+#[test]
+fn trace_grows_with_execution_but_online_state_does_not() {
+    let run = |epochs: usize| {
+        let mut cfg = DsmConfig::new(2);
+        cfg.trace = true;
+        let geometry = cfg.geometry;
+        let report = Cluster::run(
+            cfg,
+            |alloc| alloc.alloc_page_aligned("grid", 2 * 4096).unwrap(),
+            |h, &grid| {
+                let me = h.proc() as u64;
+                for i in 0..epochs as u64 {
+                    for w in 0..16 {
+                        h.write(grid.offset(me * 4096).word(w), i + w);
+                    }
+                    let other = (me + 1) % 2;
+                    let _ = h.read(grid.offset(other * 4096).word(0));
+                    h.barrier();
+                }
+            },
+        );
+        let (_, stats) = analyze_trace(&report.traces, geometry);
+        let online_high_water: u64 = report
+            .nodes
+            .iter()
+            .map(|n| n.stats.bitmap_high_water)
+            .max()
+            .unwrap_or(0);
+        (stats.trace_bytes, online_high_water)
+    };
+    let (bytes_short, hw_short) = run(5);
+    let (bytes_long, hw_long) = run(40);
+    // The baseline's storage scales with execution length...
+    assert!(
+        bytes_long > bytes_short * 4,
+        "trace bytes: {bytes_short} -> {bytes_long}"
+    );
+    // ...while the online detector's retained state plateaus (GC).
+    assert_eq!(hw_short, hw_long, "online retained state grew");
+}
+
+#[test]
+fn pure_baseline_mode_finds_races_without_online_detector() {
+    // detect off + trace on: unmodified CVM messages, offline analysis
+    // still finds the race — the Adve et al. deployment model.
+    let mut cfg = DsmConfig::new(2);
+    cfg.detect.enabled = false;
+    cfg.trace = true;
+    let geometry = cfg.geometry;
+    let report = Cluster::run(
+        cfg,
+        |alloc| alloc.alloc("x", 8).unwrap(),
+        |h, &x| {
+            h.write(x, h.proc() as u64);
+            h.barrier();
+        },
+    );
+    assert!(report.races.is_empty(), "no online detection configured");
+    assert_eq!(
+        report.net.class_bytes(cvm_repro::net::TrafficClass::ReadNotice),
+        0,
+        "tracing must not modify CVM's messages"
+    );
+    let (pm, _) = analyze_trace(&report.traces, geometry);
+    assert_eq!(pm.len(), 1, "the offline analysis still finds the race");
+}
+
+#[test]
+fn equivalence_holds_at_8kb_pages() {
+    let mut cfg = DsmConfig::new(3);
+    cfg.trace = true;
+    cfg.geometry = Geometry::with_page_bytes(8192);
+    let geometry = cfg.geometry;
+    let report = Cluster::run(
+        cfg,
+        |alloc| alloc.alloc("words", 8 * 32).unwrap(),
+        |h, &base| {
+            let me = h.proc() as u64;
+            // Races on word 0; false sharing on per-proc words.
+            h.write(base, me);
+            h.write(base.word(me + 1), me);
+            h.barrier();
+        },
+    );
+    let online = addrs(report.races.distinct_addrs());
+    let (pm, _) = analyze_trace(&report.traces, geometry);
+    assert_eq!(online, addrs(pm.iter().map(|r| r.addr)));
+    assert_eq!(online.len(), 1);
+}

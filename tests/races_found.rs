@@ -1,0 +1,101 @@
+//! The paper's §5 headline results: races found in TSP and Water, none in
+//! FFT and SOR (scaled-down inputs; the full-scale runs live in the
+//! `cvm-bench` harness binaries).
+
+use cvm_repro::apps::{fft, sor, tsp, water};
+use cvm_repro::dsm::DsmConfig;
+use cvm_repro::page::Geometry;
+use cvm_repro::race::RaceKind;
+
+fn cfg(nprocs: usize) -> DsmConfig {
+    let mut cfg = DsmConfig::new(nprocs);
+    // DECstation-style pages, as in the paper's testbed.
+    cfg.geometry = Geometry::with_page_bytes(8192);
+    cfg
+}
+
+#[test]
+fn fft_is_race_free_with_false_sharing_dismissed() {
+    let params = fft::FftParams {
+        m: 16,
+        inverse: false,
+    };
+    let (report, _) = fft::run(cfg(4), params);
+    assert!(
+        report.races.is_empty(),
+        "FFT misreported: {:?}",
+        report.races.reports()
+    );
+    // Its transpose-phase false sharing was examined, not skipped.
+    assert!(report.det_stats.pairs_overlapping > 0);
+}
+
+#[test]
+fn sor_is_race_free_with_no_unsynchronized_sharing() {
+    let (report, _) = sor::run(cfg(4), sor::SorParams::small());
+    assert!(report.races.is_empty());
+    assert_eq!(report.det_stats.intervals_used, 0);
+    assert_eq!(report.det_stats.bitmaps_requested, 0);
+}
+
+#[test]
+fn tsp_bound_race_is_found_and_is_read_write() {
+    let (report, result) = tsp::run(cfg(4), tsp::TspParams::small());
+    let bound = report
+        .segments
+        .segments()
+        .iter()
+        .find(|s| s.name == "MinTourLen")
+        .unwrap()
+        .base;
+    let races = report.races.at(bound);
+    assert!(!races.is_empty(), "the paper's TSP finding");
+    assert!(races.iter().any(|r| r.kind == RaceKind::ReadWrite));
+    // And the race is benign: the tour is still optimal.
+    let dist = tsp::distance_matrix(9, tsp::TspParams::small().seed);
+    let (opt, _) = tsp::solve_reference(&dist, 9);
+    assert_eq!(result.best_len, opt);
+}
+
+#[test]
+fn water_write_write_bug_is_found_and_fix_clears_it() {
+    let (buggy, _) = water::run(cfg(4), water::WaterParams::small());
+    let vir = buggy
+        .segments
+        .segments()
+        .iter()
+        .find(|s| s.name == "VIR")
+        .unwrap()
+        .base;
+    assert!(
+        buggy
+            .races
+            .at(vir)
+            .iter()
+            .any(|r| r.kind == RaceKind::WriteWrite),
+        "the paper's Water finding: {:?}",
+        buggy.races.distinct_addrs()
+    );
+    let (fixed, _) = water::run(cfg(4), water::WaterParams::small().as_fixed());
+    assert!(fixed.races.is_empty());
+}
+
+#[test]
+fn overall_shape_across_the_four_apps() {
+    // Clean apps stay clean and racy apps stay racy at several scales.
+    for nprocs in [2, 3] {
+        let (f, _) = fft::run(
+            cfg(nprocs),
+            fft::FftParams {
+                m: 8,
+                inverse: false,
+            },
+        );
+        let (s, _) = sor::run(cfg(nprocs), sor::SorParams::small());
+        let (t, _) = tsp::run(cfg(nprocs), tsp::TspParams::small());
+        let (w, _) = water::run(cfg(nprocs), water::WaterParams::small());
+        assert!(f.races.is_empty() && s.races.is_empty(), "{nprocs} procs");
+        assert!(!t.races.is_empty(), "{nprocs} procs: TSP race lost");
+        assert!(!w.races.is_empty(), "{nprocs} procs: Water race lost");
+    }
+}

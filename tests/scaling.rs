@@ -1,0 +1,71 @@
+//! Processor-count scaling smoke: every application stays correct and
+//! keeps its race signature from 1 to 6 processes (the figures only show
+//! 1–8; correctness must not depend on the count).
+
+use cvm_repro::apps::{fft, sor, tsp, water};
+use cvm_repro::dsm::DsmConfig;
+
+#[test]
+fn sor_scales() {
+    let params = sor::SorParams { n: 16, iters: 3 };
+    let expect = sor::reference(params);
+    for nprocs in 1..=6 {
+        let (report, result) = sor::run(DsmConfig::new(nprocs), params);
+        assert_eq!(result.grid, expect, "{nprocs} procs");
+        assert!(report.races.is_empty(), "{nprocs} procs");
+    }
+}
+
+#[test]
+fn fft_scales() {
+    let params = fft::FftParams {
+        m: 8,
+        inverse: false,
+    };
+    let input = fft::input_signal(params.n());
+    let expect = fft::dft_reference(&input, false);
+    for nprocs in 1..=6 {
+        let (report, result) = fft::run_on(DsmConfig::new(nprocs), params, &input);
+        for (i, (a, b)) in result.data.iter().zip(&expect).enumerate() {
+            assert!(
+                (a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8,
+                "{nprocs} procs, element {i}"
+            );
+        }
+        assert!(report.races.is_empty(), "{nprocs} procs");
+    }
+}
+
+#[test]
+fn tsp_scales() {
+    let params = tsp::TspParams::small();
+    let dist = tsp::distance_matrix(params.ncities, params.seed);
+    let (opt, _) = tsp::solve_reference(&dist, params.ncities);
+    for nprocs in 1..=6 {
+        let (report, result) = tsp::run(DsmConfig::new(nprocs), params);
+        assert_eq!(result.best_len, opt, "{nprocs} procs");
+        if nprocs > 1 {
+            // With one process there is nobody to race with.
+            assert!(!report.races.is_empty(), "{nprocs} procs: race lost");
+        } else {
+            assert!(report.races.is_empty(), "single proc cannot race");
+        }
+    }
+}
+
+#[test]
+fn water_scales() {
+    let params = water::WaterParams::small();
+    let expect = water::reference(&params);
+    for nprocs in [1, 2, 3, 5] {
+        let (report, result) = water::run(DsmConfig::new(nprocs), params);
+        for (i, (a, b)) in result.positions.iter().zip(&expect.positions).enumerate() {
+            assert!((a - b).abs() < 1e-9, "{nprocs} procs, position {i}");
+        }
+        if nprocs > 1 {
+            assert!(!report.races.is_empty(), "{nprocs} procs: VIR race lost");
+        } else {
+            assert!(report.races.is_empty());
+        }
+    }
+}
