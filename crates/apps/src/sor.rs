@@ -184,10 +184,7 @@ mod tests {
         let (report, result) = run(DsmConfig::new(4), params);
         let expect = reference(params);
         for (idx, (got, want)) in result.grid.iter().zip(&expect).enumerate() {
-            assert!(
-                (got - want).abs() < 1e-12,
-                "cell {idx}: {got} vs {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "cell {idx}: {got} vs {want}");
         }
         assert!(
             report.races.is_empty(),

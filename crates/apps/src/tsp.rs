@@ -242,10 +242,7 @@ pub fn run(cfg: DsmConfig, params: TspParams) -> (RunReport, TspResult) {
             let best = alloc.alloc("BestPath", (n * 8) as u64).unwrap();
             let top = alloc.alloc("StackTop", 8).unwrap();
             let stack = alloc
-                .alloc(
-                    "TourStack",
-                    params.stack_capacity as u64 * entry_words * 8,
-                )
+                .alloc("TourStack", params.stack_capacity as u64 * entry_words * 8)
                 .unwrap();
             (dist_a, bound, best, top, stack)
         },
@@ -297,11 +294,10 @@ pub fn run(cfg: DsmConfig, params: TspParams) -> (RunReport, TspResult) {
                 }
             };
             // Prime the bound with an unsynchronized read, as the
-            // original does before entering the search.  This read sits in
-            // the first post-barrier interval, which is concurrent with
-            // every bound update of the epoch — so as long as any process
-            // improves the bound, the read-write race is observable
-            // regardless of lock-chain timing.
+            // original does before entering the search.  (This alone does
+            // not pin the race: the priming interval ends at the first
+            // QLOCK acquire, so lock chains can order it before every
+            // bound update — see the exit read below.)
             let _ = read_bound(h);
             let mut expansions = 0u64;
             let mut path = vec![0u16; n];
@@ -357,20 +353,14 @@ pub fn run(cfg: DsmConfig, params: TspParams) -> (RunReport, TspResult) {
                         if child_len >= b {
                             continue;
                         }
-                        assert!(
-                            (t as usize) < params.stack_capacity,
-                            "tour stack overflow"
-                        );
+                        assert!((t as usize) < params.stack_capacity, "tour stack overflow");
                         let e = entry(t);
                         h.write(e, (plen_cities + 1) as u64);
                         h.write(e.offset(8), child_len);
                         for (i, &c) in path.iter().enumerate().take(plen_cities) {
                             h.write(e.offset(16 + i as u64 * 8), u64::from(c));
                         }
-                        h.write(
-                            e.offset(16 + plen_cities as u64 * 8),
-                            j as u64,
-                        );
+                        h.write(e.offset(16 + plen_cities as u64 * 8), j as u64);
                         t += 1;
                     }
                     h.write(top, t);
@@ -396,6 +386,13 @@ pub fn run(cfg: DsmConfig, params: TspParams) -> (RunReport, TspResult) {
                     &mut expansions,
                 );
             }
+            // Sample the bound once more on the way out, as the original
+            // does when reporting per-worker statistics.  A worker that
+            // drains early performs no further acquires, so no release
+            // chain can order this read before a later bound improvement:
+            // the read-write race stays observable whenever any process
+            // improves the bound, regardless of how the lock chains fall.
+            let _ = read_bound(h);
             h.barrier();
             *expansions_total.lock() += expansions;
             if h.proc() == 0 {

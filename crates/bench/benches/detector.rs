@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cvm_page::{Geometry, PageBitmaps, PageId};
-use cvm_race::{make_interval, BitmapStore, EpochDetector, Interval, OverlapStrategy, PairEnumeration};
+use cvm_race::{
+    make_interval, BitmapStore, EpochDetector, Interval, OverlapStrategy, PairEnumeration,
+};
 use cvm_vclock::{IntervalId, IntervalStamp, ProcId, VClock};
 use std::hint::black_box;
 
@@ -70,8 +72,45 @@ fn bench_plan_strategies(c: &mut Criterion) {
                 BenchmarkId::new(format!("{strategy:?}"), label),
                 &intervals,
                 |b, ivs| {
-                    let d = EpochDetector { overlap: strategy, ..Default::default() };
+                    let d = EpochDetector {
+                        overlap: strategy,
+                        ..Default::default()
+                    };
                     b.iter(|| black_box(d.plan(black_box(ivs))))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Calibration sweep for [`OverlapStrategy::Auto`]'s quadratic-to-merge
+/// cutover: intersect two half-overlapping notice lists of length `L`
+/// under both candidate strategies.  The crossover length observed here
+/// sets `AUTO_OVERLAP_CUTOVER` in `cvm-race`.
+fn bench_overlap_cutover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlap_cutover");
+    for len in [1u32, 2, 3, 4, 6, 8, 12, 16, 32] {
+        // Sorted lists sharing every other page, the detector's common
+        // partial-overlap shape.
+        let a_pages: Vec<u32> = (0..len).map(|k| k * 2).collect();
+        let b_pages: Vec<u32> = (0..len).map(|k| k * 2 + (k % 2)).collect();
+        let mut vc_a = vec![0u32; 8];
+        vc_a[0] = 1;
+        let mut vc_b = vec![0u32; 8];
+        vc_b[1] = 1;
+        let a = make_interval(0, 1, vc_a, &a_pages, &a_pages);
+        let bv = make_interval(1, 1, vc_b, &b_pages, &b_pages);
+        for strategy in [OverlapStrategy::Quadratic, OverlapStrategy::SortedMerge] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), len),
+                &(&a, &bv),
+                |bch, (a, bv)| {
+                    let d = EpochDetector {
+                        overlap: strategy,
+                        ..Default::default()
+                    };
+                    bch.iter(|| black_box(d.overlap_pages(black_box(a), black_box(bv))))
                 },
             );
         }
@@ -101,8 +140,8 @@ fn bench_pair_enumeration(c: &mut Criterion) {
 }
 
 fn bench_postmortem_analysis(c: &mut Criterion) {
-    use cvm_race::trace::{analyze_trace, TraceEvent};
     use cvm_page::PageBitmaps;
+    use cvm_race::trace::{analyze_trace, TraceEvent};
     // A 4-process, 8-epoch trace with modest computation events.
     let traces: Vec<Vec<TraceEvent>> = (0..4)
         .map(|p| {
@@ -159,6 +198,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_concurrency_check, bench_plan_strategies, bench_pair_enumeration, bench_postmortem_analysis, bench_bitmap_compare
+    targets = bench_concurrency_check, bench_plan_strategies, bench_overlap_cutover, bench_pair_enumeration, bench_postmortem_analysis, bench_bitmap_compare
 }
 criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! End-to-end benchmark of one barrier-master detection epoch at paper
+//! scale (8 nodes), comparing the paper's serial master configuration
+//! (naive all-pairs enumeration, one worker) against this codebase's
+//! default (binary-search pruned enumeration, summary-guarded chunk
+//! comparison, auto worker count).
+//!
+//! The epoch models a lock-heavy application (TSP/Water shape): intervals
+//! close in a global round-robin acquire order, so each interval is
+//! concurrent only with the handful of peers "in flight" around it and
+//! ordered with everything else — the structure the pruned enumeration
+//! exploits.  Page lists overlap between neighbours and the word-level
+//! bitmaps are mostly disjoint (false sharing), the common case the
+//! bitmap summary word short-circuits.
+//!
+//! Results are harvested from the `CSV:` lines into
+//! `bench_results/detector_epoch.csv`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvm_page::{Geometry, PageBitmaps, PageId};
+use cvm_race::{make_interval, BitmapStore, EpochDetector, Interval, PairEnumeration};
+use std::hint::black_box;
+
+const NPROCS: u16 = 8;
+const PER_PROC: u32 = 192;
+/// Intervals "in flight" at once: interval `t` has only seen intervals
+/// that closed at least `WINDOW` positions earlier, so each interval is
+/// concurrent with its `WINDOW - 1` global neighbours on either side —
+/// the paper's observation that almost all pairs are ordered, with a thin
+/// concurrent frontier.
+const WINDOW: u32 = 2;
+const PAGES_PER_LIST: u32 = 4;
+const PAGE_WORDS: usize = 1024; // 8 KB DECstation pages.
+
+/// One lock-heavy barrier epoch: interval `t` of the global round-robin
+/// order belongs to process `t % 8`.  Knowledge propagates with a lag of
+/// [`WINDOW`] positions (the release chains are still in transit for
+/// anything closer), producing the realistic mostly-ordered structure
+/// with a bounded concurrency window that the pruned enumeration
+/// exploits.  Per-process knowledge of each peer is non-decreasing in
+/// program order by construction.
+fn epoch() -> Vec<Interval> {
+    let nprocs = u32::from(NPROCS);
+    let total = nprocs * PER_PROC;
+    let mut out = Vec::new();
+    for t in 0..total {
+        let p = (t % nprocs) as u16;
+        let index = t / nprocs + 1;
+        let mut vc = vec![0u32; usize::from(NPROCS)];
+        for q in 0..nprocs {
+            // Number of q's intervals with global position <= t - WINDOW.
+            vc[q as usize] = if t >= WINDOW + q {
+                (t - WINDOW - q) / nprocs + 1
+            } else {
+                0
+            };
+        }
+        vc[usize::from(p)] = index;
+        let writes: Vec<u32> = (0..PAGES_PER_LIST)
+            .map(|k| (u32::from(p) * 7 + index + k) % 32)
+            .collect();
+        let reads: Vec<u32> = (0..PAGES_PER_LIST)
+            .map(|k| (u32::from(p) * 11 + index + k * 3) % 32)
+            .collect();
+        out.push(make_interval(p, index, vc, &writes, &reads));
+    }
+    out
+}
+
+/// Sparse, mostly per-process-disjoint word bitmaps for every page an
+/// interval noticed: the false-sharing common case, with occasional true
+/// overlaps so the comparison also produces reports.
+fn bitmaps(intervals: &[Interval], g: Geometry) -> BitmapStore {
+    let mut store = BitmapStore::new();
+    for iv in intervals {
+        let p = u32::from(iv.proc().0);
+        let index = iv.id().index;
+        let mut pages: Vec<PageId> = iv
+            .write_notices
+            .iter()
+            .chain(iv.read_notices.iter())
+            .copied()
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        for page in pages {
+            let mut bm = PageBitmaps::new(g.page_words);
+            for k in 0..8u32 {
+                // Word sets are offset by process so most pairs are
+                // word-disjoint; every 16th interval collides on word 0.
+                let w = (p * 101 + k * 37) as usize % g.page_words;
+                if iv.write_notices.contains(&page) {
+                    bm.write.set(w);
+                } else {
+                    bm.read.set(w);
+                }
+            }
+            if index % 16 == 0 && iv.write_notices.contains(&page) {
+                bm.write.set(0);
+            }
+            store.insert(iv.id(), page, bm);
+        }
+    }
+    store
+}
+
+fn run_epoch(d: &EpochDetector, intervals: &[Interval], store: &BitmapStore, g: Geometry) -> usize {
+    let mut plan = d.plan(intervals);
+    let reports = d.compare(&mut plan, store, g, 0).expect("bitmaps present");
+    reports.len()
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let g = Geometry::with_page_bytes(PAGE_WORDS * 8);
+    let intervals = epoch();
+    let store = bitmaps(&intervals, g);
+
+    let serial = EpochDetector {
+        enumeration: PairEnumeration::Naive,
+        workers: 1,
+        ..EpochDetector::new()
+    };
+    let optimized = EpochDetector {
+        enumeration: PairEnumeration::Pruned,
+        workers: 0,
+        ..EpochDetector::new()
+    };
+
+    // Both configurations must agree bit-for-bit on the reports, and the
+    // epoch must genuinely exercise the comparison phase.
+    let probe = optimized.plan(&intervals);
+    assert!(
+        probe.check.entries.len() > 500,
+        "check list unexpectedly small: {}",
+        probe.check.entries.len()
+    );
+    assert_eq!(
+        run_epoch(&serial, &intervals, &store, g),
+        run_epoch(&optimized, &intervals, &store, g),
+    );
+
+    c.bench_function("epoch_8node_serial_baseline", |b| {
+        b.iter(|| black_box(run_epoch(&serial, black_box(&intervals), &store, g)))
+    });
+    c.bench_function("epoch_8node_optimized_default", |b| {
+        b.iter(|| black_box(run_epoch(&optimized, black_box(&intervals), &store, g)))
+    });
+
+    // Phase split: planning alone (enumeration being the serial master's
+    // bottleneck is the effect behind Figure 4's scaling).
+    c.bench_function("plan_8node_naive_serial", |b| {
+        b.iter(|| black_box(serial.plan(black_box(&intervals))))
+    });
+    c.bench_function("plan_8node_pruned", |b| {
+        b.iter(|| black_box(optimized.plan(black_box(&intervals))))
+    });
+
+    // Comparison alone, on the same plan, isolating the summary-guarded
+    // chunk walk.
+    let mut plan = optimized.plan(&intervals);
+    c.bench_function("compare_8node_summary_guarded", |b| {
+        b.iter(|| {
+            plan.stats.bitmap_comparisons = 0;
+            black_box(optimized.compare(&mut plan, &store, g, 0).unwrap())
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_epoch
+}
+criterion_main!(benches);

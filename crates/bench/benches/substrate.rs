@@ -50,13 +50,13 @@ fn bench_codec(c: &mut Criterion) {
         .map(|i| {
             let mut vc = vec![0u32; 8];
             vc[(i % 8) as usize] = i / 8 + 1;
-            make_interval(
+            std::sync::Arc::new(make_interval(
                 (i % 8) as u16,
                 i / 8 + 1,
                 vc,
                 &[i, i + 1, i + 2],
                 &[i + 3, i + 4, i + 5, i + 6],
-            )
+            ))
         })
         .collect();
     let msg = Msg::LockGrant {

@@ -51,7 +51,10 @@ fn overlap_strategies() {
         OverlapStrategy::PageBitmap,
         OverlapStrategy::Auto,
     ] {
-        let d = EpochDetector { overlap: strategy, ..Default::default() };
+        let d = EpochDetector {
+            overlap: strategy,
+            ..Default::default()
+        };
         let started = Instant::now();
         let mut checks = 0usize;
         for _ in 0..10 {
@@ -86,8 +89,7 @@ fn diff_write_detection() {
     let diffs = sor_run(WriteDetection::Diffs);
     let instr_cost = |r: &cvm_dsm::RunReport| {
         let c = r.cats_total();
-        c[cvm_dsm::OverheadCat::ProcCall as usize]
-            + c[cvm_dsm::OverheadCat::AccessCheck as usize]
+        c[cvm_dsm::OverheadCat::ProcCall as usize] + c[cvm_dsm::OverheadCat::AccessCheck as usize]
     };
     let with_stores = instr_cost(&instr);
     let without_stores = instr_cost(&diffs);
@@ -279,5 +281,7 @@ fn online_vs_postmortem() {
         stats.trace_bytes as f64 / 1024.0,
         analysis
     );
-    println!("  (same races; the online system \"does away with trace logs and post-mortem analysis\")");
+    println!(
+        "  (same races; the online system \"does away with trace logs and post-mortem analysis\")"
+    );
 }

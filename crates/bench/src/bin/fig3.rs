@@ -11,9 +11,19 @@ use cvm_dsm::OverheadCat;
 fn main() {
     let mut csv = cvm_bench::results::Csv::new(
         "fig3",
-        &["app", "cvm_mods", "proc_call", "access_check", "intervals", "bitmaps", "total"],
+        &[
+            "app",
+            "cvm_mods",
+            "proc_call",
+            "access_check",
+            "intervals",
+            "bitmaps",
+            "total",
+        ],
     );
-    println!("Figure 3. Overhead Breakdown ({PAPER_PROCS} processors, % of uninstrumented runtime)");
+    println!(
+        "Figure 3. Overhead Breakdown ({PAPER_PROCS} processors, % of uninstrumented runtime)"
+    );
     cvm_bench::rule(86);
     println!(
         "{:<8}{:>12}{:>12}{:>14}{:>12}{:>10}{:>12}",
@@ -24,7 +34,9 @@ fn main() {
         let m = Breakdown::take(app, PAPER_PROCS);
         let bars = m.bars();
         let get = |cat: OverheadCat| -> f64 {
-            bars.iter().find(|(c, _)| *c == cat).map_or(0.0, |(_, v)| *v)
+            bars.iter()
+                .find(|(c, _)| *c == cat)
+                .map_or(0.0, |(_, v)| *v)
         };
         println!(
             "{:<8}{:>12}{:>12}{:>14}{:>12}{:>10}{:>12}",

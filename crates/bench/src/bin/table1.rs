@@ -42,7 +42,12 @@ fn main() {
             "{:<8}{:<20}{:<16}{:>12.0}{:>22.1}{:>12.2}   (paper)",
             "", "", "", p_mem, p_ipb, p_slow
         );
-        csv.row(&[&app.name(), &format!("{mem_kb:.0}"), &format!("{ipb:.2}"), &format!("{:.3}", m.slowdown())]);
+        csv.row(&[
+            &app.name(),
+            &format!("{mem_kb:.0}"),
+            &format!("{ipb:.2}"),
+            &format!("{:.3}", m.slowdown()),
+        ]);
     }
     csv.flush();
     cvm_bench::rule(92);

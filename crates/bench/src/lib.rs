@@ -23,6 +23,11 @@ use cvm_page::Geometry;
 pub const PAPER_PROCS: usize = 8;
 
 /// Builds the paper-testbed configuration: `nprocs` nodes, 8 KB pages.
+///
+/// Detection is pinned to the paper's own comparison algorithm — the
+/// naive all-pairs scan — so the "Intervals" overhead bars of Figures 3
+/// and 4 reproduce the measured system rather than this codebase's
+/// (pruned) default.
 pub fn paper_config(nprocs: usize, detect: bool) -> DsmConfig {
     let mut cfg = DsmConfig::new(nprocs);
     cfg.geometry = Geometry::with_page_bytes(8192);
@@ -31,6 +36,7 @@ pub fn paper_config(nprocs: usize, detect: bool) -> DsmConfig {
     } else {
         DetectConfig::off()
     };
+    cfg.detect.enumeration = cvm_race::PairEnumeration::Naive;
     cfg
 }
 
@@ -217,11 +223,7 @@ mod tests {
     fn measurement_on_small_instance_shows_overhead() {
         // Use a scaled-down SOR so the test stays fast.
         let mk = |detect: bool| {
-            cvm_apps::sor::run(
-                paper_config(2, detect),
-                cvm_apps::sor::SorParams::small(),
-            )
-            .0
+            cvm_apps::sor::run(paper_config(2, detect), cvm_apps::sor::SorParams::small()).0
         };
         let m = Measurement {
             app: App::Sor,
@@ -236,9 +238,7 @@ mod tests {
         let bars = m.overhead_breakdown();
         let instr: f64 = bars
             .iter()
-            .filter(|(c, _)| {
-                matches!(c, OverheadCat::ProcCall | OverheadCat::AccessCheck)
-            })
+            .filter(|(c, _)| matches!(c, OverheadCat::ProcCall | OverheadCat::AccessCheck))
             .map(|(_, v)| v)
             .sum();
         assert!(instr > 0.0);

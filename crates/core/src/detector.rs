@@ -1,12 +1,28 @@
 //! The barrier-master comparison algorithm (paper §4, steps 2–5).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::ops::Range;
 
 use cvm_page::{Bitmap, Geometry, PageBitmaps, PageId};
-use cvm_vclock::IntervalId;
+use cvm_vclock::{IntervalId, ProcId};
 
 use crate::{DetectorStats, Interval, RaceKind, RaceReport};
+
+/// Notice-list length at or below which [`OverlapStrategy::Auto`] uses
+/// the paper's quadratic scan instead of the sorted merge.
+///
+/// Calibrated from the `overlap_cutover` Criterion sweep
+/// (`crates/bench/benches/detector.rs`, harvested into
+/// `bench_results/overlap_cutover.csv`): on half-overlapping lists the
+/// merge is at parity with the scan for single-entry lists (75 ns vs
+/// 76 ns) and strictly faster at every longer length (2 entries: 76 ns
+/// vs 91 ns; 8: 201 ns vs 317 ns; 16: 379 ns vs 836 ns; 32: 659 ns vs
+/// 2179 ns), so the scan is only kept for the degenerate one-page lists
+/// where it skips the merge's cursor bookkeeping.  Earlier revisions
+/// guessed 16; the sweep shows the scan's constant-factor edge never
+/// materialises because both paths allocate the same output vector.
+pub const AUTO_OVERLAP_CUTOVER: usize = 1;
 
 /// Strategy for intersecting two intervals' page notice lists.
 ///
@@ -42,13 +58,15 @@ pub enum OverlapStrategy {
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum PairEnumeration {
     /// The paper's all-pairs scan.
-    #[default]
     Naive,
     /// Binary-search pruning over per-process sorted interval lists.
     ///
     /// Requires stamps from a real execution: a process's knowledge of any
     /// peer must be non-decreasing in program order (always true of
-    /// clocks produced by the protocol).
+    /// clocks produced by the protocol).  The default: it produces the
+    /// same check list as [`PairEnumeration::Naive`] (property-tested)
+    /// with far fewer version-vector comparisons on ordered epochs.
+    #[default]
     Pruned,
 }
 
@@ -200,6 +218,16 @@ pub struct EpochDetector {
     pub overlap: OverlapStrategy,
     /// Concurrent-pair enumeration strategy.
     pub enumeration: PairEnumeration,
+    /// Worker threads for planning and word-level comparison: `0` resolves
+    /// to the host's available parallelism, `1` is the paper's serial
+    /// master.
+    ///
+    /// Every worker count produces **bit-identical** plans, reports, and
+    /// statistics: work is split into contiguous shards of the serial
+    /// iteration order and shard outputs are merged back in shard order,
+    /// so parallelism changes wall-clock time only — never what the
+    /// detector reports or what the simulated cost model charges.
+    pub workers: usize,
 }
 
 impl EpochDetector {
@@ -208,40 +236,124 @@ impl EpochDetector {
         EpochDetector::default()
     }
 
+    /// Resolves the configured worker count against the number of work
+    /// items (shards are never smaller than one item).
+    fn effective_workers(&self, items: usize) -> usize {
+        if items == 0 {
+            return 1;
+        }
+        let cap = match self.workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        cap.clamp(1, items)
+    }
+
     /// Steps 2–3: enumerate concurrent interval pairs among `intervals`
     /// (one barrier epoch) and build the check list.
     ///
     /// Intervals of the same process are never compared — program order
     /// already orders them — so the version-vector comparison count is
     /// bounded by `O(i^2 p^2)` exactly as in the paper.
-    pub fn plan(&self, intervals: &[Interval]) -> DetectionPlan {
+    ///
+    /// With [`EpochDetector::workers`] above one, pair enumeration is
+    /// sharded across threads by contiguous ranges of the serial iteration
+    /// order (outer interval index for [`PairEnumeration::Naive`], process
+    /// pairs for [`PairEnumeration::Pruned`]); the merged check list,
+    /// request set, and statistics are identical to the serial ones.
+    pub fn plan<I: std::borrow::Borrow<Interval>>(&self, intervals: &[I]) -> DetectionPlan {
+        // Accepting any borrow of `Interval` lets the barrier master plan
+        // directly over its `Arc`-shared records without copying them.
+        let intervals: Vec<&Interval> = intervals.iter().map(std::borrow::Borrow::borrow).collect();
+        let intervals = &intervals[..];
         let mut stats = DetectorStats {
             intervals_total: intervals.len() as u64,
             ..DetectorStats::default()
         };
         for iv in intervals {
-            stats.bitmaps_total +=
-                (iv.write_notices.len() + iv.read_notices.len()) as u64;
+            stats.bitmaps_total += (iv.write_notices.len() + iv.read_notices.len()) as u64;
         }
 
-        let mut plan = Planner {
-            detector: self,
-            stats,
-            check: CheckList::default(),
-            requests: BTreeSet::new(),
-            used: BTreeSet::new(),
+        let shards = match self.enumeration {
+            PairEnumeration::Naive => {
+                // Outer index i is compared against everything after it.
+                let n = intervals.len();
+                let weights: Vec<u64> = (0..n).map(|i| (n - 1 - i) as u64).collect();
+                self.run_plan_shards(&weights, |planner, range| {
+                    planner.naive(intervals, range);
+                })
+            }
+            PairEnumeration::Pruned => {
+                let by_proc = group_by_proc(intervals);
+                let procs: Vec<ProcId> = by_proc.keys().copied().collect();
+                let mut pairs = Vec::new();
+                for (x, &p) in procs.iter().enumerate() {
+                    for &q in &procs[x + 1..] {
+                        pairs.push((p, q));
+                    }
+                }
+                let weights: Vec<u64> =
+                    pairs.iter().map(|(p, _)| by_proc[p].len() as u64).collect();
+                self.run_plan_shards(&weights, |planner, range| {
+                    planner.pruned(&by_proc, &pairs[range]);
+                })
+            }
         };
-        match self.enumeration {
-            PairEnumeration::Naive => plan.naive(intervals),
-            PairEnumeration::Pruned => plan.pruned(intervals),
+
+        let mut check = CheckList::default();
+        let mut requests = BTreeSet::new();
+        let mut used = BTreeSet::new();
+        for shard in shards {
+            stats.add(&shard.stats);
+            check.entries.extend(shard.check.entries);
+            requests.extend(shard.requests);
+            used.extend(shard.used);
         }
-        plan.stats.intervals_used = plan.used.len() as u64;
-        plan.stats.bitmaps_requested = plan.requests.len() as u64;
+        stats.intervals_used = used.len() as u64;
+        stats.bitmaps_requested = requests.len() as u64;
         DetectionPlan {
-            check: plan.check,
-            stats: plan.stats,
-            requests: plan.requests,
+            check,
+            stats,
+            requests,
         }
+    }
+
+    /// Runs `fill` over contiguous weight-balanced shards of the serial
+    /// iteration order and returns the per-shard planners **in shard
+    /// order**, so concatenating their outputs reproduces the serial
+    /// result exactly.
+    fn run_plan_shards<F>(&self, weights: &[u64], fill: F) -> Vec<Planner<'_>>
+    where
+        F: Fn(&mut Planner<'_>, Range<usize>) + Sync,
+    {
+        let ranges = balanced_ranges(weights, self.effective_workers(weights.len()));
+        if ranges.len() <= 1 {
+            return ranges
+                .into_iter()
+                .map(|r| {
+                    let mut p = Planner::new(self);
+                    fill(&mut p, r);
+                    p
+                })
+                .collect();
+        }
+        std::thread::scope(|s| {
+            let fill = &fill;
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| {
+                    s.spawn(move || {
+                        let mut p = Planner::new(self);
+                        fill(&mut p, r);
+                        p
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("plan shard panicked"))
+                .collect()
+        })
     }
 
     /// Classifies a single interval pair (exposed for the figure-level unit
@@ -281,7 +393,7 @@ impl EpochDetector {
                     .max(a.read_notices.len())
                     .max(b.write_notices.len())
                     .max(b.read_notices.len());
-                let strategy = if longest <= 16 {
+                let strategy = if longest <= AUTO_OVERLAP_CUTOVER {
                     OverlapStrategy::Quadratic
                 } else {
                     OverlapStrategy::SortedMerge
@@ -303,6 +415,11 @@ impl EpochDetector {
     /// `epoch` tags the resulting reports.  Updates `plan.stats` with the
     /// comparison and race counters.
     ///
+    /// With [`EpochDetector::workers`] above one, check entries are
+    /// sharded across threads by contiguous ranges; merging shard outputs
+    /// in shard order reproduces the serial report order, counters, and
+    /// (on failure) the serial first error exactly.
+    ///
     /// # Errors
     ///
     /// [`DetectError::MissingBitmap`] if `bitmaps` lacks an entry named by
@@ -314,23 +431,36 @@ impl EpochDetector {
         geometry: Geometry,
         epoch: u64,
     ) -> Result<Vec<RaceReport>, DetectError> {
+        let entries = &plan.check.entries;
+        let weights: Vec<u64> = entries.iter().map(|e| e.pages.len() as u64).collect();
+        let ranges = balanced_ranges(&weights, self.effective_workers(entries.len()));
+        let shards: Vec<CompareShard> = if ranges.len() <= 1 {
+            ranges
+                .into_iter()
+                .map(|r| compare_entries(&entries[r], bitmaps, geometry, epoch))
+                .collect()
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|r| {
+                        s.spawn(move || compare_entries(&entries[r], bitmaps, geometry, epoch))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("compare shard panicked"))
+                    .collect()
+            })
+        };
         let mut reports = Vec::new();
-        for entry in &plan.check.entries {
-            for &page in &entry.pages {
-                let ba = bitmaps
-                    .get(entry.a, page)
-                    .ok_or(DetectError::MissingBitmap {
-                        interval: entry.a,
-                        page,
-                    })?;
-                let bb = bitmaps
-                    .get(entry.b, page)
-                    .ok_or(DetectError::MissingBitmap {
-                        interval: entry.b,
-                        page,
-                    })?;
-                plan.stats.bitmap_comparisons += 1;
-                compare_page(entry, page, ba, bb, geometry, epoch, &mut reports);
+        for shard in shards {
+            // Counters and reports of shards past a failing one are
+            // discarded, matching where the serial scan would have stopped.
+            plan.stats.bitmap_comparisons += shard.comparisons;
+            reports.extend(shard.reports);
+            if let Some(err) = shard.error {
+                return Err(err);
             }
         }
         plan.stats.races_found += reports.len() as u64;
@@ -338,7 +468,96 @@ impl EpochDetector {
     }
 }
 
-/// Planning state shared by both enumeration strategies.
+/// Splits `0..weights.len()` into at most `shards` contiguous, non-empty
+/// ranges of roughly equal total weight.  Items are never reordered, so
+/// shard outputs concatenate back into the serial order regardless of the
+/// split.
+fn balanced_ranges(weights: &[u64], shards: usize) -> Vec<Range<usize>> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, n);
+    if shards == 1 {
+        return std::iter::once(0..n).collect();
+    }
+    let total: u64 = weights.iter().sum::<u64>().max(1);
+    let mut out: Vec<Range<usize>> = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        let filled = out.len() as u64 + 1;
+        if filled < shards as u64 && acc * shards as u64 >= total * filled {
+            out.push(start..i + 1);
+            start = i + 1;
+        }
+    }
+    out.push(start..n);
+    out.retain(|r| !r.is_empty());
+    out
+}
+
+/// Groups intervals by owning process, each list sorted by interval index
+/// (the order [`Planner::pruned`]'s binary searches require).
+fn group_by_proc<'a>(intervals: &[&'a Interval]) -> BTreeMap<ProcId, Vec<&'a Interval>> {
+    let mut by_proc: BTreeMap<ProcId, Vec<&'a Interval>> = BTreeMap::new();
+    for &iv in intervals {
+        by_proc.entry(iv.proc()).or_default().push(iv);
+    }
+    for list in by_proc.values_mut() {
+        list.sort_by_key(|iv| iv.id().index);
+    }
+    by_proc
+}
+
+/// One shard's output from the word-level comparison phase.
+struct CompareShard {
+    reports: Vec<RaceReport>,
+    comparisons: u64,
+    error: Option<DetectError>,
+}
+
+/// Compares one contiguous run of check entries, stopping at the first
+/// missing bitmap exactly as the serial scan does.
+fn compare_entries(
+    entries: &[CheckEntry],
+    bitmaps: &BitmapStore,
+    geometry: Geometry,
+    epoch: u64,
+) -> CompareShard {
+    let mut shard = CompareShard {
+        reports: Vec::new(),
+        comparisons: 0,
+        error: None,
+    };
+    'entries: for entry in entries {
+        for &page in &entry.pages {
+            let Some(ba) = bitmaps.get(entry.a, page) else {
+                shard.error = Some(DetectError::MissingBitmap {
+                    interval: entry.a,
+                    page,
+                });
+                break 'entries;
+            };
+            let Some(bb) = bitmaps.get(entry.b, page) else {
+                shard.error = Some(DetectError::MissingBitmap {
+                    interval: entry.b,
+                    page,
+                });
+                break 'entries;
+            };
+            shard.comparisons += 1;
+            compare_page(entry, page, ba, bb, geometry, epoch, &mut shard.reports);
+        }
+    }
+    shard
+}
+
+/// Planning state for one shard (the serial path is the one-shard case).
+///
+/// Every field merges exactly: the stats are additive counters, the check
+/// list concatenates in shard order, and the request/used sets union.
 struct Planner<'d> {
     detector: &'d EpochDetector,
     stats: DetectorStats,
@@ -347,7 +566,17 @@ struct Planner<'d> {
     used: BTreeSet<IntervalId>,
 }
 
-impl Planner<'_> {
+impl<'d> Planner<'d> {
+    fn new(detector: &'d EpochDetector) -> Self {
+        Planner {
+            detector,
+            stats: DetectorStats::default(),
+            check: CheckList::default(),
+            requests: BTreeSet::new(),
+            used: BTreeSet::new(),
+        }
+    }
+
     /// Handles one *known-concurrent* pair: page overlap + check list.
     fn concurrent_pair(&mut self, a: &Interval, b: &Interval) {
         self.stats.pairs_concurrent += 1;
@@ -372,10 +601,11 @@ impl Planner<'_> {
         });
     }
 
-    /// The paper's all-pairs scan.
-    fn naive(&mut self, intervals: &[Interval]) {
-        for (i, a) in intervals.iter().enumerate() {
-            for b in &intervals[i + 1..] {
+    /// The paper's all-pairs scan, over one range of outer indices.
+    fn naive(&mut self, intervals: &[&Interval], range: Range<usize>) {
+        for i in range {
+            let a = intervals[i];
+            for &b in &intervals[i + 1..] {
                 if a.proc() == b.proc() {
                     continue;
                 }
@@ -387,38 +617,25 @@ impl Planner<'_> {
         }
     }
 
-    /// Binary-search pruning: per process pair, the intervals of `q`
-    /// concurrent with a fixed interval of `p` form a contiguous run.
-    fn pruned(&mut self, intervals: &[Interval]) {
-        use std::collections::BTreeMap;
-        let mut by_proc: BTreeMap<cvm_vclock::ProcId, Vec<&Interval>> = BTreeMap::new();
-        for iv in intervals {
-            by_proc.entry(iv.proc()).or_default().push(iv);
-        }
-        for list in by_proc.values_mut() {
-            list.sort_by_key(|iv| iv.id().index);
-        }
-        let procs: Vec<_> = by_proc.keys().copied().collect();
-        for (x, &p) in procs.iter().enumerate() {
-            for &q in &procs[x + 1..] {
-                let pa = &by_proc[&p];
-                let qb = &by_proc[&q];
-                for a in pa {
-                    // Prefix of q ordered before a: indices <= a.vc[q].
-                    let known = a.stamp.vc.get(q);
-                    let lo = partition_probe(qb, &mut self.stats, |b| {
-                        b.id().index <= known
-                    });
-                    // Suffix of q ordered after a: the first whose clock
-                    // has seen a (knowledge is monotone in program order).
-                    let own = a.id().index;
-                    let hi = partition_probe(&qb[lo..], &mut self.stats, |b| {
-                        b.stamp.vc.get(p) < own
-                    }) + lo;
-                    for b in &qb[lo..hi] {
-                        debug_assert!(a.stamp.concurrent_with(&b.stamp));
-                        self.concurrent_pair(a, b);
-                    }
+    /// Binary-search pruning over one run of process pairs: per pair, the
+    /// intervals of `q` concurrent with a fixed interval of `p` form a
+    /// contiguous run.
+    fn pruned(&mut self, by_proc: &BTreeMap<ProcId, Vec<&Interval>>, pairs: &[(ProcId, ProcId)]) {
+        for &(p, q) in pairs {
+            let pa = &by_proc[&p];
+            let qb = &by_proc[&q];
+            for a in pa {
+                // Prefix of q ordered before a: indices <= a.vc[q].
+                let known = a.stamp.vc.get(q);
+                let lo = partition_probe(qb, &mut self.stats, |b| b.id().index <= known);
+                // Suffix of q ordered after a: the first whose clock
+                // has seen a (knowledge is monotone in program order).
+                let own = a.id().index;
+                let hi =
+                    partition_probe(&qb[lo..], &mut self.stats, |b| b.stamp.vc.get(p) < own) + lo;
+                for b in &qb[lo..hi] {
+                    debug_assert!(a.stamp.concurrent_with(&b.stamp));
+                    self.concurrent_pair(a, b);
                 }
             }
         }
@@ -446,7 +663,25 @@ fn partition_probe(
     lo
 }
 
+/// Iterates the bit indices of `mask`, offset for backing word `wi`.
+fn mask_bits(wi: usize, mut mask: u64) -> impl Iterator<Item = usize> {
+    core::iter::from_fn(move || {
+        if mask == 0 {
+            None
+        } else {
+            let tz = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            Some(wi * 64 + tz)
+        }
+    })
+}
+
 /// Compares one page's bitmaps for one concurrent interval pair.
+///
+/// Works a 64-word chunk at a time via [`Bitmap::overlap_chunks`]: the
+/// summary guard skips disjoint bitmap pairs (the false-sharing common
+/// case) without scanning, and the mask arithmetic below suppresses
+/// duplicate reports per chunk instead of per bit.
 fn compare_page(
     entry: &CheckEntry,
     page: PageId,
@@ -463,19 +698,30 @@ fn compare_page(
         b: entry.b,
         epoch,
     };
-    // Write-write conflicts take precedence; collect them first.
-    let mut ww = Bitmap::new(a.write.len());
-    for w in a.write.overlap_words(&b.write) {
-        ww.set(w);
-        out.push(report(w, RaceKind::WriteWrite));
+    // Write-write conflicts take precedence; collect them first, keeping
+    // the racy chunk masks to suppress duplicate read-write reports.
+    let mut ww: Vec<(usize, u64)> = Vec::new();
+    for (wi, m) in a.write.overlap_chunks(&b.write) {
+        for w in mask_bits(wi, m) {
+            out.push(report(w, RaceKind::WriteWrite));
+        }
+        ww.push((wi, m));
     }
-    for w in a.write.overlap_words(&b.read) {
-        if !ww.get(w) {
+    let ww_mask = |wi: usize| -> u64 {
+        ww.binary_search_by_key(&wi, |&(i, _)| i)
+            .map_or(0, |k| ww[k].1)
+    };
+    for (wi, m) in a.write.overlap_chunks(&b.read) {
+        for w in mask_bits(wi, m & !ww_mask(wi)) {
             out.push(report(w, RaceKind::ReadWrite));
         }
     }
-    for w in a.read.overlap_words(&b.write) {
-        if !ww.get(w) && !a.write.get(w) {
+    let a_write = a.write.raw();
+    for (wi, m) in a.read.overlap_chunks(&b.write) {
+        // A word already reported write-write or where `a` also wrote
+        // (covered by the a.write∩b.write / a.write∩b.read passes) is not
+        // reported again.
+        for w in mask_bits(wi, m & !ww_mask(wi) & !a_write[wi]) {
             out.push(report(w, RaceKind::ReadWrite));
         }
     }
@@ -563,7 +809,10 @@ mod tests {
         let a = make_interval(0, 1, vec![1, 0], &[], &[3]);
         let b = make_interval(1, 1, vec![0, 1], &[], &[3]);
         for s in STRATEGIES {
-            let d = EpochDetector { overlap: s, ..Default::default() };
+            let d = EpochDetector {
+                overlap: s,
+                ..Default::default()
+            };
             assert!(d.overlap_pages(&a, &b).is_empty(), "{s:?}");
             assert_eq!(d.classify_pair(&a, &b), PairClass::ConcurrentNoOverlap);
         }
@@ -575,7 +824,10 @@ mod tests {
         let a = make_interval(0, 1, vec![1, 0], &[1, 5], &[2]);
         let b = make_interval(1, 1, vec![0, 1], &[2, 5], &[1]);
         for s in STRATEGIES {
-            let d = EpochDetector { overlap: s, ..Default::default() };
+            let d = EpochDetector {
+                overlap: s,
+                ..Default::default()
+            };
             assert_eq!(
                 d.overlap_pages(&a, &b),
                 vec![PageId(1), PageId(2), PageId(5)],
@@ -589,12 +841,21 @@ mod tests {
         // b's clock has seen a's interval: ordered, even with page overlap.
         let a = make_interval(0, 1, vec![1, 0], &[7], &[]);
         let b = make_interval(1, 1, vec![1, 1], &[7], &[]);
-        let d = EpochDetector::new();
+        let d = EpochDetector {
+            enumeration: PairEnumeration::Naive,
+            ..Default::default()
+        };
         assert_eq!(d.classify_pair(&a, &b), PairClass::Ordered);
-        let plan = d.plan(&[a, b]);
+        let plan = d.plan(&[a.clone(), b.clone()]);
         assert!(plan.check.is_empty());
         assert_eq!(plan.stats.pairs_concurrent, 0);
         assert_eq!(plan.stats.pair_comparisons, 1);
+        // The pruned default reaches the same conclusion (its two binary
+        // search probes both count as comparisons).
+        let pruned = EpochDetector::new().plan(&[a, b]);
+        assert!(pruned.check.is_empty());
+        assert_eq!(pruned.stats.pairs_concurrent, 0);
+        assert_eq!(pruned.stats.pair_comparisons, 2);
     }
 
     #[test]
@@ -705,9 +966,7 @@ mod tests {
         let b = make_interval(1, 1, vec![0, 1], &[0], &[]);
         let d = EpochDetector::new();
         let mut plan = d.plan(&[a.clone(), b]);
-        let err = d
-            .compare(&mut plan, &BitmapStore::new(), g, 0)
-            .unwrap_err();
+        let err = d.compare(&mut plan, &BitmapStore::new(), g, 0).unwrap_err();
         assert!(matches!(err, DetectError::MissingBitmap { .. }));
         assert!(err.to_string().contains("missing access bitmap"));
     }
@@ -731,5 +990,144 @@ mod tests {
         assert_eq!(plan.stats.pairs_concurrent, 1);
         assert_eq!(plan.stats.pairs_overlapping, 0);
         assert_eq!(plan.stats.intervals_used, 0);
+    }
+
+    #[test]
+    fn balanced_ranges_partition_without_reordering() {
+        for (weights, shards) in [
+            (vec![1u64; 10], 3),
+            (vec![9, 8, 7, 6, 5, 4, 3, 2, 1, 0], 4),
+            (vec![0, 0, 5], 2),
+            (vec![5], 8),
+            (vec![0, 0, 0], 2),
+            ((0..100).collect::<Vec<u64>>(), 7),
+        ] {
+            let ranges = balanced_ranges(&weights, shards);
+            assert!(ranges.len() <= shards, "{weights:?} x{shards}");
+            // Contiguous cover of 0..n with no gaps or overlaps.
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "{weights:?} x{shards}");
+                assert!(r.end > r.start, "empty shard for {weights:?}");
+                next = r.end;
+            }
+            assert_eq!(next, weights.len());
+        }
+        assert!(balanced_ranges(&[], 4).is_empty());
+    }
+
+    /// A multi-epoch-sized synthetic input: plans, reports, and statistics
+    /// must be bit-identical for every worker count and both enumerations.
+    #[test]
+    fn worker_count_never_changes_the_result() {
+        let g = Geometry { page_words: 128 };
+        // A mix of ordered and concurrent intervals across 4 procs with
+        // clustered page accesses (deterministic LCG).
+        let nprocs = 4usize;
+        let mut seed = 0x9e37u64;
+        let mut rng = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        let mut intervals = Vec::new();
+        let mut store = BitmapStore::new();
+        for p in 0..nprocs {
+            // Knowledge of each peer must be non-decreasing in program
+            // order (the pruned enumeration's precondition, always true of
+            // protocol-produced clocks).
+            let mut prev = vec![0u32; nprocs];
+            for idx in 1..=6u32 {
+                let mut vc = vec![0u32; nprocs];
+                for (q, slot) in vc.iter_mut().enumerate() {
+                    *slot = if q == p {
+                        idx
+                    } else {
+                        prev[q].max(rng() % (idx + 1))
+                    };
+                }
+                prev.clone_from(&vc);
+                let pages: Vec<u32> = (0..(rng() % 4)).map(|_| rng() % 6).collect();
+                let reads: Vec<u32> = (0..(rng() % 4)).map(|_| rng() % 6).collect();
+                let iv = make_interval(p as u16, idx, vc, &pages, &reads);
+                for pg in pages.iter().chain(&reads) {
+                    let mut bm = PageBitmaps::new(g.page_words);
+                    for _ in 0..3 {
+                        let w = (rng() as usize) % g.page_words;
+                        if rng() % 2 == 0 {
+                            bm.write.set(w);
+                        } else {
+                            bm.read.set(w);
+                        }
+                    }
+                    store.insert(iv.id(), PageId(*pg), bm);
+                }
+                intervals.push(iv);
+            }
+        }
+        for enumeration in [PairEnumeration::Naive, PairEnumeration::Pruned] {
+            let serial = EpochDetector {
+                enumeration,
+                workers: 1,
+                ..Default::default()
+            };
+            let mut ref_plan = serial.plan(&intervals);
+            let ref_reports = serial.compare(&mut ref_plan, &store, g, 3).unwrap();
+            for workers in [2, 3, 8, 64] {
+                let par = EpochDetector {
+                    enumeration,
+                    workers,
+                    ..Default::default()
+                };
+                let mut plan = par.plan(&intervals);
+                assert_eq!(
+                    plan.check.entries, ref_plan.check.entries,
+                    "{enumeration:?} x{workers}: check list diverged"
+                );
+                assert_eq!(
+                    plan.bitmap_requests().collect::<Vec<_>>(),
+                    ref_plan.bitmap_requests().collect::<Vec<_>>()
+                );
+                let reports = par.compare(&mut plan, &store, g, 3).unwrap();
+                assert_eq!(reports, ref_reports, "{enumeration:?} x{workers}");
+                assert_eq!(plan.stats, ref_plan.stats, "{enumeration:?} x{workers}");
+            }
+        }
+    }
+
+    /// The parallel error path reproduces the serial one: same first
+    /// error, same comparison counter at the point of failure.
+    #[test]
+    fn missing_bitmap_error_is_worker_invariant() {
+        let g = Geometry::default();
+        // Three concurrent overlapping pairs; only the first has bitmaps.
+        let a = make_interval(0, 1, vec![1, 0, 0], &[0, 1], &[]);
+        let b = make_interval(1, 1, vec![0, 1, 0], &[0, 1], &[]);
+        let c = make_interval(2, 1, vec![0, 0, 1], &[1], &[]);
+        let mut store = BitmapStore::new();
+        store.insert(a.id(), PageId(0), PageBitmaps::new(g.page_words));
+        store.insert(b.id(), PageId(0), PageBitmaps::new(g.page_words));
+        let intervals = [a, b, c];
+        let serial = EpochDetector {
+            workers: 1,
+            ..Default::default()
+        };
+        let mut ref_plan = serial.plan(&intervals);
+        let ref_err = serial.compare(&mut ref_plan, &store, g, 0).unwrap_err();
+        for workers in [2, 8] {
+            let par = EpochDetector {
+                workers,
+                ..Default::default()
+            };
+            let mut plan = par.plan(&intervals);
+            let err = par.compare(&mut plan, &store, g, 0).unwrap_err();
+            assert_eq!(err, ref_err, "x{workers}");
+            assert_eq!(
+                plan.stats.bitmap_comparisons, ref_plan.stats.bitmap_comparisons,
+                "x{workers}"
+            );
+            assert_eq!(plan.stats.races_found, 0);
+        }
     }
 }

@@ -31,8 +31,7 @@ pub fn filter_first_races(
     // Rule 1: only the earliest epoch containing any race can hold first
     // races.
     let first_epoch = reports.iter().map(|r| r.epoch).min().expect("non-empty");
-    let in_epoch: Vec<&RaceReport> =
-        reports.iter().filter(|r| r.epoch == first_epoch).collect();
+    let in_epoch: Vec<&RaceReport> = reports.iter().filter(|r| r.epoch == first_epoch).collect();
 
     // Rule 2: within the epoch, drop a race if some *other* race strictly
     // affects it: an interval of the other race happens-before-1 an
@@ -40,12 +39,12 @@ pub fn filter_first_races(
     // are both retained, conservatively).
     let affects = |x: &RaceReport, y: &RaceReport| -> bool {
         let pairs = [(x.a, y.a), (x.a, y.b), (x.b, y.a), (x.b, y.b)];
-        pairs.iter().any(|(from, to)| {
-            match (stamps.get(from), stamps.get(to)) {
+        pairs
+            .iter()
+            .any(|(from, to)| match (stamps.get(from), stamps.get(to)) {
                 (Some(f), Some(t)) => f.happens_before(t),
                 _ => false,
-            }
-        })
+            })
     };
 
     let mut first = Vec::new();
@@ -139,7 +138,10 @@ mod tests {
             IntervalId::new(ProcId(1), 1),
             0,
         );
-        assert_eq!(filter_first_races(std::slice::from_ref(&r), &stamps), vec![r]);
+        assert_eq!(
+            filter_first_races(std::slice::from_ref(&r), &stamps),
+            vec![r]
+        );
     }
 
     #[test]

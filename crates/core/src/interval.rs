@@ -110,10 +110,7 @@ impl Wire for Interval {
         })
     }
     fn wire_size(&self) -> u64 {
-        self.stamp.wire_size()
-            + 4
-            + self.write_notices.len() as u64 * 4
-            + self.read_notice_bytes()
+        self.stamp.wire_size() + 4 + self.write_notices.len() as u64 * 4 + self.read_notice_bytes()
     }
 }
 
@@ -129,10 +126,7 @@ pub fn make_interval(
     reads: &[u32],
 ) -> Interval {
     Interval::new(
-        IntervalStamp::new(
-            IntervalId::new(ProcId(proc), index),
-            VClock::from(vc),
-        ),
+        IntervalStamp::new(IntervalId::new(ProcId(proc), index), VClock::from(vc)),
         writes.iter().map(|&p| PageId(p)).collect(),
         reads.iter().map(|&p| PageId(p)).collect(),
     )
@@ -152,10 +146,7 @@ mod tests {
     #[test]
     fn pages_touched_unions_notices() {
         let i = make_interval(0, 1, vec![1, 0], &[3, 1], &[2, 3]);
-        assert_eq!(
-            i.pages_touched(),
-            vec![PageId(1), PageId(2), PageId(3)]
-        );
+        assert_eq!(i.pages_touched(), vec![PageId(1), PageId(2), PageId(3)]);
     }
 
     #[test]

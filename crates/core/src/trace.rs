@@ -70,10 +70,7 @@ impl TraceEvent {
     pub fn trace_bytes(&self) -> u64 {
         match self {
             TraceEvent::Computation { pages } => {
-                8 + pages
-                    .iter()
-                    .map(|(_, bm)| 4 + bm.wire_bytes())
-                    .sum::<u64>()
+                8 + pages.iter().map(|(_, bm)| 4 + bm.wire_bytes()).sum::<u64>()
             }
             TraceEvent::Release { .. } => 8,
             TraceEvent::Acquire { .. } => 16,
@@ -127,10 +124,12 @@ impl Wire for TraceEvent {
             4 => TraceEvent::BarrierResume {
                 epoch: u64::decode(r)?,
             },
-            tag => return Err(WireError::BadTag {
-                what: "TraceEvent",
-                tag,
-            }),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "TraceEvent",
+                    tag,
+                })
+            }
         })
     }
 }
@@ -163,11 +162,9 @@ pub fn load_traces(dir: &Path, nprocs: usize) -> std::io::Result<Vec<Vec<TraceEv
     let mut traces = Vec::with_capacity(nprocs);
     for p in 0..nprocs {
         let mut bytes = Vec::new();
-        std::fs::File::open(dir.join(format!("trace-p{p}.bin")))?
-            .read_to_end(&mut bytes)?;
-        let log = Vec::<TraceEvent>::from_bytes(&bytes).map_err(|e| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-        })?;
+        std::fs::File::open(dir.join(format!("trace-p{p}.bin")))?.read_to_end(&mut bytes)?;
+        let log = Vec::<TraceEvent>::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         traces.push(log);
     }
     Ok(traces)
@@ -382,8 +379,14 @@ mod tests {
     #[test]
     fn unordered_writes_race() {
         let traces = vec![
-            vec![comp(vec![(0, &[], &[3])]), TraceEvent::BarrierArrive { epoch: 0 }],
-            vec![comp(vec![(0, &[], &[3])]), TraceEvent::BarrierArrive { epoch: 0 }],
+            vec![
+                comp(vec![(0, &[], &[3])]),
+                TraceEvent::BarrierArrive { epoch: 0 },
+            ],
+            vec![
+                comp(vec![(0, &[], &[3])]),
+                TraceEvent::BarrierArrive { epoch: 0 },
+            ],
         ];
         let (reports, stats) = analyze_trace(&traces, g());
         assert_eq!(reports.len(), 1);
@@ -417,7 +420,10 @@ mod tests {
         // P1: acquires from P0's release, CS writes word 5.
         let traces = vec![
             vec![
-                TraceEvent::Acquire { lock: 1, from: None },
+                TraceEvent::Acquire {
+                    lock: 1,
+                    from: None,
+                },
                 comp(vec![(2, &[], &[5])]),
                 TraceEvent::Release { lock: 1 },
             ],
@@ -438,14 +444,20 @@ mod tests {
     fn missing_lock_edge_races() {
         let traces = vec![
             vec![
-                TraceEvent::Acquire { lock: 1, from: None },
+                TraceEvent::Acquire {
+                    lock: 1,
+                    from: None,
+                },
                 comp(vec![(2, &[], &[5])]),
                 TraceEvent::Release { lock: 1 },
             ],
             vec![
                 // No acquire pairing: independent critical section on a
                 // DIFFERENT lock.
-                TraceEvent::Acquire { lock: 2, from: None },
+                TraceEvent::Acquire {
+                    lock: 2,
+                    from: None,
+                },
                 comp(vec![(2, &[], &[5])]),
                 TraceEvent::Release { lock: 2 },
             ],
@@ -501,7 +513,10 @@ mod tests {
     fn trace_files_roundtrip() {
         let traces = vec![
             vec![
-                TraceEvent::Acquire { lock: 3, from: None },
+                TraceEvent::Acquire {
+                    lock: 3,
+                    from: None,
+                },
                 comp(vec![(1, &[2], &[5])]),
                 TraceEvent::Release { lock: 3 },
                 TraceEvent::BarrierArrive { epoch: 0 },

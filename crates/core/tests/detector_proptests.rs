@@ -6,9 +6,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use cvm_page::{Geometry, PageBitmaps, PageId};
-use cvm_race::{
-    BitmapStore, EpochDetector, Interval, OverlapStrategy, RaceKind,
-};
+use cvm_race::{BitmapStore, EpochDetector, Interval, OverlapStrategy, RaceKind};
 use cvm_vclock::{IntervalId, IntervalStamp, ProcId, VClock};
 use proptest::prelude::*;
 
@@ -102,8 +100,7 @@ fn normalize(raw: &[RawInterval]) -> (Vec<Interval>, BitmapStore) {
 
 /// Brute-force oracle: every pair of accesses, compared directly.
 fn oracle_races(raw: &[RawInterval], intervals: &[Interval]) -> BTreeSet<(u32, usize)> {
-    let by_id: HashMap<IntervalId, &Interval> =
-        intervals.iter().map(|iv| (iv.id(), iv)).collect();
+    let by_id: HashMap<IntervalId, &Interval> = intervals.iter().map(|iv| (iv.id(), iv)).collect();
     let mut racy = BTreeSet::new();
     let idx_of = |r: &RawInterval, seen: &mut Vec<u32>| -> IntervalId {
         let idx = seen[r.proc] + 1;
@@ -221,7 +218,11 @@ proptest! {
     fn pruned_enumeration_matches_naive(raw in arb_epoch()) {
         use cvm_race::PairEnumeration;
         let (intervals, _) = normalize(&raw);
-        let naive = EpochDetector::new().plan(&intervals);
+        let naive = EpochDetector {
+            enumeration: PairEnumeration::Naive,
+            ..EpochDetector::new()
+        }
+        .plan(&intervals);
         let pruned = EpochDetector {
             enumeration: PairEnumeration::Pruned,
             ..EpochDetector::new()
@@ -263,7 +264,11 @@ fn pruned_enumeration_reduces_comparisons_on_ordered_epochs() {
         // P1's interval j has seen all of P0.
         intervals.push(make_interval(1, j, vec![n, j], &[j + 1000], &[]));
     }
-    let naive = EpochDetector::new().plan(&intervals);
+    let naive = EpochDetector {
+        enumeration: PairEnumeration::Naive,
+        ..EpochDetector::new()
+    }
+    .plan(&intervals);
     let pruned = EpochDetector {
         enumeration: PairEnumeration::Pruned,
         ..EpochDetector::new()

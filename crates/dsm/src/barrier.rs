@@ -18,6 +18,7 @@
 //! barrier in Table 1.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crossbeam::channel::bounded;
 use cvm_page::PageId;
@@ -42,13 +43,13 @@ enum Phase {
     Collecting {
         /// `(worker, clock-at-arrival)`.
         arrived: Vec<(ProcId, VClock)>,
-        /// All interval records of the epoch.
-        records: Vec<Interval>,
+        /// All interval records of the epoch (shared with senders' logs).
+        records: Vec<Arc<Interval>>,
     },
     /// Check list built; waiting for bitmap replies.
     AwaitingBitmaps {
         arrived: Vec<(ProcId, VClock)>,
-        records: Vec<Interval>,
+        records: Vec<Arc<Interval>>,
         plan: DetectionPlan,
         store: BitmapStore,
         pending: usize,
@@ -105,10 +106,10 @@ pub(crate) fn app_barrier(node: &Node, consolidation: bool) {
     rx.recv().expect("barrier release lost");
 }
 
-fn take_unsent(st: &mut NodeCore) -> Vec<Interval> {
+fn take_unsent(st: &mut NodeCore) -> Vec<Arc<Interval>> {
     let ids = std::mem::take(&mut st.unsent_own);
     ids.iter()
-        .map(|id| st.log.get(id).expect("unsent record must be logged").clone())
+        .map(|id| Arc::clone(st.log.get(id).expect("unsent record must be logged")))
         .collect()
 }
 
@@ -118,13 +119,17 @@ pub(crate) fn on_arrive(
     node: &Node,
     from: ProcId,
     vc: VClock,
-    records: Vec<Interval>,
+    records: Vec<Arc<Interval>>,
 ) {
     let c = st.cfg.costs;
     st.clock.add(OverheadCat::Base, c.barrier_arrival);
     let master = st.barrier.as_mut().expect("arrival at non-master");
     let all_arrived = {
-        let Phase::Collecting { arrived, records: all } = &mut master.phase else {
+        let Phase::Collecting {
+            arrived,
+            records: all,
+        } = &mut master.phase
+        else {
             panic!("arrival during bitmap round");
         };
         arrived.push((from, vc));
@@ -157,6 +162,7 @@ fn run_detection(st: &mut NodeCore, node: &Node) {
     let detector = EpochDetector {
         overlap: st.cfg.detect.overlap,
         enumeration: st.cfg.detect.enumeration,
+        workers: st.cfg.detect.workers,
     };
     let plan = detector.plan(&records);
     // "Intervals" overhead: the comparison algorithm, serialized at the
@@ -237,7 +243,8 @@ pub(crate) fn on_bitmap_reply(
                 arrived: Vec::new(),
                 records: Vec::new(),
             },
-        ) else {
+        )
+        else {
             unreachable!();
         };
         finish_detection(st, node, arrived, records, plan, store);
@@ -249,13 +256,14 @@ fn finish_detection(
     st: &mut NodeCore,
     node: &Node,
     arrived: Vec<(ProcId, VClock)>,
-    records: Vec<Interval>,
+    records: Vec<Arc<Interval>>,
     mut plan: DetectionPlan,
     store: BitmapStore,
 ) {
     let detector = EpochDetector {
         overlap: st.cfg.detect.overlap,
         enumeration: st.cfg.detect.enumeration,
+        workers: st.cfg.detect.workers,
     };
     let geometry = st.cfg.geometry;
     let epoch = st.epoch;
@@ -272,10 +280,8 @@ fn finish_detection(
     let reports = if st.cfg.detect.first_races_only {
         if st.race_log.is_empty() {
             // All first races live in the earliest racy epoch (§6.4).
-            let stamps: HashMap<IntervalId, cvm_vclock::IntervalStamp> = records
-                .iter()
-                .map(|r| (r.id(), r.stamp.clone()))
-                .collect();
+            let stamps: HashMap<IntervalId, cvm_vclock::IntervalStamp> =
+                records.iter().map(|r| (r.id(), r.stamp.clone())).collect();
             filter_first_races(&reports, &stamps)
         } else {
             Vec::new()
@@ -293,7 +299,7 @@ fn do_release(
     st: &mut NodeCore,
     node: &Node,
     arrived: Vec<(ProcId, VClock)>,
-    records: Vec<Interval>,
+    records: Vec<Arc<Interval>>,
     races: Vec<cvm_race::RaceReport>,
 ) {
     // Merged knowledge: every arrival clock joined with the master's.
@@ -302,11 +308,14 @@ fn do_release(
         merged.merge(vc);
     }
     let epoch = st.epoch;
+    // One shared copy of the epoch's reports; each release clones `Arc`s
+    // (records and races both), not the underlying data.
+    let races = Arc::new(races);
     for (worker, wvc) in &arrived {
         if *worker == st.proc {
             continue;
         }
-        let missing: Vec<Interval> = records
+        let missing: Vec<Arc<Interval>> = records
             .iter()
             .filter(|r| r.id().index > wvc.get(r.id().proc))
             .cloned()
@@ -314,13 +323,13 @@ fn do_release(
         let msg = Msg::BarrierRelease {
             vc: merged.clone(),
             records: missing,
-            races: races.clone(),
+            races: Arc::clone(&races),
             epoch,
         };
         st.send_msg(&node.sender, *worker, &msg);
     }
     // The master releases itself.
-    let own_missing: Vec<Interval> = records
+    let own_missing: Vec<Arc<Interval>> = records
         .iter()
         .filter(|r| r.id().index > st.vc.get(r.id().proc))
         .cloned()
@@ -332,9 +341,9 @@ fn do_release(
 /// arrival interval, open the next epoch's working interval, GC.
 pub(crate) fn apply_release(
     st: &mut NodeCore,
-    records: Vec<Interval>,
+    records: Vec<Arc<Interval>>,
     vc: VClock,
-    races: Vec<cvm_race::RaceReport>,
+    races: Arc<Vec<cvm_race::RaceReport>>,
     epoch: u64,
 ) {
     assert_eq!(epoch, st.epoch, "barrier epoch mismatch");
@@ -350,15 +359,15 @@ pub(crate) fn apply_release(
     }
     st.apply_records(records, &vc);
     st.open_interval();
-    st.race_log.extend(races);
+    st.race_log.extend(races.iter().cloned());
     st.epoch += 1;
     // GC (§6.3): everything checked this epoch is ordered with respect to
     // all future intervals; drop the records and bitmaps.  Keep only our
     // just-closed quiet interval (still unshipped).
     let me = st.proc;
-    st.log
-        .retain(|id, _| id.proc == me && id.index >= boundary);
-    st.bitmaps.retain(|(id, _)| id.proc != me || id.index >= boundary);
+    st.log.retain(|id, _| id.proc == me && id.index >= boundary);
+    st.bitmaps
+        .retain(|(id, _)| id.proc != me || id.index >= boundary);
     let tx = st.barrier_wait.take().expect("release without waiter");
     let _ = tx.send(());
 }
@@ -368,24 +377,19 @@ fn close_quiet(st: &mut NodeCore) {
     let c = st.cfg.costs;
     st.clock.add(OverheadCat::Base, c.interval_setup);
     if st.cfg.detect.enabled && !st.cfg.detect.instrumentation_only {
-        st.clock
-            .add(OverheadCat::CvmMods, c.interval_detect_extra);
+        st.clock.add(OverheadCat::CvmMods, c.interval_detect_extra);
     }
     let id = IntervalId::new(st.proc, st.cur.index);
     let stamp = cvm_vclock::IntervalStamp::new(id, st.cur.stamp_vc.clone());
     let record = Interval::new(stamp, Vec::new(), Vec::new());
-    st.log.insert(id, record);
+    st.log.insert(id, Arc::new(record));
     st.unsent_own.push(id);
     st.vc.set(st.proc, st.cur.index);
     st.stats.intervals += 1;
 }
 
 /// Worker: answer the master's bitmap request from retained bitmaps.
-pub(crate) fn on_bitmap_req(
-    st: &mut NodeCore,
-    node: &Node,
-    items: Vec<(IntervalId, PageId)>,
-) {
+pub(crate) fn on_bitmap_req(st: &mut NodeCore, node: &Node, items: Vec<(IntervalId, PageId)>) {
     let replies: Vec<(IntervalId, (PageId, cvm_page::PageBitmaps))> = items
         .into_iter()
         .map(|(id, page)| {

@@ -44,7 +44,11 @@ impl Cluster {
     /// Panics if the configuration is invalid, if allocation exceeds the
     /// shared segment, or if any application thread panics (application
     /// assertion failures propagate).
-    pub fn run<S, F>(cfg: DsmConfig, setup: impl FnOnce(&mut SharedAlloc) -> S, body: F) -> RunReport
+    pub fn run<S, F>(
+        cfg: DsmConfig,
+        setup: impl FnOnce(&mut SharedAlloc) -> S,
+        body: F,
+    ) -> RunReport
     where
         S: Sync,
         F: Fn(&ProcHandle, &S) + Sync,
@@ -102,9 +106,9 @@ impl Cluster {
             for (i, (node, ep)) in nodes.iter().zip(endpoints).enumerate() {
                 let node = Arc::clone(node);
                 scope.spawn(move || {
-                    if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || service_loop(&node, ep),
-                    )) {
+                    if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        service_loop(&node, ep)
+                    })) {
                         die("service", i, e);
                     }
                 });
@@ -120,9 +124,9 @@ impl Cluster {
                 let body = &body;
                 let app_state = &app_state;
                 apps.push(scope.spawn(move || {
-                    if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || body(&handle, app_state),
-                    )) {
+                    if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        body(&handle, app_state)
+                    })) {
                         die("application", i, e);
                     }
                 }));
@@ -252,9 +256,7 @@ fn service_loop(node: &Node, ep: Endpoint) {
                 crate::barrier::on_arrive(&mut st, node, from, vc, records)
             }
             Msg::BitmapReq { items } => crate::barrier::on_bitmap_req(&mut st, node, items),
-            Msg::BitmapReply { items } => {
-                crate::barrier::on_bitmap_reply(&mut st, node, items)
-            }
+            Msg::BitmapReply { items } => crate::barrier::on_bitmap_reply(&mut st, node, items),
             Msg::BarrierRelease {
                 vc,
                 records,

@@ -62,6 +62,12 @@ pub struct DetectConfig {
     /// Concurrent-pair enumeration strategy (the paper's simple scan, or
     /// the binary-search pruning its discussion alludes to).
     pub enumeration: PairEnumeration,
+    /// Worker threads for the barrier master's planning and word-level
+    /// comparison phases: `0` uses the host's available parallelism, `1`
+    /// is the paper's serial master.  Race reports and detector statistics
+    /// are bit-identical for every worker count (and therefore so is the
+    /// simulated cost accounting); only wall-clock time changes.
+    pub workers: usize,
     /// Source of write-access information.
     pub write_detection: WriteDetection,
     /// Optional §6.1 watchpoint for replay runs.
@@ -76,7 +82,8 @@ impl DetectConfig {
             instrumentation_only: false,
             first_races_only: false,
             overlap: OverlapStrategy::Auto,
-            enumeration: PairEnumeration::Naive,
+            enumeration: PairEnumeration::Pruned,
+            workers: 0,
             write_detection: WriteDetection::Instrumentation,
             watch: None,
         }

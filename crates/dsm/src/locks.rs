@@ -105,8 +105,7 @@ pub(crate) fn app_unlock(node: &Node, lock: u32) {
     st.close_interval(&node.sender);
     st.open_interval();
     if st.cfg.trace {
-        st.trace
-            .push(cvm_race::trace::TraceEvent::Release { lock });
+        st.trace.push(cvm_race::trace::TraceEvent::Release { lock });
         let idx = (st.trace.len() - 1) as u32;
         st.trace_last_release.insert(lock, idx);
     }
@@ -187,13 +186,7 @@ fn forward(st: &mut NodeCore, node: &Node, lock: u32, requester: ProcId, vc: VCl
 }
 
 /// A forwarded request arriving at the (believed) token holder.
-pub(crate) fn handle_fwd(
-    st: &mut NodeCore,
-    node: &Node,
-    lock: u32,
-    requester: ProcId,
-    vc: VClock,
-) {
+pub(crate) fn handle_fwd(st: &mut NodeCore, node: &Node, lock: u32, requester: ProcId, vc: VClock) {
     let c = st.cfg.costs;
     st.clock.add(OverheadCat::Base, c.lock_handling);
     let can_grant = {
@@ -226,9 +219,7 @@ fn grant(st: &mut NodeCore, node: &Node, lock: u32, to: ProcId, to_vc: &VClock) 
     // Trace pairing: which of our Release events this grant hands over
     // (None for a pristine token).
     let trace_from = if st.cfg.trace {
-        st.trace_last_release
-            .get(&lock)
-            .map(|&idx| (st.proc, idx))
+        st.trace_last_release.get(&lock).map(|&idx| (st.proc, idx))
     } else {
         None
     };
@@ -245,7 +236,7 @@ fn grant(st: &mut NodeCore, node: &Node, lock: u32, to: ProcId, to_vc: &VClock) 
 pub(crate) fn handle_grant(
     st: &mut NodeCore,
     lock: u32,
-    records: Vec<cvm_race::Interval>,
+    records: Vec<std::sync::Arc<cvm_race::Interval>>,
     vc: VClock,
     trace_from: Option<(ProcId, u32)>,
 ) {

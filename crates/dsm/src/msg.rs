@@ -6,6 +6,8 @@
 //! separate traffic classes so the bandwidth-overhead metric of Table 3
 //! falls out of the accounting.
 
+use std::sync::Arc;
+
 use cvm_net::wire::{Reader, Wire, WireError};
 use cvm_net::{ByteBreakdown, TrafficClass};
 use cvm_page::{Diff, PageBitmaps, PageId};
@@ -38,8 +40,9 @@ pub enum Msg {
     LockGrant {
         /// Lock identifier.
         lock: u32,
-        /// Interval records unknown to the requester.
-        records: Vec<Interval>,
+        /// Interval records unknown to the requester (shared with the
+        /// granter's log — cloning the message clones `Arc`s, not records).
+        records: Vec<Arc<Interval>>,
         /// The releaser's clock at its release of this lock.
         vc: VClock,
         /// Post-mortem trace pairing: `(releaser, trace index of the
@@ -122,7 +125,7 @@ pub enum Msg {
         /// Worker's clock.
         vc: VClock,
         /// Interval records created since the last barrier.
-        records: Vec<Interval>,
+        records: Vec<Arc<Interval>>,
     },
     /// The extra round (modification iii): master asks a node for access
     /// bitmaps named by the check list.
@@ -140,9 +143,10 @@ pub enum Msg {
         /// Master's merged clock.
         vc: VClock,
         /// Records the worker has not seen.
-        records: Vec<Interval>,
-        /// Races detected this epoch.
-        races: Vec<RaceReport>,
+        records: Vec<Arc<Interval>>,
+        /// Races detected this epoch (one shared copy fanned out to every
+        /// receiver).
+        races: Arc<Vec<RaceReport>>,
         /// Epoch number just completed.
         epoch: u64,
     },
@@ -171,13 +175,21 @@ const TAG_SHUTDOWN: u8 = 16;
 impl Wire for Msg {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
-            Msg::LockReq { lock, requester, vc } => {
+            Msg::LockReq {
+                lock,
+                requester,
+                vc,
+            } => {
                 buf.push(TAG_LOCK_REQ);
                 lock.encode(buf);
                 requester.encode(buf);
                 vc.encode(buf);
             }
-            Msg::LockFwd { lock, requester, vc } => {
+            Msg::LockFwd {
+                lock,
+                requester,
+                vc,
+            } => {
                 buf.push(TAG_LOCK_FWD);
                 lock.encode(buf);
                 requester.encode(buf);
@@ -280,6 +292,57 @@ impl Wire for Msg {
         }
     }
 
+    /// Arithmetic size: every variant is sized without encoding, so the
+    /// per-message traffic accounting in the send path costs O(records)
+    /// arithmetic instead of a full serialization pass.  Closed forms are
+    /// used for vectors of fixed-size elements; everything else sums the
+    /// components' own arithmetic `wire_size`s.  `send_msg` checks this
+    /// against the real encoding in debug builds.
+    fn wire_size(&self) -> u64 {
+        fn records_size(records: &[Arc<Interval>]) -> u64 {
+            4 + records.iter().map(Wire::wire_size).sum::<u64>()
+        }
+        let body = match self {
+            Msg::LockReq { vc, .. } | Msg::LockFwd { vc, .. } => 4 + 2 + vc.wire_size(),
+            Msg::LockGrant {
+                records,
+                vc,
+                trace_from,
+                ..
+            } => 4 + records_size(records) + vc.wire_size() + trace_from.wire_size(),
+            Msg::PageReadReq { .. }
+            | Msg::PageReadFwd { .. }
+            | Msg::PageOwnReq { .. }
+            | Msg::PageOwnFwd { .. } => 4 + 2,
+            Msg::PageReadReply { data, .. }
+            | Msg::PageOwnReply { data, .. }
+            | Msg::PageFetchReply { data, .. } => 4 + 4 + data.len() as u64 * 8,
+            Msg::PageFetchReq { needed, .. } => 4 + 2 + 4 + needed.len() as u64 * 6,
+            Msg::DiffFlush { diffs, .. } => {
+                2 + 4 + 4 + diffs.iter().map(Wire::wire_size).sum::<u64>()
+            }
+            Msg::BarrierArrive { vc, records, .. } => 2 + vc.wire_size() + records_size(records),
+            Msg::BitmapReq { items } => 4 + items.len() as u64 * (6 + 4),
+            Msg::BitmapReply { items } => {
+                4 + items
+                    .iter()
+                    .map(|(_, (_, bm))| 6 + 4 + bm.wire_size())
+                    .sum::<u64>()
+            }
+            Msg::BarrierRelease {
+                vc, records, races, ..
+            } => {
+                vc.wire_size()
+                    + records_size(records)
+                    + 4
+                    + races.iter().map(Wire::wire_size).sum::<u64>()
+                    + 8
+            }
+            Msg::Shutdown => 0,
+        };
+        1 + body
+    }
+
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         Ok(match u8::decode(r)? {
             TAG_LOCK_REQ => Msg::LockReq {
@@ -294,7 +357,7 @@ impl Wire for Msg {
             },
             TAG_LOCK_GRANT => Msg::LockGrant {
                 lock: u32::decode(r)?,
-                records: Vec::<Interval>::decode(r)?,
+                records: Vec::<Arc<Interval>>::decode(r)?,
                 vc: VClock::decode(r)?,
                 trace_from: Option::<(ProcId, u32)>::decode(r)?,
             },
@@ -339,7 +402,7 @@ impl Wire for Msg {
             TAG_BARRIER_ARRIVE => Msg::BarrierArrive {
                 from: ProcId::decode(r)?,
                 vc: VClock::decode(r)?,
-                records: Vec::<Interval>::decode(r)?,
+                records: Vec::<Arc<Interval>>::decode(r)?,
             },
             TAG_BITMAP_REQ => Msg::BitmapReq {
                 items: Vec::<(IntervalId, PageId)>::decode(r)?,
@@ -349,8 +412,8 @@ impl Wire for Msg {
             },
             TAG_BARRIER_RELEASE => Msg::BarrierRelease {
                 vc: VClock::decode(r)?,
-                records: Vec::<Interval>::decode(r)?,
-                races: Vec::<RaceReport>::decode(r)?,
+                records: Vec::<Arc<Interval>>::decode(r)?,
+                races: Arc::<Vec<RaceReport>>::decode(r)?,
                 epoch: u64::decode(r)?,
             },
             TAG_SHUTDOWN => Msg::Shutdown,
@@ -371,13 +434,13 @@ impl Msg {
         let total = self.wire_size();
         match self {
             Msg::LockGrant { records, .. } | Msg::BarrierArrive { records, .. } => {
-                let rn: u64 = records.iter().map(Interval::read_notice_attr_bytes).sum();
+                let rn: u64 = records.iter().map(|r| r.read_notice_attr_bytes()).sum();
                 let mut b = ByteBreakdown::single(TrafficClass::Sync, total - rn);
                 b.add(TrafficClass::ReadNotice, rn);
                 b
             }
             Msg::BarrierRelease { records, .. } => {
-                let rn: u64 = records.iter().map(Interval::read_notice_attr_bytes).sum();
+                let rn: u64 = records.iter().map(|r| r.read_notice_attr_bytes()).sum();
                 let mut b = ByteBreakdown::single(TrafficClass::Sync, total - rn);
                 b.add(TrafficClass::ReadNotice, rn);
                 b
@@ -435,7 +498,7 @@ mod tests {
         });
         roundtrip(Msg::LockGrant {
             lock: 5,
-            records: vec![iv.clone()],
+            records: vec![Arc::new(iv.clone())],
             vc: VClock::from(vec![4, 4]),
             trace_from: Some((ProcId(1), 7)),
         });
@@ -483,7 +546,7 @@ mod tests {
         roundtrip(Msg::BarrierArrive {
             from: ProcId(2),
             vc: VClock::from(vec![1, 2, 3]),
-            records: vec![iv.clone()],
+            records: vec![Arc::new(iv.clone())],
         });
         roundtrip(Msg::BitmapReq {
             items: vec![(iv.id(), PageId(1))],
@@ -493,11 +556,104 @@ mod tests {
         });
         roundtrip(Msg::BarrierRelease {
             vc: VClock::from(vec![5, 5]),
-            records: vec![iv.clone()],
-            races: vec![],
+            records: vec![Arc::new(iv.clone())],
+            races: Arc::new(vec![]),
             epoch: 9,
         });
         roundtrip(Msg::Shutdown);
+    }
+
+    /// The arithmetic `wire_size` must match the encoder byte-for-byte on
+    /// the hot variants with non-trivial payloads (empty collections,
+    /// absent options, bitmaps whose bit count is not a word multiple).
+    #[test]
+    fn wire_size_matches_encoding_on_hot_variants() {
+        use cvm_page::Bitmap;
+        let iv0 = make_interval(0, 1, vec![1, 0, 0], &[], &[]);
+        let iv1 = make_interval(2, 5, vec![1, 0, 5], &[0, 1, 2, 3], &[9; 40]);
+        let iv0 = Arc::new(iv0);
+        let iv1 = Arc::new(iv1);
+        roundtrip(Msg::LockGrant {
+            lock: 1,
+            records: vec![],
+            vc: VClock::from(vec![0, 0, 0]),
+            trace_from: None,
+        });
+        roundtrip(Msg::LockGrant {
+            lock: 1,
+            records: vec![Arc::clone(&iv0), Arc::clone(&iv1)],
+            vc: VClock::from(vec![3, 1, 5]),
+            trace_from: None,
+        });
+        roundtrip(Msg::BarrierArrive {
+            from: ProcId(2),
+            vc: VClock::from(vec![1, 2, 3]),
+            records: vec![Arc::clone(&iv0), Arc::clone(&iv1), Arc::clone(&iv0)],
+        });
+        roundtrip(Msg::PageReadReply {
+            page: PageId(3),
+            data: vec![],
+        });
+        roundtrip(Msg::PageFetchReq {
+            page: PageId(1),
+            requester: ProcId(1),
+            needed: vec![(ProcId(0), 4), (ProcId(2), 1), (ProcId(3), 9)],
+        });
+        roundtrip(Msg::DiffFlush {
+            writer: ProcId(0),
+            interval: 2,
+            diffs: vec![
+                Diff {
+                    page: PageId(0),
+                    entries: vec![],
+                },
+                Diff {
+                    page: PageId(7),
+                    entries: vec![(1, 2), (3, 4), (5, 6)],
+                },
+            ],
+        });
+        roundtrip(Msg::BitmapReq { items: vec![] });
+        let mut odd = PageBitmaps::new(65);
+        odd.read.set(64);
+        odd.write.set(0);
+        roundtrip(Msg::BitmapReply {
+            items: vec![
+                (iv0.id(), (PageId(1), PageBitmaps::new(64))),
+                (iv1.id(), (PageId(2), odd)),
+                (
+                    iv1.id(),
+                    (
+                        PageId(3),
+                        PageBitmaps {
+                            read: Bitmap::new(1),
+                            write: Bitmap::new(1),
+                        },
+                    ),
+                ),
+            ],
+        });
+        roundtrip(Msg::BarrierRelease {
+            vc: VClock::from(vec![5, 5, 5]),
+            records: vec![iv1],
+            races: Arc::new(vec![
+                cvm_race::RaceReport {
+                    addr: cvm_page::GAddr(64),
+                    kind: cvm_race::RaceKind::WriteWrite,
+                    a: iv0.id(),
+                    b: iv0.id(),
+                    epoch: 3,
+                },
+                cvm_race::RaceReport {
+                    addr: cvm_page::GAddr(128),
+                    kind: cvm_race::RaceKind::ReadWrite,
+                    a: iv0.id(),
+                    b: iv0.id(),
+                    epoch: 3,
+                },
+            ]),
+            epoch: 3,
+        });
     }
 
     #[test]
@@ -506,7 +662,7 @@ mod tests {
         let rn = iv.read_notice_bytes();
         let msg = Msg::LockGrant {
             lock: 0,
-            records: vec![iv],
+            records: vec![Arc::new(iv)],
             vc: VClock::from(vec![1, 0]),
             trace_from: None,
         };

@@ -1,6 +1,7 @@
 //! Per-node protocol state and the shared-memory access path.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
 use crossbeam::channel::Sender;
 use cvm_instrument::AnalysisRuntime;
@@ -130,7 +131,9 @@ pub(crate) struct NodeCore {
     pub vc: VClock,
     pub cur: OpenInterval,
     /// Known interval records (own and received), for lock grants.
-    pub log: BTreeMap<IntervalId, Interval>,
+    /// `Arc`-shared: grants and barrier fan-out reference these records
+    /// instead of deep-cloning them per receiver.
+    pub log: BTreeMap<IntervalId, Arc<Interval>>,
     /// Own records not yet shipped at a barrier.
     pub unsent_own: Vec<IntervalId>,
     /// Retained access bitmaps for own intervals (until checked).
@@ -260,7 +263,17 @@ impl NodeCore {
     /// Panics if the encoded message exceeds the configured system maximum
     /// — the hard limit that capped the paper's input sizes (§5.3).
     pub fn send_msg(&mut self, sender: &NetSender, dst: ProcId, msg: &Msg) {
-        let payload = msg.to_bytes();
+        // `wire_size` is arithmetic, so the buffer is allocated exactly
+        // once at the right size and never grows during encoding.
+        let predicted = msg.wire_size();
+        let mut payload = Vec::with_capacity(predicted as usize);
+        msg.encode(&mut payload);
+        debug_assert_eq!(
+            payload.len() as u64,
+            predicted,
+            "wire_size out of sync with encode for {:?}",
+            msg_kind(msg)
+        );
         let breakdown = msg.breakdown();
         // Sender-side packetization cost, attributed per class: read-notice
         // bytes are detection overhead ("CVM Mods"), bitmap bytes belong to
@@ -278,9 +291,7 @@ impl NodeCore {
         }
         sender
             .send(dst, self.clock.now(), breakdown, payload)
-            .unwrap_or_else(|e| {
-                panic!("P{} -> P{} {:?}: {e}", self.proc.0, dst.0, msg_kind(msg))
-            });
+            .unwrap_or_else(|e| panic!("P{} -> P{} {:?}: {e}", self.proc.0, dst.0, msg_kind(msg)));
     }
 
     /// Synchronizes the clock with an incoming packet.
@@ -299,7 +310,8 @@ impl NodeCore {
         self.clock.add(OverheadCat::Base, c.interval_setup);
         let detect = self.cfg.detect.enabled && !self.cfg.detect.instrumentation_only;
         if detect {
-            self.clock.add(OverheadCat::CvmMods, c.interval_detect_extra);
+            self.clock
+                .add(OverheadCat::CvmMods, c.interval_detect_extra);
         }
 
         let id = IntervalId::new(self.proc, self.cur.index);
@@ -337,7 +349,7 @@ impl NodeCore {
             }
         }
 
-        self.log.insert(id, record);
+        self.log.insert(id, Arc::new(record));
         self.unsent_own.push(id);
         self.vc.set(self.proc, self.cur.index);
         self.stats.intervals += 1;
@@ -353,8 +365,7 @@ impl NodeCore {
     /// races", §6.4, and discards it then).
     pub fn note_high_water(&mut self) {
         self.stats.log_high_water = self.stats.log_high_water.max(self.log.len() as u64);
-        self.stats.bitmap_high_water =
-            self.stats.bitmap_high_water.max(self.bitmaps.len() as u64);
+        self.stats.bitmap_high_water = self.stats.bitmap_high_water.max(self.bitmaps.len() as u64);
     }
 
     /// Opens the next interval with a fresh stamp snapshot.
@@ -385,9 +396,7 @@ impl NodeCore {
             // Diff-derived write detection (§6.5): the write bitmap is the
             // set of words whose value changed; same-value overwrites are
             // invisible, the documented weaker guarantee.
-            if self.cfg.detect.enabled
-                && self.cfg.detect.write_detection == WriteDetection::Diffs
-            {
+            if self.cfg.detect.enabled && self.cfg.detect.write_detection == WriteDetection::Diffs {
                 let bm = self
                     .cur
                     .bitmaps
@@ -421,7 +430,7 @@ impl NodeCore {
 
     /// Applies received interval records: logs them, invalidates pages named
     /// by write notices, and merges the sender's clock.
-    pub fn apply_records(&mut self, records: Vec<Interval>, sender_vc: &VClock) {
+    pub fn apply_records(&mut self, records: Vec<Arc<Interval>>, sender_vc: &VClock) {
         for rec in records {
             let id = rec.id();
             if id.proc == self.proc || id.index <= self.vc.get(id.proc) {
@@ -459,7 +468,7 @@ impl NodeCore {
     /// Records above `requester_vc` but within `upper` — the consistency
     /// information a lock grant carries: what the releaser knew *at the
     /// release*, minus what the requester already has.
-    pub fn records_between(&self, requester_vc: &VClock, upper: &VClock) -> Vec<Interval> {
+    pub fn records_between(&self, requester_vc: &VClock, upper: &VClock) -> Vec<Arc<Interval>> {
         self.log
             .values()
             .filter(|rec| {
@@ -649,13 +658,13 @@ mod tests {
         core.pages.install_zeroed(PageId(7), Protection::Read);
         let rec = cvm_race::make_interval(1, 1, vec![0, 1], &[7], &[]);
         let sender_vc = VClock::from(vec![0, 1]);
-        core.apply_records(vec![rec], &sender_vc);
+        core.apply_records(vec![Arc::new(rec)], &sender_vc);
         assert_eq!(core.pages.protection(PageId(7)), Protection::Invalid);
         assert_eq!(core.vc.get(ProcId(1)), 1);
         assert_eq!(core.stats.records_applied, 1);
         // Re-applying is a no-op.
         let rec2 = cvm_race::make_interval(1, 1, vec![0, 1], &[7], &[]);
-        core.apply_records(vec![rec2], &sender_vc);
+        core.apply_records(vec![Arc::new(rec2)], &sender_vc);
         assert_eq!(core.stats.records_applied, 1);
     }
 
@@ -670,8 +679,7 @@ mod tests {
         core.open_interval();
         // Requester has seen interval 1 of P0 but not 2; the release knew
         // both.
-        let missing =
-            core.records_between(&VClock::from(vec![1, 0]), &VClock::from(vec![2, 0]));
+        let missing = core.records_between(&VClock::from(vec![1, 0]), &VClock::from(vec![2, 0]));
         assert_eq!(missing.len(), 1);
         assert_eq!(missing[0].id().index, 2);
         // A release older than the requester's knowledge ships nothing.

@@ -37,13 +37,7 @@ pub(crate) struct Node {
 
 /// Application-thread shared access.  Returns the value read (or the value
 /// written, for writes).
-pub(crate) fn shared_access(
-    node: &Node,
-    addr: GAddr,
-    write: bool,
-    value: u64,
-    site: u32,
-) -> u64 {
+pub(crate) fn shared_access(node: &Node, addr: GAddr, write: bool, value: u64, site: u32) -> u64 {
     let mut st = node.state.lock();
     let c = st.cfg.costs;
     st.clock.add(OverheadCat::Base, c.access);
@@ -165,8 +159,7 @@ fn fault<'a>(
             }
         }
         Protocol::MultiWriter => {
-            let needed: Vec<(ProcId, u32)> =
-                st.mw_seen.get(&page).cloned().unwrap_or_default();
+            let needed: Vec<(ProcId, u32)> = st.mw_seen.get(&page).cloned().unwrap_or_default();
             if home == me {
                 let satisfied = {
                     let h = st.mw_home.entry(page).or_default();
@@ -242,7 +235,10 @@ fn reply_read(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
 }
 
 fn transfer_ownership(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
-    debug_assert!(st.pages.protection(page).writable(), "transfer by non-owner");
+    debug_assert!(
+        st.pages.protection(page).writable(),
+        "transfer by non-owner"
+    );
     let data = page_data(st, page);
     st.pages.protect(page, Protection::Read);
     st.send_msg(&node.sender, requester, &Msg::PageOwnReply { page, data });
@@ -314,7 +310,11 @@ pub(crate) fn on_page_own_fwd(st: &mut NodeCore, node: &Node, page: PageId, requ
 
 /// Faulting node: page contents arrive (read copy or ownership).
 pub(crate) fn on_page_reply(st: &mut NodeCore, page: PageId, data: Vec<u64>, own: bool) {
-    let prot = if own { Protection::Write } else { Protection::Read };
+    let prot = if own {
+        Protection::Write
+    } else {
+        Protection::Read
+    };
     if own {
         st.pending_local_write.insert(page);
     }
@@ -468,13 +468,7 @@ mod mw_tests {
         let (home, eps) = mw_node(0);
         {
             let mut st = home.state.lock();
-            on_page_fetch_req(
-                &mut st,
-                &home,
-                PageId(0),
-                ProcId(1),
-                vec![(ProcId(1), 3)],
-            );
+            on_page_fetch_req(&mut st, &home, PageId(0), ProcId(1), vec![(ProcId(1), 3)]);
             assert_eq!(
                 st.mw_home[&PageId(0)].waiting.len(),
                 1,

@@ -325,12 +325,7 @@ fn first_races_only_reports_earliest_epoch() {
         c.detect.first_races_only = first_only;
         Cluster::run(
             c,
-            |alloc| {
-                (
-                    alloc.alloc("a", 8).unwrap(),
-                    alloc.alloc("b", 8).unwrap(),
-                )
-            },
+            |alloc| (alloc.alloc("a", 8).unwrap(), alloc.alloc("b", 8).unwrap()),
             |h, &(a, b)| {
                 // Epoch 0: race on `a`.
                 h.write(a, h.proc() as u64);
@@ -344,13 +339,21 @@ fn first_races_only_reports_earliest_epoch() {
     let all = run(false);
     let epochs_all: std::collections::BTreeSet<u64> =
         all.races.reports().iter().map(|r| r.epoch).collect();
-    assert_eq!(epochs_all.len(), 2, "races in both epochs: {all:?}", all = all.races);
+    assert_eq!(
+        epochs_all.len(),
+        2,
+        "races in both epochs: {all:?}",
+        all = all.races
+    );
     let first = run(true);
     assert!(!first.races.is_empty());
     let epochs_first: std::collections::BTreeSet<u64> =
         first.races.reports().iter().map(|r| r.epoch).collect();
     assert_eq!(epochs_first.len(), 1);
-    assert_eq!(epochs_first.into_iter().next(), epochs_all.into_iter().next());
+    assert_eq!(
+        epochs_first.into_iter().next(),
+        epochs_all.into_iter().next()
+    );
 }
 
 #[test]

@@ -7,12 +7,7 @@ use proptest::prelude::*;
 /// Exclusive-writer pattern: each proc owns a random set of words, writes
 /// random values, crosses a barrier; everyone must read exactly what the
 /// owner wrote (ordered by the barrier), under both protocols.
-fn exclusive_writer_case(
-    nprocs: usize,
-    protocol: Protocol,
-    owners: &[usize],
-    values: &[u64],
-) {
+fn exclusive_writer_case(nprocs: usize, protocol: Protocol, owners: &[usize], values: &[u64]) {
     let report = Cluster::run(
         {
             let mut c = DsmConfig::new(nprocs);

@@ -46,6 +46,8 @@ mod object;
 mod runtime;
 pub mod synth;
 
-pub use classify::{classify, classify_with, AccessClass, ClassCounts, ClassifyConfig, InstrumentedBinary};
+pub use classify::{
+    classify, classify_with, AccessClass, ClassCounts, ClassifyConfig, InstrumentedBinary,
+};
 pub use object::{FuncDesc, Inst, MemOp, ObjectFile, Reg, Section};
 pub use runtime::AnalysisRuntime;

@@ -109,11 +109,7 @@ impl ObjectFile {
     }
 
     /// Creates an object file with an explicit function table.
-    pub fn with_funcs(
-        name: impl Into<String>,
-        funcs: Vec<FuncDesc>,
-        insts: Vec<Inst>,
-    ) -> Self {
+    pub fn with_funcs(name: impl Into<String>, funcs: Vec<FuncDesc>, insts: Vec<Inst>) -> Self {
         let obj = ObjectFile {
             name: name.into(),
             funcs,
@@ -160,7 +156,10 @@ mod tests {
 
     #[test]
     fn object_file_basics() {
-        let obj = ObjectFile::new("toy", vec![Inst::simple(MemOp::Load, Reg::Fp, Section::App)]);
+        let obj = ObjectFile::new(
+            "toy",
+            vec![Inst::simple(MemOp::Load, Reg::Fp, Section::App)],
+        );
         assert_eq!(obj.len(), 1);
         assert!(!obj.is_empty());
         assert_eq!(obj.to_string(), "toy (1 loads/stores, 1 functions)");

@@ -269,8 +269,7 @@ impl Network {
         Arc<crate::reliable::ReliabilityStats>,
     ) {
         let stats = NetStats::new();
-        let (outbound_txs, deliver_rxs, rstats) =
-            crate::reliable::build_reliable_fabric(n, loss);
+        let (outbound_txs, deliver_rxs, rstats) = crate::reliable::build_reliable_fabric(n, loss);
         let endpoints = outbound_txs
             .into_iter()
             .zip(deliver_rxs)

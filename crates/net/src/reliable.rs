@@ -82,10 +82,7 @@ enum Dgram {
         packet: Packet,
     },
     /// Cumulative acknowledgement: all data with `seq <= upto` received.
-    Ack {
-        flow_dst: ProcId,
-        upto: u64,
-    },
+    Ack { flow_dst: ProcId, upto: u64 },
 }
 
 /// Sending-half state for one flow (this node → one peer).
@@ -309,7 +306,10 @@ pub(crate) fn build_reliable_fabric(n: usize, config: LossConfig) -> ReliableFab
             outbound_rx,
             deliver_tx,
             config,
-            drop_rng: DropRng::new(config.seed ^ (i as u64).wrapping_mul(0x1234_5677), config.drop_rate),
+            drop_rng: DropRng::new(
+                config.seed ^ (i as u64).wrapping_mul(0x1234_5677),
+                config.drop_rate,
+            ),
             stats: Arc::clone(&stats),
             tx_flows: HashMap::new(),
             rx_flows: HashMap::new(),

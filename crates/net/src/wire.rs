@@ -38,7 +38,10 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::Truncated { needed, remaining } => {
-                write!(f, "truncated message: needed {needed} bytes, had {remaining}")
+                write!(
+                    f,
+                    "truncated message: needed {needed} bytes, had {remaining}"
+                )
             }
             WireError::BadTag { what, tag } => write!(f, "bad tag {tag} decoding {what}"),
             WireError::Trailing(n) => write!(f, "{n} trailing bytes after decode"),
@@ -210,6 +213,22 @@ impl<T: Wire> Wire for Vec<T> {
     }
 }
 
+impl<T: Wire> Wire for std::sync::Arc<T> {
+    // Transparent: an `Arc` on the wire is just its payload.  Protocol
+    // structures fanned out to many receivers (barrier releases, lock
+    // grants) share one allocation in memory and encode per receiver
+    // without deep-cloning.
+    fn encode(&self, buf: &mut Vec<u8>) {
+        T::encode(self, buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(std::sync::Arc::new(T::decode(r)?))
+    }
+    fn wire_size(&self) -> u64 {
+        T::wire_size(self)
+    }
+}
+
 impl<T: Wire> Wire for Option<T> {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
@@ -224,7 +243,10 @@ impl<T: Wire> Wire for Option<T> {
         match u8::decode(r)? {
             0 => Ok(None),
             1 => Ok(Some(T::decode(r)?)),
-            tag => Err(WireError::BadTag { what: "Option", tag }),
+            tag => Err(WireError::BadTag {
+                what: "Option",
+                tag,
+            }),
         }
     }
     fn wire_size(&self) -> u64 {
@@ -444,6 +466,17 @@ mod tests {
     }
 
     #[test]
+    fn arc_is_wire_transparent() {
+        use std::sync::Arc;
+        roundtrip(Arc::new(vec![1u64, 2, 3]));
+        roundtrip(vec![Arc::new(7u32), Arc::new(8)]);
+        // An Arc'd value encodes identically to the bare value.
+        let v = vec![5u32, 6];
+        assert_eq!(Arc::new(v.clone()).to_bytes(), v.to_bytes());
+        assert_eq!(Arc::new(v.clone()).wire_size(), v.wire_size());
+    }
+
+    #[test]
     fn vclock_vocabulary_roundtrips() {
         roundtrip(ProcId(3));
         roundtrip(VClock::from(vec![1, 2, 3]));
@@ -491,7 +524,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = WireError::Truncated { needed: 8, remaining: 3 };
+        let e = WireError::Truncated {
+            needed: 8,
+            remaining: 3,
+        };
         assert!(e.to_string().contains("needed 8"));
     }
 }

@@ -70,8 +70,7 @@ fn heavy_loss_still_delivers_everything_in_order() {
 fn duplicates_are_suppressed() {
     // With ACK loss, data gets retransmitted after delivery: the receiver
     // must not see it twice.
-    let (eps, _, rstats) =
-        Network::with_loss(2, NetConfig::default(), LossConfig::new(0.3, 99));
+    let (eps, _, rstats) = Network::with_loss(2, NetConfig::default(), LossConfig::new(0.3, 99));
     send_n(&eps, 0, 1, 100);
     assert_eq!(recv_all(&eps, 1, 100), (0..100).collect::<Vec<_>>());
     // Nothing further arrives even after retransmission windows pass.

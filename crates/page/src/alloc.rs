@@ -238,7 +238,10 @@ mod tests {
         assert_eq!(off, 4088);
         // One past the end of the last segment is unmapped.
         assert!(map.resolve(arr.offset(4096)).is_none());
-        assert_eq!(map.symbolize(arr.offset(4096)), format!("{}", arr.offset(4096)));
+        assert_eq!(
+            map.symbolize(arr.offset(4096)),
+            format!("{}", arr.offset(4096))
+        );
     }
 
     #[test]

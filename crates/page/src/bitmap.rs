@@ -6,6 +6,14 @@
 //! non-empty intersection of a write bitmap with another interval's read or
 //! write bitmap is a data race, while page overlap without word overlap is
 //! false sharing.
+//!
+//! Each bitmap additionally maintains a one-`u64` *coarse summary word*:
+//! bit `j` of the summary is set iff any backing word in block `j` is
+//! non-zero (blocks partition the backing words evenly, one word per block
+//! for pages up to 32 KB).  Intersections of disjoint bitmaps — the common
+//! case, since page overlap is usually false sharing on different words —
+//! short-circuit on `summary & summary == 0` without touching the backing
+//! vectors at all.
 
 use core::fmt;
 
@@ -14,6 +22,12 @@ use core::fmt;
 pub struct Bitmap {
     bits: Vec<u64>,
     nbits: usize,
+    /// Coarse summary: bit `j` set iff some word of block `j` is non-zero.
+    ///
+    /// The invariant is *exact* (no stale bits): bits are only ever set
+    /// individually and cleared wholesale, so the summary never
+    /// over-approximates.
+    summary: u64,
 }
 
 impl Bitmap {
@@ -22,7 +36,14 @@ impl Bitmap {
         Bitmap {
             bits: vec![0; nbits.div_ceil(64)],
             nbits,
+            summary: 0,
         }
+    }
+
+    /// Backing words per summary block (1 for bitmaps of up to 4096 bits).
+    #[inline]
+    fn block(&self) -> usize {
+        self.bits.len().div_ceil(64).max(1)
     }
 
     /// Number of bits (words) covered.
@@ -37,6 +58,12 @@ impl Bitmap {
         self.nbits == 0
     }
 
+    /// The coarse summary word (one bit per block of backing words).
+    #[inline]
+    pub fn summary(&self) -> u64 {
+        self.summary
+    }
+
     /// Sets bit `i`.
     ///
     /// # Panics
@@ -46,6 +73,7 @@ impl Bitmap {
     pub fn set(&mut self, i: usize) {
         assert!(i < self.nbits, "bit {i} out of range ({})", self.nbits);
         self.bits[i / 64] |= 1u64 << (i % 64);
+        self.summary |= 1u64 << ((i / 64) / self.block());
     }
 
     /// Tests bit `i`.
@@ -62,11 +90,13 @@ impl Bitmap {
     /// Clears all bits.
     pub fn clear(&mut self) {
         self.bits.fill(0);
+        self.summary = 0;
     }
 
     /// Returns `true` if any bit is set.
+    #[inline]
     pub fn any(&self) -> bool {
-        self.bits.iter().any(|&w| w != 0)
+        self.summary != 0
     }
 
     /// Number of set bits.
@@ -77,14 +107,91 @@ impl Bitmap {
     /// Returns `true` if `self` and `other` share any set bit.
     ///
     /// This is the constant-time (in page size) bitmap comparison of the
-    /// paper's step 5.
+    /// paper's step 5.  Disjoint summaries decide without reading the
+    /// backing vectors; otherwise only the blocks both summaries flag are
+    /// scanned.
     ///
     /// # Panics
     ///
     /// Panics if the bitmaps have different widths.
     pub fn overlaps(&self, other: &Bitmap) -> bool {
-        assert_eq!(self.nbits, other.nbits, "comparing bitmaps of different widths");
-        self.bits.iter().zip(&other.bits).any(|(a, b)| a & b != 0)
+        assert_eq!(
+            self.nbits, other.nbits,
+            "comparing bitmaps of different widths"
+        );
+        let common = self.summary & other.summary;
+        if common == 0 {
+            return false;
+        }
+        if self.block() == 1 {
+            // One backing word per summary bit: visit exactly the flagged
+            // words.
+            let mut blocks = common;
+            while blocks != 0 {
+                let wi = blocks.trailing_zeros() as usize;
+                blocks &= blocks - 1;
+                if self.bits[wi] & other.bits[wi] != 0 {
+                    return true;
+                }
+            }
+            false
+        } else {
+            self.bits.iter().zip(&other.bits).any(|(a, b)| a & b != 0)
+        }
+    }
+
+    /// Number of bits set in both `self` and `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmaps have different widths.
+    pub fn count_overlap(&self, other: &Bitmap) -> usize {
+        assert_eq!(
+            self.nbits, other.nbits,
+            "comparing bitmaps of different widths"
+        );
+        if self.summary & other.summary == 0 {
+            return 0;
+        }
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over `(backing-word index, intersection mask)` for every
+    /// backing word where `self` and `other` share bits (mask is non-zero).
+    ///
+    /// This is the chunk-granularity view the word-level race comparison
+    /// uses: callers combine masks across read/write bitmaps without
+    /// re-deriving word indices bit by bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmaps have different widths.
+    pub fn overlap_chunks<'a>(
+        &'a self,
+        other: &'a Bitmap,
+    ) -> impl Iterator<Item = (usize, u64)> + 'a {
+        assert_eq!(
+            self.nbits, other.nbits,
+            "comparing bitmaps of different widths"
+        );
+        // Disjoint summaries: skip the scan entirely (empty sub-slice).
+        let n = if self.summary & other.summary == 0 {
+            0
+        } else {
+            self.bits.len()
+        };
+        self.bits[..n]
+            .iter()
+            .zip(&other.bits[..n])
+            .enumerate()
+            .filter_map(|(wi, (a, b))| {
+                let m = a & b;
+                (m != 0).then_some((wi, m))
+            })
     }
 
     /// Iterates over the indices of bits set in both `self` and `other`.
@@ -93,23 +200,17 @@ impl Bitmap {
     ///
     /// Panics if the bitmaps have different widths.
     pub fn overlap_words<'a>(&'a self, other: &'a Bitmap) -> impl Iterator<Item = usize> + 'a {
-        assert_eq!(self.nbits, other.nbits, "comparing bitmaps of different widths");
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .enumerate()
-            .flat_map(|(wi, (a, b))| {
-                let mut bits = a & b;
-                core::iter::from_fn(move || {
-                    if bits == 0 {
-                        None
-                    } else {
-                        let tz = bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        Some(wi * 64 + tz)
-                    }
-                })
+        self.overlap_chunks(other).flat_map(|(wi, mut bits)| {
+            core::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
             })
+        })
     }
 
     /// Iterates over the indices of set bits.
@@ -134,17 +235,23 @@ impl Bitmap {
     ///
     /// Panics if the bitmaps have different widths.
     pub fn union_with(&mut self, other: &Bitmap) {
-        assert_eq!(self.nbits, other.nbits, "merging bitmaps of different widths");
+        assert_eq!(
+            self.nbits, other.nbits,
+            "merging bitmaps of different widths"
+        );
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= b;
         }
+        // Same width implies the same block size, so summaries align.
+        self.summary |= other.summary;
     }
 
     /// Encoded size in bytes on the wire (raw bit words, no compression).
     ///
     /// The paper transfers raw bitmaps in the extra barrier round; keeping
     /// the size exact lets the bandwidth accounting in `cvm-net` reproduce
-    /// the paper's message-overhead metric.
+    /// the paper's message-overhead metric.  The summary word is local
+    /// acceleration state and never crosses the wire.
     pub fn wire_bytes(&self) -> u64 {
         self.bits.len() as u64 * 8
     }
@@ -154,14 +261,25 @@ impl Bitmap {
         &self.bits
     }
 
-    /// Rebuilds a bitmap from raw backing words.
+    /// Rebuilds a bitmap from raw backing words (recomputing the summary).
     ///
     /// # Panics
     ///
     /// Panics if `raw` is not exactly the backing length for `nbits`.
     pub fn from_raw(nbits: usize, raw: Vec<u64>) -> Self {
         assert_eq!(raw.len(), nbits.div_ceil(64), "raw length mismatch");
-        Bitmap { bits: raw, nbits }
+        let mut bm = Bitmap {
+            bits: raw,
+            nbits,
+            summary: 0,
+        };
+        let block = bm.block();
+        for (wi, w) in bm.bits.iter().enumerate() {
+            if *w != 0 {
+                bm.summary |= 1u64 << (wi / block);
+            }
+        }
+        bm
     }
 }
 
@@ -204,6 +322,18 @@ impl PageBitmaps {
 mod tests {
     use super::*;
 
+    /// Recomputes what the summary word must be from the backing words.
+    fn expected_summary(b: &Bitmap) -> u64 {
+        let block = b.raw().len().div_ceil(64).max(1);
+        let mut s = 0u64;
+        for (wi, w) in b.raw().iter().enumerate() {
+            if *w != 0 {
+                s |= 1 << (wi / block);
+            }
+        }
+        s
+    }
+
     #[test]
     fn set_get_roundtrip() {
         let mut b = Bitmap::new(512);
@@ -216,6 +346,7 @@ mod tests {
             assert_eq!(b.get(i), matches!(i, 0 | 63 | 64 | 511), "bit {i}");
         }
         assert_eq!(b.count(), 4);
+        assert_eq!(b.summary(), expected_summary(&b));
     }
 
     #[test]
@@ -230,6 +361,7 @@ mod tests {
         assert!(a.overlaps(&b));
         let common: Vec<usize> = a.overlap_words(&b).collect();
         assert_eq!(common, vec![100]);
+        assert_eq!(a.count_overlap(&b), 1);
     }
 
     #[test]
@@ -240,6 +372,85 @@ mod tests {
         b.set(2);
         assert!(!a.overlaps(&b));
         assert_eq!(a.overlap_words(&b).count(), 0);
+        assert_eq!(a.count_overlap(&b), 0);
+        assert_eq!(a.overlap_chunks(&b).count(), 0);
+    }
+
+    #[test]
+    fn summary_short_circuits_different_blocks() {
+        // Bits in different backing words: summaries are disjoint, so the
+        // intersection decides without scanning.
+        let mut a = Bitmap::new(512);
+        let mut b = Bitmap::new(512);
+        a.set(3);
+        b.set(400);
+        assert_eq!(a.summary() & b.summary(), 0);
+        assert!(!a.overlaps(&b));
+        // Same block, different bits: summaries collide but words decide.
+        let mut c = Bitmap::new(512);
+        c.set(4);
+        assert_ne!(a.summary() & c.summary(), 0);
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn summary_invariant_after_mutations() {
+        let mut b = Bitmap::new(300);
+        for i in [0, 64, 65, 190, 299] {
+            b.set(i);
+            assert_eq!(b.summary(), expected_summary(&b), "after set({i})");
+        }
+        let mut other = Bitmap::new(300);
+        other.set(128);
+        b.union_with(&other);
+        assert_eq!(b.summary(), expected_summary(&b), "after union");
+        b.clear();
+        assert_eq!(b.summary(), 0);
+        assert!(!b.any());
+    }
+
+    #[test]
+    fn summary_on_wide_bitmaps_groups_blocks() {
+        // 8192 bits = 128 backing words = 2 words per summary block.
+        let mut b = Bitmap::new(8192);
+        b.set(0); // word 0, block 0
+        b.set(8191); // word 127, block 63
+        assert_eq!(b.summary(), (1 << 0) | (1 << 63));
+        let mut c = Bitmap::new(8192);
+        c.set(64); // word 1, block 0 — shares block 0 with b, not word 0.
+        assert_ne!(b.summary() & c.summary(), 0);
+        assert!(!b.overlaps(&c));
+        assert_eq!(b.count_overlap(&c), 0);
+    }
+
+    #[test]
+    fn empty_bitmap_is_inert() {
+        let a = Bitmap::new(0);
+        let b = Bitmap::new(0);
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert!(!a.any());
+        assert_eq!(a.count(), 0);
+        assert!(!a.overlaps(&b));
+        assert_eq!(a.count_overlap(&b), 0);
+        assert_eq!(a.overlap_words(&b).count(), 0);
+        assert_eq!(a.wire_bytes(), 0);
+        let r = Bitmap::from_raw(0, Vec::new());
+        assert_eq!(a, r);
+    }
+
+    #[test]
+    fn non_multiple_of_64_widths() {
+        for nbits in [1, 63, 65, 100, 127, 129] {
+            let mut b = Bitmap::new(nbits);
+            b.set(nbits - 1);
+            assert!(b.get(nbits - 1));
+            assert_eq!(b.count(), 1);
+            assert_eq!(b.summary(), expected_summary(&b), "nbits={nbits}");
+            let r = Bitmap::from_raw(nbits, b.raw().to_vec());
+            assert_eq!(b, r, "from_raw roundtrip nbits={nbits}");
+            assert_eq!(r.summary(), b.summary());
+        }
     }
 
     #[test]
@@ -264,11 +475,36 @@ mod tests {
     }
 
     #[test]
+    fn overlap_chunks_match_overlap_words() {
+        let mut a = Bitmap::new(256);
+        let mut b = Bitmap::new(256);
+        for i in [0, 1, 70, 130, 200] {
+            a.set(i);
+        }
+        for i in [1, 70, 131, 200, 255] {
+            b.set(i);
+        }
+        let from_chunks: Vec<usize> = a
+            .overlap_chunks(&b)
+            .flat_map(|(wi, m)| {
+                (0..64)
+                    .filter(move |j| m & (1 << j) != 0)
+                    .map(move |j| wi * 64 + j)
+            })
+            .collect();
+        let direct: Vec<usize> = a.overlap_words(&b).collect();
+        assert_eq!(from_chunks, direct);
+        assert_eq!(direct, vec![1, 70, 200]);
+        assert_eq!(a.count_overlap(&b), 3);
+    }
+
+    #[test]
     fn raw_roundtrip() {
         let mut b = Bitmap::new(100);
         b.set(99);
         let r = Bitmap::from_raw(100, b.raw().to_vec());
         assert_eq!(b, r);
+        assert_eq!(r.summary(), b.summary());
     }
 
     #[test]
@@ -277,6 +513,7 @@ mod tests {
         b.set(5);
         b.clear();
         assert!(!b.any());
+        assert_eq!(b.summary(), 0);
     }
 
     #[test]

@@ -103,7 +103,9 @@ impl PageStore {
 
     /// Current protection of `page` ([`Protection::Invalid`] if absent).
     pub fn protection(&self, page: PageId) -> Protection {
-        self.frames.get(&page).map_or(Protection::Invalid, |f| f.prot)
+        self.frames
+            .get(&page)
+            .map_or(Protection::Invalid, |f| f.prot)
     }
 
     /// Immutable access to a frame.

@@ -149,7 +149,9 @@ impl Geometry {
     #[inline]
     pub fn addr_of(&self, page: PageId, word: usize) -> GAddr {
         debug_assert!(word < self.page_words);
-        GAddr(SHARED_BASE + (page.index() as u64 * self.page_words as u64 + word as u64) * WORD_BYTES)
+        GAddr(
+            SHARED_BASE + (page.index() as u64 * self.page_words as u64 + word as u64) * WORD_BYTES,
+        )
     }
 
     /// First address of `page`.

@@ -94,7 +94,10 @@ mod tests {
     use super::*;
 
     fn stamp(proc: u16, index: u32, vc: &[u32]) -> IntervalStamp {
-        IntervalStamp::new(IntervalId::new(ProcId(proc), index), VClock::from(vc.to_vec()))
+        IntervalStamp::new(
+            IntervalId::new(ProcId(proc), index),
+            VClock::from(vc.to_vec()),
+        )
     }
 
     #[test]

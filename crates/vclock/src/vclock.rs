@@ -85,7 +85,11 @@ impl VClock {
     ///
     /// Panics if the clocks have different lengths.
     pub fn merge(&mut self, other: &VClock) {
-        assert_eq!(self.0.len(), other.0.len(), "merging clocks of different widths");
+        assert_eq!(
+            self.0.len(),
+            other.0.len(),
+            "merging clocks of different widths"
+        );
         for (a, b) in self.0.iter_mut().zip(&other.0) {
             *a = (*a).max(*b);
         }
@@ -98,7 +102,11 @@ impl VClock {
     ///
     /// Panics if the clocks have different lengths.
     pub fn dominates(&self, other: &VClock) -> bool {
-        assert_eq!(self.0.len(), other.0.len(), "comparing clocks of different widths");
+        assert_eq!(
+            self.0.len(),
+            other.0.len(),
+            "comparing clocks of different widths"
+        );
         self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
     }
 
@@ -202,7 +210,10 @@ mod tests {
         assert_eq!(vc(&[1, 1]).causal_cmp(&vc(&[1, 1])), CausalOrder::Equal);
         assert_eq!(vc(&[1, 1]).causal_cmp(&vc(&[2, 1])), CausalOrder::Before);
         assert_eq!(vc(&[2, 1]).causal_cmp(&vc(&[1, 1])), CausalOrder::After);
-        assert_eq!(vc(&[2, 0]).causal_cmp(&vc(&[0, 2])), CausalOrder::Concurrent);
+        assert_eq!(
+            vc(&[2, 0]).causal_cmp(&vc(&[0, 2])),
+            CausalOrder::Concurrent
+        );
     }
 
     #[test]

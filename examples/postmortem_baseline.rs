@@ -71,8 +71,7 @@ fn main() {
         println!("  racy: {}", report.segments.symbolize(*addr));
     }
 
-    let online: std::collections::BTreeSet<_> =
-        report.races.distinct_addrs().into_iter().collect();
+    let online: std::collections::BTreeSet<_> = report.races.distinct_addrs().into_iter().collect();
     assert_eq!(online, addrs, "the two analyses must agree");
     println!("\nSame races — but the online system needed no trace log and no second pass.");
 }

@@ -32,14 +32,20 @@ fn main() {
     cfg.record_sync = true;
     let a = Cluster::run(cfg, |al| al.alloc("n", 8).unwrap(), chaotic_body);
     let seq_a: Vec<u16> = a.schedule.sequence(5).iter().map(|p| p.0).collect();
-    println!("run A grant order (lock 5, first 20): {:?}...", &seq_a[..20.min(seq_a.len())]);
+    println!(
+        "run A grant order (lock 5, first 20): {:?}...",
+        &seq_a[..20.min(seq_a.len())]
+    );
 
     // Run B: free-running — usually different.
     let mut cfg = DsmConfig::new(4);
     cfg.record_sync = true;
     let b = Cluster::run(cfg, |al| al.alloc("n", 8).unwrap(), chaotic_body);
     let seq_b: Vec<u16> = b.schedule.sequence(5).iter().map(|p| p.0).collect();
-    println!("run B grant order (free):             {:?}...", &seq_b[..20.min(seq_b.len())]);
+    println!(
+        "run B grant order (free):             {:?}...",
+        &seq_b[..20.min(seq_b.len())]
+    );
 
     // Run C: replay run A's order.
     let mut cfg = DsmConfig::new(4);
@@ -47,7 +53,10 @@ fn main() {
     cfg.replay = Some(a.schedule.clone());
     let c = Cluster::run(cfg, |al| al.alloc("n", 8).unwrap(), chaotic_body);
     let seq_c: Vec<u16> = c.schedule.sequence(5).iter().map(|p| p.0).collect();
-    println!("run C grant order (replaying A):      {:?}...", &seq_c[..20.min(seq_c.len())]);
+    println!(
+        "run C grant order (replaying A):      {:?}...",
+        &seq_c[..20.min(seq_c.len())]
+    );
 
     assert_eq!(seq_a, seq_c, "replay must reproduce run A exactly");
     println!(

@@ -1,0 +1,266 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! This workspace builds in hermetic environments with no crates.io
+//! access, so the handful of external dependencies are replaced by local
+//! stubs implementing exactly the API surface the workspace uses (see
+//! `stubs/README.md`).  Benchmarks run a calibration pass, then
+//! `sample_size` timed samples, and print mean/median/min per benchmark
+//! in both a human line and a machine-readable `CSV:` line:
+//!
+//! ```text
+//! bench_name              mean 12_345 ns  median 12_001 ns  min 11_800 ns
+//! CSV:bench_name,12345,12001,11800
+//! ```
+//!
+//! No statistical analysis, outlier rejection, plots, or saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimisation barrier (criterion's
+/// `black_box` has been this re-export since 0.5).
+pub use std::hint::black_box;
+
+/// Benchmark driver: collects configuration and runs benchmark closures.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target wall-clock time for one measured sample.
+    target_sample: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            target_sample: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    target_sample: Duration,
+    sample_size: usize,
+}
+
+/// Identifier for a parameterised benchmark (`group/function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters_per_sample: 0,
+            samples: Vec::new(),
+            target_sample: self.target_sample,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        self.criterion.bench_function(&name, |b| f(b, input));
+        self
+    }
+
+    /// Runs one unparameterised benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&name, f_adapter(&mut f));
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; the stub prints as
+    /// it goes).
+    pub fn finish(self) {}
+}
+
+fn f_adapter<F: FnMut(&mut Bencher)>(f: &mut F) -> impl FnMut(&mut Bencher) + '_ {
+    move |b| f(b)
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibrate: how many iterations fill one target sample?
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.target_sample / 2 || iters >= 1 << 24 {
+                if elapsed < self.target_sample && elapsed > Duration::ZERO {
+                    let scale = self.target_sample.as_nanos() / elapsed.as_nanos().max(1);
+                    iters = iters.saturating_mul(scale as u64).max(iters);
+                }
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        self.iters_per_sample = iters.max(1);
+        // Measure.
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<48} (no samples: closure never called iter)");
+            return;
+        }
+        let per_iter_ns: Vec<u128> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() / u128::from(self.iters_per_sample))
+            .collect();
+        let mut sorted = per_iter_ns.clone();
+        sorted.sort_unstable();
+        let mean = per_iter_ns.iter().sum::<u128>() / per_iter_ns.len() as u128;
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        println!("{name:<48} mean {mean} ns  median {median} ns  min {min} ns");
+        println!("CSV:{name},{mean},{median},{min}");
+    }
+}
+
+/// Bundles benchmark functions under one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` executes bench binaries with --test
+            // expecting them to no-op; only run under `cargo bench`.
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        // Small samples so the stub's own tests stay fast.
+        Criterion {
+            sample_size: 3,
+            target_sample: Duration::from_micros(200),
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = quick();
+        let mut calls = 0u64;
+        c.bench_function("stub_smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("f", 8), &8u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+}

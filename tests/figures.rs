@@ -53,22 +53,10 @@ fn figure1_actual_vs_ordered_accesses() {
 /// Figure 2: interval orderings of the two-process lock handoff.
 #[test]
 fn figure2_interval_orderings() {
-    let s1_1 = IntervalStamp::new(
-        IntervalId::new(ProcId(0), 1),
-        VClock::from(vec![1, 0]),
-    );
-    let s1_2 = IntervalStamp::new(
-        IntervalId::new(ProcId(0), 2),
-        VClock::from(vec![2, 0]),
-    );
-    let s2_1 = IntervalStamp::new(
-        IntervalId::new(ProcId(1), 1),
-        VClock::from(vec![0, 1]),
-    );
-    let s2_2 = IntervalStamp::new(
-        IntervalId::new(ProcId(1), 2),
-        VClock::from(vec![1, 2]),
-    );
+    let s1_1 = IntervalStamp::new(IntervalId::new(ProcId(0), 1), VClock::from(vec![1, 0]));
+    let s1_2 = IntervalStamp::new(IntervalId::new(ProcId(0), 2), VClock::from(vec![2, 0]));
+    let s2_1 = IntervalStamp::new(IntervalId::new(ProcId(1), 1), VClock::from(vec![0, 1]));
+    let s2_2 = IntervalStamp::new(IntervalId::new(ProcId(1), 2), VClock::from(vec![1, 2]));
     // The release in s1^1 pairs with the acquire beginning s2^2.
     assert!(s1_1.happens_before(&s2_2));
     // "if the second write of P1 were to x, it would constitute a data

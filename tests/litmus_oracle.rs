@@ -68,11 +68,13 @@ fn manager(lock: usize) -> usize {
 fn arb_program() -> impl Strategy<Value = Program> {
     // For each lock and epoch, choose a user set from the eligible procs
     // (manager excluded), disjoint from the previous epoch's set.
-    let per_proc_epoch = (arb_accesses(3), arb_accesses(3), proptest::collection::vec(arb_accesses(2), NLOCKS));
-    let epochs = proptest::collection::vec(
-        proptest::collection::vec(per_proc_epoch, NPROCS),
-        NEPOCHS,
+    let per_proc_epoch = (
+        arb_accesses(3),
+        arb_accesses(3),
+        proptest::collection::vec(arb_accesses(2), NLOCKS),
     );
+    let epochs =
+        proptest::collection::vec(proptest::collection::vec(per_proc_epoch, NPROCS), NEPOCHS);
     let lock_users = proptest::collection::vec(
         proptest::collection::vec(proptest::collection::vec(any::<bool>(), NPROCS), NEPOCHS),
         NLOCKS,
@@ -128,9 +130,7 @@ fn run_on_dsm(program: &Program) -> (BTreeSet<usize>, Vec<Vec<usize>>) {
             // Addresses spread over two pages: 0..3 on page 0, 3.. on page
             // 1 (so the detector also exercises cross-page bookkeeping and
             // same-page false-sharing dismissal).
-            let region = alloc
-                .alloc_page_aligned("litmus", 2 * 4096)
-                .unwrap();
+            let region = alloc.alloc_page_aligned("litmus", 2 * 4096).unwrap();
             let addrs: Vec<GAddr> = (0..NADDRS)
                 .map(|i| {
                     if i < 3 {
@@ -227,18 +227,19 @@ fn oracle_races(program: &Program, grants: &[Vec<usize>]) -> BTreeSet<usize> {
         Barrier,
     }
     let mut events: Vec<(usize, Ev)> = Vec::new(); // (proc, event)
-    // Per proc, list of event ids in program order.
+                                                   // Per proc, list of event ids in program order.
     let mut by_proc: Vec<Vec<usize>> = vec![Vec::new(); NPROCS];
     // (lock, epoch, proc) -> (acquire event, release event).
     let mut cs_events: BTreeMap<(usize, usize, usize), (usize, usize)> = BTreeMap::new();
     let mut barrier_events: Vec<Vec<usize>> = vec![Vec::new(); NEPOCHS];
 
-    let push = |proc: usize, ev: Ev, events: &mut Vec<(usize, Ev)>, by_proc: &mut Vec<Vec<usize>>| {
-        let id = events.len();
-        events.push((proc, ev));
-        by_proc[proc].push(id);
-        id
-    };
+    let push =
+        |proc: usize, ev: Ev, events: &mut Vec<(usize, Ev)>, by_proc: &mut Vec<Vec<usize>>| {
+            let id = events.len();
+            events.push((proc, ev));
+            by_proc[proc].push(id);
+            id
+        };
     for (e, epoch) in program.epochs.iter().enumerate() {
         for (p, pe) in epoch.iter().enumerate() {
             for &a in &pe.pre {

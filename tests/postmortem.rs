@@ -186,7 +186,9 @@ fn pure_baseline_mode_finds_races_without_online_detector() {
     );
     assert!(report.races.is_empty(), "no online detection configured");
     assert_eq!(
-        report.net.class_bytes(cvm_repro::net::TrafficClass::ReadNotice),
+        report
+            .net
+            .class_bytes(cvm_repro::net::TrafficClass::ReadNotice),
         0,
         "tracing must not modify CVM's messages"
     );
