@@ -303,7 +303,8 @@ pub fn run_on(cfg: DsmConfig, params: FftParams, input: &[Complex]) -> (RunRepor
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     let data = result.into_inner().expect("process 0 gathered the output");
     (report, FftResult { data })
 }

@@ -129,7 +129,8 @@ pub fn run(cfg: DsmConfig, params: SorParams) -> (RunReport, SorResult) {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     let grid = result.into_inner().expect("process 0 gathered the grid");
     (report, SorResult { grid, n })
 }

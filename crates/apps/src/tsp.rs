@@ -403,7 +403,8 @@ pub fn run(cfg: DsmConfig, params: TspParams) -> (RunReport, TspResult) {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     let (best_len, best_path) = result.into_inner().expect("gathered");
     (
         report,

@@ -345,7 +345,8 @@ pub fn run(cfg: DsmConfig, params: WaterParams) -> (RunReport, WaterResult) {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     let res = result.into_inner().expect("gathered");
     (report, res)
 }

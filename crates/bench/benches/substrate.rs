@@ -89,7 +89,8 @@ fn bench_lock_handoff(c: &mut Criterion) {
                     }
                     h.barrier();
                 },
-            );
+            )
+            .expect("cluster run");
             black_box(report.virtual_cycles())
         })
     });

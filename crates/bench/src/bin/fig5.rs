@@ -69,7 +69,8 @@ fn main() {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
 
     println!("Figure 5. Races under weak memory (the missing-release queue)");
     cvm_bench::rule(76);

@@ -18,13 +18,17 @@
 //! barrier in Table 1.
 
 use std::collections::HashMap;
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::bounded;
+use crossbeam::channel::{bounded, Receiver};
 use cvm_page::PageId;
 use cvm_race::{filter_first_races, BitmapStore, DetectionPlan, EpochDetector, Interval};
 use cvm_vclock::{IntervalId, ProcId, VClock};
 
+use crate::error::DsmError;
+use crate::fault;
 use crate::msg::Msg;
 use crate::node::NodeCore;
 use crate::pages::Node;
@@ -76,8 +80,11 @@ pub(crate) fn app_barrier(node: &Node, consolidation: bool) {
     } else {
         st.stats.barriers += 1;
     }
+    let me = st.proc;
+    let deadline = st.cfg.op_deadline;
     // Arrival is a release: close the working interval.
-    st.close_interval(&node.sender);
+    let r = st.close_interval(&node.sender);
+    fault::check(node, me, r);
     if st.cfg.trace {
         let epoch = st.epoch;
         st.trace
@@ -90,20 +97,73 @@ pub(crate) fn app_barrier(node: &Node, consolidation: bool) {
     let (tx, rx) = bounded(1);
     assert!(st.barrier_wait.is_none(), "nested barrier()");
     st.barrier_wait = Some(tx);
-    let me = st.proc;
     let vc = st.vc.clone();
-    if me == ProcId(0) {
-        on_arrive(&mut st, node, me, vc, records);
+    let r = if me == ProcId(0) {
+        on_arrive(&mut st, node, me, vc, records)
     } else {
         let msg = Msg::BarrierArrive {
             from: me,
             vc,
             records,
         };
-        st.send_msg(&node.sender, ProcId(0), &msg);
-    }
+        st.send_msg(&node.sender, ProcId(0), &msg)
+    };
+    fault::check(node, me, r);
     drop(st);
-    rx.recv().expect("barrier release lost");
+    await_release(node, &rx, deadline, me);
+}
+
+/// Blocks an arrived application thread until the release, the cluster
+/// failure cell, or the deadline.  The master waits the base deadline and,
+/// on expiry, inspects its own collection state to name the process that
+/// never arrived; workers wait half again as long so the master — the only
+/// node that can identify the missing peer — classifies the failure first.
+fn await_release(node: &Node, rx: &Receiver<()>, wait: Duration, me: ProcId) {
+    let wait = if me == ProcId(0) {
+        wait
+    } else {
+        wait + wait / 2
+    };
+    let limit = Instant::now() + wait;
+    loop {
+        match rx.recv_timeout(fault::APP_POLL) {
+            Ok(()) => return,
+            Err(RecvTimeoutError::Timeout) => {
+                if node.ctl.failed() {
+                    fault::unwind();
+                }
+                if Instant::now() >= limit {
+                    if me == ProcId(0) {
+                        if let Some(missing) = missing_arrival(node) {
+                            fault::die(&node.ctl, DsmError::NodeFailed { proc: missing.0 });
+                        }
+                    }
+                    fault::die(
+                        &node.ctl,
+                        DsmError::Timeout {
+                            op: "barrier release",
+                        },
+                    );
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                fault::die(&node.ctl, DsmError::NodeFailed { proc: me.0 });
+            }
+        }
+    }
+}
+
+/// Master-side diagnosis: the lowest-numbered process that has not arrived
+/// at the currently collecting barrier, if any.
+fn missing_arrival(node: &Node) -> Option<ProcId> {
+    let st = node.state.lock();
+    let master = st.barrier.as_ref()?;
+    let Phase::Collecting { arrived, .. } = &master.phase else {
+        return None;
+    };
+    (0..master.nprocs as u16)
+        .map(ProcId)
+        .find(|p| !arrived.iter().any(|(a, _)| a == p))
 }
 
 fn take_unsent(st: &mut NodeCore) -> Vec<Arc<Interval>> {
@@ -120,29 +180,36 @@ pub(crate) fn on_arrive(
     from: ProcId,
     vc: VClock,
     records: Vec<Arc<Interval>>,
-) {
+) -> Result<(), DsmError> {
     let c = st.cfg.costs;
     st.clock.add(OverheadCat::Base, c.barrier_arrival);
-    let master = st.barrier.as_mut().expect("arrival at non-master");
+    let Some(master) = st.barrier.as_mut() else {
+        return Err(DsmError::Protocol {
+            context: "barrier arrival at non-master",
+        });
+    };
     let all_arrived = {
         let Phase::Collecting {
             arrived,
             records: all,
         } = &mut master.phase
         else {
-            panic!("arrival during bitmap round");
+            return Err(DsmError::Protocol {
+                context: "barrier arrival during bitmap round",
+            });
         };
         arrived.push((from, vc));
         all.extend(records);
         arrived.len() == master.nprocs
     };
     if all_arrived {
-        run_detection(st, node);
+        run_detection(st, node)?;
     }
+    Ok(())
 }
 
 /// Steps 2–4: plan, then fetch bitmaps (or release immediately).
-fn run_detection(st: &mut NodeCore, node: &Node) {
+fn run_detection(st: &mut NodeCore, node: &Node) -> Result<(), DsmError> {
     let master = st.barrier.as_mut().expect("master only");
     let Phase::Collecting { arrived, records } = std::mem::replace(
         &mut master.phase,
@@ -155,8 +222,7 @@ fn run_detection(st: &mut NodeCore, node: &Node) {
     };
 
     if !st.cfg.detect.enabled || st.cfg.detect.instrumentation_only {
-        do_release(st, node, arrived, records, Vec::new());
-        return;
+        return do_release(st, node, arrived, records, Vec::new());
     }
 
     let detector = EpochDetector {
@@ -192,15 +258,14 @@ fn run_detection(st: &mut NodeCore, node: &Node) {
     }
     let pending = per_proc.len();
     if pending == 0 {
-        finish_detection(st, node, arrived, records, plan, store);
-        return;
+        return finish_detection(st, node, arrived, records, plan, store);
     }
     let reqs: Vec<(ProcId, Msg)> = per_proc
         .into_iter()
         .map(|(p, items)| (p, Msg::BitmapReq { items }))
         .collect();
     for (p, msg) in reqs {
-        st.send_msg(&node.sender, p, &msg);
+        st.send_msg(&node.sender, p, &msg)?;
     }
     let master = st.barrier.as_mut().expect("master only");
     master.phase = Phase::AwaitingBitmaps {
@@ -210,6 +275,7 @@ fn run_detection(st: &mut NodeCore, node: &Node) {
         store,
         pending,
     };
+    Ok(())
 }
 
 /// Master: a bitmap reply from one worker.
@@ -217,11 +283,17 @@ pub(crate) fn on_bitmap_reply(
     st: &mut NodeCore,
     node: &Node,
     items: Vec<(IntervalId, (PageId, cvm_page::PageBitmaps))>,
-) {
+) -> Result<(), DsmError> {
     let finished = {
-        let master = st.barrier.as_mut().expect("bitmap reply at non-master");
+        let Some(master) = st.barrier.as_mut() else {
+            return Err(DsmError::Protocol {
+                context: "bitmap reply at non-master",
+            });
+        };
         let Phase::AwaitingBitmaps { store, pending, .. } = &mut master.phase else {
-            panic!("bitmap reply outside bitmap round");
+            return Err(DsmError::Protocol {
+                context: "bitmap reply outside bitmap round",
+            });
         };
         for (id, (page, bm)) in items {
             store.insert(id, page, bm);
@@ -247,8 +319,9 @@ pub(crate) fn on_bitmap_reply(
         else {
             unreachable!();
         };
-        finish_detection(st, node, arrived, records, plan, store);
+        finish_detection(st, node, arrived, records, plan, store)?;
     }
+    Ok(())
 }
 
 /// Step 5: word-level comparison, reporting, release.
@@ -259,7 +332,7 @@ fn finish_detection(
     records: Vec<Arc<Interval>>,
     mut plan: DetectionPlan,
     store: BitmapStore,
-) {
+) -> Result<(), DsmError> {
     let detector = EpochDetector {
         overlap: st.cfg.detect.overlap,
         enumeration: st.cfg.detect.enumeration,
@@ -291,7 +364,7 @@ fn finish_detection(
     };
 
     st.det_stats.add(&plan.stats);
-    do_release(st, node, arrived, records, reports);
+    do_release(st, node, arrived, records, reports)
 }
 
 /// Sends releases and completes the barrier at the master itself.
@@ -301,7 +374,7 @@ fn do_release(
     arrived: Vec<(ProcId, VClock)>,
     records: Vec<Arc<Interval>>,
     races: Vec<cvm_race::RaceReport>,
-) {
+) -> Result<(), DsmError> {
     // Merged knowledge: every arrival clock joined with the master's.
     let mut merged = st.vc.clone();
     for (_, vc) in &arrived {
@@ -326,7 +399,7 @@ fn do_release(
             races: Arc::clone(&races),
             epoch,
         };
-        st.send_msg(&node.sender, *worker, &msg);
+        st.send_msg(&node.sender, *worker, &msg)?;
     }
     // The master releases itself.
     let own_missing: Vec<Arc<Interval>> = records
@@ -334,7 +407,7 @@ fn do_release(
         .filter(|r| r.id().index > st.vc.get(r.id().proc))
         .cloned()
         .collect();
-    apply_release(st, own_missing, merged, races, epoch);
+    apply_release(st, own_missing, merged, races, epoch)
 }
 
 /// Worker (and master) release application: merge, close the empty
@@ -345,8 +418,12 @@ pub(crate) fn apply_release(
     vc: VClock,
     races: Arc<Vec<cvm_race::RaceReport>>,
     epoch: u64,
-) {
-    assert_eq!(epoch, st.epoch, "barrier epoch mismatch");
+) -> Result<(), DsmError> {
+    if epoch != st.epoch {
+        return Err(DsmError::Protocol {
+            context: "barrier epoch mismatch",
+        });
+    }
     // Close the empty between interval (second structure per barrier).
     // Note: it has no accesses, so no sender interaction is needed; use a
     // direct close without diff flushing.
@@ -368,8 +445,13 @@ pub(crate) fn apply_release(
     st.log.retain(|id, _| id.proc == me && id.index >= boundary);
     st.bitmaps
         .retain(|(id, _)| id.proc != me || id.index >= boundary);
-    let tx = st.barrier_wait.take().expect("release without waiter");
+    let Some(tx) = st.barrier_wait.take() else {
+        return Err(DsmError::Protocol {
+            context: "barrier release without a waiting arrival",
+        });
+    };
     let _ = tx.send(());
+    Ok(())
 }
 
 /// Closes the current (empty) interval without network interaction.
@@ -389,18 +471,21 @@ fn close_quiet(st: &mut NodeCore) {
 }
 
 /// Worker: answer the master's bitmap request from retained bitmaps.
-pub(crate) fn on_bitmap_req(st: &mut NodeCore, node: &Node, items: Vec<(IntervalId, PageId)>) {
-    let replies: Vec<(IntervalId, (PageId, cvm_page::PageBitmaps))> = items
-        .into_iter()
-        .map(|(id, page)| {
-            let bm = st
-                .bitmaps
-                .get(id, page)
-                .unwrap_or_else(|| panic!("bitmap for {id:?}/{page:?} requested but absent"))
-                .clone();
-            (id, (page, bm))
-        })
-        .collect();
+pub(crate) fn on_bitmap_req(
+    st: &mut NodeCore,
+    node: &Node,
+    items: Vec<(IntervalId, PageId)>,
+) -> Result<(), DsmError> {
+    let mut replies: Vec<(IntervalId, (PageId, cvm_page::PageBitmaps))> =
+        Vec::with_capacity(items.len());
+    for (id, page) in items {
+        let Some(bm) = st.bitmaps.get(id, page) else {
+            return Err(DsmError::Protocol {
+                context: "bitmap requested but absent",
+            });
+        };
+        replies.push((id, (page, bm.clone())));
+    }
     let msg = Msg::BitmapReply { items: replies };
-    st.send_msg(&node.sender, ProcId(0), &msg);
+    st.send_msg(&node.sender, ProcId(0), &msg)
 }

@@ -1,16 +1,19 @@
 //! Cluster construction, the service loop, and run orchestration.
 
+use std::any::Any;
 use std::sync::Arc;
 use std::time::Instant;
 
 use cvm_net::wire::Wire;
-use cvm_net::{Endpoint, NetError, Network};
+use cvm_net::{Endpoint, NetError, Network, ReliabilityStats};
 use cvm_page::SharedAlloc;
 use cvm_vclock::ProcId;
 use parking_lot::Mutex;
 
 use crate::barrier::BarrierMaster;
 use crate::config::DsmConfig;
+use crate::error::{DsmError, RunError};
+use crate::fault::{ClusterCtl, DsmUnwind, SERVICE_POLL};
 use crate::handle::ProcHandle;
 use crate::msg::Msg;
 use crate::node::NodeCore;
@@ -39,16 +42,23 @@ impl Cluster {
     /// `setup` allocates shared data; its return value is passed (shared)
     /// to every process body.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] when any node fails mid-run — a scripted kill
+    /// or partition, a peer declared dead by the reliability layer, an
+    /// operation deadline expiry, or a protocol invariant violation.  The
+    /// surviving nodes drain first, so the error carries partial statistics.
+    ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid, if allocation exceeds the
-    /// shared segment, or if any application thread panics (application
-    /// assertion failures propagate).
+    /// shared segment, or if an application thread panics with a genuine
+    /// application panic (assertion failures propagate).
     pub fn run<S, F>(
         cfg: DsmConfig,
         setup: impl FnOnce(&mut SharedAlloc) -> S,
         body: F,
-    ) -> RunReport
+    ) -> Result<RunReport, RunError>
     where
         S: Sync,
         F: Fn(&ProcHandle, &S) + Sync,
@@ -61,16 +71,21 @@ impl Cluster {
         let app_state = setup(&mut alloc);
         let segments = alloc.into_map();
 
-        let (endpoints, net_stats) = match cfg.net_loss {
-            None => Network::new(nprocs, cfg.net),
-            Some(loss) => {
-                let (eps, stats, _rstats) = Network::with_loss(nprocs, cfg.net, loss);
-                (eps, stats)
-            }
-        };
+        let (endpoints, net_stats, rstats): (_, _, Option<Arc<ReliabilityStats>>) =
+            match &cfg.net_loss {
+                None => {
+                    let (eps, stats) = Network::new(nprocs, cfg.net);
+                    (eps, stats, None)
+                }
+                Some(loss) => {
+                    let (eps, stats, rstats) = Network::with_loss(nprocs, cfg.net, loss.clone());
+                    (eps, stats, Some(rstats))
+                }
+            };
         let shutdown_txs: Vec<cvm_net::NetSender> =
             endpoints.iter().map(Endpoint::sender).collect();
 
+        let ctl = Arc::new(ClusterCtl::new());
         let nodes: Vec<Arc<Node>> = endpoints
             .iter()
             .enumerate()
@@ -86,34 +101,29 @@ impl Cluster {
                 Arc::new(Node {
                     state: Mutex::new(core),
                     sender: ep.sender(),
+                    ctl: Arc::clone(&ctl),
                 })
             })
             .collect();
 
-        std::thread::scope(|scope| {
-            // A panic in any node thread would leave peers blocked on
-            // channels forever; fail the whole process fast instead.
-            let die = |what: &str, i: usize, e: Box<dyn std::any::Any + Send>| -> ! {
-                let msg = e
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| e.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "<non-string panic>".into());
-                eprintln!("FATAL: {what} thread of P{i} panicked: {msg}");
-                std::process::exit(101);
-            };
+        let genuine_panic: Option<Box<dyn Any + Send>> = std::thread::scope(|scope| {
             // Service threads own their endpoints.
             for (i, (node, ep)) in nodes.iter().zip(endpoints).enumerate() {
                 let node = Arc::clone(node);
+                let ctl = Arc::clone(&ctl);
                 scope.spawn(move || {
-                    if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         service_loop(&node, ep)
-                    })) {
-                        die("service", i, e);
+                    }));
+                    if r.is_err() && !ctl.tearing_down() {
+                        ctl.fail(DsmError::NodeFailed { proc: i as u16 });
                     }
                 });
             }
-            // Application threads.
+            // Application threads.  A failing thread unwinds with the
+            // `DsmUnwind` sentinel (the diagnosis is already in the control
+            // block); a *genuine* application panic fails the run as the
+            // node's death and is re-thrown after the drain.
             let mut apps = Vec::new();
             for (i, node) in nodes.iter().enumerate() {
                 let handle = ProcHandle {
@@ -123,33 +133,48 @@ impl Cluster {
                 };
                 let body = &body;
                 let app_state = &app_state;
+                let ctl = Arc::clone(&ctl);
                 apps.push(scope.spawn(move || {
-                    if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         body(&handle, app_state)
                     })) {
-                        die("application", i, e);
+                        Ok(()) => None,
+                        Err(payload) => {
+                            // Fail the run *before* this thread is joined so
+                            // peers blocked mid-protocol unwind promptly
+                            // instead of waiting out their deadlines.
+                            ctl.fail(DsmError::NodeFailed { proc: i as u16 });
+                            if payload.downcast_ref::<DsmUnwind>().is_none() {
+                                Some(payload)
+                            } else {
+                                None
+                            }
+                        }
                     }
                 }));
             }
-            let mut failed = Vec::new();
-            for (i, app) in apps.into_iter().enumerate() {
-                if app.join().is_err() {
-                    failed.push(i);
+            let mut genuine = None;
+            for app in apps {
+                if let Ok(Some(payload)) = app.join() {
+                    genuine.get_or_insert(payload);
                 }
             }
-            // Stop service threads (also unblocks them if a peer died).
+            // Orderly shutdown: stop the service threads.  Send errors are
+            // expected here (dead nodes have no wiring left).
+            ctl.begin_teardown();
             let payload = Msg::Shutdown.to_bytes();
             for (i, tx) in shutdown_txs.iter().enumerate() {
                 let b = Msg::Shutdown.breakdown();
                 let _ = tx.send(ProcId::from_index(i), 0, b, payload.clone());
             }
-            assert!(
-                failed.is_empty(),
-                "application thread(s) {failed:?} panicked"
-            );
+            genuine
         });
+        if let Some(payload) = genuine_panic {
+            std::panic::resume_unwind(payload);
+        }
 
-        // Collect per-node state.
+        // Collect per-node state (partial when the run failed: every node
+        // contributes whatever it accumulated before the drain).
         let mut reports = Vec::with_capacity(nprocs);
         let mut races = None;
         let mut det_stats = cvm_race::DetectorStats::default();
@@ -176,35 +201,79 @@ impl Cluster {
             });
         }
 
-        RunReport {
+        let report = RunReport {
             nodes: reports,
             races: races.expect("master node present"),
             det_stats,
             net: net_stats.snapshot(),
+            reliability: rstats.map(|r| r.full()),
             segments,
             schedule,
             watch_hits,
             traces,
             wall: started.elapsed(),
+        };
+        match ctl.failure() {
+            Some(error) => Err(RunError {
+                error,
+                partial: Box::new(report),
+            }),
+            None => Ok(report),
         }
     }
 }
 
 /// The per-node message dispatch loop (CVM's SIGIO handler, as a thread).
+///
+/// Polls so it can observe teardown even when its own traffic is cut off (a
+/// partitioned node never receives the shutdown message it sends itself).
+/// Handler errors outside teardown fail the run; the loop keeps draining so
+/// peers' in-flight requests do not back up behind the failure.
 fn service_loop(node: &Node, ep: Endpoint) {
     loop {
-        let pkt = match ep.recv() {
+        let pkt = match ep.recv_timeout(SERVICE_POLL) {
             Ok(pkt) => pkt,
-            Err(NetError::Disconnected) => return,
-            Err(e) => panic!("service recv: {e}"),
+            Err(NetError::Empty) => {
+                if node.ctl.tearing_down() {
+                    return;
+                }
+                continue;
+            }
+            Err(NetError::Disconnected) => {
+                // Our own wiring is gone mid-run: a scripted kill.
+                if !node.ctl.tearing_down() {
+                    let me = node.state.lock().proc;
+                    node.ctl.fail(DsmError::NodeFailed { proc: me.0 });
+                }
+                return;
+            }
+            Err(NetError::PeerDead { peer }) => {
+                node.ctl.fail(DsmError::NodeFailed { proc: peer.0 });
+                let mut st = node.state.lock();
+                let r = crate::locks::handle_peer_death(&mut st, node, peer);
+                drop(st);
+                if let Err(err) = r {
+                    node.ctl.fail(err);
+                }
+                continue;
+            }
+            Err(e) => {
+                node.ctl.fail(DsmError::Net(e));
+                return;
+            }
         };
-        let msg = Msg::from_bytes(&pkt.payload).expect("malformed protocol message");
+        let Ok(msg) = Msg::from_bytes(&pkt.payload) else {
+            node.ctl.fail(DsmError::Protocol {
+                context: "malformed protocol message",
+            });
+            continue;
+        };
         if matches!(msg, Msg::Shutdown) {
             return;
         }
         let mut st = node.state.lock();
         st.clock_recv(&pkt);
-        match msg {
+        let r = match msg {
             Msg::LockReq {
                 lock,
                 requester,
@@ -264,6 +333,12 @@ fn service_loop(node: &Node, ep: Endpoint) {
                 epoch,
             } => crate::barrier::apply_release(&mut st, records, vc, races, epoch),
             Msg::Shutdown => unreachable!("handled above"),
+        };
+        drop(st);
+        if let Err(err) = r {
+            if !node.ctl.tearing_down() {
+                node.ctl.fail(err);
+            }
         }
     }
 }

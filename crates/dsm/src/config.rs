@@ -121,9 +121,22 @@ pub struct DsmConfig {
     pub detect: DetectConfig,
     /// Network limits.
     pub net: NetConfig,
-    /// Run over a lossy wire with the reliability protocol (CVM's UDP
-    /// deployment) instead of perfect channels.
+    /// Run over a faulty wire with the reliability protocol (CVM's UDP
+    /// deployment) instead of perfect channels.  The
+    /// [`FaultPlan`](cvm_net::FaultPlan) ranges from plain Bernoulli loss
+    /// to scripted partitions and kills.
     pub net_loss: Option<LossConfig>,
+    /// Deadline for any single blocking protocol operation (a lock
+    /// acquire, a page fetch, a barrier arrival round).  When a node dies
+    /// or partitions, waiting peers convert the would-be deadlock into a
+    /// structured [`DsmError`](crate::DsmError) within this bound instead
+    /// of hanging.  A barrier wait is bounded by the *slowest peer's
+    /// computation*, not by protocol latency — the 8-process TSP run
+    /// spends minutes of wall clock between barriers — so the default is
+    /// very generous; fault tests shorten it (scripted kills are anyway
+    /// detected in milliseconds by the reliability layer's max-retransmit
+    /// threshold, well before any deadline).
+    pub op_deadline: std::time::Duration,
     /// Virtual-time cost constants.
     pub costs: CostModel,
     /// Record per-process trace logs for the post-mortem baseline
@@ -150,6 +163,7 @@ impl DsmConfig {
             detect: DetectConfig::on(),
             net: NetConfig::default(),
             net_loss: None,
+            op_deadline: std::time::Duration::from_secs(1800),
             costs: CostModel::default(),
             trace: false,
             record_sync: false,

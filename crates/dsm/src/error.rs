@@ -5,6 +5,8 @@ use std::fmt;
 use cvm_net::NetError;
 use cvm_page::AllocError;
 
+use crate::report::RunReport;
+
 /// Errors surfaced by the DSM to applications and the harness.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DsmError {
@@ -13,10 +15,24 @@ pub enum DsmError {
     /// A protocol message could not be sent (typically: over the system's
     /// maximum message size, the limitation of §5.3).
     Net(NetError),
-    /// A node panicked or disconnected mid-run.
+    /// A node panicked, was killed, or disconnected mid-run.
     NodeFailed {
         /// The failed process.
         proc: u16,
+    },
+    /// A blocking protocol operation exceeded the configured
+    /// [`op_deadline`](crate::DsmConfig::op_deadline) without any more
+    /// specific failure being diagnosed.
+    Timeout {
+        /// The operation that timed out.
+        op: &'static str,
+    },
+    /// An internal protocol invariant was violated (a message arrived for
+    /// state that does not exist) — surfaced instead of panicking so the
+    /// cluster can drain.
+    Protocol {
+        /// What was violated.
+        context: &'static str,
     },
 }
 
@@ -26,11 +42,35 @@ impl fmt::Display for DsmError {
             DsmError::Alloc(e) => write!(f, "allocation failure: {e}"),
             DsmError::Net(e) => write!(f, "network failure: {e}"),
             DsmError::NodeFailed { proc } => write!(f, "process P{proc} failed"),
+            DsmError::Timeout { op } => write!(f, "operation timed out: {op}"),
+            DsmError::Protocol { context } => write!(f, "protocol invariant violated: {context}"),
         }
     }
 }
 
 impl std::error::Error for DsmError {}
+
+/// A failed cluster run: the structured error plus whatever statistics the
+/// surviving nodes produced before the drain.
+#[derive(Clone, Debug)]
+pub struct RunError {
+    /// The first failure diagnosed anywhere in the cluster.
+    pub error: DsmError,
+    /// Partial statistics collected from the drained nodes.
+    pub partial: Box<RunReport>,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster run failed: {}", self.error)
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 impl From<AllocError> for DsmError {
     fn from(e: AllocError) -> Self {

@@ -45,7 +45,8 @@
 //!         }
 //!         h.barrier();                 // Detection runs here.
 //!     },
-//! );
+//! )
+//! .expect("healthy run");
 //! assert_eq!(report.races.len(), 1);
 //! assert!(report.races.reports()[0].render(&report.segments).contains("Flag"));
 //! ```
@@ -57,6 +58,7 @@ mod barrier;
 mod cluster;
 mod config;
 mod error;
+mod fault;
 mod handle;
 mod locks;
 mod msg;
@@ -68,7 +70,8 @@ mod simtime;
 
 pub use cluster::Cluster;
 pub use config::{DetectConfig, DsmConfig, Protocol, Watch, WriteDetection};
-pub use error::DsmError;
+pub use cvm_net::{FaultEvent, FaultPlan, ReliabilitySnapshot};
+pub use error::{DsmError, RunError};
 pub use handle::ProcHandle;
 pub use msg::Msg;
 pub use node::NodeStats;

@@ -258,11 +258,18 @@ impl NodeCore {
 
     /// Encodes and transmits a message, charging sender-side costs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the encoded message exceeds the configured system maximum
-    /// — the hard limit that capped the paper's input sizes (§5.3).
-    pub fn send_msg(&mut self, sender: &NetSender, dst: ProcId, msg: &Msg) {
+    /// [`DsmError::Net`] when the wire refuses the message: over the
+    /// system maximum (the hard limit that capped the paper's input sizes,
+    /// §5.3), or the destination's wiring is gone (a dead or killed node).
+    /// Callers propagate instead of panicking so the cluster can drain.
+    pub fn send_msg(
+        &mut self,
+        sender: &NetSender,
+        dst: ProcId,
+        msg: &Msg,
+    ) -> Result<(), crate::error::DsmError> {
         // `wire_size` is arithmetic, so the buffer is allocated exactly
         // once at the right size and never grows during encoding.
         let predicted = msg.wire_size();
@@ -291,7 +298,7 @@ impl NodeCore {
         }
         sender
             .send(dst, self.clock.now(), breakdown, payload)
-            .unwrap_or_else(|e| panic!("P{} -> P{} {:?}: {e}", self.proc.0, dst.0, msg_kind(msg)));
+            .map_err(crate::error::DsmError::Net)
     }
 
     /// Synchronizes the clock with an incoming packet.
@@ -305,7 +312,11 @@ impl NodeCore {
     /// flushes multi-writer diffs, and advances the closed clock.
     ///
     /// The caller opens the next interval (after any acquire-side merge).
-    pub fn close_interval(&mut self, sender: &NetSender) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates send failures from the multi-writer diff flush.
+    pub fn close_interval(&mut self, sender: &NetSender) -> Result<(), crate::error::DsmError> {
         let c = self.cfg.costs;
         self.clock.add(OverheadCat::Base, c.interval_setup);
         let detect = self.cfg.detect.enabled && !self.cfg.detect.instrumentation_only;
@@ -318,7 +329,7 @@ impl NodeCore {
 
         // Multi-writer: summarize writes as diffs and flush them home.
         if self.cfg.protocol == Protocol::MultiWriter && !self.cur.dirty.is_empty() {
-            self.flush_diffs(sender, id);
+            self.flush_diffs(sender, id)?;
         }
 
         let write_notices: Vec<PageId> = self.cur.dirty.iter().copied().collect();
@@ -357,6 +368,7 @@ impl NodeCore {
         self.cur.read.clear();
         self.cur.bitmaps.clear();
         self.note_high_water();
+        Ok(())
     }
 
     /// Updates the retained-state high-water marks (used to verify that
@@ -378,7 +390,11 @@ impl NodeCore {
         debug_assert!(self.cur.dirty.is_empty() && self.cur.read.is_empty());
     }
 
-    fn flush_diffs(&mut self, sender: &NetSender, id: IntervalId) {
+    fn flush_diffs(
+        &mut self,
+        sender: &NetSender,
+        id: IntervalId,
+    ) -> Result<(), crate::error::DsmError> {
         let c = self.cfg.costs;
         let mut by_home: HashMap<ProcId, Vec<Diff>> = HashMap::new();
         let dirty: Vec<PageId> = self.cur.dirty.iter().copied().collect();
@@ -422,10 +438,10 @@ impl NodeCore {
                 interval: id.index,
                 diffs,
             };
-            self.send_msg(sender, home, &msg);
+            self.send_msg(sender, home, &msg)?;
         }
         // Home-local watermark changes may unblock queued fetches.
-        self.service_mw_waiters(sender);
+        self.service_mw_waiters(sender)
     }
 
     /// Applies received interval records: logs them, invalidates pages named
@@ -530,7 +546,12 @@ impl NodeCore {
     }
 
     /// Services deferred multi-writer fetches whose needed diffs arrived.
-    pub fn service_mw_waiters(&mut self, sender: &NetSender) {
+    ///
+    /// # Errors
+    ///
+    /// [`DsmError::Protocol`](crate::error::DsmError::Protocol) if a
+    /// waiter-bearing entry vanished mid-scan; send failures propagate.
+    pub fn service_mw_waiters(&mut self, sender: &NetSender) -> Result<(), crate::error::DsmError> {
         let pages: Vec<PageId> = self
             .mw_home
             .iter()
@@ -543,9 +564,14 @@ impl NodeCore {
                     .iter()
                     .all(|(p, idx)| applied.get(p).copied().unwrap_or(0) >= *idx)
             };
-            // Remote fetchers.
-            let ready: Vec<ProcId> = {
-                let h = self.mw_home.get_mut(&page).expect("listed above");
+            // One lookup serves both the remote fetchers and the local
+            // waiter; a missing entry is a protocol error, not a panic.
+            let (ready, local) = {
+                let Some(h) = self.mw_home.get_mut(&page) else {
+                    return Err(crate::error::DsmError::Protocol {
+                        context: "mw_home entry vanished while servicing waiters",
+                    });
+                };
                 let mut ready = Vec::new();
                 h.waiting.retain(|(req, needed)| {
                     if satisfied(&h.applied, needed) {
@@ -555,21 +581,18 @@ impl NodeCore {
                         true
                     }
                 });
-                ready
-            };
-            for req in ready {
-                self.reply_mw_fetch(sender, page, req);
-            }
-            // Local waiter (the home's own application thread).
-            let local = {
-                let h = self.mw_home.get_mut(&page).expect("listed above");
-                match &h.local_waiter {
+                let local = match &h.local_waiter {
                     Some((_, needed)) if satisfied(&h.applied, needed) => {
                         h.local_waiter.take().map(|(tx, _)| tx)
                     }
                     _ => None,
-                }
+                };
+                (ready, local)
             };
+            for req in ready {
+                self.reply_mw_fetch(sender, page, req)?;
+            }
+            // Local waiter (the home's own application thread).
             if let Some(tx) = local {
                 // Re-validate the master copy for local use.
                 if self.pages.frame(page).is_none() {
@@ -580,10 +603,20 @@ impl NodeCore {
                 let _ = tx.send(());
             }
         }
+        Ok(())
     }
 
     /// Sends the master copy of `page` to `req` (multi-writer fetch reply).
-    pub fn reply_mw_fetch(&mut self, sender: &NetSender, page: PageId, req: ProcId) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates send failures.
+    pub fn reply_mw_fetch(
+        &mut self,
+        sender: &NetSender,
+        page: PageId,
+        req: ProcId,
+    ) -> Result<(), crate::error::DsmError> {
         if self.pages.frame(page).is_none() {
             self.pages.install_zeroed(page, Protection::Read);
         }
@@ -592,7 +625,7 @@ impl NodeCore {
         self.clock
             .add(OverheadCat::Base, words * self.cfg.costs.copy_per_word);
         self.stats.pages_sent += 1;
-        self.send_msg(sender, req, &Msg::PageFetchReply { page, data });
+        self.send_msg(sender, req, &Msg::PageFetchReply { page, data })
     }
 }
 
@@ -641,7 +674,7 @@ mod tests {
     fn close_and_open_advance_indices() {
         let (mut core, tx) = core_pair();
         core.cur.dirty.insert(PageId(3));
-        core.close_interval(&tx);
+        core.close_interval(&tx).unwrap();
         assert_eq!(core.vc.get(ProcId(0)), 1);
         assert_eq!(core.stats.intervals, 1);
         let rec = core.log.get(&IntervalId::new(ProcId(0), 1)).unwrap();
@@ -672,10 +705,10 @@ mod tests {
     fn records_between_filters_by_both_clocks() {
         let (mut core, tx) = core_pair();
         core.cur.dirty.insert(PageId(0));
-        core.close_interval(&tx);
+        core.close_interval(&tx).unwrap();
         core.open_interval();
         core.cur.dirty.insert(PageId(1));
-        core.close_interval(&tx);
+        core.close_interval(&tx).unwrap();
         core.open_interval();
         // Requester has seen interval 1 of P0 but not 2; the release knew
         // both.

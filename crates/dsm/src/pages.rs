@@ -19,20 +19,26 @@
 //! the write notices they have already seen (so a fetch never returns a
 //! copy missing a diff the requester's clock requires).
 
+use std::sync::Arc;
+
 use crossbeam::channel::bounded;
 use cvm_page::{Frame, GAddr, PageId, Protection};
 use cvm_vclock::ProcId;
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::config::Protocol;
+use crate::error::DsmError;
+use crate::fault::{self, ClusterCtl};
 use crate::msg::Msg;
 use crate::node::{NodeCore, QueuedPageReq};
 use crate::simtime::OverheadCat;
 
-/// One simulated node: protocol state plus its sending half.
+/// One simulated node: protocol state, its sending half, and the shared
+/// run-wide failure/teardown control block.
 pub(crate) struct Node {
     pub state: Mutex<NodeCore>,
     pub sender: cvm_net::NetSender,
+    pub ctl: Arc<ClusterCtl>,
 }
 
 /// Application-thread shared access.  Returns the value read (or the value
@@ -63,7 +69,9 @@ pub(crate) fn shared_access(node: &Node, addr: GAddr, write: bool, value: u64, s
                 st.stats.shared_writes += 1;
                 st.pages.write_word(page, word, value);
                 if st.pending_local_write.remove(&page) {
-                    drain_page_queue(&mut st, node, page);
+                    let me = st.proc;
+                    let r = drain_page_queue(&mut st, node, page);
+                    fault::check(node, me, r);
                 }
                 return value;
             }
@@ -103,6 +111,7 @@ fn fault<'a>(
     }
     let me = st.proc;
     let home = st.home_of(page);
+    let deadline = st.cfg.op_deadline;
 
     match st.cfg.protocol {
         Protocol::SingleWriter => {
@@ -121,22 +130,23 @@ fn fault<'a>(
                 // Forward straight to the owner (we are the home).
                 let (tx, rx) = bounded(1);
                 st.page_wait.insert(page, tx);
-                if write {
+                let r = if write {
                     st.home_owner.insert(page, me);
                     let msg = Msg::PageOwnFwd {
                         page,
                         requester: me,
                     };
-                    st.send_msg(&node.sender, owner, &msg);
+                    st.send_msg(&node.sender, owner, &msg)
                 } else {
                     let msg = Msg::PageReadFwd {
                         page,
                         requester: me,
                     };
-                    st.send_msg(&node.sender, owner, &msg);
-                }
+                    st.send_msg(&node.sender, owner, &msg)
+                };
+                fault::check(node, me, r);
                 drop(st);
-                rx.recv().expect("page reply lost");
+                fault::await_signal(node, &rx, deadline, me, "page reply");
                 node.state.lock()
             } else {
                 let (tx, rx) = bounded(1);
@@ -152,9 +162,10 @@ fn fault<'a>(
                         requester: me,
                     }
                 };
-                st.send_msg(&node.sender, home, &msg);
+                let r = st.send_msg(&node.sender, home, &msg);
+                fault::check(node, me, r);
                 drop(st);
-                rx.recv().expect("page reply lost");
+                fault::await_signal(node, &rx, deadline, me, "page reply");
                 node.state.lock()
             }
         }
@@ -182,7 +193,7 @@ fn fault<'a>(
                     .expect("entry created above")
                     .local_waiter = Some((tx, needed));
                 drop(st);
-                rx.recv().expect("diff wait lost");
+                fault::await_signal(node, &rx, deadline, me, "diff wait");
                 node.state.lock()
             } else {
                 let (tx, rx) = bounded(1);
@@ -192,9 +203,10 @@ fn fault<'a>(
                     requester: me,
                     needed,
                 };
-                st.send_msg(&node.sender, home, &msg);
+                let r = st.send_msg(&node.sender, home, &msg);
+                fault::check(node, me, r);
                 drop(st);
-                rx.recv().expect("page fetch lost");
+                fault::await_signal(node, &rx, deadline, me, "page fetch");
                 node.state.lock()
             }
         }
@@ -203,16 +215,21 @@ fn fault<'a>(
 
 /// Services remote requests deferred while our own ownership transfer was
 /// in flight (called after the local access completes).
-pub(crate) fn drain_page_queue(st: &mut NodeCore, node: &Node, page: PageId) {
+pub(crate) fn drain_page_queue(
+    st: &mut NodeCore,
+    node: &Node,
+    page: PageId,
+) -> Result<(), DsmError> {
     let Some(queue) = st.page_queue.remove(&page) else {
-        return;
+        return Ok(());
     };
     for req in queue {
         match req {
-            QueuedPageReq::Read(requester) => reply_read(st, node, page, requester),
-            QueuedPageReq::Own(requester) => transfer_ownership(st, node, page, requester),
+            QueuedPageReq::Read(requester) => reply_read(st, node, page, requester)?,
+            QueuedPageReq::Own(requester) => transfer_ownership(st, node, page, requester)?,
         }
     }
+    Ok(())
 }
 
 fn page_data(st: &mut NodeCore, page: PageId) -> Vec<u64> {
@@ -229,23 +246,38 @@ fn page_data(st: &mut NodeCore, page: PageId) -> Vec<u64> {
     data
 }
 
-fn reply_read(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
+fn reply_read(
+    st: &mut NodeCore,
+    node: &Node,
+    page: PageId,
+    requester: ProcId,
+) -> Result<(), DsmError> {
     let data = page_data(st, page);
-    st.send_msg(&node.sender, requester, &Msg::PageReadReply { page, data });
+    st.send_msg(&node.sender, requester, &Msg::PageReadReply { page, data })
 }
 
-fn transfer_ownership(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
+fn transfer_ownership(
+    st: &mut NodeCore,
+    node: &Node,
+    page: PageId,
+    requester: ProcId,
+) -> Result<(), DsmError> {
     debug_assert!(
         st.pages.protection(page).writable(),
         "transfer by non-owner"
     );
     let data = page_data(st, page);
     st.pages.protect(page, Protection::Read);
-    st.send_msg(&node.sender, requester, &Msg::PageOwnReply { page, data });
+    st.send_msg(&node.sender, requester, &Msg::PageOwnReply { page, data })
 }
 
 /// Home node: a read-copy request (single-writer).
-pub(crate) fn on_page_read_req(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
+pub(crate) fn on_page_read_req(
+    st: &mut NodeCore,
+    node: &Node,
+    page: PageId,
+    requester: ProcId,
+) -> Result<(), DsmError> {
     debug_assert_eq!(st.home_of(page), st.proc);
     let owner = st.owner_of(page);
     if owner == st.proc {
@@ -254,15 +286,20 @@ pub(crate) fn on_page_read_req(st: &mut NodeCore, node: &Node, page: PageId, req
         if st.pages.frame(page).is_none() && !st.page_wait.contains_key(&page) {
             st.pages.install_zeroed(page, Protection::Write);
         }
-        on_page_read_fwd(st, node, page, requester);
+        on_page_read_fwd(st, node, page, requester)
     } else {
         let msg = Msg::PageReadFwd { page, requester };
-        st.send_msg(&node.sender, owner, &msg);
+        st.send_msg(&node.sender, owner, &msg)
     }
 }
 
 /// Home node: an ownership request (single-writer).
-pub(crate) fn on_page_own_req(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
+pub(crate) fn on_page_own_req(
+    st: &mut NodeCore,
+    node: &Node,
+    page: PageId,
+    requester: ProcId,
+) -> Result<(), DsmError> {
     debug_assert_eq!(st.home_of(page), st.proc);
     let owner = st.owner_of(page);
     st.home_owner.insert(page, requester);
@@ -270,15 +307,20 @@ pub(crate) fn on_page_own_req(st: &mut NodeCore, node: &Node, page: PageId, requ
         if st.pages.frame(page).is_none() && !st.page_wait.contains_key(&page) {
             st.pages.install_zeroed(page, Protection::Write);
         }
-        on_page_own_fwd(st, node, page, requester);
+        on_page_own_fwd(st, node, page, requester)
     } else {
         let msg = Msg::PageOwnFwd { page, requester };
-        st.send_msg(&node.sender, owner, &msg);
+        st.send_msg(&node.sender, owner, &msg)
     }
 }
 
 /// Believed owner: a forwarded read-copy request.
-pub(crate) fn on_page_read_fwd(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
+pub(crate) fn on_page_read_fwd(
+    st: &mut NodeCore,
+    node: &Node,
+    page: PageId,
+    requester: ProcId,
+) -> Result<(), DsmError> {
     if st.page_wait.contains_key(&page)
         || st.pending_local_write.contains(&page)
         || !st.pages.protection(page).writable()
@@ -288,13 +330,19 @@ pub(crate) fn on_page_read_fwd(st: &mut NodeCore, node: &Node, page: PageId, req
             .entry(page)
             .or_default()
             .push_back(QueuedPageReq::Read(requester));
+        Ok(())
     } else {
-        reply_read(st, node, page, requester);
+        reply_read(st, node, page, requester)
     }
 }
 
 /// Believed owner: a forwarded ownership request.
-pub(crate) fn on_page_own_fwd(st: &mut NodeCore, node: &Node, page: PageId, requester: ProcId) {
+pub(crate) fn on_page_own_fwd(
+    st: &mut NodeCore,
+    node: &Node,
+    page: PageId,
+    requester: ProcId,
+) -> Result<(), DsmError> {
     if st.page_wait.contains_key(&page)
         || st.pending_local_write.contains(&page)
         || !st.pages.protection(page).writable()
@@ -303,13 +351,19 @@ pub(crate) fn on_page_own_fwd(st: &mut NodeCore, node: &Node, page: PageId, requ
             .entry(page)
             .or_default()
             .push_back(QueuedPageReq::Own(requester));
+        Ok(())
     } else {
-        transfer_ownership(st, node, page, requester);
+        transfer_ownership(st, node, page, requester)
     }
 }
 
 /// Faulting node: page contents arrive (read copy or ownership).
-pub(crate) fn on_page_reply(st: &mut NodeCore, page: PageId, data: Vec<u64>, own: bool) {
+pub(crate) fn on_page_reply(
+    st: &mut NodeCore,
+    page: PageId,
+    data: Vec<u64>,
+    own: bool,
+) -> Result<(), DsmError> {
     let prot = if own {
         Protection::Write
     } else {
@@ -319,11 +373,13 @@ pub(crate) fn on_page_reply(st: &mut NodeCore, page: PageId, data: Vec<u64>, own
         st.pending_local_write.insert(page);
     }
     st.pages.install(page, Frame::from_data(data, prot));
-    let tx = st
-        .page_wait
-        .remove(&page)
-        .expect("page reply without a waiting fault");
+    let Some(tx) = st.page_wait.remove(&page) else {
+        return Err(DsmError::Protocol {
+            context: "page reply without a waiting fault",
+        });
+    };
     let _ = tx.send(());
+    Ok(())
 }
 
 /// Home node: a multi-writer fetch, gated on required diffs.
@@ -333,7 +389,7 @@ pub(crate) fn on_page_fetch_req(
     page: PageId,
     requester: ProcId,
     needed: Vec<(ProcId, u32)>,
-) {
+) -> Result<(), DsmError> {
     debug_assert_eq!(st.home_of(page), st.proc);
     let satisfied = {
         let h = st.mw_home.entry(page).or_default();
@@ -342,13 +398,14 @@ pub(crate) fn on_page_fetch_req(
             .all(|(p, idx)| h.applied.get(p).copied().unwrap_or(0) >= *idx)
     };
     if satisfied {
-        st.reply_mw_fetch(&node.sender, page, requester);
+        st.reply_mw_fetch(&node.sender, page, requester)
     } else {
         st.mw_home
             .get_mut(&page)
             .expect("entry created above")
             .waiting
             .push((requester, needed));
+        Ok(())
     }
 }
 
@@ -359,7 +416,7 @@ pub(crate) fn on_diff_flush(
     writer: ProcId,
     interval: u32,
     diffs: Vec<cvm_page::Diff>,
-) {
+) -> Result<(), DsmError> {
     let c = st.cfg.costs;
     for diff in diffs {
         let page = diff.page;
@@ -377,7 +434,7 @@ pub(crate) fn on_diff_flush(
         let e = h.applied.entry(writer).or_insert(0);
         *e = (*e).max(interval);
     }
-    st.service_mw_waiters(&node.sender);
+    st.service_mw_waiters(&node.sender)
 }
 
 #[cfg(test)]
@@ -393,10 +450,12 @@ mod tests {
         let n0 = Node {
             state: Mutex::new(NodeCore::new(cfg.clone(), ProcId(0))),
             sender: eps[0].sender(),
+            ctl: Arc::new(ClusterCtl::new()),
         };
         let n1 = Node {
             state: Mutex::new(NodeCore::new(cfg, ProcId(1))),
             sender: eps[1].sender(),
+            ctl: Arc::new(ClusterCtl::new()),
         };
         (n0, n1, eps)
     }
@@ -436,9 +495,9 @@ mod tests {
         // Simulate an in-flight local fault on page 0.
         let (tx, _rx) = bounded(1);
         st.page_wait.insert(PageId(0), tx);
-        on_page_read_fwd(&mut st, &n0, PageId(0), ProcId(1));
+        on_page_read_fwd(&mut st, &n0, PageId(0), ProcId(1)).unwrap();
         assert_eq!(st.page_queue[&PageId(0)].len(), 1);
-        on_page_own_fwd(&mut st, &n0, PageId(0), ProcId(1));
+        on_page_own_fwd(&mut st, &n0, PageId(0), ProcId(1)).unwrap();
         assert_eq!(st.page_queue[&PageId(0)].len(), 2);
     }
 }
@@ -457,6 +516,7 @@ mod mw_tests {
         let node = Node {
             state: Mutex::new(NodeCore::new(cfg, ProcId(proc))),
             sender: eps[proc as usize].sender(),
+            ctl: Arc::new(ClusterCtl::new()),
         };
         (node, eps)
     }
@@ -468,7 +528,7 @@ mod mw_tests {
         let (home, eps) = mw_node(0);
         {
             let mut st = home.state.lock();
-            on_page_fetch_req(&mut st, &home, PageId(0), ProcId(1), vec![(ProcId(1), 3)]);
+            on_page_fetch_req(&mut st, &home, PageId(0), ProcId(1), vec![(ProcId(1), 3)]).unwrap();
             assert_eq!(
                 st.mw_home[&PageId(0)].waiting.len(),
                 1,
@@ -484,7 +544,8 @@ mod mw_tests {
                     page: PageId(0),
                     entries: vec![(0, 7)],
                 }],
-            );
+            )
+            .unwrap();
             assert_eq!(st.mw_home[&PageId(0)].waiting.len(), 1);
             // Interval 3 satisfies the gate; the reply goes out.
             on_diff_flush(
@@ -496,7 +557,8 @@ mod mw_tests {
                     page: PageId(0),
                     entries: vec![(1, 9)],
                 }],
-            );
+            )
+            .unwrap();
             assert!(st.mw_home[&PageId(0)].waiting.is_empty());
             assert_eq!(st.stats.pages_sent, 1);
         }
@@ -519,7 +581,7 @@ mod mw_tests {
         let (home, eps) = mw_node(0);
         {
             let mut st = home.state.lock();
-            on_page_fetch_req(&mut st, &home, PageId(0), ProcId(1), vec![]);
+            on_page_fetch_req(&mut st, &home, PageId(0), ProcId(1), vec![]).unwrap();
             assert!(st
                 .mw_home
                 .get(&PageId(0))

@@ -53,6 +53,9 @@ pub struct RunReport {
     pub det_stats: DetectorStats,
     /// Network statistics (bytes per traffic class).
     pub net: StatsSnapshot,
+    /// Reliability-layer statistics (drops, retransmissions, injected
+    /// faults) when the run used a lossy wire; `None` on perfect channels.
+    pub reliability: Option<cvm_net::ReliabilitySnapshot>,
     /// Shared-segment symbol map.
     pub segments: SegmentMap,
     /// Recorded synchronization schedule (when recording was on).
@@ -165,6 +168,7 @@ mod tests {
             races: RaceLog::new(),
             det_stats: DetectorStats::default(),
             net: StatsSnapshot::default(),
+            reliability: None,
             segments: SegmentMap::default(),
             schedule: SyncSchedule::new(),
             watch_hits: Vec::new(),

@@ -20,7 +20,8 @@ fn single_proc_write_read_and_barrier() {
             h.barrier();
             assert_eq!(h.read(x), 42);
         },
-    );
+    )
+    .expect("cluster run");
     assert!(report.races.is_empty());
     assert_eq!(report.barriers(), 1);
 }
@@ -42,7 +43,8 @@ fn lock_protected_counter_is_coherent() {
             h.barrier();
             assert_eq!(h.read(counter), PER_PROC * nprocs as u64);
         },
-    );
+    )
+    .expect("cluster run");
     // Properly synchronized: no races.
     assert!(
         report.races.is_empty(),
@@ -69,7 +71,8 @@ fn barrier_ordered_neighbor_exchange_is_race_free() {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     assert!(
         report.races.is_empty(),
         "false sharing misreported as races: {:?}",
@@ -92,7 +95,8 @@ fn write_write_race_is_detected_and_symbolized() {
             h.write(racy, h.proc() as u64);
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     assert!(!report.races.is_empty(), "write-write race missed");
     let r = &report.races.reports()[0];
     assert_eq!(r.kind, RaceKind::WriteWrite);
@@ -123,7 +127,8 @@ fn read_write_race_is_detected() {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     assert_eq!(report.races.len(), 1);
     assert_eq!(report.races.reports()[0].kind, RaceKind::ReadWrite);
 }
@@ -144,7 +149,8 @@ fn lock_ordering_suppresses_race() {
             h.unlock(7);
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     assert!(
         report.races.is_empty(),
         "lock-ordered accesses misreported: {:?}",
@@ -166,7 +172,8 @@ fn barrier_orders_across_epochs() {
             assert_eq!(h.read(x), 99, "stale read after barrier");
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     assert!(report.races.is_empty());
 }
 
@@ -203,7 +210,8 @@ fn values_propagate_through_lock_chain() {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     assert!(report.races.is_empty());
 }
 
@@ -226,7 +234,8 @@ fn multiwriter_concurrent_disjoint_writes_merge() {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     assert!(
         report.races.is_empty(),
         "multi-writer false sharing misreported: {:?}",
@@ -257,6 +266,7 @@ fn diff_write_detection_misses_same_value_overwrite() {
                 h.barrier();
             },
         )
+        .expect("cluster run")
     };
     let instrumented = run(WriteDetection::Instrumentation);
     assert_eq!(instrumented.races.len(), 1, "instrumentation must catch it");
@@ -286,6 +296,7 @@ fn detection_off_runs_clean_and_cheaper() {
                 }
             },
         )
+        .expect("cluster run")
     };
     let on = run(DetectConfig::on());
     let off = run(DetectConfig::off());
@@ -310,7 +321,8 @@ fn barrier_only_app_has_two_intervals_per_barrier() {
                 h.barrier();
             }
         },
-    );
+    )
+    .expect("cluster run");
     let ipb = report.intervals_per_barrier();
     assert!(
         (ipb - 2.0).abs() < 0.35,
@@ -335,6 +347,7 @@ fn first_races_only_reports_earliest_epoch() {
                 h.barrier();
             },
         )
+        .expect("cluster run")
     };
     let all = run(false);
     let epochs_all: std::collections::BTreeSet<u64> =
@@ -367,7 +380,8 @@ fn consolidation_detects_races_without_program_barriers() {
             h.write(x, h.proc() as u64 + 1);
             h.consolidate();
         },
-    );
+    )
+    .expect("cluster run");
     assert!(!report.races.is_empty());
     assert!(report.nodes.iter().all(|n| n.stats.consolidations == 1));
 }
@@ -385,13 +399,15 @@ fn sync_record_then_replay_reproduces_grant_order() {
     };
     let mut c1 = cfg(4);
     c1.record_sync = true;
-    let first = Cluster::run(c1, |a| a.alloc("n", 8).unwrap(), |h, s| body(h, s));
+    let first =
+        Cluster::run(c1, |a| a.alloc("n", 8).unwrap(), |h, s| body(h, s)).expect("cluster run");
     assert!(!first.schedule.is_empty());
 
     let mut c2 = cfg(4);
     c2.record_sync = true;
     c2.replay = Some(first.schedule.clone());
-    let second = Cluster::run(c2, |a| a.alloc("n", 8).unwrap(), |h, s| body(h, s));
+    let second =
+        Cluster::run(c2, |a| a.alloc("n", 8).unwrap(), |h, s| body(h, s)).expect("cluster run");
     assert_eq!(
         second.schedule, first.schedule,
         "replay must reproduce the recorded grant order"
@@ -412,7 +428,8 @@ fn watch_identifies_access_sites_on_replay() {
     };
     let mut c1 = cfg(2);
     c1.record_sync = true;
-    let first = Cluster::run(c1, |a| a.alloc("x", 8).unwrap(), |h, x| body(h, x));
+    let first =
+        Cluster::run(c1, |a| a.alloc("x", 8).unwrap(), |h, x| body(h, x)).expect("cluster run");
     assert_eq!(first.races.len(), 1);
     let race = first.races.reports()[0].clone();
 
@@ -422,7 +439,8 @@ fn watch_identifies_access_sites_on_replay() {
         addr: race.addr,
         epoch: race.epoch,
     });
-    let second = Cluster::run(c2, |a| a.alloc("x", 8).unwrap(), |h, x| body(h, x));
+    let second =
+        Cluster::run(c2, |a| a.alloc("x", 8).unwrap(), |h, x| body(h, x)).expect("cluster run");
     let sites: std::collections::BTreeSet<u32> =
         second.watch_hits.iter().map(|hit| hit.site).collect();
     assert_eq!(
@@ -464,7 +482,8 @@ fn many_procs_stress_pages_and_locks() {
             let _ = h.read(sum);
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     assert!(
         report.races.is_empty(),
         "clean program misreported: {:?}",
@@ -494,7 +513,8 @@ fn garbage_collection_keeps_state_bounded() {
                     h.barrier();
                 }
             },
-        );
+        )
+        .expect("cluster run");
         report
             .nodes
             .iter()
@@ -540,7 +560,8 @@ fn handle_utility_surface() {
             // Races so far: the f64/word writes were ordered; none.
             assert_eq!(h.races_so_far(), 0);
         },
-    );
+    )
+    .expect("cluster run");
     let (shared, private) = report.analysis_calls();
     assert!(shared > 0);
     assert_eq!(private, 14, "7 private calls per proc");
@@ -558,7 +579,8 @@ fn program_without_barriers_completes_without_detection() {
             h.write(x, h.proc() as u64);
             let _ = h.read(x);
         },
-    );
+    )
+    .expect("cluster run");
     assert!(report.races.is_empty());
     assert_eq!(report.barriers(), 0);
     assert_eq!(report.det_stats.pair_comparisons, 0);
@@ -584,7 +606,8 @@ fn tiny_pages_geometry_works() {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     assert!(report.races.is_empty(), "{:?}", report.races.reports());
     let (rf, _) = report.faults();
     assert!(rf > 0, "cross-page reads must fault");
@@ -623,7 +646,8 @@ fn twelve_procs_smoke() {
             assert_eq!(total, expect);
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     assert!(report.races.is_empty());
     assert_eq!(report.nodes.len(), 12);
 }
@@ -656,7 +680,8 @@ fn full_stack_over_lossy_wire() {
             assert_eq!(h.read(counter), 30, "loss must not corrupt coherence");
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     let racy_addr = report
         .segments
         .segments()

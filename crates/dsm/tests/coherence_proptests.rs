@@ -32,7 +32,8 @@ fn exclusive_writer_case(nprocs: usize, protocol: Protocol, owners: &[usize], va
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     // Exclusive writers + barrier ordering: race-free by construction.
     assert!(
         report.races.is_empty(),
@@ -95,7 +96,7 @@ proptest! {
                 }
                 h.barrier();
             },
-        );
+        ).expect("cluster run");
         prop_assert!(report.races.is_empty(), "{:?}", report.races.reports());
     }
 }
@@ -119,7 +120,8 @@ fn lock_fast_path_is_message_free() {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     let p0 = &report.nodes[0].stats;
     assert_eq!(p0.locks_local, 50);
     assert_eq!(p0.locks_remote, 0);
@@ -142,7 +144,8 @@ fn lock_token_caching_after_remote_acquire() {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     let p1 = &report.nodes[1].stats;
     assert_eq!(p1.locks_remote, 1, "only the first acquisition is remote");
     assert_eq!(p1.locks_local, 9);
@@ -166,7 +169,8 @@ fn lock_chain_rotates_through_all_procs() {
             h.barrier();
             assert_eq!(h.read(n), 40);
         },
-    );
+    )
+    .expect("cluster run");
     for node in &report.nodes {
         assert!(
             node.stats.locks_remote >= 1,

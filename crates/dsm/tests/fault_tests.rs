@@ -1,0 +1,152 @@
+//! Scripted faults against full cluster runs: kills and partitions must
+//! surface as structured [`DsmError`]s within the configured deadline —
+//! never a hang, never a panic — and the same `(FaultPlan, seed)` must
+//! reproduce the same outcome.
+
+use std::time::{Duration, Instant};
+
+use cvm_dsm::{Cluster, DsmConfig, DsmError, FaultPlan, Protocol, RunError};
+use cvm_vclock::ProcId;
+
+/// A cluster whose node 1 is scripted to die mid-run.  The reliability
+/// layer's RTO/backoff is tightened so peers declare the corpse dead in
+/// tens of milliseconds rather than the deployment defaults.
+fn killed_node_config(protocol: Protocol, seed: u64) -> DsmConfig {
+    let mut cfg = DsmConfig::new(3);
+    cfg.protocol = protocol;
+    cfg.op_deadline = Duration::from_secs(2);
+    cfg.net_loss = Some(
+        FaultPlan::clean(seed)
+            .with_rto(Duration::from_millis(2), Duration::from_millis(16))
+            .with_max_retransmits(8)
+            .with_kill(ProcId(1), 40),
+    );
+    cfg
+}
+
+/// Runs a barrier loop that would take many hundreds of engine events to
+/// complete, guaranteeing the scripted fault fires mid-protocol.
+fn run_barrier_loop(cfg: DsmConfig) -> (Result<(), RunError>, Duration) {
+    let started = Instant::now();
+    let result = Cluster::run(
+        cfg,
+        |alloc| alloc.alloc("words", 3 * 8).unwrap(),
+        |h, &base| {
+            let me = h.proc();
+            for i in 0..200u64 {
+                h.write(base.word(me as u64), i);
+                h.barrier();
+            }
+        },
+    )
+    .map(|_| ());
+    (result, started.elapsed())
+}
+
+fn assert_kill_diagnosed(protocol: Protocol) {
+    let (result, elapsed) = run_barrier_loop(killed_node_config(protocol, 42));
+    let err = result.expect_err("a killed node must fail the run");
+    assert_eq!(
+        err.error,
+        DsmError::NodeFailed { proc: 1 },
+        "{protocol:?}: the scripted victim must be named"
+    );
+    // No hang: the op deadline is 2s (barrier workers wait 1.5x so the
+    // master classifies first); peer-death detection fires in tens of
+    // milliseconds, well before any deadline.  Allow generous slack for
+    // the drain on loaded machines.
+    assert!(
+        elapsed < Duration::from_secs(8),
+        "{protocol:?}: diagnosis took {elapsed:?}"
+    );
+    // Every node drains and contributes partial statistics.
+    assert_eq!(err.partial.nodes.len(), 3);
+    // The victim's own endpoint reports the kill (Disconnected) milliseconds
+    // before peers exhaust retransmits, so `peers_declared_dead` may still be
+    // zero at drain time — the structured error above is the contract.
+    assert!(
+        err.partial.reliability.is_some(),
+        "faulty runs carry reliability stats"
+    );
+}
+
+#[test]
+fn killed_node_is_diagnosed_under_single_writer() {
+    assert_kill_diagnosed(Protocol::SingleWriter);
+}
+
+#[test]
+fn killed_node_is_diagnosed_under_multi_writer() {
+    assert_kill_diagnosed(Protocol::MultiWriter);
+}
+
+#[test]
+fn same_fault_plan_reproduces_the_same_diagnosis() {
+    for protocol in [Protocol::SingleWriter, Protocol::MultiWriter] {
+        let (first, _) = run_barrier_loop(killed_node_config(protocol, 7));
+        let (second, _) = run_barrier_loop(killed_node_config(protocol, 7));
+        assert_eq!(
+            first.expect_err("kill").error,
+            second.expect_err("kill").error,
+            "{protocol:?}: the scripted fault must reproduce"
+        );
+    }
+}
+
+#[test]
+fn partitioned_node_fails_the_run_within_the_deadline() {
+    // Node 1 partitions after 20 datagrams: its traffic is eaten in both
+    // directions.  Retransmission exhaustion is symmetric — node 1
+    // declares its peers dead at the same time they declare *it* dead —
+    // so the first diagnosis may name either side; what matters is a
+    // prompt structured failure, not a hang.
+    let mut cfg = DsmConfig::new(3);
+    cfg.op_deadline = Duration::from_secs(2);
+    cfg.net_loss = Some(
+        FaultPlan::clean(13)
+            .with_rto(Duration::from_millis(2), Duration::from_millis(16))
+            .with_max_retransmits(8)
+            .with_partition(ProcId(1), 20),
+    );
+    let (result, elapsed) = run_barrier_loop(cfg);
+    let err = result.expect_err("a partitioned node must fail the run");
+    assert!(
+        matches!(err.error, DsmError::NodeFailed { .. }),
+        "expected a node-failure diagnosis, got {:?}",
+        err.error
+    );
+    assert!(
+        elapsed < Duration::from_secs(8),
+        "diagnosis took {elapsed:?}"
+    );
+    let reliability = err.partial.reliability.as_ref().unwrap();
+    assert!(
+        reliability.partition_drops > 0,
+        "the partition must actually eat datagrams"
+    );
+}
+
+#[test]
+fn lossy_wire_does_not_fail_healthy_runs() {
+    // Plain Bernoulli loss (no scripted faults) is repaired end-to-end:
+    // the run completes, reports no failure, and the race detector sees
+    // the same race-free program it would on perfect channels.
+    let mut cfg = DsmConfig::new(3);
+    cfg.net_loss = Some(FaultPlan::new(0.2, 99));
+    let report = Cluster::run(
+        cfg,
+        |alloc| alloc.alloc("words", 3 * 8).unwrap(),
+        |h, &base| {
+            let me = h.proc();
+            for i in 0..20u64 {
+                h.write(base.word(me as u64), i);
+                h.barrier();
+            }
+        },
+    )
+    .expect("loss alone must not fail a run");
+    assert!(report.races.is_empty());
+    let reliability = report.reliability.expect("lossy runs carry stats");
+    assert!(reliability.wire_drops > 0, "the wire must actually drop");
+    assert!(reliability.retransmissions > 0, "drops must be repaired");
+}

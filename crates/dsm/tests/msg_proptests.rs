@@ -46,11 +46,11 @@ proptest! {
         };
         let mut c1 = DsmConfig::new(3);
         c1.record_sync = true;
-        let a = Cluster::run(c1, |al| al.alloc("n", 8).unwrap(), &body);
+        let a = Cluster::run(c1, |al| al.alloc("n", 8).unwrap(), &body).expect("cluster run");
         let mut c2 = DsmConfig::new(3);
         c2.record_sync = true;
         c2.replay = Some(a.schedule.clone());
-        let b = Cluster::run(c2, |al| al.alloc("n", 8).unwrap(), &body);
+        let b = Cluster::run(c2, |al| al.alloc("n", 8).unwrap(), &body).expect("cluster run");
         prop_assert_eq!(a.schedule, b.schedule);
     }
 }

@@ -37,5 +37,8 @@ pub mod reliable;
 mod stats;
 pub mod wire;
 
-pub use network::{Endpoint, NetConfig, NetError, NetSender, Network, Packet, HEADER_BYTES};
+pub use network::{
+    Endpoint, NetConfig, NetError, NetEvent, NetSender, Network, Packet, HEADER_BYTES,
+};
+pub use reliable::{FaultEvent, FaultPlan, ReliabilitySnapshot, ReliabilityStats};
 pub use stats::{ByteBreakdown, NetStats, StatsSnapshot, TrafficClass};

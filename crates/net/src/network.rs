@@ -48,6 +48,12 @@ pub enum NetError {
     Disconnected,
     /// No message was ready (non-blocking receive only).
     Empty,
+    /// The reliability layer declared `peer` dead (retransmit budget
+    /// exhausted); traffic to and from it is abandoned.
+    PeerDead {
+        /// The dead peer.
+        peer: ProcId,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -58,6 +64,9 @@ impl fmt::Display for NetError {
             }
             NetError::Disconnected => write!(f, "peer endpoint disconnected"),
             NetError::Empty => write!(f, "no message ready"),
+            NetError::PeerDead { peer } => {
+                write!(f, "peer P{} declared dead by the reliability layer", peer.0)
+            }
         }
     }
 }
@@ -81,11 +90,25 @@ pub struct Packet {
     pub payload: Vec<u8>,
 }
 
+/// What an endpoint's receive channel carries: ordinary packets, plus
+/// failure notifications from the reliability layer.
+#[derive(Clone, Debug)]
+pub enum NetEvent {
+    /// A delivered message.
+    Packet(Packet),
+    /// The reliability layer exhausted its retransmit budget to `peer`
+    /// and declared it dead.
+    PeerDead {
+        /// The dead peer.
+        peer: ProcId,
+    },
+}
+
 /// How packets leave a sender.
 #[derive(Clone)]
 enum Transport {
     /// Straight into the destination's channel (a reliable link).
-    Direct(Arc<Vec<Sender<Packet>>>),
+    Direct(Arc<Vec<Sender<NetEvent>>>),
     /// Through the owning node's reliability engine (lossy wire
     /// underneath; see [`crate::reliable`]).
     Reliable(Sender<(ProcId, Packet)>),
@@ -147,7 +170,7 @@ impl NetSender {
         };
         match &self.transport {
             Transport::Direct(txs) => txs[dst.index()]
-                .send(pkt)
+                .send(NetEvent::Packet(pkt))
                 .map_err(|_| NetError::Disconnected),
             Transport::Reliable(outbound) => outbound
                 .send((dst, pkt))
@@ -181,7 +204,7 @@ impl NetSender {
 pub struct Endpoint {
     id: ProcId,
     sender: NetSender,
-    rx: Receiver<Packet>,
+    rx: Receiver<NetEvent>,
 }
 
 impl Endpoint {
@@ -199,9 +222,30 @@ impl Endpoint {
     ///
     /// # Errors
     ///
-    /// [`NetError::Disconnected`] once every sender is gone.
+    /// [`NetError::Disconnected`] once every sender is gone;
+    /// [`NetError::PeerDead`] when the reliability layer declares a peer
+    /// dead (the endpoint remains usable for surviving peers).
     pub fn recv(&self) -> Result<Packet, NetError> {
-        self.rx.recv().map_err(|_| NetError::Disconnected)
+        match self.rx.recv() {
+            Ok(NetEvent::Packet(pkt)) => Ok(pkt),
+            Ok(NetEvent::PeerDead { peer }) => Err(NetError::PeerDead { peer }),
+            Err(_) => Err(NetError::Disconnected),
+        }
+    }
+
+    /// Blocks until a message arrives or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Empty`] on timeout, plus everything [`Endpoint::recv`]
+    /// can return.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Packet, NetError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(NetEvent::Packet(pkt)) => Ok(pkt),
+            Ok(NetEvent::PeerDead { peer }) => Err(NetError::PeerDead { peer }),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(NetError::Empty),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
+        }
     }
 
     /// Non-blocking receive.
@@ -209,12 +253,15 @@ impl Endpoint {
     /// # Errors
     ///
     /// [`NetError::Empty`] if no message is ready, [`NetError::Disconnected`]
-    /// once every sender is gone.
+    /// once every sender is gone, [`NetError::PeerDead`] on a peer-death
+    /// notification.
     pub fn try_recv(&self) -> Result<Packet, NetError> {
-        self.rx.try_recv().map_err(|e| match e {
-            TryRecvError::Empty => NetError::Empty,
-            TryRecvError::Disconnected => NetError::Disconnected,
-        })
+        match self.rx.try_recv() {
+            Ok(NetEvent::Packet(pkt)) => Ok(pkt),
+            Ok(NetEvent::PeerDead { peer }) => Err(NetError::PeerDead { peer }),
+            Err(TryRecvError::Empty) => Err(NetError::Empty),
+            Err(TryRecvError::Disconnected) => Err(NetError::Disconnected),
+        }
     }
 }
 
@@ -256,13 +303,15 @@ impl Network {
         (endpoints, stats)
     }
 
-    /// Creates `n` endpoints over a *lossy* wire with the reliability
+    /// Creates `n` endpoints over a *faulty* wire with the reliability
     /// protocol layered on top (CVM's UDP deployment): same API, plus the
-    /// reliability counters.
+    /// reliability counters.  The [`FaultPlan`](crate::reliable::FaultPlan)
+    /// selects everything from plain Bernoulli loss to scripted
+    /// partitions and kills.
     pub fn with_loss(
         n: usize,
         config: NetConfig,
-        loss: crate::reliable::LossConfig,
+        loss: crate::reliable::FaultPlan,
     ) -> (
         Vec<Endpoint>,
         Arc<NetStats>,

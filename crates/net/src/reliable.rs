@@ -1,4 +1,4 @@
-//! Reliable delivery over a lossy datagram wire.
+//! Reliable delivery over a faulty datagram wire.
 //!
 //! CVM's communication layer is a set of "efficient, end-to-end protocols
 //! built on top of UDP" — the kernel gives it datagrams that can vanish,
@@ -7,17 +7,39 @@
 //! reliable), which is fine for most experiments; this module supplies the
 //! real thing for runs that want wire-level failure injection:
 //!
-//! * a seeded Bernoulli *loss model* drops data and ACK datagrams alike;
+//! * a seeded *fault plan* ([`FaultPlan`]) injecting per-link Bernoulli
+//!   loss, duplication, delay, reordering windows, and scripted events
+//!   ("partition node N at datagram K", "kill node N at event K");
 //! * per-flow sequence numbers with cumulative ACKs;
 //! * receiver-side reordering and duplicate suppression;
-//! * timer-driven retransmission of unacknowledged datagrams.
+//! * timer-driven retransmission with exponential backoff, jitter, and a
+//!   cap, plus a max-retransmit threshold that declares the peer *dead*
+//!   (surfaced as [`NetEvent::PeerDead`](crate::NetEvent)) instead of
+//!   retrying forever.
 //!
 //! The application-facing API is unchanged: [`Network::with_loss`] hands
 //! out the same [`Endpoint`]s/[`NetSender`]s, so the whole DSM (and the
-//! race detector above it) runs unmodified over a lossy wire — see the
-//! `lossy_wire` cluster tests.
+//! race detector above it) runs unmodified over a faulty wire — see the
+//! `lossy_wire` cluster tests and the chaos suites.
+//!
+//! # Determinism
+//!
+//! Every fault decision is a pure splitmix64-style hash of the plan seed
+//! and the *identity* of the datagram — `(link, sequence, attempt)` for
+//! data, `(link, cumulative-ack value)` for ACKs — never of wall-clock
+//! time or call order.  A given `(FaultPlan, seed)` therefore reproduces
+//! the exact same drop/dup/delay/kill sequence for the same traffic, which
+//! keeps record/replay and the bit-identical parallel detector epoch
+//! intact.  Data-loss decisions are fully order-independent; ACK loss
+//! ([`FaultPlan::ack_drop_rate`], off by default) is keyed by the
+//! cumulative-ack *value*, whose emission set can shift with retransmission
+//! timing — determinism tests should leave it at zero.
+//!
+//! [`Endpoint`]: crate::Endpoint
+//! [`NetSender`]: crate::NetSender
+//! [`Network::with_loss`]: crate::Network::with_loss
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -25,46 +47,214 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender};
 use cvm_vclock::ProcId;
 
-use crate::{Packet, TrafficClass};
+use crate::{NetEvent, Packet};
 
-/// Wire loss model: each datagram (data or ACK) is independently dropped
-/// with probability `drop_rate`, from a seeded generator so runs are
-/// reproducible.
-#[derive(Clone, Copy, Debug)]
-pub struct LossConfig {
-    /// Probability in `[0, 1)` that any single datagram is lost.
-    pub drop_rate: f64,
-    /// Seed for the drop decisions.
-    pub seed: u64,
-    /// Retransmission timeout.
-    pub rto: Duration,
+/// A scripted fault: something that happens to one node at a
+/// deterministic point in its own event stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// After `at_datagram` datagrams have crossed `node`'s wire interface
+    /// (sent or received), all of its subsequent traffic in both
+    /// directions is dropped: the node is partitioned from the rest of
+    /// the cluster but keeps running.
+    Partition {
+        /// The partitioned node.
+        node: ProcId,
+        /// Node-local wire-datagram count at which the partition begins.
+        at_datagram: u64,
+    },
+    /// After `node`'s reliability engine has processed `at_event` events
+    /// (outbound packets + wire arrivals), the engine halts: channels
+    /// close, nothing is delivered or acknowledged — a crashed node.
+    Kill {
+        /// The killed node.
+        node: ProcId,
+        /// Node-local engine-event count at which the node dies.
+        at_event: u64,
+    },
 }
 
-impl LossConfig {
-    /// A loss model with the given rate and seed and a 2 ms RTO.
+/// Wire fault model: seeded, deterministic fault injection plus the
+/// retransmission-policy knobs of the reliability protocol.
+///
+/// The historical name [`LossConfig`] remains as an alias; a plain
+/// Bernoulli loss model is `FaultPlan::new(rate, seed)`.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1)` that any single *data* datagram is lost.
+    pub drop_rate: f64,
+    /// Probability in `[0, 1)` that an ACK datagram is lost.  Off by
+    /// default: ACK loss decisions are keyed by the cumulative-ack value,
+    /// which can shift with retransmission timing (see module docs).
+    pub ack_drop_rate: f64,
+    /// Probability in `[0, 1)` that a datagram is duplicated on the wire.
+    pub dup_rate: f64,
+    /// Probability in `[0, 1)` that a datagram is held back and swapped
+    /// with the next datagram on the same link (a reordering window of
+    /// one; held datagrams are flushed every engine tick).
+    pub reorder_rate: f64,
+    /// Seeded per-datagram extra wire delay, uniform in `[min, max]`.
+    pub delay: Option<(Duration, Duration)>,
+    /// Seed for all fault decisions.
+    pub seed: u64,
+    /// Initial retransmission timeout (doubles per attempt).
+    pub rto: Duration,
+    /// Upper bound on the backed-off retransmission timeout.
+    pub max_rto: Duration,
+    /// Retransmissions of one datagram before the peer is declared dead
+    /// and a [`NetEvent::PeerDead`](crate::NetEvent) is delivered instead
+    /// of retrying forever.  `u32::MAX` disables the threshold.
+    pub max_retransmits: u32,
+    /// Scripted partition/kill events.
+    pub events: Vec<FaultEvent>,
+}
+
+/// Historical name of [`FaultPlan`], kept for the plain-loss call sites.
+pub type LossConfig = FaultPlan;
+
+impl FaultPlan {
+    /// A pure Bernoulli loss model with the given rate and seed: 2 ms
+    /// initial RTO backed off to 64 ms, peers declared dead after 64
+    /// retransmissions, no other faults.
     pub fn new(drop_rate: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&drop_rate), "drop rate out of range");
-        LossConfig {
+        FaultPlan {
             drop_rate,
+            ack_drop_rate: 0.0,
+            dup_rate: 0.0,
+            reorder_rate: 0.0,
+            delay: None,
             seed,
             rto: Duration::from_millis(2),
+            max_rto: Duration::from_millis(64),
+            max_retransmits: 64,
+            events: Vec::new(),
         }
+    }
+
+    /// A plan with no faults at all (still runs the reliability protocol).
+    pub fn clean(seed: u64) -> Self {
+        FaultPlan::new(0.0, seed)
+    }
+
+    /// Sets the initial retransmission timeout and its backoff cap.
+    #[must_use]
+    pub fn with_rto(mut self, rto: Duration, max_rto: Duration) -> Self {
+        assert!(max_rto >= rto, "max_rto below initial rto");
+        self.rto = rto;
+        self.max_rto = max_rto;
+        self
+    }
+
+    /// Sets the max-retransmit threshold for declaring a peer dead.
+    #[must_use]
+    pub fn with_max_retransmits(mut self, n: u32) -> Self {
+        self.max_retransmits = n;
+        self
+    }
+
+    /// Enables ACK loss at `rate` (see the determinism caveat above).
+    #[must_use]
+    pub fn with_ack_loss(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "ack drop rate out of range");
+        self.ack_drop_rate = rate;
+        self
+    }
+
+    /// Enables datagram duplication at `rate`.
+    #[must_use]
+    pub fn with_duplication(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dup rate out of range");
+        self.dup_rate = rate;
+        self
+    }
+
+    /// Enables pairwise reordering at `rate`.
+    #[must_use]
+    pub fn with_reordering(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "reorder rate out of range");
+        self.reorder_rate = rate;
+        self
+    }
+
+    /// Adds a seeded per-datagram delay, uniform in `[min, max]`.
+    #[must_use]
+    pub fn with_delay(mut self, min: Duration, max: Duration) -> Self {
+        assert!(max >= min, "delay range inverted");
+        self.delay = Some((min, max));
+        self
+    }
+
+    /// Scripts a partition of `node` at its `at_datagram`-th wire datagram.
+    #[must_use]
+    pub fn with_partition(mut self, node: ProcId, at_datagram: u64) -> Self {
+        self.events
+            .push(FaultEvent::Partition { node, at_datagram });
+        self
+    }
+
+    /// Scripts the death of `node` at its `at_event`-th engine event.
+    #[must_use]
+    pub fn with_kill(mut self, node: ProcId, at_event: u64) -> Self {
+        self.events.push(FaultEvent::Kill { node, at_event });
+        self
     }
 }
 
 /// Counters kept by the reliability layer.
 #[derive(Debug, Default)]
 pub struct ReliabilityStats {
-    /// Datagrams dropped by the simulated wire.
+    /// Data datagrams dropped by the simulated wire.
     pub wire_drops: AtomicU64,
+    /// ACK datagrams dropped by the simulated wire.
+    pub ack_drops: AtomicU64,
     /// Data retransmissions performed.
     pub retransmissions: AtomicU64,
     /// Duplicate data datagrams suppressed at receivers.
     pub duplicates: AtomicU64,
+    /// Duplicate datagrams injected by the fault plan.
+    pub dup_injected: AtomicU64,
+    /// Datagrams held back by the seeded delay distribution.
+    pub delayed: AtomicU64,
+    /// Datagrams swapped by the reordering window.
+    pub reordered: AtomicU64,
+    /// Datagrams dropped because the sender was partitioned or the peer
+    /// already declared dead.
+    pub partition_drops: AtomicU64,
+    /// Datagrams lost because the peer's wire endpoint had closed
+    /// (shutdown in progress) — distinguishable from wire loss.
+    pub peer_closed: AtomicU64,
+    /// Peers declared dead after exhausting the retransmit budget.
+    pub peers_declared_dead: AtomicU64,
+}
+
+/// Point-in-time copy of every [`ReliabilityStats`] counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReliabilitySnapshot {
+    /// Data datagrams dropped by the simulated wire.
+    pub wire_drops: u64,
+    /// ACK datagrams dropped by the simulated wire.
+    pub ack_drops: u64,
+    /// Data retransmissions performed.
+    pub retransmissions: u64,
+    /// Duplicate data datagrams suppressed at receivers.
+    pub duplicates: u64,
+    /// Duplicate datagrams injected by the fault plan.
+    pub dup_injected: u64,
+    /// Datagrams held back by the seeded delay distribution.
+    pub delayed: u64,
+    /// Datagrams swapped by the reordering window.
+    pub reordered: u64,
+    /// Datagrams dropped while partitioned or to dead peers.
+    pub partition_drops: u64,
+    /// Datagrams lost to closed (shut-down) peer endpoints.
+    pub peer_closed: u64,
+    /// Peers declared dead after exhausting the retransmit budget.
+    pub peers_declared_dead: u64,
 }
 
 impl ReliabilityStats {
-    /// Snapshot of `(wire drops, retransmissions, duplicates)`.
+    /// Snapshot of `(data wire drops, retransmissions, duplicates)`.
     pub fn snapshot(&self) -> (u64, u64, u64) {
         (
             self.wire_drops.load(Ordering::Relaxed),
@@ -72,9 +262,26 @@ impl ReliabilityStats {
             self.duplicates.load(Ordering::Relaxed),
         )
     }
+
+    /// Full snapshot of every counter.
+    pub fn full(&self) -> ReliabilitySnapshot {
+        ReliabilitySnapshot {
+            wire_drops: self.wire_drops.load(Ordering::Relaxed),
+            ack_drops: self.ack_drops.load(Ordering::Relaxed),
+            retransmissions: self.retransmissions.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            dup_injected: self.dup_injected.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            reordered: self.reordered.load(Ordering::Relaxed),
+            partition_drops: self.partition_drops.load(Ordering::Relaxed),
+            peer_closed: self.peer_closed.load(Ordering::Relaxed),
+            peers_declared_dead: self.peers_declared_dead.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// One datagram on the simulated wire.
+#[derive(Clone)]
 enum Dgram {
     Data {
         flow_src: ProcId,
@@ -85,11 +292,20 @@ enum Dgram {
     Ack { flow_dst: ProcId, upto: u64 },
 }
 
+/// One unacknowledged data datagram.
+struct Unacked {
+    seq: u64,
+    packet: Packet,
+    /// Retransmissions performed so far.
+    attempts: u32,
+    /// When the next retransmission is due.
+    due: Instant,
+}
+
 /// Sending-half state for one flow (this node → one peer).
 struct FlowTx {
     next_seq: u64,
-    /// Unacked data, with last transmission time.
-    unacked: Vec<(u64, Packet, Instant)>,
+    unacked: Vec<Unacked>,
 }
 
 /// Receiving-half state for one flow (one peer → this node).
@@ -100,59 +316,221 @@ struct FlowRx {
     buffer: HashMap<u64, Packet>,
 }
 
+/// Decision tags feeding the keyed fault hash (distinct streams per kind).
+const TAG_DATA_DROP: u64 = 0xD1;
+const TAG_ACK_DROP: u64 = 0xD2;
+const TAG_DUP: u64 = 0xD3;
+const TAG_REORDER: u64 = 0xD4;
+const TAG_DELAY: u64 = 0xD5;
+const TAG_JITTER: u64 = 0xD6;
+
+/// Deterministic per-datagram fault dice: a splitmix64-style hash of the
+/// seed and the datagram identity, so decisions never depend on wall-clock
+/// time or on the order faults are evaluated in.
+#[derive(Clone, Copy)]
+struct FaultDice {
+    seed: u64,
+}
+
+impl FaultDice {
+    fn mix(&self, tag: u64, a: u64, b: u64, c: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(a.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(b.wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add(c.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        // Two splitmix64 finalizer rounds.
+        for _ in 0..2 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+        }
+        z
+    }
+
+    fn hit(&self, tag: u64, a: u64, b: u64, c: u64, threshold: u64) -> bool {
+        threshold > 0 && self.mix(tag, a, b, c) < threshold
+    }
+}
+
+fn threshold(rate: f64) -> u64 {
+    (rate * u64::MAX as f64) as u64
+}
+
 /// Per-node reliability engine, run on its own thread.
 pub(crate) struct ReliabilityEngine {
     node: ProcId,
-    /// Raw wire senders to every node (lossy).
+    /// Raw wire senders to every node (faulty).
     wire_txs: Vec<Sender<Dgram>>,
     /// Raw wire receiver.
     wire_rx: Receiver<Dgram>,
     /// New outbound packets from this node's senders.
     outbound_rx: Receiver<(ProcId, Packet)>,
-    /// In-order delivery to the application endpoint.
-    deliver_tx: Sender<Packet>,
-    config: LossConfig,
-    drop_rng: DropRng,
+    /// In-order delivery (and peer-death events) to the application
+    /// endpoint.
+    deliver_tx: Sender<NetEvent>,
+    plan: FaultPlan,
+    dice: FaultDice,
+    /// Precomputed Bernoulli thresholds.
+    drop_t: u64,
+    ack_drop_t: u64,
+    dup_t: u64,
+    reorder_t: u64,
+    /// Precomputed delay range in nanoseconds `(min, span)`.
+    delay_ns: Option<(u64, u64)>,
+    /// Scripted event triggers for *this* node.
+    partition_at: Option<u64>,
+    kill_at: Option<u64>,
+    /// Node-local counters driving the scripted events.
+    wire_sends: u64,
+    events_handled: u64,
+    partitioned: bool,
+    killed: bool,
+    /// Peers declared dead (retransmit budget exhausted).
+    dead: HashSet<ProcId>,
+    /// Datagrams held back by the delay distribution.
+    delayed: Vec<(Instant, ProcId, Dgram)>,
+    /// Per-destination reordering holdback slot.
+    holdback: HashMap<ProcId, Dgram>,
     stats: Arc<ReliabilityStats>,
     tx_flows: HashMap<ProcId, FlowTx>,
     rx_flows: HashMap<ProcId, FlowRx>,
-}
-
-/// A tiny deterministic Bernoulli source (splitmix64 under the hood), so
-/// the loss pattern is reproducible per seed without a rand dependency in
-/// the hot path.
-struct DropRng {
-    state: u64,
-    threshold: u64,
-}
-
-impl DropRng {
-    fn new(seed: u64, drop_rate: f64) -> Self {
-        DropRng {
-            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
-            threshold: (drop_rate * u64::MAX as f64) as u64,
-        }
-    }
-
-    fn drop(&mut self) -> bool {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        z < self.threshold
-    }
+    /// Keep-alive senders for parked (closed) input channels, so `select!`
+    /// blocks on the tick instead of spinning on a disconnected receiver.
+    parked_outbound: Option<Sender<(ProcId, Packet)>>,
+    parked_wire: Option<Sender<Dgram>>,
 }
 
 impl ReliabilityEngine {
-    fn send_wire(&mut self, dst: ProcId, dgram: Dgram) {
-        if self.drop_rng.drop() {
-            self.stats.wire_drops.fetch_add(1, Ordering::Relaxed);
+    /// Notes one engine event; returns `true` once the scripted kill point
+    /// has been reached.
+    fn note_event(&mut self) -> bool {
+        self.events_handled += 1;
+        if let Some(k) = self.kill_at {
+            if self.events_handled >= k {
+                self.killed = true;
+            }
+        }
+        self.killed
+    }
+
+    /// Counts one datagram crossing this node's wire interface (either
+    /// direction) and arms the scripted partition once the threshold is
+    /// passed.
+    fn note_wire_dgram(&mut self) {
+        self.wire_sends += 1;
+        if let Some(at) = self.partition_at {
+            if self.wire_sends > at {
+                self.partitioned = true;
+            }
+        }
+    }
+
+    /// Injects one datagram into the faulty wire: partition/death gates,
+    /// then the keyed drop/dup/delay/reorder decisions, then the raw send.
+    fn inject(&mut self, dst: ProcId, dgram: Dgram, tag: u64, a: u64, b: u64) {
+        self.note_wire_dgram();
+        if self.partitioned || self.dead.contains(&dst) {
+            self.stats.partition_drops.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        // A closed peer means shutdown is in progress; losing the datagram
-        // is indistinguishable from wire loss at that point.
-        let _ = self.wire_txs[dst.index()].send(dgram);
+        let (drop_tag, drop_t, drop_ctr) = if tag == TAG_ACK_DROP {
+            (TAG_ACK_DROP, self.ack_drop_t, &self.stats.ack_drops)
+        } else {
+            (TAG_DATA_DROP, self.drop_t, &self.stats.wire_drops)
+        };
+        if self.dice.hit(drop_tag, dst.0 as u64, a, b, drop_t) {
+            drop_ctr.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if self.dice.hit(TAG_DUP, dst.0 as u64 ^ tag, a, b, self.dup_t) {
+            self.stats.dup_injected.fetch_add(1, Ordering::Relaxed);
+            self.enqueue(dst, dgram.clone(), tag, a, b.wrapping_add(1));
+        }
+        if let Some((min_ns, span_ns)) = self.delay_ns {
+            let extra = if span_ns == 0 {
+                min_ns
+            } else {
+                min_ns + self.dice.mix(TAG_DELAY, dst.0 as u64 ^ tag, a, b) % (span_ns + 1)
+            };
+            if extra > 0 {
+                self.stats.delayed.fetch_add(1, Ordering::Relaxed);
+                self.delayed
+                    .push((Instant::now() + Duration::from_nanos(extra), dst, dgram));
+                return;
+            }
+        }
+        self.enqueue(dst, dgram, tag, a, b);
+    }
+
+    /// Final emission stage: the pairwise reordering window, then the raw
+    /// channel send.
+    fn enqueue(&mut self, dst: ProcId, dgram: Dgram, tag: u64, a: u64, b: u64) {
+        if let Some(held) = self.holdback.remove(&dst) {
+            // Swap: the newer datagram overtakes the held one.
+            self.raw_send(dst, dgram);
+            self.raw_send(dst, held);
+            return;
+        }
+        if self
+            .dice
+            .hit(TAG_REORDER, dst.0 as u64 ^ tag, a, b, self.reorder_t)
+        {
+            self.stats.reordered.fetch_add(1, Ordering::Relaxed);
+            self.holdback.insert(dst, dgram);
+            return;
+        }
+        self.raw_send(dst, dgram);
+    }
+
+    fn raw_send(&self, dst: ProcId, dgram: Dgram) {
+        // A closed peer means shutdown is in progress; count it so
+        // shutdown loss is distinguishable from wire loss.
+        if self.wire_txs[dst.index()].send(dgram).is_err() {
+            self.stats.peer_closed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn send_data(&mut self, dst: ProcId, seq: u64, attempt: u32, packet: Packet) {
+        let src = self.node;
+        self.inject(
+            dst,
+            Dgram::Data {
+                flow_src: src,
+                seq,
+                packet,
+            },
+            TAG_DATA_DROP,
+            seq,
+            u64::from(attempt),
+        );
+    }
+
+    fn send_ack(&mut self, dst: ProcId, upto: u64) {
+        let me = self.node;
+        self.inject(
+            dst,
+            Dgram::Ack { flow_dst: me, upto },
+            TAG_ACK_DROP,
+            upto,
+            0,
+        );
+    }
+
+    /// Backed-off, jittered retransmission timeout for the given attempt:
+    /// `min(rto << attempt, max_rto)` plus a deterministic jitter of up to
+    /// 25% of the base RTO (keyed per `(peer, seq, attempt)`).
+    fn rto_for(&self, dst: ProcId, seq: u64, attempt: u32) -> Duration {
+        let base = self.plan.rto.as_nanos() as u64;
+        let backed = base.saturating_shl(attempt.min(20));
+        let capped = backed.min(self.plan.max_rto.as_nanos() as u64);
+        let jitter = (base / 4).wrapping_mul(
+            self.dice
+                .mix(TAG_JITTER, dst.0 as u64, seq, u64::from(attempt))
+                & 0xFF,
+        ) / 256;
+        Duration::from_nanos(capped + jitter)
     }
 
     fn handle_outbound(&mut self, dst: ProcId, packet: Packet) {
@@ -162,19 +540,27 @@ impl ReliabilityEngine {
         });
         let seq = flow.next_seq;
         flow.next_seq += 1;
-        flow.unacked.push((seq, packet.clone(), Instant::now()));
-        let src = self.node;
-        self.send_wire(
-            dst,
-            Dgram::Data {
-                flow_src: src,
+        let due = Instant::now() + self.rto_for(dst, seq, 0);
+        self.tx_flows
+            .get_mut(&dst)
+            .expect("entry above")
+            .unacked
+            .push(Unacked {
                 seq,
-                packet,
-            },
-        );
+                packet: packet.clone(),
+                attempts: 0,
+                due,
+            });
+        self.send_data(dst, seq, 0, packet);
     }
 
     fn handle_wire(&mut self, dgram: Dgram) {
+        self.note_wire_dgram();
+        if self.partitioned {
+            // A partitioned node hears nothing either.
+            self.stats.partition_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         match dgram {
             Dgram::Data {
                 flow_src,
@@ -193,97 +579,199 @@ impl ReliabilityEngine {
                         flow.expected += 1;
                         // The application endpoint outliving us is not
                         // required during shutdown.
-                        let _ = self.deliver_tx.send(pkt);
+                        let _ = self.deliver_tx.send(NetEvent::Packet(pkt));
                     }
                 }
                 // (Re-)acknowledge cumulatively; covers lost ACKs too.
                 let upto = self.rx_flows[&flow_src].expected - 1;
-                let me = self.node;
-                self.send_wire(flow_src, Dgram::Ack { flow_dst: me, upto });
+                self.send_ack(flow_src, upto);
             }
             Dgram::Ack { flow_dst, upto } => {
                 if let Some(flow) = self.tx_flows.get_mut(&flow_dst) {
-                    flow.unacked.retain(|(seq, _, _)| *seq > upto);
+                    flow.unacked.retain(|u| u.seq > upto);
                 }
             }
         }
     }
 
+    /// Retransmits due datagrams; declares a peer dead once one datagram
+    /// exhausts the retransmit budget.
     fn retransmit_due(&mut self) {
         let now = Instant::now();
-        let rto = self.config.rto;
-        let due: Vec<(ProcId, u64, Packet)> = self
-            .tx_flows
-            .iter_mut()
-            .flat_map(|(&dst, flow)| {
-                flow.unacked
-                    .iter_mut()
-                    .filter(|(_, _, sent)| now.duration_since(*sent) >= rto)
-                    .map(|(seq, pkt, sent)| {
-                        *sent = now;
-                        (dst, *seq, pkt.clone())
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        for (dst, seq, packet) in due {
-            self.stats.retransmissions.fetch_add(1, Ordering::Relaxed);
-            let src = self.node;
-            self.send_wire(
-                dst,
-                Dgram::Data {
-                    flow_src: src,
-                    seq,
-                    packet,
-                },
-            );
+        let max = self.plan.max_retransmits;
+        let mut resend: Vec<(ProcId, u64, u32, Packet)> = Vec::new();
+        let mut died: Vec<ProcId> = Vec::new();
+        for (&dst, flow) in &mut self.tx_flows {
+            for u in &mut flow.unacked {
+                if now < u.due {
+                    continue;
+                }
+                if u.attempts >= max {
+                    died.push(dst);
+                    break;
+                }
+                u.attempts += 1;
+                resend.push((dst, u.seq, u.attempts, u.packet.clone()));
+            }
         }
+        for (dst, seq, attempt, packet) in resend {
+            if died.contains(&dst) {
+                continue;
+            }
+            self.stats.retransmissions.fetch_add(1, Ordering::Relaxed);
+            let due = now + self.rto_for(dst, seq, attempt);
+            if let Some(u) = self
+                .tx_flows
+                .get_mut(&dst)
+                .and_then(|f| f.unacked.iter_mut().find(|u| u.seq == seq))
+            {
+                u.due = due;
+            }
+            self.send_data(dst, seq, attempt, packet);
+        }
+        for dst in died {
+            if self.dead.insert(dst) {
+                self.stats
+                    .peers_declared_dead
+                    .fetch_add(1, Ordering::Relaxed);
+                // Abandon the flow: the peer is gone, and holding unacked
+                // data would stall shutdown draining forever.
+                if let Some(flow) = self.tx_flows.get_mut(&dst) {
+                    flow.unacked.clear();
+                }
+                let _ = self.deliver_tx.send(NetEvent::PeerDead { peer: dst });
+            }
+        }
+    }
+
+    /// Releases delay-held datagrams whose due time has passed.
+    fn flush_delayed(&mut self) {
+        if self.delayed.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut due = Vec::new();
+        self.delayed.retain(|(at, dst, dgram)| {
+            if *at <= now {
+                due.push((*dst, dgram.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        for (dst, dgram) in due {
+            self.raw_send(dst, dgram);
+        }
+    }
+
+    /// Flushes the reordering holdback slots (called on idle ticks so a
+    /// held datagram waits at most one tick for a swap partner).
+    fn flush_holdback(&mut self) {
+        if self.holdback.is_empty() {
+            return;
+        }
+        let held: Vec<(ProcId, Dgram)> = self.holdback.drain().collect();
+        for (dst, dgram) in held {
+            self.raw_send(dst, dgram);
+        }
+    }
+
+    /// Parks the closed outbound channel behind a never-ready receiver so
+    /// `select!` blocks on the tick instead of spinning on the disconnect.
+    fn park_outbound(&mut self) {
+        let (tx, rx) = channel::unbounded();
+        self.parked_outbound = Some(tx);
+        self.outbound_rx = rx;
+    }
+
+    fn park_wire(&mut self) {
+        let (tx, rx) = channel::unbounded();
+        self.parked_wire = Some(tx);
+        self.wire_rx = rx;
     }
 
     fn run(mut self) {
         // Event loop: new outbound sends, wire arrivals, and a periodic
-        // retransmission scan.  Exits when both input channels close and
-        // nothing remains unacked (or peers are gone).
-        let tick = self.config.rto / 2;
+        // retransmission scan.  Exits when the outbound channel closes and
+        // every flow is drained (or the wire is gone too), or at the
+        // scripted kill point.
+        let tick = (self.plan.rto / 2).max(Duration::from_micros(200));
         let mut outbound_open = true;
         let mut wire_open = true;
         loop {
             crossbeam::channel::select! {
                 recv(self.outbound_rx) -> msg => match msg {
-                    Ok((dst, pkt)) => self.handle_outbound(dst, pkt),
-                    Err(_) => outbound_open = false,
+                    Ok((dst, pkt)) => {
+                        if !self.note_event() {
+                            self.handle_outbound(dst, pkt);
+                        }
+                    }
+                    Err(_) => {
+                        outbound_open = false;
+                        self.park_outbound();
+                    }
                 },
                 recv(self.wire_rx) -> msg => match msg {
-                    Ok(dgram) => self.handle_wire(dgram),
-                    Err(_) => wire_open = false,
+                    Ok(dgram) => {
+                        if !self.note_event() {
+                            self.handle_wire(dgram);
+                        }
+                    }
+                    Err(_) => {
+                        wire_open = false;
+                        self.park_wire();
+                    }
                 },
-                default(tick) => {}
+                default(tick) => self.flush_holdback(),
             }
-            self.retransmit_due();
+            if self.killed {
+                // Crashed node: drop every channel on the way out; peers
+                // detect the death through their retransmit budgets.
+                return;
+            }
+            self.flush_delayed();
+            // Skip the retransmit scan entirely while nothing is unacked.
+            if self.tx_flows.values().any(|f| !f.unacked.is_empty()) {
+                self.retransmit_due();
+            }
             if !outbound_open {
-                let drained = self.tx_flows.values().all(|f| f.unacked.is_empty());
+                let drained = self.tx_flows.values().all(|f| f.unacked.is_empty())
+                    && self.delayed.is_empty()
+                    && self.holdback.is_empty();
                 if drained || !wire_open {
                     return;
                 }
-            }
-            if !wire_open && !outbound_open {
-                return;
             }
         }
     }
 }
 
-/// Per-node wiring of a lossy network: outbound senders (for
-/// `NetSender`), in-order receivers (for `Endpoint`), and the shared
-/// stats block.
+/// Saturating left shift (avoids overflow for large backoff exponents).
+trait SaturatingShl {
+    fn saturating_shl(self, n: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, n: u32) -> u64 {
+        if n >= 64 || self > (u64::MAX >> n) {
+            u64::MAX
+        } else {
+            self << n
+        }
+    }
+}
+
+/// Per-node wiring of a faulty network: outbound senders (for
+/// `NetSender`), in-order event receivers (for `Endpoint`), and the
+/// shared stats block.
 pub(crate) type ReliableFabric = (
     Vec<Sender<(ProcId, Packet)>>,
-    Vec<Receiver<Packet>>,
+    Vec<Receiver<NetEvent>>,
     Arc<ReliabilityStats>,
 );
 
-/// Builds the per-node engines and wiring for a lossy network.
-pub(crate) fn build_reliable_fabric(n: usize, config: LossConfig) -> ReliableFabric {
+/// Builds the per-node engines and wiring for a faulty network.
+pub(crate) fn build_reliable_fabric(n: usize, plan: FaultPlan) -> ReliableFabric {
     let stats = Arc::new(ReliabilityStats::default());
     let mut wire_txs = Vec::with_capacity(n);
     let mut wire_rxs = Vec::with_capacity(n);
@@ -299,20 +787,46 @@ pub(crate) fn build_reliable_fabric(n: usize, config: LossConfig) -> ReliableFab
         let (deliver_tx, deliver_rx) = channel::unbounded();
         outbound_txs.push(outbound_tx);
         deliver_rxs.push(deliver_rx);
+        let me = ProcId::from_index(i);
+        let partition_at = plan.events.iter().find_map(|e| match e {
+            FaultEvent::Partition { node, at_datagram } if *node == me => Some(*at_datagram),
+            _ => None,
+        });
+        let kill_at = plan.events.iter().find_map(|e| match e {
+            FaultEvent::Kill { node, at_event } if *node == me => Some(*at_event),
+            _ => None,
+        });
         let engine = ReliabilityEngine {
-            node: ProcId::from_index(i),
+            node: me,
             wire_txs: wire_txs.clone(),
             wire_rx,
             outbound_rx,
             deliver_tx,
-            config,
-            drop_rng: DropRng::new(
-                config.seed ^ (i as u64).wrapping_mul(0x1234_5677),
-                config.drop_rate,
-            ),
+            dice: FaultDice {
+                seed: plan.seed ^ (i as u64).wrapping_mul(0x1234_5677),
+            },
+            drop_t: threshold(plan.drop_rate),
+            ack_drop_t: threshold(plan.ack_drop_rate),
+            dup_t: threshold(plan.dup_rate),
+            reorder_t: threshold(plan.reorder_rate),
+            delay_ns: plan
+                .delay
+                .map(|(min, max)| (min.as_nanos() as u64, (max - min).as_nanos() as u64)),
+            partition_at,
+            kill_at,
+            wire_sends: 0,
+            events_handled: 0,
+            partitioned: false,
+            killed: false,
+            dead: HashSet::new(),
+            delayed: Vec::new(),
+            holdback: HashMap::new(),
             stats: Arc::clone(&stats),
             tx_flows: HashMap::new(),
             rx_flows: HashMap::new(),
+            parked_outbound: None,
+            parked_wire: None,
+            plan: plan.clone(),
         };
         std::thread::Builder::new()
             .name(format!("reliability-{i}"))
@@ -322,30 +836,86 @@ pub(crate) fn build_reliable_fabric(n: usize, config: LossConfig) -> ReliableFab
     (outbound_txs, deliver_rxs, stats)
 }
 
-/// Marker for unused traffic-class import when compiled without tests.
-#[allow(dead_code)]
-fn _class(_: TrafficClass) {}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn drop_rng_matches_rate_roughly() {
-        let mut rng = DropRng::new(42, 0.25);
-        let drops = (0..10_000).filter(|_| rng.drop()).count();
-        assert!((2_000..3_000).contains(&drops), "drops = {drops}");
-        let mut never = DropRng::new(42, 0.0);
-        assert_eq!((0..1000).filter(|_| never.drop()).count(), 0);
+    fn dice_matches_rate_roughly() {
+        let dice = FaultDice { seed: 42 };
+        let t = threshold(0.25);
+        let hits = (0..10_000u64)
+            .filter(|&i| dice.hit(TAG_DATA_DROP, 1, i, 0, t))
+            .count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+        assert_eq!(
+            (0..1000u64)
+                .filter(|&i| dice.hit(TAG_DATA_DROP, 1, i, 0, threshold(0.0)))
+                .count(),
+            0
+        );
     }
 
     #[test]
-    fn drop_rng_is_deterministic_per_seed() {
-        let seq = |seed| {
-            let mut rng = DropRng::new(seed, 0.5);
-            (0..64).map(|_| rng.drop()).collect::<Vec<_>>()
-        };
-        assert_eq!(seq(7), seq(7));
-        assert_ne!(seq(7), seq(8));
+    fn dice_is_keyed_not_sequenced() {
+        // The decision for a given datagram identity is a pure function of
+        // the seed — evaluation order cannot change it.
+        let dice = FaultDice { seed: 7 };
+        let t = threshold(0.5);
+        let forward: Vec<bool> = (0..64u64)
+            .map(|i| dice.hit(TAG_DATA_DROP, 3, i, 0, t))
+            .collect();
+        let backward: Vec<bool> = (0..64u64)
+            .rev()
+            .map(|i| dice.hit(TAG_DATA_DROP, 3, i, 0, t))
+            .collect();
+        let backward: Vec<bool> = backward.into_iter().rev().collect();
+        assert_eq!(forward, backward);
+        let other = FaultDice { seed: 8 };
+        let differs: Vec<bool> = (0..64u64)
+            .map(|i| other.hit(TAG_DATA_DROP, 3, i, 0, t))
+            .collect();
+        assert_ne!(forward, differs);
+    }
+
+    #[test]
+    fn tags_decorrelate_decision_streams() {
+        let dice = FaultDice { seed: 11 };
+        let t = threshold(0.5);
+        let drops: Vec<bool> = (0..128u64)
+            .map(|i| dice.hit(TAG_DATA_DROP, 2, i, 0, t))
+            .collect();
+        let dups: Vec<bool> = (0..128u64).map(|i| dice.hit(TAG_DUP, 2, i, 0, t)).collect();
+        assert_ne!(drops, dups);
+    }
+
+    #[test]
+    fn saturating_shl_caps() {
+        assert_eq!(1u64.saturating_shl(3), 8);
+        assert_eq!(u64::MAX.saturating_shl(1), u64::MAX);
+        assert_eq!(2u64.saturating_shl(64), u64::MAX);
+        assert_eq!(1u64.saturating_shl(63), 1 << 63);
+    }
+
+    #[test]
+    fn fault_plan_builders_compose() {
+        let plan = FaultPlan::new(0.1, 9)
+            .with_rto(Duration::from_millis(5), Duration::from_millis(80))
+            .with_max_retransmits(8)
+            .with_duplication(0.05)
+            .with_reordering(0.02)
+            .with_delay(Duration::from_micros(10), Duration::from_micros(50))
+            .with_kill(ProcId(2), 100)
+            .with_partition(ProcId(1), 40);
+        assert_eq!(plan.rto, Duration::from_millis(5));
+        assert_eq!(plan.max_retransmits, 8);
+        assert_eq!(plan.events.len(), 2);
+        assert!(matches!(
+            plan.events[0],
+            FaultEvent::Kill {
+                node: ProcId(2),
+                at_event: 100
+            }
+        ));
     }
 }

@@ -1,7 +1,9 @@
 //! Tests of the reliable-over-lossy transport (CVM's UDP layer).
 
+use std::time::Duration;
+
 use cvm_net::reliable::LossConfig;
-use cvm_net::{ByteBreakdown, NetConfig, Network, TrafficClass};
+use cvm_net::{ByteBreakdown, FaultPlan, NetConfig, NetError, Network, TrafficClass};
 use cvm_vclock::ProcId;
 
 fn payload(i: u32) -> Vec<u8> {
@@ -108,4 +110,81 @@ fn loss_pattern_is_reproducible_per_seed() {
     let a = run(5);
     let b = run(6);
     assert!(a > 0 && b > 0);
+}
+
+#[test]
+fn same_plan_and_seed_reproduce_identical_stats() {
+    // Every fault decision is keyed by datagram identity (destination,
+    // sequence, attempt), never call order or wall clock, so two runs of
+    // the same (plan, seed) must produce byte-identical statistics.  The
+    // plan avoids the retransmission path (no drops, one-second RTO):
+    // timer-driven resends fire on wall-clock boundaries, which makes
+    // their *counts* scheduling-dependent even though each decision stays
+    // keyed — the deterministic contract is the injection stream.
+    let run = |seed: u64| {
+        let plan = FaultPlan::clean(seed)
+            .with_duplication(0.2)
+            .with_rto(Duration::from_secs(1), Duration::from_secs(2));
+        let (eps, _, rstats) = Network::with_loss(2, NetConfig::default(), plan);
+        send_n(&eps, 0, 1, 150);
+        assert_eq!(recv_all(&eps, 1, 150), (0..150).collect::<Vec<_>>());
+        // Let trailing ACKs (and their injected duplicates) settle.
+        std::thread::sleep(Duration::from_millis(20));
+        rstats.full()
+    };
+    let first = run(0xFEED);
+    let second = run(0xFEED);
+    assert_eq!(first, second, "fault sequence must be seed-deterministic");
+    assert!(first.dup_injected > 0, "the plan must actually duplicate");
+    assert!(first.duplicates > 0, "duplicates must reach the suppressor");
+    assert_eq!(first.wire_drops, 0);
+    assert_eq!(first.retransmissions, 0);
+    let other = run(0xBEEF);
+    assert_ne!(first, other, "different seeds must differ");
+}
+
+#[test]
+fn killed_node_is_declared_dead_by_its_peers() {
+    // Node 1's engine dies after a handful of events; node 0's
+    // retransmissions exhaust and it learns P1 is dead instead of
+    // retrying forever.
+    let plan = FaultPlan::clean(7)
+        .with_rto(Duration::from_millis(1), Duration::from_millis(4))
+        .with_max_retransmits(6)
+        .with_kill(ProcId(1), 3);
+    let (eps, _, rstats) = Network::with_loss(2, NetConfig::default(), plan);
+    send_n(&eps, 0, 1, 20);
+    match eps[0].recv() {
+        Err(NetError::PeerDead { peer }) => assert_eq!(peer, ProcId(1)),
+        other => panic!("expected peer-dead notification, got {other:?}"),
+    }
+    assert!(rstats.full().peers_declared_dead >= 1);
+    // The killed node's endpoint drains whatever arrived before the kill,
+    // then reports its engine gone.
+    loop {
+        match eps[1].recv() {
+            Ok(_) => continue,
+            Err(NetError::Disconnected) => break,
+            other => panic!("expected disconnect at the killed node, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn partitioned_node_stops_exchanging_datagrams() {
+    // Node 1 partitions immediately: everything it sends or receives is
+    // dropped on the floor, and node 0 eventually gives up on it.
+    let plan = FaultPlan::clean(11)
+        .with_rto(Duration::from_millis(1), Duration::from_millis(4))
+        .with_max_retransmits(6)
+        .with_partition(ProcId(1), 0);
+    let (eps, _, rstats) = Network::with_loss(2, NetConfig::default(), plan);
+    send_n(&eps, 0, 1, 10);
+    match eps[0].recv() {
+        Err(NetError::PeerDead { peer }) => assert_eq!(peer, ProcId(1)),
+        other => panic!("expected peer-dead notification, got {other:?}"),
+    }
+    let snap = rstats.full();
+    assert!(snap.partition_drops > 0, "partition must eat datagrams");
+    assert!(eps[1].try_recv().is_err(), "nothing crosses the partition");
 }

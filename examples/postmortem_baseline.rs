@@ -41,7 +41,8 @@ fn main() {
             )
         },
         body,
-    );
+    )
+    .expect("cluster run");
 
     println!("== online (the paper's system) ==");
     println!(

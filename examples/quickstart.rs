@@ -21,7 +21,8 @@ fn main() {
             h.write(counter, v + 1);
             h.barrier(); // Detection runs here, at the barrier master.
         },
-    );
+    )
+    .expect("cluster run");
     println!("== racy increment ==");
     for race in report.races.reports() {
         println!("  {}", race.render(&report.segments));
@@ -39,7 +40,8 @@ fn main() {
             h.unlock(1);
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     println!("== locked increment ==");
     println!(
         "  races: {} (lock ordering makes the accesses happen-before-1 ordered)",

@@ -30,7 +30,7 @@ fn main() {
     // Run A: record.
     let mut cfg = DsmConfig::new(4);
     cfg.record_sync = true;
-    let a = Cluster::run(cfg, |al| al.alloc("n", 8).unwrap(), chaotic_body);
+    let a = Cluster::run(cfg, |al| al.alloc("n", 8).unwrap(), chaotic_body).expect("cluster run");
     let seq_a: Vec<u16> = a.schedule.sequence(5).iter().map(|p| p.0).collect();
     println!(
         "run A grant order (lock 5, first 20): {:?}...",
@@ -40,7 +40,7 @@ fn main() {
     // Run B: free-running — usually different.
     let mut cfg = DsmConfig::new(4);
     cfg.record_sync = true;
-    let b = Cluster::run(cfg, |al| al.alloc("n", 8).unwrap(), chaotic_body);
+    let b = Cluster::run(cfg, |al| al.alloc("n", 8).unwrap(), chaotic_body).expect("cluster run");
     let seq_b: Vec<u16> = b.schedule.sequence(5).iter().map(|p| p.0).collect();
     println!(
         "run B grant order (free):             {:?}...",
@@ -51,7 +51,7 @@ fn main() {
     let mut cfg = DsmConfig::new(4);
     cfg.record_sync = true;
     cfg.replay = Some(a.schedule.clone());
-    let c = Cluster::run(cfg, |al| al.alloc("n", 8).unwrap(), chaotic_body);
+    let c = Cluster::run(cfg, |al| al.alloc("n", 8).unwrap(), chaotic_body).expect("cluster run");
     let seq_c: Vec<u16> = c.schedule.sequence(5).iter().map(|p| p.0).collect();
     println!(
         "run C grant order (replaying A):      {:?}...",

@@ -63,7 +63,8 @@ fn main() {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
 
     println!("\nraces detected:");
     for race in report.races.reports() {

@@ -25,6 +25,7 @@ fn overlap_strategies_agree_end_to_end() {
                 h.barrier();
             },
         )
+        .expect("cluster run")
     };
     let reference = run(OverlapStrategy::Quadratic);
     let mut ref_addrs = reference.races.distinct_addrs();
@@ -62,6 +63,7 @@ fn protocols_agree_on_races() {
                 h.barrier();
             },
         )
+        .expect("cluster run")
     };
     let sw = run(Protocol::SingleWriter);
     let mw = run(Protocol::MultiWriter);
@@ -92,6 +94,7 @@ fn traffic_class_accounting_is_sane() {
                 h.barrier();
             },
         )
+        .expect("cluster run")
     };
     let on = run(DetectConfig::on());
     assert!(on.net.class_bytes(TrafficClass::ReadNotice) > 0);
@@ -130,6 +133,7 @@ fn virtual_time_is_reproducible() {
                 h.barrier();
             },
         )
+        .expect("cluster run")
     };
     let a = run();
     let b = run();
@@ -167,7 +171,8 @@ fn segment_map_reflects_setup() {
             h.write(a, h.proc() as u64);
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     let names: Vec<&str> = report
         .segments
         .segments()
@@ -199,6 +204,7 @@ fn consolidation_equals_barrier_detection() {
                 }
             },
         )
+        .expect("cluster run")
     };
     let via_barrier = run(false);
     let via_consolidation = run(true);

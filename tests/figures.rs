@@ -104,7 +104,8 @@ fn figure2_end_to_end() {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     assert!(
         report.races.has_kind(RaceKind::WriteWrite),
         "s1^2 vs s2^2 write-write race expected: {:?}",
@@ -156,7 +157,8 @@ fn figure5_weak_memory_races() {
             }
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     let data_races: Vec<_> = report
         .races
         .reports()

@@ -167,7 +167,8 @@ fn run_on_dsm(program: &Program) -> (BTreeSet<usize>, Vec<Vec<usize>>) {
                 h.barrier();
             }
         },
-    );
+    )
+    .expect("cluster run");
     let racy: BTreeSet<usize> = report
         .races
         .distinct_addrs()

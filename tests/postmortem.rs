@@ -23,7 +23,7 @@ fn assert_equivalent<S: Sync>(
     let mut cfg = DsmConfig::new(nprocs);
     cfg.trace = true;
     let geometry = cfg.geometry;
-    let report = Cluster::run(cfg, setup, body);
+    let report = Cluster::run(cfg, setup, body).expect("cluster run");
     let online = addrs(report.races.distinct_addrs());
     let (pm_reports, stats) = analyze_trace(&report.traces, geometry);
     let postmortem = addrs(pm_reports.iter().map(|r| r.addr));
@@ -147,7 +147,8 @@ fn trace_grows_with_execution_but_online_state_does_not() {
                     h.barrier();
                 }
             },
-        );
+        )
+        .expect("cluster run");
         let (_, stats) = analyze_trace(&report.traces, geometry);
         let online_high_water: u64 = report
             .nodes
@@ -183,7 +184,8 @@ fn pure_baseline_mode_finds_races_without_online_detector() {
             h.write(x, h.proc() as u64);
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     assert!(report.races.is_empty(), "no online detection configured");
     assert_eq!(
         report
@@ -212,7 +214,8 @@ fn equivalence_holds_at_8kb_pages() {
             h.write(base.word(me + 1), me);
             h.barrier();
         },
-    );
+    )
+    .expect("cluster run");
     let online = addrs(report.races.distinct_addrs());
     let (pm, _) = analyze_trace(&report.traces, geometry);
     assert_eq!(online, addrs(pm.iter().map(|r| r.addr)));
