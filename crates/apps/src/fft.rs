@@ -242,16 +242,20 @@ pub fn run_on(cfg: DsmConfig, params: FftParams, input: &[Complex]) -> (RunRepor
                 h.write_f64(a.offset(8), v.im);
             };
             let (lo, hi) = crate::sor::row_block(m, h.nprocs(), h.proc());
+            // Seven barrier phases, each an epoch step so a restored node
+            // skips already-checkpointed work and rejoins the barrier loop.
+            let mut ep = h.epochs();
 
             // Initialization: input rows and twiddles for owned rows.
-            for i in lo..hi {
-                for j in 0..m {
-                    write_c(src, i, j, input[i * m + j]);
-                    let theta = sign * 2.0 * std::f64::consts::PI * (i * j) as f64 / n as f64;
-                    write_c(tw, i, j, Complex::cis(theta));
+            ep.step(|| {
+                for i in lo..hi {
+                    for j in 0..m {
+                        write_c(src, i, j, input[i * m + j]);
+                        let theta = sign * 2.0 * std::f64::consts::PI * (i * j) as f64 / n as f64;
+                        write_c(tw, i, j, Complex::cis(theta));
+                    }
                 }
-            }
-            h.barrier();
+            });
 
             let transpose = |from: GAddr, to: GAddr| {
                 // Read remote columns, write own rows.
@@ -262,7 +266,6 @@ pub fn run_on(cfg: DsmConfig, params: FftParams, input: &[Complex]) -> (RunRepor
                     }
                     h.private_traffic(12 * m as u64);
                 }
-                h.barrier();
             };
             let fft_rows = |grid: GAddr, twiddle: bool| {
                 let mut buf = vec![Complex::ZERO; m];
@@ -278,30 +281,30 @@ pub fn run_on(cfg: DsmConfig, params: FftParams, input: &[Complex]) -> (RunRepor
                         write_c(grid, i, j, v);
                     }
                 }
-                h.barrier();
             };
 
-            transpose(src, dst); // Step 1.
-            fft_rows(dst, true); // Steps 2 + 3 (twiddle fused).
-            transpose(dst, src); // Step 4.
-            fft_rows(src, false); // Step 5.
-            transpose(src, dst); // Step 6.
+            ep.step(|| transpose(src, dst)); // Step 1.
+            ep.step(|| fft_rows(dst, true)); // Steps 2 + 3 (twiddle fused).
+            ep.step(|| transpose(dst, src)); // Step 4.
+            ep.step(|| fft_rows(src, false)); // Step 5.
+            ep.step(|| transpose(src, dst)); // Step 6.
 
-            if h.proc() == 0 {
-                let scale = if params.inverse { 1.0 / n as f64 } else { 1.0 };
-                let mut out = vec![Complex::ZERO; n];
-                for i in 0..m {
-                    for j in 0..m {
-                        let v = read_c(dst, i, j);
-                        out[i * m + j] = Complex {
-                            re: v.re * scale,
-                            im: v.im * scale,
-                        };
+            ep.step(|| {
+                if h.proc() == 0 {
+                    let scale = if params.inverse { 1.0 / n as f64 } else { 1.0 };
+                    let mut out = vec![Complex::ZERO; n];
+                    for i in 0..m {
+                        for j in 0..m {
+                            let v = read_c(dst, i, j);
+                            out[i * m + j] = Complex {
+                                re: v.re * scale,
+                                im: v.im * scale,
+                            };
+                        }
                     }
+                    *result.lock() = Some(out);
                 }
-                *result.lock() = Some(out);
-            }
-            h.barrier();
+            });
         },
     )
     .expect("cluster run");

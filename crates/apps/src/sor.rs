@@ -88,46 +88,55 @@ pub fn run(cfg: DsmConfig, params: SorParams) -> (RunReport, SorResult) {
                 g.offset(i as u64 * row_stride).word(j as u64)
             };
             let (lo, hi) = row_block(n, h.nprocs(), h.proc());
+            // Each barrier phase is an epoch step so a checkpoint-restored
+            // node can rejoin mid-run; grid roles derive from sweep parity
+            // rather than mutable state, keeping skipped phases pure.
+            let mut ep = h.epochs();
             // Initialize own rows in both grids (boundaries must be valid
             // in whichever grid is being read).
-            for i in lo..hi {
-                for j in 0..n {
-                    let v = initial(i, j, n);
-                    h.write_f64(cell(a, i, j), v);
-                    h.write_f64(cell(b, i, j), v);
-                }
-            }
-            h.barrier();
-            let mut src = a;
-            let mut dst = b;
-            for _ in 0..params.iters {
-                for i in lo.max(1)..hi.min(n - 1) {
-                    for j in 1..n - 1 {
-                        let v = 0.25
-                            * (h.read_f64(cell(src, i - 1, j))
-                                + h.read_f64(cell(src, i + 1, j))
-                                + h.read_f64(cell(src, i, j - 1))
-                                + h.read_f64(cell(src, i, j + 1)));
-                        h.write_f64(cell(dst, i, j), v);
-                        h.compute(CELL_FLOPS_CYCLES);
-                    }
-                    // Loop-control scratch the static analysis could not
-                    // prove private (pointer-based row walks).
-                    h.private_traffic(5 * n as u64 / 2);
-                }
-                h.barrier();
-                std::mem::swap(&mut src, &mut dst);
-            }
-            if h.proc() == 0 {
-                let mut out = vec![0.0; n * n];
-                for (i, row) in out.chunks_mut(n).enumerate() {
-                    for (j, v) in row.iter_mut().enumerate() {
-                        *v = h.read_f64(cell(src, i, j));
+            ep.step(|| {
+                for i in lo..hi {
+                    for j in 0..n {
+                        let v = initial(i, j, n);
+                        h.write_f64(cell(a, i, j), v);
+                        h.write_f64(cell(b, i, j), v);
                     }
                 }
-                *result.lock() = Some(out);
+            });
+            for sweep in 0..params.iters {
+                // Even sweeps read `a` and write `b`; odd the reverse.
+                let (src, dst) = if sweep % 2 == 0 { (a, b) } else { (b, a) };
+                ep.step(|| {
+                    for i in lo.max(1)..hi.min(n - 1) {
+                        for j in 1..n - 1 {
+                            let v = 0.25
+                                * (h.read_f64(cell(src, i - 1, j))
+                                    + h.read_f64(cell(src, i + 1, j))
+                                    + h.read_f64(cell(src, i, j - 1))
+                                    + h.read_f64(cell(src, i, j + 1)));
+                            h.write_f64(cell(dst, i, j), v);
+                            h.compute(CELL_FLOPS_CYCLES);
+                        }
+                        // Loop-control scratch the static analysis could not
+                        // prove private (pointer-based row walks).
+                        h.private_traffic(5 * n as u64 / 2);
+                    }
+                });
             }
-            h.barrier();
+            // After `iters` sweeps the freshest grid is `a` when the count
+            // is even, `b` when odd.
+            let last = if params.iters.is_multiple_of(2) { a } else { b };
+            ep.step(|| {
+                if h.proc() == 0 {
+                    let mut out = vec![0.0; n * n];
+                    for (i, row) in out.chunks_mut(n).enumerate() {
+                        for (j, v) in row.iter_mut().enumerate() {
+                            *v = h.read_f64(cell(last, i, j));
+                        }
+                    }
+                    *result.lock() = Some(out);
+                }
+            });
         },
     )
     .expect("cluster run");

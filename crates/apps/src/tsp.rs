@@ -232,7 +232,11 @@ pub fn run(cfg: DsmConfig, params: TspParams) -> (RunReport, TspResult) {
     let dist = distance_matrix(n, params.seed);
     let entry_words = (n + 2) as u64; // len, tour-length-so-far, cities...
     let result = Mutex::new(None);
-    let expansions_total = Mutex::new(0u64);
+    // Per-process slots, assigned (not accumulated) inside the search
+    // epoch: a recovery attempt that re-runs the search overwrites its own
+    // slot instead of double-counting, and a restored node that skips the
+    // phase leaves its previous count in place.
+    let expansion_slots = Mutex::new(vec![0u64; cfg.nprocs]);
 
     let report = Cluster::run(
         cfg,
@@ -249,159 +253,169 @@ pub fn run(cfg: DsmConfig, params: TspParams) -> (RunReport, TspResult) {
         |h, &(dist_a, bound, best, top, stack)| {
             let d_at = |i: usize, j: usize| dist_a.word((i * n + j) as u64);
             let entry = |slot: u64| stack.word(slot * entry_words);
-            if h.proc() == 0 {
-                for i in 0..n {
-                    for j in 0..n {
-                        h.write(d_at(i, j), dist[i * n + j]);
-                    }
-                }
-                let (nn_len, nn_path) = nearest_neighbour(&dist, n);
-                h.write(bound, nn_len);
-                for (i, &c) in nn_path.iter().enumerate() {
-                    h.write(best.word(i as u64), u64::from(c));
-                }
-                // Seed the stack with the root prefix [0].
-                let e = entry(0);
-                h.write(e, 1); // Prefix length.
-                h.write(e.offset(8), 0); // Partial tour length.
-                h.write(e.offset(16), 0); // City 0.
-                h.write(top, 1);
-            }
-            h.barrier();
-
-            // Private (per-process) data: the analysis could not prove the
-            // search scratch private, so it is instrumented at run time.
-            let min_out: Vec<u64> = {
-                let mut m = vec![u64::MAX; n];
-                for (i, slot) in m.iter_mut().enumerate() {
-                    for j in 0..n {
-                        if i != j {
-                            *slot = (*slot).min(h.read(d_at(i, j)));
+            // Three barrier phases — seed, search, gather — each an epoch
+            // step so a checkpoint-restored node rejoins mid-run.
+            let mut ep = h.epochs();
+            ep.step(|| {
+                if h.proc() == 0 {
+                    for i in 0..n {
+                        for j in 0..n {
+                            h.write(d_at(i, j), dist[i * n + j]);
                         }
                     }
-                }
-                m
-            };
-            let read_bound = |h: &ProcHandle| -> u64 {
-                if params.synchronized_bound {
-                    h.lock(BLOCK);
-                    let b = h.read_at(bound, site::BOUND_SYNC_READ);
-                    h.unlock(BLOCK);
-                    b
-                } else {
-                    // THE RACE: unsynchronized read of the global bound.
-                    h.read_at(bound, site::BOUND_RACY_READ)
-                }
-            };
-            // Prime the bound with an unsynchronized read, as the
-            // original does before entering the search.  (This alone does
-            // not pin the race: the priming interval ends at the first
-            // QLOCK acquire, so lock chains can order it before every
-            // bound update — see the exit read below.)
-            let _ = read_bound(h);
-            let mut expansions = 0u64;
-            let mut path = vec![0u16; n];
-            let mut visited = vec![false; n];
-
-            loop {
-                // Pop one prefix.
-                h.lock(QLOCK);
-                let t = h.read(top);
-                let popped = if t > 0 {
-                    h.write(top, t - 1);
-                    let e = entry(t - 1);
-                    let len = h.read(e) as usize;
-                    let plen = h.read(e.offset(8));
-                    for (i, slot) in path.iter_mut().enumerate().take(len) {
-                        *slot = h.read(e.offset(16 + i as u64 * 8)) as u16;
+                    let (nn_len, nn_path) = nearest_neighbour(&dist, n);
+                    h.write(bound, nn_len);
+                    for (i, &c) in nn_path.iter().enumerate() {
+                        h.write(best.word(i as u64), u64::from(c));
                     }
-                    Some((len, plen))
-                } else {
-                    None
-                };
-                h.unlock(QLOCK);
-                let Some((plen_cities, partial)) = popped else {
-                    // Stack drained.  (Workers may terminate while others
-                    // still expand; any work they would have pushed is
-                    // solved by whoever pushed it — expansion pushes happen
-                    // before the pop that drains, under the same lock, so
-                    // an empty stack with all prefixes at/below the cutoff
-                    // solved means completion for this worker.)
-                    break;
-                };
-                visited.iter_mut().for_each(|v| *v = false);
-                for &c in &path[..plen_cities] {
-                    visited[c as usize] = true;
+                    // Seed the stack with the root prefix [0].
+                    let e = entry(0);
+                    h.write(e, 1); // Prefix length.
+                    h.write(e.offset(8), 0); // Partial tour length.
+                    h.write(e.offset(16), 0); // City 0.
+                    h.write(top, 1);
                 }
-                let cur = path[plen_cities - 1] as usize;
+            });
 
-                if plen_cities < params.cutoff.min(n) {
-                    // Expand one level; push children (pruned) in one
-                    // critical section.
-                    expansions += 1;
-                    h.compute(EXPAND_CYCLES);
-                    h.private_traffic(10);
-                    let b = read_bound(h);
+            ep.step(|| {
+                // Private (per-process) data: the analysis could not prove
+                // the search scratch private, so it is instrumented at run
+                // time.
+                let min_out: Vec<u64> = {
+                    let mut m = vec![u64::MAX; n];
+                    for (i, slot) in m.iter_mut().enumerate() {
+                        for j in 0..n {
+                            if i != j {
+                                *slot = (*slot).min(h.read(d_at(i, j)));
+                            }
+                        }
+                    }
+                    m
+                };
+                let read_bound = |h: &ProcHandle| -> u64 {
+                    if params.synchronized_bound {
+                        h.lock(BLOCK);
+                        let b = h.read_at(bound, site::BOUND_SYNC_READ);
+                        h.unlock(BLOCK);
+                        b
+                    } else {
+                        // THE RACE: unsynchronized read of the global bound.
+                        h.read_at(bound, site::BOUND_RACY_READ)
+                    }
+                };
+                // Prime the bound with an unsynchronized read, as the
+                // original does before entering the search.  (This alone
+                // does not pin the race: the priming interval ends at the
+                // first QLOCK acquire, so lock chains can order it before
+                // every bound update — see the exit read below.)
+                let _ = read_bound(h);
+                let mut expansions = 0u64;
+                let mut path = vec![0u16; n];
+                let mut visited = vec![false; n];
+
+                loop {
+                    // Pop one prefix.
                     h.lock(QLOCK);
-                    let mut t = h.read(top);
-                    #[allow(clippy::needless_range_loop)]
-                    for j in 1..n {
-                        if visited[j] {
-                            continue;
+                    let t = h.read(top);
+                    let popped = if t > 0 {
+                        h.write(top, t - 1);
+                        let e = entry(t - 1);
+                        let len = h.read(e) as usize;
+                        let plen = h.read(e.offset(8));
+                        for (i, slot) in path.iter_mut().enumerate().take(len) {
+                            *slot = h.read(e.offset(16 + i as u64 * 8)) as u16;
                         }
-                        let child_len = partial + h.read(d_at(cur, j));
-                        if child_len >= b {
-                            continue;
-                        }
-                        assert!((t as usize) < params.stack_capacity, "tour stack overflow");
-                        let e = entry(t);
-                        h.write(e, (plen_cities + 1) as u64);
-                        h.write(e.offset(8), child_len);
-                        for (i, &c) in path.iter().enumerate().take(plen_cities) {
-                            h.write(e.offset(16 + i as u64 * 8), u64::from(c));
-                        }
-                        h.write(e.offset(16 + plen_cities as u64 * 8), j as u64);
-                        t += 1;
-                    }
-                    h.write(top, t);
+                        Some((len, plen))
+                    } else {
+                        None
+                    };
                     h.unlock(QLOCK);
-                    continue;
-                }
+                    let Some((plen_cities, partial)) = popped else {
+                        // Stack drained.  (Workers may terminate while
+                        // others still expand; any work they would have
+                        // pushed is solved by whoever pushed it — expansion
+                        // pushes happen before the pop that drains, under
+                        // the same lock, so an empty stack with all
+                        // prefixes at/below the cutoff solved means
+                        // completion for this worker.)
+                        break;
+                    };
+                    visited.iter_mut().for_each(|v| *v = false);
+                    for &c in &path[..plen_cities] {
+                        visited[c as usize] = true;
+                    }
+                    let cur = path[plen_cities - 1] as usize;
 
-                // Solve the prefix by local DFS with racy pruning.
-                dfs(
-                    h,
-                    n,
-                    &d_at,
-                    &min_out,
-                    &mut visited,
-                    &mut path,
-                    plen_cities,
-                    cur,
-                    partial,
-                    bound,
-                    best,
-                    &read_bound,
-                    params.synchronized_bound,
-                    &mut expansions,
-                );
-            }
-            // Sample the bound once more on the way out, as the original
-            // does when reporting per-worker statistics.  A worker that
-            // drains early performs no further acquires, so no release
-            // chain can order this read before a later bound improvement:
-            // the read-write race stays observable whenever any process
-            // improves the bound, regardless of how the lock chains fall.
-            let _ = read_bound(h);
-            h.barrier();
-            *expansions_total.lock() += expansions;
-            if h.proc() == 0 {
-                let best_len = h.read(bound);
-                let best_path: Vec<u16> =
-                    (0..n).map(|i| h.read(best.word(i as u64)) as u16).collect();
-                *result.lock() = Some((best_len, best_path));
-            }
-            h.barrier();
+                    if plen_cities < params.cutoff.min(n) {
+                        // Expand one level; push children (pruned) in one
+                        // critical section.
+                        expansions += 1;
+                        h.compute(EXPAND_CYCLES);
+                        h.private_traffic(10);
+                        let b = read_bound(h);
+                        h.lock(QLOCK);
+                        let mut t = h.read(top);
+                        #[allow(clippy::needless_range_loop)]
+                        for j in 1..n {
+                            if visited[j] {
+                                continue;
+                            }
+                            let child_len = partial + h.read(d_at(cur, j));
+                            if child_len >= b {
+                                continue;
+                            }
+                            assert!((t as usize) < params.stack_capacity, "tour stack overflow");
+                            let e = entry(t);
+                            h.write(e, (plen_cities + 1) as u64);
+                            h.write(e.offset(8), child_len);
+                            for (i, &c) in path.iter().enumerate().take(plen_cities) {
+                                h.write(e.offset(16 + i as u64 * 8), u64::from(c));
+                            }
+                            h.write(e.offset(16 + plen_cities as u64 * 8), j as u64);
+                            t += 1;
+                        }
+                        h.write(top, t);
+                        h.unlock(QLOCK);
+                        continue;
+                    }
+
+                    // Solve the prefix by local DFS with racy pruning.
+                    dfs(
+                        h,
+                        n,
+                        &d_at,
+                        &min_out,
+                        &mut visited,
+                        &mut path,
+                        plen_cities,
+                        cur,
+                        partial,
+                        bound,
+                        best,
+                        &read_bound,
+                        params.synchronized_bound,
+                        &mut expansions,
+                    );
+                }
+                // Sample the bound once more on the way out, as the
+                // original does when reporting per-worker statistics.  A
+                // worker that drains early performs no further acquires, so
+                // no release chain can order this read before a later bound
+                // improvement: the read-write race stays observable
+                // whenever any process improves the bound, regardless of
+                // how the lock chains fall.
+                let _ = read_bound(h);
+                expansion_slots.lock()[h.proc()] = expansions;
+            });
+
+            ep.step(|| {
+                if h.proc() == 0 {
+                    let best_len = h.read(bound);
+                    let best_path: Vec<u16> =
+                        (0..n).map(|i| h.read(best.word(i as u64)) as u16).collect();
+                    *result.lock() = Some((best_len, best_path));
+                }
+            });
         },
     )
     .expect("cluster run");
@@ -411,7 +425,7 @@ pub fn run(cfg: DsmConfig, params: TspParams) -> (RunReport, TspResult) {
         TspResult {
             best_len,
             best_path,
-            expansions: expansions_total.into_inner(),
+            expansions: expansion_slots.into_inner().iter().sum(),
         },
     )
 }

@@ -203,147 +203,156 @@ pub fn run(cfg: DsmConfig, params: WaterParams) -> (RunReport, WaterResult) {
             };
             let (lo, hi) = mol_block(n, h.nprocs(), h.proc());
 
-            for m in lo..hi {
-                for dim in 0..3 {
-                    for order in 0..ORDERS {
-                        h.write_f64(s_at(m, dim, order), init[(m * 3 + dim) * ORDERS + order]);
+            // Every barrier phase is an epoch step (3 per iteration plus
+            // init and gather) so a checkpoint-restored node skips straight
+            // to the epoch it died in.
+            let mut ep = h.epochs();
+            ep.step(|| {
+                for m in lo..hi {
+                    for dim in 0..3 {
+                        for order in 0..ORDERS {
+                            h.write_f64(s_at(m, dim, order), init[(m * 3 + dim) * ORDERS + order]);
+                        }
+                        h.write_f64(f_at(m, dim), 0.0);
                     }
-                    h.write_f64(f_at(m, dim), 0.0);
                 }
-            }
-            if h.proc() == 0 {
-                h.write_f64(pota, 0.0);
-                h.write_f64(vir, 0.0);
-                h.write_f64(kin, 0.0);
-            }
-            h.barrier();
+                if h.proc() == 0 {
+                    h.write_f64(pota, 0.0);
+                    h.write_f64(vir, 0.0);
+                    h.write_f64(kin, 0.0);
+                }
+            });
 
             for _ in 0..params.iters {
                 // PREDIC: advance owned molecules' derivative chain and
                 // zero the force accumulators.
-                for m in lo..hi {
-                    for dim in 0..3 {
-                        let mut vals = [0.0f64; ORDERS];
-                        for (o, v) in vals.iter_mut().enumerate() {
-                            *v = h.read_f64(s_at(m, dim, o));
+                ep.step(|| {
+                    for m in lo..hi {
+                        for dim in 0..3 {
+                            let mut vals = [0.0f64; ORDERS];
+                            for (o, v) in vals.iter_mut().enumerate() {
+                                *v = h.read_f64(s_at(m, dim, o));
+                            }
+                            let mut dt_pow = DT;
+                            for o in (1..ORDERS).rev() {
+                                vals[o - 1] += vals[o] * dt_pow;
+                                dt_pow *= 0.5;
+                            }
+                            for (o, v) in vals.iter().enumerate() {
+                                h.write_f64(s_at(m, dim, o), *v);
+                            }
+                            h.write_f64(f_at(m, dim), 0.0);
                         }
-                        let mut dt_pow = DT;
-                        for o in (1..ORDERS).rev() {
-                            vals[o - 1] += vals[o] * dt_pow;
-                            dt_pow *= 0.5;
-                        }
-                        for (o, v) in vals.iter().enumerate() {
-                            h.write_f64(s_at(m, dim, o), *v);
-                        }
-                        h.write_f64(f_at(m, dim), 0.0);
+                        h.compute(PAIR_CYCLES);
+                        h.private_traffic(8);
                     }
-                    h.compute(PAIR_CYCLES);
-                    h.private_traffic(8);
-                }
-                h.barrier();
+                });
 
                 // INTERF: O(N^2) pair forces; contributions staged
                 // privately, flushed under per-partition locks.
-                let mut local_f = vec![0.0f64; n * 3];
-                let mut local_pot = 0.0;
-                let mut local_vir = 0.0;
-                for i in lo..hi {
-                    let pi = [
-                        h.read_f64(s_at(i, 0, 0)),
-                        h.read_f64(s_at(i, 1, 0)),
-                        h.read_f64(s_at(i, 2, 0)),
-                    ];
-                    for j in i + 1..n {
-                        let pj = [
-                            h.read_f64(s_at(j, 0, 0)),
-                            h.read_f64(s_at(j, 1, 0)),
-                            h.read_f64(s_at(j, 2, 0)),
+                ep.step(|| {
+                    let mut local_f = vec![0.0f64; n * 3];
+                    let mut local_pot = 0.0;
+                    let mut local_vir = 0.0;
+                    for i in lo..hi {
+                        let pi = [
+                            h.read_f64(s_at(i, 0, 0)),
+                            h.read_f64(s_at(i, 1, 0)),
+                            h.read_f64(s_at(i, 2, 0)),
                         ];
-                        let (f, pot, vr) = pair_force(pi, pj);
-                        for dim in 0..3 {
-                            local_f[i * 3 + dim] += f[dim];
-                            local_f[j * 3 + dim] -= f[dim];
-                        }
-                        local_pot += pot;
-                        local_vir += vr;
-                        h.compute(PAIR_CYCLES);
-                        h.private_traffic(40);
-                    }
-                }
-                for part in 0..params.npartitions {
-                    let touched: Vec<usize> = (0..n)
-                        .filter(|&m| partition_of(m, n, params.npartitions) == part)
-                        .filter(|&m| (0..3).any(|d| local_f[m * 3 + d] != 0.0))
-                        .collect();
-                    if touched.is_empty() {
-                        continue;
-                    }
-                    h.lock(FORCE_LOCK0 + part as u32);
-                    for &m in &touched {
-                        for dim in 0..3 {
-                            let a = f_at(m, dim);
-                            let v = h.read_f64(a);
-                            h.write_f64(a, v + local_f[m * 3 + dim]);
+                        for j in i + 1..n {
+                            let pj = [
+                                h.read_f64(s_at(j, 0, 0)),
+                                h.read_f64(s_at(j, 1, 0)),
+                                h.read_f64(s_at(j, 2, 0)),
+                            ];
+                            let (f, pot, vr) = pair_force(pi, pj);
+                            for dim in 0..3 {
+                                local_f[i * 3 + dim] += f[dim];
+                                local_f[j * 3 + dim] -= f[dim];
+                            }
+                            local_pot += pot;
+                            local_vir += vr;
+                            h.compute(PAIR_CYCLES);
+                            h.private_traffic(40);
                         }
                     }
-                    h.unlock(FORCE_LOCK0 + part as u32);
-                }
+                    for part in 0..params.npartitions {
+                        let touched: Vec<usize> = (0..n)
+                            .filter(|&m| partition_of(m, n, params.npartitions) == part)
+                            .filter(|&m| (0..3).any(|d| local_f[m * 3 + d] != 0.0))
+                            .collect();
+                        if touched.is_empty() {
+                            continue;
+                        }
+                        h.lock(FORCE_LOCK0 + part as u32);
+                        for &m in &touched {
+                            for dim in 0..3 {
+                                let a = f_at(m, dim);
+                                let v = h.read_f64(a);
+                                h.write_f64(a, v + local_f[m * 3 + dim]);
+                            }
+                        }
+                        h.unlock(FORCE_LOCK0 + part as u32);
+                    }
 
-                // Global sums.  POTA: correctly locked.
-                h.lock(POTA_LOCK);
-                let p = h.read_f64(pota);
-                h.write_f64(pota, p + local_pot);
-                h.unlock(POTA_LOCK);
-                // VIR: the bug — unsynchronized read-modify-write.
-                if params.fixed {
-                    h.lock(VIR_LOCK);
-                    let v = h.read_f64(vir);
-                    h.write_f64(vir, v + local_vir);
-                    h.unlock(VIR_LOCK);
-                } else {
-                    let v = h.read_f64(vir);
-                    h.write_f64(vir, v + local_vir);
-                }
-                h.barrier();
+                    // Global sums.  POTA: correctly locked.
+                    h.lock(POTA_LOCK);
+                    let p = h.read_f64(pota);
+                    h.write_f64(pota, p + local_pot);
+                    h.unlock(POTA_LOCK);
+                    // VIR: the bug — unsynchronized read-modify-write.
+                    if params.fixed {
+                        h.lock(VIR_LOCK);
+                        let v = h.read_f64(vir);
+                        h.write_f64(vir, v + local_vir);
+                        h.unlock(VIR_LOCK);
+                    } else {
+                        let v = h.read_f64(vir);
+                        h.write_f64(vir, v + local_vir);
+                    }
+                });
 
                 // CORREC + KINETI: integrate owned molecules, sum kinetic
                 // energy (locked).
-                let mut local_kin = 0.0;
-                for m in lo..hi {
-                    for dim in 0..3 {
-                        let f = h.read_f64(f_at(m, dim));
-                        let vaddr = s_at(m, dim, 1);
-                        let v = h.read_f64(vaddr) + f * DT;
-                        h.write_f64(vaddr, v);
-                        let paddr = s_at(m, dim, 0);
-                        let pos = h.read_f64(paddr) + v * DT;
-                        h.write_f64(paddr, pos);
-                        local_kin += 0.5 * v * v;
+                ep.step(|| {
+                    let mut local_kin = 0.0;
+                    for m in lo..hi {
+                        for dim in 0..3 {
+                            let f = h.read_f64(f_at(m, dim));
+                            let vaddr = s_at(m, dim, 1);
+                            let v = h.read_f64(vaddr) + f * DT;
+                            h.write_f64(vaddr, v);
+                            let paddr = s_at(m, dim, 0);
+                            let pos = h.read_f64(paddr) + v * DT;
+                            h.write_f64(paddr, pos);
+                            local_kin += 0.5 * v * v;
+                        }
+                        h.private_traffic(4);
                     }
-                    h.private_traffic(4);
-                }
-                h.lock(KIN_LOCK);
-                let k = h.read_f64(kin);
-                h.write_f64(kin, k + local_kin);
-                h.unlock(KIN_LOCK);
-                h.barrier();
-            }
-
-            if h.proc() == 0 {
-                let mut positions = vec![0.0; n * 3];
-                for (m, pos) in positions.chunks_mut(3).enumerate() {
-                    for (dim, v) in pos.iter_mut().enumerate() {
-                        *v = h.read_f64(s_at(m, dim, 0));
-                    }
-                }
-                *result.lock() = Some(WaterResult {
-                    positions,
-                    potential: h.read_f64(pota),
-                    virial: h.read_f64(vir),
-                    kinetic: h.read_f64(kin),
+                    h.lock(KIN_LOCK);
+                    let k = h.read_f64(kin);
+                    h.write_f64(kin, k + local_kin);
+                    h.unlock(KIN_LOCK);
                 });
             }
-            h.barrier();
+
+            ep.step(|| {
+                if h.proc() == 0 {
+                    let mut positions = vec![0.0; n * 3];
+                    for (m, pos) in positions.chunks_mut(3).enumerate() {
+                        for (dim, v) in pos.iter_mut().enumerate() {
+                            *v = h.read_f64(s_at(m, dim, 0));
+                        }
+                    }
+                    *result.lock() = Some(WaterResult {
+                        positions,
+                        potential: h.read_f64(pota),
+                        virial: h.read_f64(vir),
+                        kinetic: h.read_f64(kin),
+                    });
+                }
+            });
         },
     )
     .expect("cluster run");

@@ -202,6 +202,23 @@ pub fn pct(f: f64) -> String {
     format!("{:.1}%", f * 100.0)
 }
 
+/// One-line summary of a run's checkpoint/recovery counters, for the
+/// harness tables ("-" when the run never checkpointed, i.e. ran under
+/// the default [`cvm_dsm::RecoveryPolicy::Abort`]).
+pub fn recovery_summary(r: &RunReport) -> String {
+    let s = &r.recovery;
+    if s == &cvm_dsm::RecoveryStats::default() {
+        return "no checkpointing".to_string();
+    }
+    format!(
+        "{} checkpoints / {:.1} KB snapshotted / {} recoveries / {} epochs replayed",
+        s.checkpoints_taken,
+        s.bytes_snapshotted as f64 / 1024.0,
+        s.recoveries,
+        s.epochs_replayed
+    )
+}
+
 /// Prints a horizontal rule sized for the harness tables.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
@@ -248,6 +265,18 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(0.1234), "12.3%");
         assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn recovery_summary_formats() {
+        let mut cfg = paper_config(2, false);
+        cfg.recovery = cvm_dsm::RecoveryPolicy::Recover { max_attempts: 1 };
+        let on = cvm_apps::sor::run(cfg, cvm_apps::sor::SorParams::small()).0;
+        let line = recovery_summary(&on);
+        assert!(line.contains("checkpoints"), "{line}");
+        assert!(line.contains("0 recoveries"), "{line}");
+        let off = cvm_apps::sor::run(paper_config(2, false), cvm_apps::sor::SorParams::small()).0;
+        assert_eq!(recovery_summary(&off), "no checkpointing");
     }
 }
 

@@ -185,6 +185,12 @@ impl BitmapStore {
     pub fn retain(&mut self, mut keep: impl FnMut(&(IntervalId, PageId)) -> bool) {
         self.map.retain(|k, _| keep(k));
     }
+
+    /// Iterates over every stored `((interval, page), bitmaps)` entry in
+    /// unspecified order (checkpoint serialization sorts the keys itself).
+    pub fn iter(&self) -> impl Iterator<Item = (&(IntervalId, PageId), &PageBitmaps)> {
+        self.map.iter()
+    }
 }
 
 /// Error from the word-level comparison phase.

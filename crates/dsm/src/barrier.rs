@@ -137,13 +137,18 @@ fn await_release(node: &Node, rx: &Receiver<()>, wait: Duration, me: ProcId) {
                         if let Some(missing) = missing_arrival(node) {
                             fault::die(&node.ctl, DsmError::NodeFailed { proc: missing.0 });
                         }
+                        fault::die(
+                            &node.ctl,
+                            DsmError::Timeout {
+                                op: "barrier release",
+                            },
+                        );
                     }
-                    fault::die(
-                        &node.ctl,
-                        DsmError::Timeout {
-                            op: "barrier release",
-                        },
-                    );
+                    // Only the master can release a worker.  It was given
+                    // half again the deadline to classify the failure
+                    // itself; silence past that means node 0 is the one
+                    // that died, not some anonymous timeout.
+                    fault::die(&node.ctl, DsmError::NodeFailed { proc: 0 });
                 }
             }
             Err(RecvTimeoutError::Disconnected) => {
@@ -407,13 +412,14 @@ fn do_release(
         .filter(|r| r.id().index > st.vc.get(r.id().proc))
         .cloned()
         .collect();
-    apply_release(st, own_missing, merged, races, epoch)
+    apply_release(st, node, own_missing, merged, races, epoch)
 }
 
 /// Worker (and master) release application: merge, close the empty
 /// arrival interval, open the next epoch's working interval, GC.
 pub(crate) fn apply_release(
     st: &mut NodeCore,
+    node: &Node,
     records: Vec<Arc<Interval>>,
     vc: VClock,
     races: Arc<Vec<cvm_race::RaceReport>>,
@@ -445,6 +451,15 @@ pub(crate) fn apply_release(
     st.log.retain(|id, _| id.proc == me && id.index >= boundary);
     st.bitmaps
         .retain(|(id, _)| id.proc != me || id.index >= boundary);
+    if st.cfg.checkpointing() {
+        // Withhold the app-thread release: the node snapshots (now, or
+        // when its multi-writer diffs settle) and acks the master, which
+        // broadcasts the commit once every image of this cut is stored.
+        // Holding all app threads here keeps next-epoch traffic out of
+        // slower nodes' snapshots.
+        st.pending_ckpt = Some(st.epoch);
+        return crate::checkpoint::maybe_complete(st, node);
+    }
     let Some(tx) = st.barrier_wait.take() else {
         return Err(DsmError::Protocol {
             context: "barrier release without a waiting arrival",

@@ -1,0 +1,923 @@
+//! Barrier-epoch checkpointing: recovery images and the consistent cut.
+//!
+//! LRC gives checkpointing the same gift it gives race detection: at a
+//! barrier release every interval is closed, every lock is free, and the
+//! master has just pushed a merged vector clock to every process — the
+//! cluster is at a natural consistency point.  Each node therefore
+//! serializes its *recovery image* — page frames (twins discarded),
+//! version-vector state, interval log, lock tokens, detection metadata and
+//! the application's epoch cursor — right after applying the release, and
+//! parks the image in a shared [`CheckpointStore`] keyed by `(epoch, proc)`.
+//!
+//! Two wrinkles keep the image set a *consistent cut*:
+//!
+//! 1. **Withheld release.** Under [`RecoveryPolicy::Recover`](crate::RecoveryPolicy)
+//!    the application thread is *not* released when the node applies the
+//!    barrier release.  The node first snapshots, then sends
+//!    [`Msg::CkptAck`] to the master; only when the master has collected an
+//!    ack from every process does it broadcast [`Msg::CkptGo`], which
+//!    finally signals the blocked `barrier()` calls.  Without this round, a
+//!    fast node's next-epoch page or lock request could reach a slow node
+//!    *before* that node snapshots, smuggling post-cut state into its image.
+//! 2. **Diff watermarks.** The one fire-and-forget message in flight at a
+//!    release is the multi-writer `DiffFlush`.  A home node defers its
+//!    snapshot until every write notice it has seen for its own pages is
+//!    covered by an applied diff (`mw_seen` ⊆ `mw_home.applied`), completing
+//!    the deferred checkpoint from the diff-flush handler.
+//!
+//! Recovery itself is orchestrated by `Cluster::run`: on a node failure it
+//! rolls every process back to the newest epoch for which *all* images
+//! exist, rebuilds each `NodeCore` from its image, and re-enters the
+//! barrier loop.  Applications opt in through the epoch-entry API
+//! ([`ProcHandle::epochs`](crate::ProcHandle::epochs)), which skips
+//! already-checkpointed phases on a restored node.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cvm_instrument::AnalysisRuntime;
+use cvm_net::wire::{Reader, Wire, WireError};
+use cvm_page::{Frame, PageBitmaps, PageId, Protection};
+use cvm_race::trace::TraceEvent;
+use cvm_race::{BitmapStore, DetectorStats, Interval, RaceLog, RaceReport};
+use cvm_vclock::{IntervalId, ProcId, VClock};
+
+use crate::config::Protocol;
+use crate::error::DsmError;
+use crate::msg::Msg;
+use crate::node::{LockLocal, LockMgr, MwHome, NodeCore, NodeStats, OpenInterval};
+use crate::pages::Node;
+use crate::replay::SyncSchedule;
+use crate::report::WatchHit;
+use crate::simtime::{OverheadCat, VirtualClock, NCATS};
+
+/// One node's complete recovery image at a barrier epoch.
+///
+/// The image captures exactly the state a fresh `NodeCore` needs to rejoin
+/// the cluster at the epoch boundary.  Transient coordination state —
+/// blocked waiter channels, in-flight page requests, replay holds, page
+/// twins — is provably empty at the cut and is not serialized.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeImage {
+    pub(crate) proc: ProcId,
+    /// Barrier epochs completed — the resume cursor for the epoch-entry API.
+    pub(crate) epoch: u64,
+    pub(crate) clock_now: u64,
+    pub(crate) clock_cats: Vec<u64>,
+    /// Resident frames as `(page, (protection, words))`, sorted by page.
+    pub(crate) frames: Vec<(PageId, (u8, Vec<u64>))>,
+    pub(crate) vc: VClock,
+    pub(crate) cur_index: u32,
+    pub(crate) cur_stamp_vc: VClock,
+    pub(crate) cur_dirty: Vec<PageId>,
+    pub(crate) cur_read: Vec<PageId>,
+    pub(crate) cur_bitmaps: Vec<(PageId, PageBitmaps)>,
+    pub(crate) log: Vec<Interval>,
+    pub(crate) unsent_own: Vec<IntervalId>,
+    pub(crate) bitmap_store: Vec<((IntervalId, PageId), PageBitmaps)>,
+    /// `(shared_calls, private_calls)` of the analysis runtime.
+    pub(crate) analysis: (u64, u64),
+    pub(crate) home_owner: Vec<(PageId, ProcId)>,
+    /// Multi-writer home watermarks: applied interval index per writer.
+    pub(crate) mw_applied: Vec<(PageId, Vec<(ProcId, u32)>)>,
+    pub(crate) mw_seen: Vec<(PageId, Vec<(ProcId, u32)>)>,
+    /// `(lock, ((have_token, held), release_vc))` for non-default locals.
+    pub(crate) locks: Vec<(u32, LockImage)>,
+    pub(crate) lock_mgr: Vec<(u32, ProcId)>,
+    pub(crate) races: Vec<RaceReport>,
+    pub(crate) det_stats: Vec<u64>,
+    pub(crate) sched_rec: Vec<(u32, Vec<ProcId>)>,
+    pub(crate) replay_pos: Vec<(u32, u32)>,
+    pub(crate) stats: Vec<u64>,
+    pub(crate) watch_hits: Vec<((ProcId, u32), (bool, u32))>,
+    pub(crate) trace: Vec<TraceEvent>,
+    pub(crate) trace_last_release: Vec<(u32, u32)>,
+}
+
+/// A lock's local state in an image: `((have_token, held), release_vc)`.
+pub(crate) type LockImage = ((bool, bool), Option<VClock>);
+
+fn prot_to_u8(p: Protection) -> u8 {
+    match p {
+        Protection::Invalid => 0,
+        Protection::Read => 1,
+        Protection::Write => 2,
+    }
+}
+
+fn prot_from_u8(v: u8) -> Result<Protection, WireError> {
+    match v {
+        0 => Ok(Protection::Invalid),
+        1 => Ok(Protection::Read),
+        2 => Ok(Protection::Write),
+        _ => Err(WireError::BadTag {
+            what: "Protection",
+            tag: v,
+        }),
+    }
+}
+
+fn det_stats_to_vec(s: &DetectorStats) -> Vec<u64> {
+    vec![
+        s.intervals_total,
+        s.intervals_used,
+        s.pair_comparisons,
+        s.pairs_concurrent,
+        s.pairs_overlapping,
+        s.bitmaps_requested,
+        s.bitmaps_total,
+        s.bitmap_comparisons,
+        s.races_found,
+    ]
+}
+
+fn det_stats_from_vec(v: &[u64]) -> DetectorStats {
+    DetectorStats {
+        intervals_total: v[0],
+        intervals_used: v[1],
+        pair_comparisons: v[2],
+        pairs_concurrent: v[3],
+        pairs_overlapping: v[4],
+        bitmaps_requested: v[5],
+        bitmaps_total: v[6],
+        bitmap_comparisons: v[7],
+        races_found: v[8],
+    }
+}
+
+fn node_stats_to_vec(s: &NodeStats) -> Vec<u64> {
+    vec![
+        s.intervals,
+        s.barriers,
+        s.consolidations,
+        s.locks_local,
+        s.locks_remote,
+        s.read_faults,
+        s.write_faults,
+        s.pages_sent,
+        s.diffs_made,
+        s.diff_words,
+        s.records_applied,
+        s.shared_reads,
+        s.shared_writes,
+        s.log_high_water,
+        s.bitmap_high_water,
+    ]
+}
+
+fn node_stats_from_vec(v: &[u64]) -> NodeStats {
+    NodeStats {
+        intervals: v[0],
+        barriers: v[1],
+        consolidations: v[2],
+        locks_local: v[3],
+        locks_remote: v[4],
+        read_faults: v[5],
+        write_faults: v[6],
+        pages_sent: v[7],
+        diffs_made: v[8],
+        diff_words: v[9],
+        records_applied: v[10],
+        shared_reads: v[11],
+        shared_writes: v[12],
+        log_high_water: v[13],
+        bitmap_high_water: v[14],
+    }
+}
+
+const DET_STATS_FIELDS: usize = 9;
+const NODE_STATS_FIELDS: usize = 15;
+
+impl Wire for NodeImage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.proc.encode(out);
+        self.epoch.encode(out);
+        self.clock_now.encode(out);
+        self.clock_cats.encode(out);
+        self.frames.encode(out);
+        self.vc.encode(out);
+        self.cur_index.encode(out);
+        self.cur_stamp_vc.encode(out);
+        self.cur_dirty.encode(out);
+        self.cur_read.encode(out);
+        self.cur_bitmaps.encode(out);
+        self.log.encode(out);
+        self.unsent_own.encode(out);
+        self.bitmap_store.encode(out);
+        self.analysis.encode(out);
+        self.home_owner.encode(out);
+        self.mw_applied.encode(out);
+        self.mw_seen.encode(out);
+        self.locks.encode(out);
+        self.lock_mgr.encode(out);
+        self.races.encode(out);
+        self.det_stats.encode(out);
+        self.sched_rec.encode(out);
+        self.replay_pos.encode(out);
+        self.stats.encode(out);
+        self.watch_hits.encode(out);
+        self.trace.encode(out);
+        self.trace_last_release.encode(out);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, WireError> {
+        let img = NodeImage {
+            proc: Wire::decode(r)?,
+            epoch: Wire::decode(r)?,
+            clock_now: Wire::decode(r)?,
+            clock_cats: Wire::decode(r)?,
+            frames: Wire::decode(r)?,
+            vc: Wire::decode(r)?,
+            cur_index: Wire::decode(r)?,
+            cur_stamp_vc: Wire::decode(r)?,
+            cur_dirty: Wire::decode(r)?,
+            cur_read: Wire::decode(r)?,
+            cur_bitmaps: Wire::decode(r)?,
+            log: Wire::decode(r)?,
+            unsent_own: Wire::decode(r)?,
+            bitmap_store: Wire::decode(r)?,
+            analysis: Wire::decode(r)?,
+            home_owner: Wire::decode(r)?,
+            mw_applied: Wire::decode(r)?,
+            mw_seen: Wire::decode(r)?,
+            locks: Wire::decode(r)?,
+            lock_mgr: Wire::decode(r)?,
+            races: Wire::decode(r)?,
+            det_stats: Wire::decode(r)?,
+            sched_rec: Wire::decode(r)?,
+            replay_pos: Wire::decode(r)?,
+            stats: Wire::decode(r)?,
+            watch_hits: Wire::decode(r)?,
+            trace: Wire::decode(r)?,
+            trace_last_release: Wire::decode(r)?,
+        };
+        if img.clock_cats.len() != NCATS
+            || img.det_stats.len() != DET_STATS_FIELDS
+            || img.stats.len() != NODE_STATS_FIELDS
+        {
+            return Err(WireError::BadLength(img.clock_cats.len() as u64));
+        }
+        for (_, (prot, _)) in &img.frames {
+            prot_from_u8(*prot)?;
+        }
+        Ok(img)
+    }
+}
+
+impl NodeImage {
+    /// Barrier epochs completed when the image was taken (also the epoch
+    /// cursor the application resumes from).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The process this image belongs to.
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+}
+
+/// Serializes a node's state at a barrier cut.
+pub(crate) fn snapshot(st: &NodeCore) -> NodeImage {
+    // Transient coordination state must be quiescent at the cut; anything
+    // live here would be silently dropped by a restore.
+    debug_assert!(st.page_wait.is_empty(), "page fault in flight at cut");
+    debug_assert!(st.pending_local_write.is_empty());
+    debug_assert!(st.page_queue.is_empty(), "queued page request at cut");
+    debug_assert!(
+        st.replay_pending.values().all(|q| q.is_empty()),
+        "replay hold at cut"
+    );
+    debug_assert!(st.cur.dirty.is_empty(), "open interval dirty at cut");
+
+    let mut frames: Vec<(PageId, (u8, Vec<u64>))> = st
+        .pages
+        .pages()
+        .map(|p| {
+            let f = st.pages.frame(p).expect("resident page has a frame");
+            (p, (prot_to_u8(f.prot), f.data.to_vec()))
+        })
+        .collect();
+    frames.sort_unstable_by_key(|(p, _)| *p);
+
+    let mut cur_bitmaps: Vec<(PageId, PageBitmaps)> = st
+        .cur
+        .bitmaps
+        .iter()
+        .map(|(p, b)| (*p, b.clone()))
+        .collect();
+    cur_bitmaps.sort_unstable_by_key(|(p, _)| *p);
+
+    let mut bitmap_store: Vec<((IntervalId, PageId), PageBitmaps)> =
+        st.bitmaps.iter().map(|(k, v)| (*k, v.clone())).collect();
+    bitmap_store.sort_unstable_by_key(|(k, _)| *k);
+
+    let mut home_owner: Vec<(PageId, ProcId)> =
+        st.home_owner.iter().map(|(p, o)| (*p, *o)).collect();
+    home_owner.sort_unstable_by_key(|(p, _)| *p);
+
+    let mut mw_applied: Vec<(PageId, Vec<(ProcId, u32)>)> = st
+        .mw_home
+        .iter()
+        .map(|(p, h)| {
+            debug_assert!(h.waiting.is_empty(), "gated fetch at cut");
+            debug_assert!(h.local_waiter.is_none(), "gated local fault at cut");
+            let mut applied: Vec<(ProcId, u32)> = h.applied.iter().map(|(w, i)| (*w, *i)).collect();
+            applied.sort_unstable();
+            (*p, applied)
+        })
+        .collect();
+    mw_applied.sort_unstable_by_key(|(p, _)| *p);
+
+    let mut mw_seen: Vec<(PageId, Vec<(ProcId, u32)>)> = st
+        .mw_seen
+        .iter()
+        .map(|(p, v)| {
+            let mut v = v.clone();
+            v.sort_unstable();
+            (*p, v)
+        })
+        .collect();
+    mw_seen.sort_unstable_by_key(|(p, _)| *p);
+
+    let mut locks: Vec<(u32, LockImage)> = st
+        .locks
+        .iter()
+        .filter(|(_, l)| l.have_token || l.held || l.release_vc.is_some())
+        .map(|(lock, l)| {
+            debug_assert!(l.waiter.is_none(), "blocked lock() at cut");
+            debug_assert!(l.successor.is_none(), "queued lock successor at cut");
+            (*lock, ((l.have_token, l.held), l.release_vc.clone()))
+        })
+        .collect();
+    locks.sort_unstable_by_key(|(l, _)| *l);
+
+    let mut lock_mgr: Vec<(u32, ProcId)> = st.lock_mgr.iter().map(|(l, m)| (*l, m.last)).collect();
+    lock_mgr.sort_unstable_by_key(|(l, _)| *l);
+
+    let mut trace_last_release: Vec<(u32, u32)> = st
+        .trace_last_release
+        .iter()
+        .map(|(l, i)| (*l, *i))
+        .collect();
+    trace_last_release.sort_unstable_by_key(|(l, _)| *l);
+
+    let mut watch_hits: Vec<((ProcId, u32), (bool, u32))> = st
+        .watch_hits
+        .iter()
+        .map(|h| ((h.proc, h.site), (h.write, h.interval)))
+        .collect();
+    watch_hits.sort_unstable();
+
+    NodeImage {
+        proc: st.proc,
+        epoch: st.epoch,
+        clock_now: st.clock.now(),
+        clock_cats: st.clock.cats().to_vec(),
+        frames,
+        vc: st.vc.clone(),
+        cur_index: st.cur.index,
+        cur_stamp_vc: st.cur.stamp_vc.clone(),
+        cur_dirty: st.cur.dirty.iter().copied().collect(),
+        cur_read: st.cur.read.iter().copied().collect(),
+        cur_bitmaps,
+        log: st.log.values().map(|r| (**r).clone()).collect(),
+        unsent_own: st.unsent_own.clone(),
+        bitmap_store,
+        analysis: (st.analysis.shared_calls(), st.analysis.private_calls()),
+        home_owner,
+        mw_applied,
+        mw_seen,
+        locks,
+        lock_mgr,
+        races: st.race_log.reports().to_vec(),
+        det_stats: det_stats_to_vec(&st.det_stats),
+        sched_rec: st.sched_rec.entries(),
+        replay_pos: st
+            .replay
+            .as_ref()
+            .map(|r| r.positions())
+            .unwrap_or_default(),
+        stats: node_stats_to_vec(&st.stats),
+        watch_hits,
+        trace: st.trace.clone(),
+        trace_last_release,
+    }
+}
+
+/// Rebuilds a fresh `NodeCore` from a recovery image, charging the
+/// per-word restore cost.  The caller has already wired `barrier`,
+/// `replay`, and `ckpt` into the core.
+pub(crate) fn restore(st: &mut NodeCore, img: &NodeImage) {
+    debug_assert_eq!(st.proc, img.proc, "image restored onto the wrong node");
+    let mut cats = [0u64; NCATS];
+    cats.copy_from_slice(&img.clock_cats);
+    st.clock = VirtualClock::from_parts(img.clock_now, cats);
+    let mut words = 0u64;
+    for (page, (prot, data)) in &img.frames {
+        words += data.len() as u64;
+        let prot = prot_from_u8(*prot).expect("validated at decode");
+        st.pages
+            .install(*page, Frame::from_data(data.clone(), prot));
+    }
+    let c = st.cfg.costs;
+    st.clock.add(OverheadCat::Base, words * c.restore_per_word);
+    st.vc = img.vc.clone();
+    st.cur = OpenInterval {
+        index: img.cur_index,
+        stamp_vc: img.cur_stamp_vc.clone(),
+        dirty: img.cur_dirty.iter().copied().collect(),
+        read: img.cur_read.iter().copied().collect(),
+        bitmaps: img.cur_bitmaps.iter().cloned().collect(),
+    };
+    st.log = img
+        .log
+        .iter()
+        .map(|r| (r.id(), Arc::new(r.clone())))
+        .collect();
+    st.unsent_own = img.unsent_own.clone();
+    st.bitmaps = BitmapStore::new();
+    for ((id, page), bm) in &img.bitmap_store {
+        st.bitmaps.insert(*id, *page, bm.clone());
+    }
+    st.analysis = AnalysisRuntime::from_counts(img.analysis.0, img.analysis.1);
+    st.home_owner = img.home_owner.iter().copied().collect();
+    st.mw_home = img
+        .mw_applied
+        .iter()
+        .map(|(page, applied)| {
+            (
+                *page,
+                MwHome {
+                    applied: applied.iter().copied().collect(),
+                    waiting: Vec::new(),
+                    local_waiter: None,
+                },
+            )
+        })
+        .collect();
+    st.mw_seen = img.mw_seen.iter().cloned().collect();
+    st.locks = img
+        .locks
+        .iter()
+        .map(|(lock, ((have_token, held), release_vc))| {
+            (
+                *lock,
+                LockLocal {
+                    have_token: *have_token,
+                    held: *held,
+                    successor: None,
+                    waiter: None,
+                    release_vc: release_vc.clone(),
+                },
+            )
+        })
+        .collect();
+    st.lock_mgr = img
+        .lock_mgr
+        .iter()
+        .map(|(lock, last)| (*lock, LockMgr { last: *last }))
+        .collect();
+    st.epoch = img.epoch;
+    st.resume_epoch = img.epoch;
+    st.race_log = RaceLog::new();
+    st.race_log.extend(img.races.iter().cloned());
+    st.det_stats = det_stats_from_vec(&img.det_stats);
+    st.sched_rec = SyncSchedule::from_entries(img.sched_rec.clone());
+    if let Some(cursor) = st.replay.as_mut() {
+        cursor.restore_positions(&img.replay_pos);
+    }
+    st.stats = node_stats_from_vec(&img.stats);
+    st.watch_hits = img
+        .watch_hits
+        .iter()
+        .map(|((proc, site), (write, interval))| WatchHit {
+            proc: *proc,
+            site: *site,
+            write: *write,
+            interval: *interval,
+        })
+        .collect();
+    st.trace = img.trace.clone();
+    st.trace_last_release = img.trace_last_release.iter().copied().collect();
+}
+
+/// In-memory store of recovery images, shared by every node of a run.
+///
+/// Keyed by `(epoch, proc)`.  `Cluster::run` keeps it across recovery
+/// attempts so a replacement node can be rebuilt from the newest epoch for
+/// which *every* process deposited an image.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    inner: Mutex<HashMap<(u64, u16), Vec<u8>>>,
+    checkpoints_taken: AtomicU64,
+    bytes_snapshotted: AtomicU64,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        CheckpointStore::default()
+    }
+
+    /// Deposits one node's encoded image for `epoch`.
+    pub fn put(&self, epoch: u64, proc: u16, bytes: Vec<u8>) {
+        self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
+        self.bytes_snapshotted
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.inner.lock().unwrap().insert((epoch, proc), bytes);
+    }
+
+    /// Decodes the stored image of `proc` at `epoch`, if present.
+    pub fn image(&self, epoch: u64, proc: u16) -> Option<NodeImage> {
+        let bytes = self.inner.lock().unwrap().get(&(epoch, proc)).cloned()?;
+        Some(NodeImage::from_bytes(&bytes).expect("store holds only images it encoded"))
+    }
+
+    /// Newest epoch for which all `nprocs` processes hold an image — the
+    /// rollback target of a recovery.
+    pub fn last_complete_epoch(&self, nprocs: usize) -> Option<u64> {
+        let inner = self.inner.lock().unwrap();
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for (epoch, _) in inner.keys() {
+            *counts.entry(*epoch).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .filter(|(_, n)| *n == nprocs)
+            .map(|(e, _)| e)
+            .max()
+    }
+
+    /// Highest epoch any process deposited an image for (possibly an
+    /// incomplete cut).
+    pub fn max_epoch(&self) -> Option<u64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .keys()
+            .map(|(epoch, _)| *epoch)
+            .max()
+    }
+
+    /// Drops every image above `epoch`: a failed attempt may have deposited
+    /// a partial (inconsistent) cut that must not mix with the next
+    /// attempt's images.
+    pub fn prune_above(&self, epoch: u64) {
+        self.inner.lock().unwrap().retain(|(e, _), _| *e <= epoch);
+    }
+
+    /// Images deposited over the store's lifetime (across attempts).
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken.load(Ordering::Relaxed)
+    }
+
+    /// Total encoded bytes deposited over the store's lifetime.
+    pub fn bytes_snapshotted(&self) -> u64 {
+        self.bytes_snapshotted.load(Ordering::Relaxed)
+    }
+}
+
+/// Serializes this node's image into the store, charging the per-word
+/// checkpoint cost.  No-op when checkpointing is off.
+pub(crate) fn take_checkpoint(st: &mut NodeCore) {
+    let Some(store) = st.ckpt.clone() else {
+        return;
+    };
+    // The dominant serialization work is copying resident page data.
+    let words: u64 = st
+        .pages
+        .pages()
+        .map(|p| st.pages.frame(p).map_or(0, |f| f.data.len() as u64))
+        .sum();
+    let c = st.cfg.costs;
+    st.clock
+        .add(OverheadCat::Base, words * c.checkpoint_per_word);
+    let img = snapshot(st);
+    store.put(img.epoch, st.proc.0, img.to_bytes());
+}
+
+/// True when every multi-writer write notice for pages homed here is
+/// covered by an applied diff — the only in-flight traffic at a release.
+fn mw_settled(st: &NodeCore) -> bool {
+    if st.cfg.protocol != Protocol::MultiWriter {
+        return true;
+    }
+    for (page, seen) in &st.mw_seen {
+        if st.home_of(*page) != st.proc {
+            continue;
+        }
+        for (writer, idx) in seen {
+            let applied = st
+                .mw_home
+                .get(page)
+                .and_then(|h| h.applied.get(writer))
+                .copied()
+                .unwrap_or(0);
+            if applied < *idx {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Acknowledges a pending barrier checkpoint once the node is quiescent.
+/// Called at release application and again from the diff-flush handler
+/// (the deferred case).  The snapshot itself is taken at commit time
+/// ([`on_ckpt_go`]): the ack/commit round carries each node's virtual
+/// clock through the master and back, so an image taken at the commit
+/// embeds the epoch's full clock synchronization — a restored node can
+/// never resume with a clock behind where the fault-free run stood.
+///
+/// # Errors
+///
+/// Propagates send failures from the acknowledgement.
+pub(crate) fn maybe_complete(st: &mut NodeCore, node: &Node) -> Result<(), DsmError> {
+    let Some(epoch) = st.pending_ckpt else {
+        return Ok(());
+    };
+    if !mw_settled(st) {
+        return Ok(());
+    }
+    st.pending_ckpt = None;
+    let me = st.proc;
+    if me == ProcId(0) {
+        on_ckpt_ack(st, node, epoch)
+    } else {
+        st.send_msg(&node.sender, ProcId(0), &Msg::CkptAck { from: me, epoch })
+    }
+}
+
+/// Master: one node's checkpoint acknowledgement.  When every process is
+/// quiescent and ready the cut can commit; broadcast the commit.
+///
+/// # Errors
+///
+/// Propagates send failures from the `CkptGo` broadcast, and the protocol
+/// error from the master's own commit.
+pub(crate) fn on_ckpt_ack(st: &mut NodeCore, node: &Node, epoch: u64) -> Result<(), DsmError> {
+    let nprocs = st.cfg.nprocs;
+    let acks = st.ckpt_acks.entry(epoch).or_insert(0);
+    *acks += 1;
+    if *acks < nprocs {
+        return Ok(());
+    }
+    st.ckpt_acks.remove(&epoch);
+    for p in 1..nprocs as u16 {
+        st.send_msg(&node.sender, ProcId(p), &Msg::CkptGo { epoch })?;
+    }
+    on_ckpt_go(st, epoch)
+}
+
+/// The commit: every node is quiescent, so snapshot this node's image
+/// (its clock now carries the ack/commit round's synchronization) and
+/// release the application thread held at the barrier.  A node that dies
+/// before processing the commit simply leaves the epoch incomplete —
+/// recovery then rolls back one epoch further, which is still a
+/// consistent cut.
+///
+/// # Errors
+///
+/// [`DsmError::Protocol`] if no application thread is waiting.
+pub(crate) fn on_ckpt_go(st: &mut NodeCore, epoch: u64) -> Result<(), DsmError> {
+    debug_assert_eq!(st.epoch, epoch, "checkpoint commit for a stale epoch");
+    take_checkpoint(st);
+    let Some(tx) = st.barrier_wait.take() else {
+        return Err(DsmError::Protocol {
+            context: "checkpoint commit without a waiting arrival",
+        });
+    };
+    let _ = tx.send(());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DsmConfig, RecoveryPolicy};
+    use crate::replay::ReplayCursor;
+    use cvm_page::GAddr;
+    use cvm_race::{RaceKind, RaceReport};
+    use cvm_vclock::IntervalStamp;
+    use proptest::prelude::*;
+
+    fn hydrated_core() -> NodeCore {
+        let mut cfg = DsmConfig::new(3);
+        cfg.protocol = Protocol::MultiWriter;
+        cfg.recovery = RecoveryPolicy::Recover { max_attempts: 2 };
+        cfg.record_sync = true;
+        let mut st = NodeCore::new(cfg, ProcId(1));
+        st.pages.install(
+            PageId(4),
+            Frame::from_data(vec![7; st.cfg.geometry.page_words], Protection::Write),
+        );
+        st.pages.install_zeroed(PageId(7), Protection::Read);
+        st.vc.set(ProcId(0), 3);
+        st.vc.set(ProcId(1), 5);
+        st.cur.index = 6;
+        st.cur.stamp_vc = st.vc.clone();
+        st.cur.stamp_vc.set(ProcId(1), 6);
+        let stamp = IntervalStamp::new(IntervalId::new(ProcId(1), 5), st.vc.clone());
+        let rec = Interval::new(stamp, vec![PageId(4)], vec![PageId(7)]);
+        st.log.insert(rec.id(), Arc::new(rec));
+        st.unsent_own.push(IntervalId::new(ProcId(1), 5));
+        let mut bm = PageBitmaps::new(st.cfg.geometry.page_words);
+        bm.write.set(3);
+        st.bitmaps
+            .insert(IntervalId::new(ProcId(1), 5), PageId(4), bm);
+        st.home_owner.insert(PageId(4), ProcId(2));
+        st.mw_home.insert(
+            PageId(4),
+            MwHome {
+                applied: [(ProcId(0), 2)].into_iter().collect(),
+                waiting: Vec::new(),
+                local_waiter: None,
+            },
+        );
+        st.mw_seen.insert(PageId(4), vec![(ProcId(0), 2)]);
+        st.locks.insert(
+            3,
+            LockLocal {
+                have_token: true,
+                held: false,
+                successor: None,
+                waiter: None,
+                release_vc: Some(st.vc.clone()),
+            },
+        );
+        st.lock_mgr.insert(4, LockMgr { last: ProcId(2) });
+        st.race_log.extend([RaceReport {
+            addr: GAddr(cvm_page::SHARED_BASE + 8),
+            kind: RaceKind::WriteWrite,
+            a: IntervalId::new(ProcId(0), 2),
+            b: IntervalId::new(ProcId(1), 3),
+            epoch: 1,
+        }]);
+        st.det_stats.intervals_total = 11;
+        st.det_stats.races_found = 1;
+        st.sched_rec.record(3, ProcId(1));
+        st.sched_rec.record(3, ProcId(0));
+        st.stats.barriers = 2;
+        st.stats.shared_writes = 40;
+        st.epoch = 2;
+        st.clock.add(OverheadCat::Base, 12_345);
+        st.clock.add(OverheadCat::Bitmaps, 67);
+        st
+    }
+
+    /// Deterministic digest of the restorable slice of a core.
+    fn state_hash(st: &NodeCore) -> Vec<u8> {
+        snapshot(st).to_bytes()
+    }
+
+    #[test]
+    fn image_roundtrips_through_wire() {
+        let st = hydrated_core();
+        let img = snapshot(&st);
+        let decoded = NodeImage::from_bytes(&img.to_bytes()).unwrap();
+        assert_eq!(img, decoded);
+    }
+
+    #[test]
+    fn restore_reproduces_pre_kill_state_hash() {
+        let st = hydrated_core();
+        let img = snapshot(&st);
+        let mut fresh = NodeCore::new(st.cfg.clone(), ProcId(1));
+        restore(&mut fresh, &img);
+        // The restore charge moves the clock; rewind it for the comparison
+        // (recovery cost is real, state equality is what is asserted).
+        fresh.clock = VirtualClock::from_parts(img.clock_now, {
+            let mut cats = [0u64; NCATS];
+            cats.copy_from_slice(&img.clock_cats);
+            cats
+        });
+        assert_eq!(state_hash(&st), state_hash(&fresh));
+        assert_eq!(fresh.epoch, 2);
+        assert_eq!(fresh.resume_epoch, 2);
+        assert_eq!(fresh.pages.protection(PageId(4)), Protection::Write);
+        assert_eq!(fresh.pages.frame(PageId(4)).unwrap().data[0], 7);
+        assert!(fresh.pages.frame(PageId(4)).unwrap().twin.is_none());
+    }
+
+    #[test]
+    fn restore_positions_replay_cursor() {
+        let mut st = hydrated_core();
+        let schedule = st.sched_rec.clone();
+        st.replay = Some(ReplayCursor::new(schedule.clone()));
+        st.replay.as_mut().unwrap().advance(3);
+        let img = snapshot(&st);
+        assert_eq!(img.replay_pos, vec![(3, 1)]);
+        let mut fresh = NodeCore::new(st.cfg.clone(), ProcId(1));
+        fresh.replay = Some(ReplayCursor::new(schedule));
+        restore(&mut fresh, &img);
+        assert_eq!(fresh.replay.as_ref().unwrap().positions(), vec![(3, 1)]);
+    }
+
+    #[test]
+    fn store_tracks_complete_epochs_and_prunes() {
+        let store = CheckpointStore::new();
+        assert_eq!(store.last_complete_epoch(2), None);
+        store.put(1, 0, vec![1, 2]);
+        store.put(1, 1, vec![3]);
+        store.put(2, 0, vec![4]);
+        assert_eq!(store.last_complete_epoch(2), Some(1));
+        assert_eq!(store.max_epoch(), Some(2));
+        assert_eq!(store.checkpoints_taken(), 3);
+        assert_eq!(store.bytes_snapshotted(), 4);
+        store.prune_above(1);
+        assert_eq!(store.max_epoch(), Some(1));
+        store.put(2, 0, vec![5]);
+        store.put(2, 1, vec![6]);
+        assert_eq!(store.last_complete_epoch(2), Some(2));
+    }
+
+    #[test]
+    fn mw_settled_gates_on_watermarks() {
+        let mut st = hydrated_core();
+        // PageId(4) % 3 == 1 == st.proc: homed here.  seen (0,2) vs
+        // applied (0,2): settled.
+        assert!(mw_settled(&st));
+        st.mw_seen.insert(PageId(4), vec![(ProcId(0), 3)]);
+        assert!(!mw_settled(&st));
+        st.mw_home
+            .get_mut(&PageId(4))
+            .unwrap()
+            .applied
+            .insert(ProcId(0), 3);
+        assert!(mw_settled(&st));
+        // Pages homed elsewhere never gate.
+        st.mw_seen.insert(PageId(5), vec![(ProcId(0), 99)]);
+        assert!(mw_settled(&st));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn encode_restore_encode_is_identity(
+            page_words in prop_oneof![Just(64usize), Just(128usize)],
+            frames in proptest::collection::vec(
+                (0u32..16, 0u8..3, 0u64..u64::MAX), 0..6),
+            vc_raw in proptest::collection::vec(0u32..50, 3),
+            locks in proptest::collection::vec((0u32..8, any::<bool>()), 0..5),
+            epoch in 0u64..40,
+            notices in proptest::collection::vec((0u32..16, 0u32..16), 0..5),
+        ) {
+            let mut vc_data = VClock::new(3);
+            for (i, x) in vc_raw.into_iter().enumerate() {
+                vc_data.set(ProcId(i as u16), x);
+            }
+            let mut cfg = DsmConfig::new(3);
+            cfg.geometry.page_words = page_words;
+            cfg.recovery = RecoveryPolicy::Recover { max_attempts: 1 };
+            let mut st = NodeCore::new(cfg.clone(), ProcId(2));
+            for (page, prot, word) in &frames {
+                let prot = prot_from_u8(*prot).unwrap();
+                let mut data = vec![0u64; page_words];
+                data[0] = *word;
+                st.pages.install(PageId(*page), Frame::from_data(data, prot));
+            }
+            st.vc = vc_data.clone();
+            st.cur.stamp_vc = vc_data;
+            for (lock, tok) in &locks {
+                st.locks.insert(*lock, LockLocal {
+                    have_token: *tok,
+                    held: false,
+                    successor: None,
+                    waiter: None,
+                    release_vc: None,
+                });
+            }
+            for (k, (w, r)) in notices.iter().enumerate() {
+                let index = k as u32 + 1;
+                let id = IntervalId::new(ProcId(2), index);
+                let mut vc = st.vc.clone();
+                vc.set(ProcId(2), index);
+                let stamp = IntervalStamp::new(id, vc);
+                let rec = Interval::new(stamp, vec![PageId(*w)], vec![PageId(*r)]);
+                st.log.insert(id, Arc::new(rec));
+            }
+            st.epoch = epoch;
+
+            let img = snapshot(&st);
+            let bytes = img.to_bytes();
+            let decoded = NodeImage::from_bytes(&bytes).unwrap();
+            let mut fresh = NodeCore::new(cfg, ProcId(2));
+            restore(&mut fresh, &decoded);
+            // The restore charge moves the clock; rewind it so the bytes
+            // compare state, not recovery cost.
+            fresh.clock = VirtualClock::from_parts(decoded.clock_now, {
+                let mut cats = [0u64; NCATS];
+                cats.copy_from_slice(&decoded.clock_cats);
+                cats
+            });
+            // encode(restore(encode(img))) == encode(img): the image is a
+            // fixed point of the snapshot/restore pair.
+            let reimg = snapshot(&fresh);
+            prop_assert_eq!(&img.to_bytes()[..], &reimg.to_bytes()[..]);
+            // And the wire codec itself roundtrips.
+            prop_assert_eq!(img, decoded);
+        }
+    }
+}

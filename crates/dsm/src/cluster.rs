@@ -11,7 +11,8 @@ use cvm_vclock::ProcId;
 use parking_lot::Mutex;
 
 use crate::barrier::BarrierMaster;
-use crate::config::DsmConfig;
+use crate::checkpoint::CheckpointStore;
+use crate::config::{DsmConfig, RecoveryPolicy};
 use crate::error::{DsmError, RunError};
 use crate::fault::{ClusterCtl, DsmUnwind, SERVICE_POLL};
 use crate::handle::ProcHandle;
@@ -19,7 +20,7 @@ use crate::msg::Msg;
 use crate::node::NodeCore;
 use crate::pages::Node;
 use crate::replay::ReplayCursor;
-use crate::report::{NodeReport, RunReport};
+use crate::report::{NodeReport, RecoveryStats, RunReport};
 
 /// Builder/runner for simulated CVM clusters.
 ///
@@ -67,10 +68,91 @@ impl Cluster {
         let started = Instant::now();
         let nprocs = cfg.nprocs;
 
+        // Shared allocation happens exactly once: addresses are a pure
+        // function of the allocation sequence, so restarted attempts reuse
+        // the same address bundle (page *contents* come from the images).
         let mut alloc = SharedAlloc::new(cfg.geometry, cfg.shared_capacity);
         let app_state = setup(&mut alloc);
         let segments = alloc.into_map();
 
+        let store: Option<Arc<CheckpointStore>> = cfg
+            .checkpointing()
+            .then(|| Arc::new(CheckpointStore::new()));
+        let retries = match cfg.recovery {
+            RecoveryPolicy::Abort => 0,
+            RecoveryPolicy::Recover { max_attempts } => u64::from(max_attempts),
+        };
+        let mut plan = cfg.net_loss.clone();
+        let mut recoveries = 0u64;
+        let mut epochs_replayed = 0u64;
+        loop {
+            let mut attempt_cfg = cfg.clone();
+            attempt_cfg.net_loss = plan.clone();
+            let result = run_attempt(
+                &attempt_cfg,
+                &app_state,
+                &body,
+                segments.clone(),
+                store.as_ref(),
+                started,
+            );
+            let fill = |stats: &mut RecoveryStats| {
+                if let Some(s) = &store {
+                    stats.checkpoints_taken = s.checkpoints_taken();
+                    stats.bytes_snapshotted = s.bytes_snapshotted();
+                }
+                stats.recoveries = recoveries;
+                stats.epochs_replayed = epochs_replayed;
+            };
+            match result {
+                Ok(mut report) => {
+                    fill(&mut report.recovery);
+                    return Ok(report);
+                }
+                Err(mut err) => {
+                    let retryable = store.is_some()
+                        && recoveries < retries
+                        && matches!(err.error, DsmError::NodeFailed { .. });
+                    if !retryable {
+                        fill(&mut err.partial.recovery);
+                        return Err(err);
+                    }
+                    recoveries += 1;
+                    let s = store.as_ref().expect("retryable requires a store");
+                    // Drop any partial (inconsistent) cut the failed
+                    // attempt deposited before rolling back.
+                    let resume = s.last_complete_epoch(nprocs).unwrap_or(0);
+                    s.prune_above(resume);
+                    epochs_replayed += err.partial.barriers().saturating_sub(resume);
+                    // The scripted kill fired; its replacement node must
+                    // not be killed again.  Persistent faults (partitions,
+                    // loss) stay in the plan.
+                    if let Some(p) = plan.as_mut() {
+                        p.events
+                            .retain(|e| !matches!(e, cvm_net::FaultEvent::Kill { .. }));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One execution attempt: build the network and nodes (restoring from the
+/// newest complete checkpoint cut, if any), run the application, collect.
+fn run_attempt<S, F>(
+    cfg: &DsmConfig,
+    app_state: &S,
+    body: &F,
+    segments: cvm_page::SegmentMap,
+    store: Option<&Arc<CheckpointStore>>,
+    started: Instant,
+) -> Result<RunReport, RunError>
+where
+    S: Sync,
+    F: Fn(&ProcHandle, &S) + Sync,
+{
+    let nprocs = cfg.nprocs;
+    {
         let (endpoints, net_stats, rstats): (_, _, Option<Arc<ReliabilityStats>>) =
             match &cfg.net_loss {
                 None => {
@@ -85,6 +167,7 @@ impl Cluster {
         let shutdown_txs: Vec<cvm_net::NetSender> =
             endpoints.iter().map(Endpoint::sender).collect();
 
+        let resume = store.and_then(|s| s.last_complete_epoch(nprocs));
         let ctl = Arc::new(ClusterCtl::new());
         let nodes: Vec<Arc<Node>> = endpoints
             .iter()
@@ -97,6 +180,15 @@ impl Cluster {
                 }
                 if let Some(schedule) = &cfg.replay {
                     core.replay = Some(ReplayCursor::new(schedule.clone()));
+                }
+                if let Some(s) = store {
+                    core.ckpt = Some(Arc::clone(s));
+                    if let Some(epoch) = resume {
+                        let img = s
+                            .image(epoch, proc.0)
+                            .expect("complete epoch has every node's image");
+                        crate::checkpoint::restore(&mut core, &img);
+                    }
                 }
                 Arc::new(Node {
                     state: Mutex::new(core),
@@ -131,8 +223,6 @@ impl Cluster {
                     proc: i,
                     nprocs,
                 };
-                let body = &body;
-                let app_state = &app_state;
                 let ctl = Arc::clone(&ctl);
                 apps.push(scope.spawn(move || {
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -211,6 +301,7 @@ impl Cluster {
             schedule,
             watch_hits,
             traces,
+            recovery: RecoveryStats::default(),
             wall: started.elapsed(),
         };
         match ctl.failure() {
@@ -250,10 +341,11 @@ fn service_loop(node: &Node, ep: Endpoint) {
             Err(NetError::PeerDead { peer }) => {
                 node.ctl.fail(DsmError::NodeFailed { proc: peer.0 });
                 let mut st = node.state.lock();
+                let me = st.proc;
                 let r = crate::locks::handle_peer_death(&mut st, node, peer);
                 drop(st);
                 if let Err(err) = r {
-                    node.ctl.fail(err);
+                    node.ctl.fail(name_own_death(err, me));
                 }
                 continue;
             }
@@ -273,6 +365,7 @@ fn service_loop(node: &Node, ep: Endpoint) {
         }
         let mut st = node.state.lock();
         st.clock_recv(&pkt);
+        let me = st.proc;
         let r = match msg {
             Msg::LockReq {
                 lock,
@@ -331,14 +424,27 @@ fn service_loop(node: &Node, ep: Endpoint) {
                 records,
                 races,
                 epoch,
-            } => crate::barrier::apply_release(&mut st, records, vc, races, epoch),
+            } => crate::barrier::apply_release(&mut st, node, records, vc, races, epoch),
+            Msg::CkptAck { from: _, epoch } => crate::checkpoint::on_ckpt_ack(&mut st, node, epoch),
+            Msg::CkptGo { epoch } => crate::checkpoint::on_ckpt_go(&mut st, epoch),
             Msg::Shutdown => unreachable!("handled above"),
         };
         drop(st);
         if let Err(err) = r {
             if !node.ctl.tearing_down() {
-                node.ctl.fail(err);
+                node.ctl.fail(name_own_death(err, me));
             }
         }
+    }
+}
+
+/// A `Disconnected` send from a protocol handler means *this* node's wire
+/// endpoint is gone — a scripted kill landing mid-dispatch.  Name the node
+/// so the failure is retryable under [`RecoveryPolicy::Recover`], matching
+/// the receive-path and application-path diagnoses.
+fn name_own_death(err: DsmError, me: ProcId) -> DsmError {
+    match err {
+        DsmError::Net(NetError::Disconnected) => DsmError::NodeFailed { proc: me.0 },
+        other => other,
     }
 }

@@ -43,6 +43,26 @@ pub struct Watch {
     pub epoch: u64,
 }
 
+/// What `Cluster::run` does when a node dies mid-run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RecoveryPolicy {
+    /// Drain and return the structured failure (pre-checkpoint behavior).
+    /// No checkpoints are taken, no recovery messages are exchanged, and no
+    /// recovery costs are charged — runs are bit-identical to a build
+    /// without the checkpoint subsystem.
+    #[default]
+    Abort,
+    /// Checkpoint every node's recovery image at each barrier release and,
+    /// on a node failure, roll the cluster back to the last epoch for which
+    /// every node holds an image, restore replacement node threads from
+    /// those images, and re-enter the barrier loop at that epoch.
+    Recover {
+        /// Recovery attempts before giving up and surfacing the failure
+        /// (each attempt rolls back to the newest complete epoch).
+        max_attempts: u32,
+    },
+}
+
 /// Race-detection configuration (off for the uninstrumented baseline runs).
 #[derive(Clone, Copy, Debug)]
 pub struct DetectConfig {
@@ -149,6 +169,9 @@ pub struct DsmConfig {
     pub record_sync: bool,
     /// Enforce a previously recorded synchronization order (§6.1 replay).
     pub replay: Option<SyncSchedule>,
+    /// What to do when a node dies mid-run: abort (default) or restore
+    /// from barrier-epoch checkpoints and complete the run.
+    pub recovery: RecoveryPolicy,
 }
 
 impl DsmConfig {
@@ -168,7 +191,14 @@ impl DsmConfig {
             trace: false,
             record_sync: false,
             replay: None,
+            recovery: RecoveryPolicy::default(),
         }
+    }
+
+    /// Returns `true` when barrier-epoch checkpoints are being taken (the
+    /// recovery policy is [`RecoveryPolicy::Recover`]).
+    pub fn checkpointing(&self) -> bool {
+        matches!(self.recovery, RecoveryPolicy::Recover { .. })
     }
 
     /// Validates internal consistency.

@@ -115,4 +115,59 @@ impl ProcHandle {
     pub fn virtual_now(&self) -> u64 {
         self.node.state.lock().clock.now()
     }
+
+    /// First barrier epoch this process must actually execute: `0` on a
+    /// fresh start, the restored epoch cursor after a checkpoint recovery.
+    pub fn resume_epoch(&self) -> u64 {
+        self.node.state.lock().resume_epoch
+    }
+
+    /// Epoch-entry cursor for recovery-aware programs.
+    ///
+    /// Structure the program as a sequence of [`EpochStepper::step`] calls,
+    /// one per barrier phase; on a node restored from a checkpoint the
+    /// already-completed phases are skipped (their effects live in the
+    /// restored pages), and execution rejoins the cluster at the barrier
+    /// loop.  On a fresh run every phase executes and each `step` costs
+    /// exactly one `barrier()` — nothing else.
+    pub fn epochs(&self) -> EpochStepper<'_> {
+        EpochStepper {
+            h: self,
+            resume: self.resume_epoch(),
+            next: 0,
+        }
+    }
+}
+
+/// Cursor pairing each barrier phase with its global epoch number so a
+/// restored process can skip phases already covered by its checkpoint.
+/// Created by [`ProcHandle::epochs`].
+pub struct EpochStepper<'a> {
+    h: &'a ProcHandle,
+    resume: u64,
+    next: u64,
+}
+
+impl EpochStepper<'_> {
+    /// Runs `work` then `barrier()` — unless this phase completed before
+    /// the checkpoint this node was restored from, in which case both are
+    /// skipped (the restored state already reflects them, epoch cursor
+    /// included).
+    pub fn step(&mut self, work: impl FnOnce()) {
+        if self.next >= self.resume {
+            work();
+            self.h.barrier();
+        }
+        self.next += 1;
+    }
+
+    /// The epoch the next [`step`](Self::step) call belongs to.
+    pub fn next_epoch(&self) -> u64 {
+        self.next
+    }
+
+    /// `true` while the cursor is still skipping checkpointed phases.
+    pub fn skipping(&self) -> bool {
+        self.next < self.resume
+    }
 }

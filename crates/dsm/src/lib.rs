@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod barrier;
+mod checkpoint;
 mod cluster;
 mod config;
 mod error;
@@ -68,13 +69,14 @@ mod replay;
 mod report;
 mod simtime;
 
+pub use checkpoint::{CheckpointStore, NodeImage};
 pub use cluster::Cluster;
-pub use config::{DetectConfig, DsmConfig, Protocol, Watch, WriteDetection};
+pub use config::{DetectConfig, DsmConfig, Protocol, RecoveryPolicy, Watch, WriteDetection};
 pub use cvm_net::{FaultEvent, FaultPlan, ReliabilitySnapshot};
 pub use error::{DsmError, RunError};
-pub use handle::ProcHandle;
+pub use handle::{EpochStepper, ProcHandle};
 pub use msg::Msg;
 pub use node::NodeStats;
 pub use replay::SyncSchedule;
-pub use report::{NodeReport, RunReport, WatchHit};
+pub use report::{NodeReport, RecoveryStats, RunReport, WatchHit};
 pub use simtime::{CostModel, OverheadCat, VirtualClock, CLOCK_HZ, NCATS};

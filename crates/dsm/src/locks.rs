@@ -159,6 +159,11 @@ pub(crate) fn mgr_handle_req(
             break;
         };
         let (p, pvc) = pending.remove(pos);
+        if pending.is_empty() {
+            // Drop drained queues: the barrier-cut snapshot asserts no
+            // replay holds are live, and a stale empty entry would trip it.
+            st.replay_pending.remove(&lock);
+        }
         forward(st, node, lock, p, pvc)?;
     }
     Ok(())

@@ -152,6 +152,22 @@ pub enum Msg {
     },
     /// Orderly service-thread shutdown.
     Shutdown,
+    /// Checkpoint acknowledgement: a node's recovery image for `epoch` is
+    /// stored (all diffs it homes are applied).  Sent to the barrier
+    /// master, which holds every application thread at the barrier until
+    /// the cluster-wide cut is complete.
+    CkptAck {
+        /// Acknowledging node.
+        from: ProcId,
+        /// Barrier epoch the image belongs to.
+        epoch: u64,
+    },
+    /// Checkpoint commit: the master has all `nprocs` acknowledgements for
+    /// `epoch`; receivers release their barrier-blocked application thread.
+    CkptGo {
+        /// The committed epoch.
+        epoch: u64,
+    },
 }
 
 const TAG_LOCK_REQ: u8 = 0;
@@ -171,6 +187,8 @@ const TAG_BITMAP_REQ: u8 = 13;
 const TAG_BITMAP_REPLY: u8 = 14;
 const TAG_BARRIER_RELEASE: u8 = 15;
 const TAG_SHUTDOWN: u8 = 16;
+const TAG_CKPT_ACK: u8 = 17;
+const TAG_CKPT_GO: u8 = 18;
 
 impl Wire for Msg {
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -289,6 +307,15 @@ impl Wire for Msg {
                 epoch.encode(buf);
             }
             Msg::Shutdown => buf.push(TAG_SHUTDOWN),
+            Msg::CkptAck { from, epoch } => {
+                buf.push(TAG_CKPT_ACK);
+                from.encode(buf);
+                epoch.encode(buf);
+            }
+            Msg::CkptGo { epoch } => {
+                buf.push(TAG_CKPT_GO);
+                epoch.encode(buf);
+            }
         }
     }
 
@@ -339,6 +366,8 @@ impl Wire for Msg {
                     + 8
             }
             Msg::Shutdown => 0,
+            Msg::CkptAck { .. } => 2 + 8,
+            Msg::CkptGo { .. } => 8,
         };
         1 + body
     }
@@ -417,6 +446,13 @@ impl Wire for Msg {
                 epoch: u64::decode(r)?,
             },
             TAG_SHUTDOWN => Msg::Shutdown,
+            TAG_CKPT_ACK => Msg::CkptAck {
+                from: ProcId::decode(r)?,
+                epoch: u64::decode(r)?,
+            },
+            TAG_CKPT_GO => Msg::CkptGo {
+                epoch: u64::decode(r)?,
+            },
             tag => return Err(WireError::BadTag { what: "Msg", tag }),
         })
     }
@@ -561,6 +597,11 @@ mod tests {
             epoch: 9,
         });
         roundtrip(Msg::Shutdown);
+        roundtrip(Msg::CkptAck {
+            from: ProcId(2),
+            epoch: 41,
+        });
+        roundtrip(Msg::CkptGo { epoch: 41 });
     }
 
     /// The arithmetic `wire_size` must match the encoder byte-for-byte on

@@ -180,6 +180,19 @@ pub(crate) struct NodeCore {
     /// Trace index of the last `Release` event per lock (for grant
     /// pairing).
     pub trace_last_release: HashMap<u32, u32>,
+    /// First barrier epoch the application must actually execute.  Zero on
+    /// a fresh start; set by a checkpoint restore so apps using the
+    /// epoch-entry API skip already-completed phases.
+    pub resume_epoch: u64,
+    /// Barrier epoch whose checkpoint is taken but not yet acknowledged:
+    /// the app thread stays blocked in `barrier()` until the master's
+    /// commit so the snapshot set forms a consistent cut.
+    pub pending_ckpt: Option<u64>,
+    /// Master only: checkpoint acknowledgements collected per epoch.
+    pub ckpt_acks: HashMap<u64, usize>,
+    /// Destination for recovery images (present only under
+    /// [`RecoveryPolicy::Recover`](crate::RecoveryPolicy)).
+    pub ckpt: Option<Arc<crate::checkpoint::CheckpointStore>>,
 }
 
 impl NodeCore {
@@ -227,6 +240,10 @@ impl NodeCore {
             watch_hits: Vec::new(),
             trace: Vec::new(),
             trace_last_release: HashMap::new(),
+            resume_epoch: 0,
+            pending_ckpt: None,
+            ckpt_acks: HashMap::new(),
+            ckpt: None,
         }
     }
 
@@ -647,6 +664,8 @@ fn msg_kind(msg: &Msg) -> &'static str {
         Msg::BitmapReq { .. } => "BitmapReq",
         Msg::BitmapReply { .. } => "BitmapReply",
         Msg::BarrierRelease { .. } => "BarrierRelease",
+        Msg::CkptAck { .. } => "CkptAck",
+        Msg::CkptGo { .. } => "CkptGo",
         Msg::Shutdown => "Shutdown",
     }
 }

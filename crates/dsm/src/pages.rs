@@ -434,7 +434,10 @@ pub(crate) fn on_diff_flush(
         let e = h.applied.entry(writer).or_insert(0);
         *e = (*e).max(interval);
     }
-    st.service_mw_waiters(&node.sender)
+    st.service_mw_waiters(&node.sender)?;
+    // A barrier checkpoint deferred on these very watermarks may now be
+    // able to complete (no-op when none is pending).
+    crate::checkpoint::maybe_complete(st, node)
 }
 
 #[cfg(test)]

@@ -56,6 +56,25 @@ impl SyncSchedule {
             assert!(prev.is_none(), "lock {lock} recorded by two managers");
         }
     }
+
+    /// The recorded grant sequences as `(lock, grants)` pairs, sorted by
+    /// lock — a canonical form for checkpoint serialization.
+    pub fn entries(&self) -> Vec<(u32, Vec<ProcId>)> {
+        let mut out: Vec<_> = self
+            .grants
+            .iter()
+            .map(|(l, seq)| (*l, seq.clone()))
+            .collect();
+        out.sort_unstable_by_key(|(l, _)| *l);
+        out
+    }
+
+    /// Rebuilds a schedule from [`entries`](Self::entries) output.
+    pub fn from_entries(entries: Vec<(u32, Vec<ProcId>)>) -> Self {
+        SyncSchedule {
+            grants: entries.into_iter().collect(),
+        }
+    }
 }
 
 /// Replay cursor over a [`SyncSchedule`], used by lock managers to hold
@@ -85,6 +104,25 @@ impl ReplayCursor {
     /// Advances past one grant of `lock`.
     pub fn advance(&mut self, lock: u32) {
         *self.next.entry(lock).or_insert(0) += 1;
+    }
+
+    /// The cursor's positions as sorted `(lock, grants consumed)` pairs —
+    /// a canonical form for checkpoint serialization.
+    pub fn positions(&self) -> Vec<(u32, u32)> {
+        let mut out: Vec<_> = self
+            .next
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|(l, n)| (*l, *n as u32))
+            .collect();
+        out.sort_unstable_by_key(|(l, _)| *l);
+        out
+    }
+
+    /// Rewinds/forwards the cursor to previously saved
+    /// [`positions`](Self::positions).
+    pub fn restore_positions(&mut self, positions: &[(u32, u32)]) {
+        self.next = positions.iter().map(|&(l, n)| (l, n as usize)).collect();
     }
 }
 

@@ -42,6 +42,20 @@ pub struct NodeReport {
     pub private_calls: u64,
 }
 
+/// Checkpoint/recovery activity of one run (all zeros under
+/// [`RecoveryPolicy::Abort`](crate::RecoveryPolicy)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Node images deposited in the checkpoint store (across attempts).
+    pub checkpoints_taken: u64,
+    /// Total encoded bytes of those images.
+    pub bytes_snapshotted: u64,
+    /// Rollback/restart cycles performed after node failures.
+    pub recoveries: u64,
+    /// Barrier epochs re-entered after rollbacks (work lost to failures).
+    pub epochs_replayed: u64,
+}
+
 /// Everything measured in one cluster run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -64,6 +78,8 @@ pub struct RunReport {
     pub watch_hits: Vec<WatchHit>,
     /// Per-process post-mortem trace logs (empty unless `DsmConfig::trace`).
     pub traces: Vec<Vec<cvm_race::trace::TraceEvent>>,
+    /// Checkpoint/recovery activity (zeros when checkpointing is off).
+    pub recovery: RecoveryStats,
     /// Wall-clock duration of the simulation itself.
     pub wall: Duration,
 }
@@ -173,6 +189,7 @@ mod tests {
             schedule: SyncSchedule::new(),
             watch_hits: Vec::new(),
             traces: Vec::new(),
+            recovery: RecoveryStats::default(),
             wall: Duration::from_secs(0),
         }
     }

@@ -116,6 +116,12 @@ pub struct CostModel {
     pub diff_per_word: u64,
     /// Copying a page, per word.
     pub copy_per_word: u64,
+    /// Serializing one word of recovery image at a barrier checkpoint
+    /// (charged only when [`RecoveryPolicy::Recover`](crate::RecoveryPolicy)
+    /// is active, so the default policy stays bit-identical).
+    pub checkpoint_per_word: u64,
+    /// Deserializing one word of recovery image during a restore.
+    pub restore_per_word: u64,
 }
 
 impl Default for CostModel {
@@ -143,6 +149,10 @@ impl Default for CostModel {
             barrier_arrival: 600,
             diff_per_word: 3,
             copy_per_word: 2,
+            // Checkpoint serialization is a straight memory copy plus
+            // framing; restore additionally re-installs protection state.
+            checkpoint_per_word: 2,
+            restore_per_word: 3,
         }
     }
 }
@@ -166,6 +176,11 @@ impl VirtualClock {
     /// A clock at time zero.
     pub fn new() -> Self {
         VirtualClock::default()
+    }
+
+    /// Reconstructs a clock from a checkpointed `(now, cats)` snapshot.
+    pub fn from_parts(now: u64, cats: [u64; NCATS]) -> Self {
+        VirtualClock { now, cats }
     }
 
     /// Current virtual time in cycles.

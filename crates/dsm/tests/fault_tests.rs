@@ -93,6 +93,60 @@ fn same_fault_plan_reproduces_the_same_diagnosis() {
     }
 }
 
+fn assert_lock_manager_death_diagnosed(protocol: Protocol) {
+    // Lock 1's static manager is node 1 (`lock % nprocs`).  All three
+    // processes contend on it in a tight loop, so when node 1 dies there
+    // are requests queued at (or in flight to) the dead manager.  The
+    // survivors' blocked acquires must convert into the structured
+    // failure, not a hang.
+    let mut cfg = DsmConfig::new(3);
+    cfg.protocol = protocol;
+    cfg.op_deadline = Duration::from_secs(2);
+    cfg.net_loss = Some(
+        FaultPlan::clean(31)
+            .with_rto(Duration::from_millis(2), Duration::from_millis(16))
+            .with_max_retransmits(8)
+            .with_kill(ProcId(1), 50),
+    );
+    let started = Instant::now();
+    let result = Cluster::run(
+        cfg,
+        |alloc| alloc.alloc("counter", 8).unwrap(),
+        |h, &ctr| {
+            for _ in 0..200 {
+                h.lock(1);
+                let v = h.read(ctr);
+                h.write(ctr, v + 1);
+                h.unlock(1);
+            }
+            h.barrier();
+        },
+    )
+    .map(|_| ());
+    let elapsed = started.elapsed();
+    let err = result.expect_err("a dead lock manager must fail the run");
+    assert_eq!(
+        err.error,
+        DsmError::NodeFailed { proc: 1 },
+        "{protocol:?}: the dead manager must be named"
+    );
+    assert!(
+        elapsed < Duration::from_secs(8),
+        "{protocol:?}: diagnosis took {elapsed:?}"
+    );
+    assert_eq!(err.partial.nodes.len(), 3, "every node drains");
+}
+
+#[test]
+fn lock_manager_death_is_diagnosed_under_single_writer() {
+    assert_lock_manager_death_diagnosed(Protocol::SingleWriter);
+}
+
+#[test]
+fn lock_manager_death_is_diagnosed_under_multi_writer() {
+    assert_lock_manager_death_diagnosed(Protocol::MultiWriter);
+}
+
 #[test]
 fn partitioned_node_fails_the_run_within_the_deadline() {
     // Node 1 partitions after 20 datagrams: its traffic is eaten in both

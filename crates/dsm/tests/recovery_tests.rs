@@ -1,0 +1,279 @@
+//! Barrier-epoch checkpoint recovery: a scripted kill under
+//! [`RecoveryPolicy::Recover`] must roll back to the last complete epoch,
+//! restore every node from its image, and complete the run with race
+//! reports byte-identical to a fault-free execution.
+
+use std::time::Duration;
+
+use cvm_dsm::{Cluster, DsmConfig, FaultPlan, Protocol, RecoveryPolicy, RunReport};
+use cvm_vclock::ProcId;
+
+const NPROCS: usize = 3;
+
+/// Barrier-epoch loop with one deliberate write-write race per epoch pair:
+/// processes 0 and 1 both write the `Racy` word in every epoch, so every
+/// epoch's detection finds the same race and the full report sequence
+/// fingerprints the whole run.
+fn epoch_loop(h: &cvm_dsm::ProcHandle, base: cvm_page::GAddr, racy: cvm_page::GAddr) {
+    let me = h.proc();
+    let mut ep = h.epochs();
+    for i in 0..12u64 {
+        ep.step(|| {
+            h.write(base.word(me as u64), i * 100 + me as u64);
+            if me < 2 {
+                h.write(racy, i);
+            }
+        });
+    }
+}
+
+fn base_config(protocol: Protocol) -> DsmConfig {
+    let mut cfg = DsmConfig::new(NPROCS);
+    cfg.protocol = protocol;
+    cfg.op_deadline = Duration::from_secs(2);
+    cfg
+}
+
+/// The reliability-layer wire every faulty run uses; the fault-free
+/// baseline runs over the same wire so virtual-time totals compare.
+fn reliable_wire(seed: u64) -> FaultPlan {
+    FaultPlan::clean(seed)
+        .with_rto(Duration::from_millis(2), Duration::from_millis(16))
+        .with_max_retransmits(8)
+}
+
+/// Scripts `victim`'s death mid-run and asks for recovery.
+fn faulty_config(protocol: Protocol, victim: u16, seed: u64) -> DsmConfig {
+    let mut cfg = base_config(protocol);
+    cfg.net_loss = Some(reliable_wire(seed).with_kill(ProcId(victim), 60));
+    cfg.recovery = RecoveryPolicy::Recover { max_attempts: 3 };
+    cfg
+}
+
+fn run_epoch_loop(cfg: DsmConfig) -> RunReport {
+    Cluster::run(
+        cfg,
+        |alloc| {
+            let base = alloc.alloc("words", NPROCS as u64 * 8).unwrap();
+            let racy = alloc.alloc("Racy", 8).unwrap();
+            (base, racy)
+        },
+        |h, &(base, racy)| epoch_loop(h, base, racy),
+    )
+    .expect("run must complete")
+}
+
+/// Renders every race report against the segment map, sorted — the
+/// byte-identity fingerprint the acceptance criteria ask for.
+fn race_fingerprint(report: &RunReport) -> Vec<String> {
+    let mut rendered: Vec<String> = report
+        .races
+        .reports()
+        .iter()
+        .map(|r| format!("{:?}@{} {}", r.kind, r.epoch, r.render(&report.segments)))
+        .collect();
+    rendered.sort();
+    rendered
+}
+
+fn assert_recovers(protocol: Protocol, victim: u16) {
+    // Fault-free baseline over the same reliability-layer wire, with
+    // checkpointing on, so virtual-time totals are comparable.
+    let mut clean_cfg = base_config(protocol);
+    clean_cfg.net_loss = Some(reliable_wire(23));
+    clean_cfg.recovery = RecoveryPolicy::Recover { max_attempts: 3 };
+    let clean = run_epoch_loop(clean_cfg);
+    assert_eq!(clean.recovery.recoveries, 0, "no faults, no recoveries");
+    let recovered = run_epoch_loop(faulty_config(protocol, victim, 23));
+    assert!(
+        recovered.recovery.recoveries >= 1,
+        "{protocol:?} victim {victim}: the kill must actually trigger recovery"
+    );
+    assert!(
+        recovered.recovery.checkpoints_taken > 0,
+        "checkpoints must be taken under Recover"
+    );
+    assert!(
+        recovered.recovery.bytes_snapshotted > 0,
+        "snapshots must be accounted"
+    );
+    assert_eq!(
+        race_fingerprint(&clean),
+        race_fingerprint(&recovered),
+        "{protocol:?} victim {victim}: recovered race reports must be byte-identical"
+    );
+    // Restored NodeStats plus replayed epochs must add up to the full run:
+    // the recovered cluster executed every barrier exactly once from the
+    // report's point of view.
+    assert_eq!(
+        recovered.barriers(),
+        clean.barriers(),
+        "{protocol:?} victim {victim}: barrier accounting must survive recovery"
+    );
+}
+
+#[test]
+fn worker_kill_recovers_single_writer() {
+    assert_recovers(Protocol::SingleWriter, 1);
+}
+
+#[test]
+fn worker_kill_recovers_multi_writer() {
+    assert_recovers(Protocol::MultiWriter, 1);
+}
+
+#[test]
+fn last_node_kill_recovers_single_writer() {
+    assert_recovers(Protocol::SingleWriter, 2);
+}
+
+#[test]
+fn last_node_kill_recovers_multi_writer() {
+    assert_recovers(Protocol::MultiWriter, 2);
+}
+
+#[test]
+fn master_kill_recovers_single_writer() {
+    assert_recovers(Protocol::SingleWriter, 0);
+}
+
+#[test]
+fn master_kill_recovers_multi_writer() {
+    assert_recovers(Protocol::MultiWriter, 0);
+}
+
+#[test]
+fn abort_policy_still_surfaces_the_failure() {
+    let mut cfg = faulty_config(Protocol::SingleWriter, 1, 23);
+    cfg.recovery = RecoveryPolicy::Abort;
+    let err = Cluster::run(
+        cfg,
+        |alloc| {
+            let base = alloc.alloc("words", NPROCS as u64 * 8).unwrap();
+            let racy = alloc.alloc("Racy", 8).unwrap();
+            (base, racy)
+        },
+        |h, &(base, racy)| epoch_loop(h, base, racy),
+    )
+    .expect_err("Abort must not mask the kill");
+    assert_eq!(err.error, cvm_dsm::DsmError::NodeFailed { proc: 1 });
+    assert_eq!(err.partial.recovery, cvm_dsm::RecoveryStats::default());
+}
+
+#[test]
+fn exhausted_attempts_surface_the_failure() {
+    // A partition is not stripped between attempts (only the node itself
+    // is replaced on recovery, not the broken wire), so every attempt
+    // fails and the budget runs out.
+    let mut cfg = base_config(Protocol::SingleWriter);
+    cfg.net_loss = Some(
+        FaultPlan::clean(5)
+            .with_rto(Duration::from_millis(2), Duration::from_millis(16))
+            .with_max_retransmits(8)
+            .with_partition(ProcId(1), 40),
+    );
+    cfg.recovery = RecoveryPolicy::Recover { max_attempts: 2 };
+    let err = Cluster::run(
+        cfg,
+        |alloc| {
+            let base = alloc.alloc("words", NPROCS as u64 * 8).unwrap();
+            let racy = alloc.alloc("Racy", 8).unwrap();
+            (base, racy)
+        },
+        |h, &(base, racy)| epoch_loop(h, base, racy),
+    )
+    .expect_err("a permanent partition must exhaust the attempt budget");
+    assert_eq!(err.partial.recovery.recoveries, 2, "both attempts spent");
+}
+
+#[test]
+fn lock_heavy_program_recovers_with_exact_state() {
+    // A correctly-locked shared counter: each of the 3 processes adds 1
+    // under lock 1 (whose manager, node 1, is the kill victim) in each of
+    // 8 epochs.  Recovery restores lock-manager state and page contents
+    // from the images; replayed epochs re-earn exactly the rolled-back
+    // increments, so the final count proves state-exact recovery.
+    const EPOCHS: u64 = 8;
+    let run = |faulty: bool| -> (RunReport, u64) {
+        let mut cfg = base_config(Protocol::MultiWriter);
+        cfg.net_loss = Some(if faulty {
+            reliable_wire(17).with_kill(ProcId(1), 80)
+        } else {
+            reliable_wire(17)
+        });
+        cfg.recovery = RecoveryPolicy::Recover { max_attempts: 3 };
+        let total = std::sync::Mutex::new(0u64);
+        let report = Cluster::run(
+            cfg,
+            |alloc| alloc.alloc("Counter", 8).unwrap(),
+            |h, &ctr| {
+                let mut ep = h.epochs();
+                for _ in 0..EPOCHS {
+                    ep.step(|| {
+                        h.lock(1);
+                        let v = h.read(ctr);
+                        h.write(ctr, v + 1);
+                        h.unlock(1);
+                    });
+                }
+                ep.step(|| {
+                    if h.proc() == 0 {
+                        *total.lock().unwrap() = h.read(ctr);
+                    }
+                });
+            },
+        )
+        .expect("run must complete");
+        let total = *total.lock().unwrap();
+        (report, total)
+    };
+    let (clean, clean_total) = run(false);
+    assert_eq!(clean_total, EPOCHS * NPROCS as u64);
+    assert!(clean.races.is_empty(), "locked counter is race-free");
+    let (recovered, recovered_total) = run(true);
+    assert!(recovered.recovery.recoveries >= 1, "the kill must recover");
+    assert_eq!(
+        recovered_total, clean_total,
+        "replayed epochs must re-earn exactly the rolled-back increments"
+    );
+    assert!(recovered.races.is_empty());
+}
+
+#[test]
+fn checkpoint_costs_flow_through_simtime() {
+    // Same program, no faults: checkpointing on vs off.  A single-process
+    // cluster makes virtual time fully deterministic (multi-node totals
+    // depend on service-thread interleaving), so the per-word checkpoint
+    // charge at every barrier release is directly observable.
+    let run_one = |recovery: RecoveryPolicy| {
+        let mut cfg = DsmConfig::new(1);
+        cfg.op_deadline = Duration::from_secs(2);
+        cfg.recovery = recovery;
+        Cluster::run(
+            cfg,
+            |alloc| alloc.alloc("words", 8).unwrap(),
+            |h, &base| {
+                let mut ep = h.epochs();
+                for i in 0..12u64 {
+                    ep.step(|| h.write(base, i));
+                }
+            },
+        )
+        .expect("single-proc run")
+    };
+    let off = run_one(RecoveryPolicy::Abort);
+    assert_eq!(
+        off.recovery,
+        cvm_dsm::RecoveryStats::default(),
+        "Abort default must not checkpoint"
+    );
+    let on = run_one(RecoveryPolicy::Recover { max_attempts: 1 });
+    assert!(on.recovery.checkpoints_taken > 0);
+    assert_eq!(on.recovery.recoveries, 0, "no faults, no recoveries");
+    assert!(
+        on.virtual_cycles() > off.virtual_cycles(),
+        "checkpoint cost must appear in virtual time: {} vs {}",
+        on.virtual_cycles(),
+        off.virtual_cycles()
+    );
+}

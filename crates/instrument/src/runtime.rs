@@ -22,6 +22,14 @@ impl AnalysisRuntime {
         AnalysisRuntime::default()
     }
 
+    /// Reconstructs a runtime from checkpointed counters.
+    pub fn from_counts(shared_calls: u64, private_calls: u64) -> Self {
+        AnalysisRuntime {
+            shared_calls,
+            private_calls,
+        }
+    }
+
     /// The access check: returns `true` if `addr` is shared, counting the
     /// call either way.
     #[inline]
