@@ -219,6 +219,19 @@ pub fn recovery_summary(r: &RunReport) -> String {
     )
 }
 
+/// One-line summary of a run's wire-integrity counters, for the harness
+/// tables ("-" style messages when the run used the reliable in-process
+/// transport, which has no wire to corrupt).
+pub fn wire_summary(r: &RunReport) -> String {
+    let Some(s) = &r.reliability else {
+        return "reliable transport (no wire)".to_string();
+    };
+    format!(
+        "{} frames corrupted / {} dropped by checksum / {} quarantined by decode / {} retransmissions",
+        s.corrupt_injected, s.corrupt_dropped, s.decode_errors, s.retransmissions
+    )
+}
+
 /// Prints a horizontal rule sized for the harness tables.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
@@ -265,6 +278,22 @@ mod tests {
     fn pct_formats() {
         assert_eq!(pct(0.1234), "12.3%");
         assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn wire_summary_formats() {
+        // Reliable in-process transport: nothing to corrupt.
+        let off = cvm_apps::sor::run(paper_config(2, false), cvm_apps::sor::SorParams::small()).0;
+        assert_eq!(wire_summary(&off), "reliable transport (no wire)");
+        // Faulty wire with corruption: the counters surface in the line.
+        let mut cfg = paper_config(2, false);
+        cfg.net_loss = Some(cvm_dsm::FaultPlan::clean(7).with_corruption(0.05));
+        let on = cvm_apps::sor::run(cfg, cvm_apps::sor::SorParams::small()).0;
+        let line = wire_summary(&on);
+        assert!(line.contains("dropped by checksum"), "{line}");
+        let snap = on.reliability.expect("faulty wire keeps stats");
+        assert!(snap.corrupt_injected > 0, "{snap:?}");
+        assert_eq!(snap.decode_errors, 0, "{snap:?}");
     }
 
     #[test]

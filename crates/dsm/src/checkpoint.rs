@@ -530,9 +530,15 @@ impl CheckpointStore {
     }
 
     /// Decodes the stored image of `proc` at `epoch`, if present.
+    ///
+    /// The store normally holds only bytes it encoded itself, but decode
+    /// remains a trust boundary (a persisted or transported store could
+    /// hand back damaged bytes): an image that no longer decodes is
+    /// treated as absent, which steers recovery toward an older complete
+    /// cut instead of panicking mid-restore.
     pub fn image(&self, epoch: u64, proc: u16) -> Option<NodeImage> {
         let bytes = self.inner.lock().unwrap().get(&(epoch, proc)).cloned()?;
-        Some(NodeImage::from_bytes(&bytes).expect("store holds only images it encoded"))
+        NodeImage::from_bytes(&bytes).ok()
     }
 
     /// Newest epoch for which all `nprocs` processes hold an image — the

@@ -360,6 +360,14 @@ fn service_loop(node: &Node, ep: Endpoint) {
             });
             continue;
         };
+        // Decoded fine, but the ids inside still index our tables: reject
+        // anything naming a process outside the cluster before dispatch.
+        if msg.validate(ep.sender().fanout()).is_err() {
+            node.ctl.fail(DsmError::Protocol {
+                context: "protocol message failed structural validation",
+            });
+            continue;
+        }
         if matches!(msg, Msg::Shutdown) {
             return;
         }

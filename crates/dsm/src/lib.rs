@@ -72,7 +72,7 @@ mod simtime;
 pub use checkpoint::{CheckpointStore, NodeImage};
 pub use cluster::Cluster;
 pub use config::{DetectConfig, DsmConfig, Protocol, RecoveryPolicy, Watch, WriteDetection};
-pub use cvm_net::{FaultEvent, FaultPlan, ReliabilitySnapshot};
+pub use cvm_net::{CorruptKind, FaultEvent, FaultPlan, ReliabilitySnapshot};
 pub use error::{DsmError, RunError};
 pub use handle::{EpochStepper, ProcHandle};
 pub use msg::Msg;

@@ -459,6 +459,114 @@ impl Wire for Msg {
 }
 
 impl Msg {
+    /// Structural validation of a freshly decoded message against the
+    /// cluster shape: every process id must be in range and every vector
+    /// clock as wide as the cluster.
+    ///
+    /// Decoding is a trust boundary — the bytes arrived over a wire whose
+    /// checksum catches corruption but not forgery or a peer from a
+    /// differently-sized cluster — and the service loop indexes directly
+    /// with these ids, so an out-of-range value would panic deep inside
+    /// the protocol.  A message that fails here is quarantined as a
+    /// protocol error, never dispatched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first out-of-range field.
+    pub fn validate(&self, nprocs: usize) -> Result<(), &'static str> {
+        fn proc_ok(p: ProcId, n: usize) -> Result<(), &'static str> {
+            if p.index() < n {
+                Ok(())
+            } else {
+                Err("process id out of range")
+            }
+        }
+        fn vc_ok(vc: &VClock, n: usize) -> Result<(), &'static str> {
+            if vc.len() == n {
+                Ok(())
+            } else {
+                Err("vector clock width mismatch")
+            }
+        }
+        fn id_ok(id: IntervalId, n: usize) -> Result<(), &'static str> {
+            proc_ok(id.proc, n)
+        }
+        fn records_ok(records: &[Arc<Interval>], n: usize) -> Result<(), &'static str> {
+            for rec in records {
+                id_ok(rec.id(), n)?;
+                vc_ok(&rec.stamp.vc, n)?;
+            }
+            Ok(())
+        }
+        match self {
+            Msg::LockReq { requester, vc, .. } | Msg::LockFwd { requester, vc, .. } => {
+                proc_ok(*requester, nprocs)?;
+                vc_ok(vc, nprocs)
+            }
+            Msg::LockGrant {
+                records,
+                vc,
+                trace_from,
+                ..
+            } => {
+                records_ok(records, nprocs)?;
+                vc_ok(vc, nprocs)?;
+                if let Some((p, _)) = trace_from {
+                    proc_ok(*p, nprocs)?;
+                }
+                Ok(())
+            }
+            Msg::PageReadReq { requester, .. }
+            | Msg::PageReadFwd { requester, .. }
+            | Msg::PageOwnReq { requester, .. }
+            | Msg::PageOwnFwd { requester, .. } => proc_ok(*requester, nprocs),
+            Msg::PageFetchReq {
+                requester, needed, ..
+            } => {
+                proc_ok(*requester, nprocs)?;
+                for (p, _) in needed {
+                    proc_ok(*p, nprocs)?;
+                }
+                Ok(())
+            }
+            Msg::DiffFlush { writer, .. } => proc_ok(*writer, nprocs),
+            Msg::BarrierArrive { from, vc, records } => {
+                proc_ok(*from, nprocs)?;
+                vc_ok(vc, nprocs)?;
+                records_ok(records, nprocs)
+            }
+            Msg::BitmapReq { items } => {
+                for (id, _) in items {
+                    id_ok(*id, nprocs)?;
+                }
+                Ok(())
+            }
+            Msg::BitmapReply { items } => {
+                for (id, _) in items {
+                    id_ok(*id, nprocs)?;
+                }
+                Ok(())
+            }
+            Msg::BarrierRelease {
+                vc, records, races, ..
+            } => {
+                vc_ok(vc, nprocs)?;
+                records_ok(records, nprocs)?;
+                for race in races.iter() {
+                    id_ok(race.a, nprocs)?;
+                    id_ok(race.b, nprocs)?;
+                }
+                Ok(())
+            }
+            Msg::CkptAck { from, .. } => proc_ok(*from, nprocs),
+            Msg::PageReadReply { .. }
+            | Msg::PageOwnReply { .. }
+            | Msg::PageFetchReply { .. }
+            | Msg::Shutdown
+            | Msg::CkptGo { .. } => Ok(()),
+        }
+    }
+
     /// Byte breakdown of this message's encoding for traffic accounting.
     ///
     /// Read notices riding inside interval records are split out as
@@ -729,5 +837,63 @@ mod tests {
         assert!(Msg::from_bytes(&[99]).is_err());
         assert!(Msg::from_bytes(&[]).is_err());
         assert!(Msg::from_bytes(&[TAG_LOCK_GRANT, 1]).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_messages() {
+        let iv = make_interval(1, 3, vec![2, 3], &[1, 2], &[7, 8, 9]);
+        let msgs = [
+            Msg::LockReq {
+                lock: 5,
+                requester: ProcId(1),
+                vc: VClock::from(vec![1, 2]),
+            },
+            Msg::BarrierArrive {
+                from: ProcId(0),
+                vc: VClock::from(vec![1, 2]),
+                records: vec![Arc::new(iv.clone())],
+            },
+            Msg::Shutdown,
+            Msg::CkptAck {
+                from: ProcId(1),
+                epoch: 1,
+            },
+        ];
+        for m in &msgs {
+            assert_eq!(m.validate(2), Ok(()), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_and_misshapen() {
+        // Requester outside the cluster.
+        let m = Msg::PageReadReq {
+            page: PageId(0),
+            requester: ProcId(4),
+        };
+        assert!(m.validate(4).is_err());
+        assert!(m.validate(5).is_ok());
+        // Clock narrower than the cluster.
+        let m = Msg::LockReq {
+            lock: 0,
+            requester: ProcId(0),
+            vc: VClock::from(vec![1, 2]),
+        };
+        assert!(m.validate(3).is_err());
+        // Record created by a process the cluster does not have.
+        let iv = make_interval(2, 1, vec![0, 0, 1], &[], &[]);
+        let m = Msg::BarrierArrive {
+            from: ProcId(0),
+            vc: VClock::from(vec![0, 0]),
+            records: vec![Arc::new(iv)],
+        };
+        assert!(m.validate(2).is_err());
+        // A needed-diff entry naming an out-of-range writer.
+        let m = Msg::PageFetchReq {
+            page: PageId(0),
+            requester: ProcId(0),
+            needed: vec![(ProcId(9), 1)],
+        };
+        assert!(m.validate(2).is_err());
     }
 }

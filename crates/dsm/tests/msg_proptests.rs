@@ -1,25 +1,129 @@
 //! Property tests for the protocol message codec.
 
+use std::sync::Arc;
+
 use cvm_dsm::{Cluster, DsmConfig, Msg};
-use cvm_net::wire::Wire;
+use cvm_net::wire::{decode_frame, encode_frame, Wire};
+use cvm_page::{Diff, PageId};
+use cvm_vclock::{ProcId, VClock};
 use proptest::prelude::*;
 
+/// A strategy over representative protocol messages, including the
+/// nested-record variants whose decoders do the most work.
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    let clock = proptest::collection::vec(0u32..100, 1..5);
+    let records = (0u16..4, 1u32..50).prop_map(|(p, idx)| {
+        let mut vc = vec![0u32; 4];
+        vc[p as usize] = idx;
+        vec![Arc::new(cvm_race::make_interval(
+            p,
+            idx,
+            vc,
+            &[1, 2],
+            &[3, 4, 5],
+        ))]
+    });
+    prop_oneof![
+        (any::<u32>(), 0u16..4, clock.clone()).prop_map(|(lock, p, vc)| Msg::LockReq {
+            lock,
+            requester: ProcId(p),
+            vc: VClock::from(vc),
+        }),
+        (any::<u32>(), 0u16..4).prop_map(|(page, p)| Msg::PageReadReq {
+            page: PageId(page),
+            requester: ProcId(p),
+        }),
+        (any::<u32>(), proptest::collection::vec(any::<u64>(), 0..32)).prop_map(|(page, data)| {
+            Msg::PageReadReply {
+                page: PageId(page),
+                data,
+            }
+        }),
+        (
+            0u16..4,
+            any::<u32>(),
+            proptest::collection::vec((0u32..64, any::<u64>()), 0..8)
+        )
+            .prop_map(|(w, interval, entries)| Msg::DiffFlush {
+                writer: ProcId(w),
+                interval,
+                diffs: vec![Diff {
+                    page: PageId(0),
+                    entries,
+                }],
+            }),
+        (0u16..4, clock, records).prop_map(|(p, vc, records)| {
+            let mut vc = vc;
+            vc.resize(4, 0);
+            Msg::BarrierArrive {
+                from: ProcId(p),
+                vc: VClock::from(vc),
+                records,
+            }
+        }),
+        (0u16..4, any::<u64>()).prop_map(|(p, epoch)| Msg::CkptAck {
+            from: ProcId(p),
+            epoch,
+        }),
+        Just(Msg::Shutdown),
+    ]
+}
+
 proptest! {
+    // The acceptance bar for the decode trust boundary: ≥10k arbitrary
+    // byte strings, zero panics.
+    #![proptest_config(ProptestConfig::with_cases(10_000))]
+
     /// Decoding arbitrary bytes never panics: it yields a message or a
     /// structured error (a node must not be crashable by a corrupt frame).
     #[test]
     fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
         let _ = Msg::from_bytes(&bytes);
     }
+}
 
+proptest! {
     /// Valid tag with truncated body errors rather than panicking.
     #[test]
-    fn truncated_bodies_error(tag in 0u8..17, cut in proptest::collection::vec(any::<u8>(), 0..6)) {
+    fn truncated_bodies_error(tag in 0u8..19, cut in proptest::collection::vec(any::<u8>(), 0..6)) {
         let mut bytes = vec![tag];
         bytes.extend(cut);
         // Either decodes (tiny messages like Shutdown) or errors; never
         // panics.
         let _ = Msg::from_bytes(&bytes);
+    }
+
+    /// Bit-flipped valid encodings never panic, and — the integrity
+    /// guarantee — can never reach the datagram decoder undetected: a flip
+    /// that decodes to a *different valid message* is exactly the silent
+    /// poisoning the frame checksum exists to stop.
+    #[test]
+    fn bit_flipped_messages_cannot_slip_past_the_frame(
+        msg in arb_msg(),
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..4),
+    ) {
+        let body = msg.to_bytes();
+        let frame = encode_frame(&body);
+        // Flip bits inside the *body region* of the frame, so the damage
+        // lands on message bytes (header damage is trivially caught).
+        let mut damaged = frame.clone();
+        let start = frame.len() - body.len();
+        for (pos, bit) in &flips {
+            if body.is_empty() {
+                break;
+            }
+            let i = start + (*pos as usize % body.len());
+            damaged[i] ^= 1 << bit;
+        }
+        // The raw flipped body must never panic the decoder (it may decode
+        // to a different message — that is what the frame gate is for).
+        if damaged != frame {
+            let _ = Msg::from_bytes(&damaged[start..]);
+            prop_assert!(
+                decode_frame(&damaged).is_err(),
+                "bit-flipped frame passed the integrity gate"
+            );
+        }
     }
 }
 

@@ -40,5 +40,5 @@ pub mod wire;
 pub use network::{
     Endpoint, NetConfig, NetError, NetEvent, NetSender, Network, Packet, HEADER_BYTES,
 };
-pub use reliable::{FaultEvent, FaultPlan, ReliabilitySnapshot, ReliabilityStats};
+pub use reliable::{CorruptKind, FaultEvent, FaultPlan, ReliabilitySnapshot, ReliabilityStats};
 pub use stats::{ByteBreakdown, NetStats, StatsSnapshot, TrafficClass};

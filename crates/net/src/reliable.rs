@@ -8,8 +8,15 @@
 //! real thing for runs that want wire-level failure injection:
 //!
 //! * a seeded *fault plan* ([`FaultPlan`]) injecting per-link Bernoulli
-//!   loss, duplication, delay, reordering windows, and scripted events
-//!   ("partition node N at datagram K", "kill node N at event K");
+//!   loss, duplication, delay, reordering windows, payload corruption
+//!   (seeded bit-flips, truncation, garbage tails), and scripted events
+//!   ("partition node N at datagram K", "kill node N at event K",
+//!   "corrupt node N's frame K");
+//! * checksummed wire frames — every datagram crosses the wire as bytes
+//!   behind a magic/length/CRC-32C header ([`encode_frame`]/
+//!   [`decode_frame`](crate::wire::decode_frame)), so corruption is
+//!   *detected* at the receiver and turned into an ordinary loss that the
+//!   retransmit path repairs;
 //! * per-flow sequence numbers with cumulative ACKs;
 //! * receiver-side reordering and duplicate suppression;
 //! * timer-driven retransmission with exponential backoff, jitter, and a
@@ -24,11 +31,13 @@
 //!
 //! # Determinism
 //!
-//! Every fault decision is a pure splitmix64-style hash of the plan seed
-//! and the *identity* of the datagram — `(link, sequence, attempt)` for
-//! data, `(link, cumulative-ack value)` for ACKs — never of wall-clock
-//! time or call order.  A given `(FaultPlan, seed)` therefore reproduces
-//! the exact same drop/dup/delay/kill sequence for the same traffic, which
+//! Every fault decision — including whether a frame is corrupted and
+//! which mutation it receives — is a pure splitmix64-style hash of the
+//! plan seed and the *identity* of the datagram — `(link, sequence,
+//! attempt)` for data, `(link, cumulative-ack value)` for ACKs — never of
+//! wall-clock time or call order.  A given `(FaultPlan, seed)` therefore
+//! reproduces the exact same drop/dup/delay/corrupt/kill sequence for the
+//! same traffic, which
 //! keeps record/replay and the bit-identical parallel detector epoch
 //! intact.  Data-loss decisions are fully order-independent; ACK loss
 //! ([`FaultPlan::ack_drop_rate`], off by default) is keyed by the
@@ -47,7 +56,19 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, Sender};
 use cvm_vclock::ProcId;
 
+use crate::wire::{decode_frame, encode_frame, Wire};
 use crate::{NetEvent, Packet};
+
+/// How an injected corruption mutates a frame's bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// Flips one bit at a seeded position.
+    BitFlip,
+    /// Cuts the frame short at a seeded length.
+    Truncate,
+    /// Appends 1–16 seeded garbage bytes.
+    GarbageTail,
+}
 
 /// A scripted fault: something that happens to one node at a
 /// deterministic point in its own event stream.
@@ -72,6 +93,17 @@ pub enum FaultEvent {
         /// Node-local engine-event count at which the node dies.
         at_event: u64,
     },
+    /// The `at_frame`-th frame `node` puts on the wire (1-based, counting
+    /// data and ACKs alike) is mutated with `kind` before transmission.
+    /// The receiver's integrity check rejects it like a loss.
+    CorruptAt {
+        /// The node whose outgoing frame is corrupted.
+        node: ProcId,
+        /// Node-local sent-frame ordinal at which the corruption strikes.
+        at_frame: u64,
+        /// The mutation applied.
+        kind: CorruptKind,
+    },
 }
 
 /// Wire fault model: seeded, deterministic fault injection plus the
@@ -93,6 +125,11 @@ pub struct FaultPlan {
     /// with the next datagram on the same link (a reordering window of
     /// one; held datagrams are flushed every engine tick).
     pub reorder_rate: f64,
+    /// Probability in `[0, 1)` that a datagram's bytes are mutated on the
+    /// wire (seeded bit-flip, truncation, or garbage tail, chosen per
+    /// datagram).  The receiver's frame checksum rejects the damage, so a
+    /// corrupted datagram behaves exactly like a lost one.
+    pub corrupt_rate: f64,
     /// Seeded per-datagram extra wire delay, uniform in `[min, max]`.
     pub delay: Option<(Duration, Duration)>,
     /// Seed for all fault decisions.
@@ -123,6 +160,7 @@ impl FaultPlan {
             ack_drop_rate: 0.0,
             dup_rate: 0.0,
             reorder_rate: 0.0,
+            corrupt_rate: 0.0,
             delay: None,
             seed,
             rto: Duration::from_millis(2),
@@ -177,6 +215,29 @@ impl FaultPlan {
         self
     }
 
+    /// Enables seeded payload corruption at `rate`: each hit datagram gets
+    /// a bit-flip, truncation, or garbage tail (chosen by the same keyed
+    /// dice), which the receiver's checksum turns into a plain loss.
+    #[must_use]
+    pub fn with_corruption(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "corrupt rate out of range");
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Scripts a `kind` corruption of the `at_frame`-th frame (1-based)
+    /// that `node` puts on the wire.
+    #[must_use]
+    pub fn with_corrupt_at(mut self, node: ProcId, at_frame: u64, kind: CorruptKind) -> Self {
+        assert!(at_frame >= 1, "frame ordinals are 1-based");
+        self.events.push(FaultEvent::CorruptAt {
+            node,
+            at_frame,
+            kind,
+        });
+        self
+    }
+
     /// Adds a seeded per-datagram delay, uniform in `[min, max]`.
     #[must_use]
     pub fn with_delay(mut self, min: Duration, max: Duration) -> Self {
@@ -226,6 +287,15 @@ pub struct ReliabilityStats {
     pub peer_closed: AtomicU64,
     /// Peers declared dead after exhausting the retransmit budget.
     pub peers_declared_dead: AtomicU64,
+    /// Frames mutated by the fault plan before transmission.
+    pub corrupt_injected: AtomicU64,
+    /// Received frames dropped by the integrity check (bad magic, length,
+    /// or checksum) — repaired by retransmission, exactly like wire loss.
+    pub corrupt_dropped: AtomicU64,
+    /// Frames whose checksum verified but whose body failed structural
+    /// decode/validation (malformed datagram, out-of-range process id);
+    /// quarantined rather than delivered.
+    pub decode_errors: AtomicU64,
 }
 
 /// Point-in-time copy of every [`ReliabilityStats`] counter.
@@ -251,6 +321,12 @@ pub struct ReliabilitySnapshot {
     pub peer_closed: u64,
     /// Peers declared dead after exhausting the retransmit budget.
     pub peers_declared_dead: u64,
+    /// Frames mutated by the fault plan before transmission.
+    pub corrupt_injected: u64,
+    /// Received frames dropped by the integrity check.
+    pub corrupt_dropped: u64,
+    /// Checksum-valid frames quarantined by structural validation.
+    pub decode_errors: u64,
 }
 
 impl ReliabilityStats {
@@ -276,6 +352,9 @@ impl ReliabilityStats {
             partition_drops: self.partition_drops.load(Ordering::Relaxed),
             peer_closed: self.peer_closed.load(Ordering::Relaxed),
             peers_declared_dead: self.peers_declared_dead.load(Ordering::Relaxed),
+            corrupt_injected: self.corrupt_injected.load(Ordering::Relaxed),
+            corrupt_dropped: self.corrupt_dropped.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -290,6 +369,87 @@ enum Dgram {
     },
     /// Cumulative acknowledgement: all data with `seq <= upto` received.
     Ack { flow_dst: ProcId, upto: u64 },
+}
+
+const DGRAM_TAG_DATA: u8 = 0;
+const DGRAM_TAG_ACK: u8 = 1;
+
+// Datagrams cross the simulated wire as bytes inside a checksummed frame
+// (so the fault plan can corrupt them like a real physical layer); this is
+// their body encoding.
+impl Wire for Dgram {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Dgram::Data {
+                flow_src,
+                seq,
+                packet,
+            } => {
+                buf.push(DGRAM_TAG_DATA);
+                flow_src.encode(buf);
+                seq.encode(buf);
+                packet.encode(buf);
+            }
+            Dgram::Ack { flow_dst, upto } => {
+                buf.push(DGRAM_TAG_ACK);
+                flow_dst.encode(buf);
+                upto.encode(buf);
+            }
+        }
+    }
+
+    fn decode(r: &mut crate::wire::Reader<'_>) -> Result<Self, crate::wire::WireError> {
+        Ok(match u8::decode(r)? {
+            DGRAM_TAG_DATA => Dgram::Data {
+                flow_src: Wire::decode(r)?,
+                seq: Wire::decode(r)?,
+                packet: Wire::decode(r)?,
+            },
+            DGRAM_TAG_ACK => Dgram::Ack {
+                flow_dst: Wire::decode(r)?,
+                upto: Wire::decode(r)?,
+            },
+            tag => return Err(crate::wire::WireError::BadTag { what: "Dgram", tag }),
+        })
+    }
+}
+
+impl Dgram {
+    /// Structural validation after a successful decode: a frame can pass
+    /// the checksum and still (through forgery or a stale peer) name
+    /// processes outside this cluster, which would index out of range in
+    /// the flow tables.  `n` is the cluster size.
+    fn structurally_valid(&self, n: usize) -> bool {
+        match self {
+            Dgram::Data {
+                flow_src, packet, ..
+            } => flow_src.index() < n && packet.src.index() < n && packet.dst.index() < n,
+            Dgram::Ack { flow_dst, .. } => flow_dst.index() < n,
+        }
+    }
+}
+
+/// Applies one deterministic mutation to a frame.  `roll` is a keyed hash
+/// value supplying every random choice (bit position, cut point, tail
+/// bytes), so the same `(plan, seed, frame identity)` always produces the
+/// same damage.
+fn apply_corruption(frame: &mut Vec<u8>, kind: CorruptKind, roll: u64) {
+    match kind {
+        CorruptKind::BitFlip => {
+            let bit = (roll % (frame.len() as u64 * 8)) as usize;
+            frame[bit / 8] ^= 1 << (bit % 8);
+        }
+        CorruptKind::Truncate => {
+            let keep = (roll % frame.len() as u64) as usize;
+            frame.truncate(keep);
+        }
+        CorruptKind::GarbageTail => {
+            let extra = 1 + (roll % 16) as usize;
+            for i in 0..extra {
+                frame.push((roll >> (8 * (i % 8))) as u8);
+            }
+        }
+    }
 }
 
 /// One unacknowledged data datagram.
@@ -323,6 +483,10 @@ const TAG_DUP: u64 = 0xD3;
 const TAG_REORDER: u64 = 0xD4;
 const TAG_DELAY: u64 = 0xD5;
 const TAG_JITTER: u64 = 0xD6;
+/// Whether a frame is corrupted at all.
+const TAG_CORRUPT: u64 = 0xD7;
+/// Which mutation a corrupted frame receives, and where it lands.
+const TAG_CORRUPT_KIND: u64 = 0xD8;
 
 /// Deterministic per-datagram fault dice: a splitmix64-style hash of the
 /// seed and the datagram identity, so decisions never depend on wall-clock
@@ -361,10 +525,12 @@ fn threshold(rate: f64) -> u64 {
 /// Per-node reliability engine, run on its own thread.
 pub(crate) struct ReliabilityEngine {
     node: ProcId,
-    /// Raw wire senders to every node (faulty).
-    wire_txs: Vec<Sender<Dgram>>,
+    /// Raw wire senders to every node (faulty).  The wire carries encoded,
+    /// checksummed frames — bytes, not structures — so the fault plan can
+    /// corrupt them like a real physical layer.
+    wire_txs: Vec<Sender<Vec<u8>>>,
     /// Raw wire receiver.
-    wire_rx: Receiver<Dgram>,
+    wire_rx: Receiver<Vec<u8>>,
     /// New outbound packets from this node's senders.
     outbound_rx: Receiver<(ProcId, Packet)>,
     /// In-order delivery (and peer-death events) to the application
@@ -377,29 +543,34 @@ pub(crate) struct ReliabilityEngine {
     ack_drop_t: u64,
     dup_t: u64,
     reorder_t: u64,
+    corrupt_t: u64,
     /// Precomputed delay range in nanoseconds `(min, span)`.
     delay_ns: Option<(u64, u64)>,
     /// Scripted event triggers for *this* node.
     partition_at: Option<u64>,
     kill_at: Option<u64>,
+    /// Scripted corruption points: `(sent-frame ordinal, mutation)`.
+    corrupt_at: Vec<(u64, CorruptKind)>,
     /// Node-local counters driving the scripted events.
     wire_sends: u64,
     events_handled: u64,
+    /// Frames this node has put on the wire (drives [`Self::corrupt_at`]).
+    frames_sent: u64,
     partitioned: bool,
     killed: bool,
     /// Peers declared dead (retransmit budget exhausted).
     dead: HashSet<ProcId>,
-    /// Datagrams held back by the delay distribution.
-    delayed: Vec<(Instant, ProcId, Dgram)>,
+    /// Frames held back by the delay distribution.
+    delayed: Vec<(Instant, ProcId, Vec<u8>)>,
     /// Per-destination reordering holdback slot.
-    holdback: HashMap<ProcId, Dgram>,
+    holdback: HashMap<ProcId, Vec<u8>>,
     stats: Arc<ReliabilityStats>,
     tx_flows: HashMap<ProcId, FlowTx>,
     rx_flows: HashMap<ProcId, FlowRx>,
     /// Keep-alive senders for parked (closed) input channels, so `select!`
     /// blocks on the tick instead of spinning on a disconnected receiver.
     parked_outbound: Option<Sender<(ProcId, Packet)>>,
-    parked_wire: Option<Sender<Dgram>>,
+    parked_wire: Option<Sender<Vec<u8>>>,
 }
 
 impl ReliabilityEngine {
@@ -427,9 +598,49 @@ impl ReliabilityEngine {
         }
     }
 
+    /// Encodes one wire copy of `dgram` into a checksummed frame and
+    /// applies any injected corruption: a scripted [`FaultEvent::CorruptAt`]
+    /// matching this node-local sent-frame ordinal wins, otherwise the
+    /// keyed `corrupt_rate` dice.  Every physical copy (original, injected
+    /// duplicate, retransmission) is framed separately, so each gets an
+    /// independent corruption decision — just like a real wire.
+    fn frame_for(&mut self, dst: ProcId, dgram: &Dgram, tag: u64, a: u64, b: u64) -> Vec<u8> {
+        self.frames_sent += 1;
+        let mut frame = encode_frame(&dgram.to_bytes());
+        let ordinal = self.frames_sent;
+        let kind = self
+            .corrupt_at
+            .iter()
+            .find(|(at, _)| *at == ordinal)
+            .map(|&(_, k)| k)
+            .or_else(|| {
+                if self
+                    .dice
+                    .hit(TAG_CORRUPT, dst.0 as u64 ^ tag, a, b, self.corrupt_t)
+                {
+                    Some(
+                        match self.dice.mix(TAG_CORRUPT, dst.0 as u64 ^ tag, a, b) % 3 {
+                            0 => CorruptKind::BitFlip,
+                            1 => CorruptKind::Truncate,
+                            _ => CorruptKind::GarbageTail,
+                        },
+                    )
+                } else {
+                    None
+                }
+            });
+        if let Some(kind) = kind {
+            let roll = self.dice.mix(TAG_CORRUPT_KIND, dst.0 as u64 ^ tag, a, b);
+            apply_corruption(&mut frame, kind, roll);
+            self.stats.corrupt_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        frame
+    }
+
     /// Injects one datagram into the faulty wire: partition/death gates,
-    /// then the keyed drop/dup/delay/reorder decisions, then the raw send.
-    fn inject(&mut self, dst: ProcId, dgram: Dgram, tag: u64, a: u64, b: u64) {
+    /// then the keyed drop/dup/corrupt/delay/reorder decisions, then the
+    /// raw send.
+    fn inject(&mut self, dst: ProcId, dgram: &Dgram, tag: u64, a: u64, b: u64) {
         self.note_wire_dgram();
         if self.partitioned || self.dead.contains(&dst) {
             self.stats.partition_drops.fetch_add(1, Ordering::Relaxed);
@@ -446,8 +657,10 @@ impl ReliabilityEngine {
         }
         if self.dice.hit(TAG_DUP, dst.0 as u64 ^ tag, a, b, self.dup_t) {
             self.stats.dup_injected.fetch_add(1, Ordering::Relaxed);
-            self.enqueue(dst, dgram.clone(), tag, a, b.wrapping_add(1));
+            let dup = self.frame_for(dst, dgram, tag, a, b.wrapping_add(1));
+            self.enqueue(dst, dup, tag, a, b.wrapping_add(1));
         }
+        let frame = self.frame_for(dst, dgram, tag, a, b);
         if let Some((min_ns, span_ns)) = self.delay_ns {
             let extra = if span_ns == 0 {
                 min_ns
@@ -457,19 +670,19 @@ impl ReliabilityEngine {
             if extra > 0 {
                 self.stats.delayed.fetch_add(1, Ordering::Relaxed);
                 self.delayed
-                    .push((Instant::now() + Duration::from_nanos(extra), dst, dgram));
+                    .push((Instant::now() + Duration::from_nanos(extra), dst, frame));
                 return;
             }
         }
-        self.enqueue(dst, dgram, tag, a, b);
+        self.enqueue(dst, frame, tag, a, b);
     }
 
     /// Final emission stage: the pairwise reordering window, then the raw
     /// channel send.
-    fn enqueue(&mut self, dst: ProcId, dgram: Dgram, tag: u64, a: u64, b: u64) {
+    fn enqueue(&mut self, dst: ProcId, frame: Vec<u8>, tag: u64, a: u64, b: u64) {
         if let Some(held) = self.holdback.remove(&dst) {
-            // Swap: the newer datagram overtakes the held one.
-            self.raw_send(dst, dgram);
+            // Swap: the newer frame overtakes the held one.
+            self.raw_send(dst, frame);
             self.raw_send(dst, held);
             return;
         }
@@ -478,44 +691,35 @@ impl ReliabilityEngine {
             .hit(TAG_REORDER, dst.0 as u64 ^ tag, a, b, self.reorder_t)
         {
             self.stats.reordered.fetch_add(1, Ordering::Relaxed);
-            self.holdback.insert(dst, dgram);
+            self.holdback.insert(dst, frame);
             return;
         }
-        self.raw_send(dst, dgram);
+        self.raw_send(dst, frame);
     }
 
-    fn raw_send(&self, dst: ProcId, dgram: Dgram) {
+    fn raw_send(&self, dst: ProcId, frame: Vec<u8>) {
         // A closed peer means shutdown is in progress; count it so
         // shutdown loss is distinguishable from wire loss.
-        if self.wire_txs[dst.index()].send(dgram).is_err() {
+        if self.wire_txs[dst.index()].send(frame).is_err() {
             self.stats.peer_closed.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     fn send_data(&mut self, dst: ProcId, seq: u64, attempt: u32, packet: Packet) {
-        let src = self.node;
-        self.inject(
-            dst,
-            Dgram::Data {
-                flow_src: src,
-                seq,
-                packet,
-            },
-            TAG_DATA_DROP,
+        let dgram = Dgram::Data {
+            flow_src: self.node,
             seq,
-            u64::from(attempt),
-        );
+            packet,
+        };
+        self.inject(dst, &dgram, TAG_DATA_DROP, seq, u64::from(attempt));
     }
 
     fn send_ack(&mut self, dst: ProcId, upto: u64) {
-        let me = self.node;
-        self.inject(
-            dst,
-            Dgram::Ack { flow_dst: me, upto },
-            TAG_ACK_DROP,
+        let dgram = Dgram::Ack {
+            flow_dst: self.node,
             upto,
-            0,
-        );
+        };
+        self.inject(dst, &dgram, TAG_ACK_DROP, upto, 0);
     }
 
     /// Backed-off, jittered retransmission timeout for the given attempt:
@@ -554,11 +758,34 @@ impl ReliabilityEngine {
         self.send_data(dst, seq, 0, packet);
     }
 
-    fn handle_wire(&mut self, dgram: Dgram) {
+    fn handle_wire(&mut self, frame: Vec<u8>) {
         self.note_wire_dgram();
         if self.partitioned {
             // A partitioned node hears nothing either.
             self.stats.partition_drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Trust boundary: the wire delivered bytes, nothing more.  A frame
+        // that fails the magic/length/checksum gate is treated exactly
+        // like a loss (the sender's retransmit path repairs it); one that
+        // passes the checksum but decodes to a malformed or out-of-range
+        // datagram is quarantined rather than delivered.
+        let body = match decode_frame(&frame) {
+            Ok(body) => body,
+            Err(_) => {
+                self.stats.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let dgram = match Dgram::from_bytes(body) {
+            Ok(d) => d,
+            Err(_) => {
+                self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        if !dgram.structurally_valid(self.wire_txs.len()) {
+            self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
             return;
         }
         match dgram {
@@ -651,16 +878,16 @@ impl ReliabilityEngine {
         }
         let now = Instant::now();
         let mut due = Vec::new();
-        self.delayed.retain(|(at, dst, dgram)| {
+        self.delayed.retain(|(at, dst, frame)| {
             if *at <= now {
-                due.push((*dst, dgram.clone()));
+                due.push((*dst, frame.clone()));
                 false
             } else {
                 true
             }
         });
-        for (dst, dgram) in due {
-            self.raw_send(dst, dgram);
+        for (dst, frame) in due {
+            self.raw_send(dst, frame);
         }
     }
 
@@ -670,9 +897,9 @@ impl ReliabilityEngine {
         if self.holdback.is_empty() {
             return;
         }
-        let held: Vec<(ProcId, Dgram)> = self.holdback.drain().collect();
-        for (dst, dgram) in held {
-            self.raw_send(dst, dgram);
+        let held: Vec<(ProcId, Vec<u8>)> = self.holdback.drain().collect();
+        for (dst, frame) in held {
+            self.raw_send(dst, frame);
         }
     }
 
@@ -712,9 +939,9 @@ impl ReliabilityEngine {
                     }
                 },
                 recv(self.wire_rx) -> msg => match msg {
-                    Ok(dgram) => {
+                    Ok(frame) => {
                         if !self.note_event() {
-                            self.handle_wire(dgram);
+                            self.handle_wire(frame);
                         }
                     }
                     Err(_) => {
@@ -776,7 +1003,7 @@ pub(crate) fn build_reliable_fabric(n: usize, plan: FaultPlan) -> ReliableFabric
     let mut wire_txs = Vec::with_capacity(n);
     let mut wire_rxs = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = channel::unbounded::<Dgram>();
+        let (tx, rx) = channel::unbounded::<Vec<u8>>();
         wire_txs.push(tx);
         wire_rxs.push(rx);
     }
@@ -796,6 +1023,18 @@ pub(crate) fn build_reliable_fabric(n: usize, plan: FaultPlan) -> ReliableFabric
             FaultEvent::Kill { node, at_event } if *node == me => Some(*at_event),
             _ => None,
         });
+        let corrupt_at: Vec<(u64, CorruptKind)> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::CorruptAt {
+                    node,
+                    at_frame,
+                    kind,
+                } if *node == me => Some((*at_frame, *kind)),
+                _ => None,
+            })
+            .collect();
         let engine = ReliabilityEngine {
             node: me,
             wire_txs: wire_txs.clone(),
@@ -809,13 +1048,16 @@ pub(crate) fn build_reliable_fabric(n: usize, plan: FaultPlan) -> ReliableFabric
             ack_drop_t: threshold(plan.ack_drop_rate),
             dup_t: threshold(plan.dup_rate),
             reorder_t: threshold(plan.reorder_rate),
+            corrupt_t: threshold(plan.corrupt_rate),
             delay_ns: plan
                 .delay
                 .map(|(min, max)| (min.as_nanos() as u64, (max - min).as_nanos() as u64)),
             partition_at,
             kill_at,
+            corrupt_at,
             wire_sends: 0,
             events_handled: 0,
+            frames_sent: 0,
             partitioned: false,
             killed: false,
             dead: HashSet::new(),
@@ -898,18 +1140,102 @@ mod tests {
     }
 
     #[test]
+    fn every_corruption_kind_is_detected() {
+        // Whatever mutation the plan applies, the receiver's frame gate
+        // must reject the result — corruption may never decode.
+        let dgram = Dgram::Ack {
+            flow_dst: ProcId(1),
+            upto: 42,
+        };
+        let clean = encode_frame(&dgram.to_bytes());
+        assert!(decode_frame(&clean).is_ok());
+        for kind in [
+            CorruptKind::BitFlip,
+            CorruptKind::Truncate,
+            CorruptKind::GarbageTail,
+        ] {
+            for roll in 0..512u64 {
+                let mut frame = clean.clone();
+                apply_corruption(&mut frame, kind, roll);
+                assert!(
+                    decode_frame(&frame).is_err(),
+                    "{kind:?} with roll {roll} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_stream_is_keyed_not_sequenced() {
+        // The corrupt decision and the chosen mutation for a given frame
+        // identity are pure functions of the seed, independent of the
+        // order frames are evaluated in.
+        let dice = FaultDice { seed: 23 };
+        let t = threshold(0.3);
+        let decide = |a: u64| -> Option<u64> {
+            dice.hit(TAG_CORRUPT, 1, a, 0, t)
+                .then(|| dice.mix(TAG_CORRUPT, 1, a, 0) % 3)
+        };
+        let forward: Vec<_> = (0..256u64).map(decide).collect();
+        let backward: Vec<_> = {
+            let mut v: Vec<_> = (0..256u64).rev().map(decide).collect();
+            v.reverse();
+            v
+        };
+        assert_eq!(forward, backward);
+        assert!(forward.iter().any(Option::is_some), "rate 0.3 never hit");
+        // A different seed yields a different stream.
+        let other = FaultDice { seed: 24 };
+        let differs: Vec<_> = (0..256u64)
+            .map(|a| {
+                other
+                    .hit(TAG_CORRUPT, 1, a, 0, t)
+                    .then(|| other.mix(TAG_CORRUPT, 1, a, 0) % 3)
+            })
+            .collect();
+        assert_ne!(forward, differs);
+    }
+
+    #[test]
+    fn structural_validation_rejects_out_of_range_procs() {
+        let ack = Dgram::Ack {
+            flow_dst: ProcId(5),
+            upto: 1,
+        };
+        assert!(ack.structurally_valid(6));
+        assert!(!ack.structurally_valid(5));
+        // A checksum-valid frame naming a proc outside the cluster must
+        // round-trip the frame gate but fail the structural gate.
+        let frame = encode_frame(&ack.to_bytes());
+        let body = decode_frame(&frame).expect("frame intact");
+        let decoded = Dgram::from_bytes(body).expect("decodes fine");
+        assert!(!decoded.structurally_valid(3));
+    }
+
+    #[test]
     fn fault_plan_builders_compose() {
         let plan = FaultPlan::new(0.1, 9)
             .with_rto(Duration::from_millis(5), Duration::from_millis(80))
             .with_max_retransmits(8)
             .with_duplication(0.05)
             .with_reordering(0.02)
+            .with_corruption(0.03)
             .with_delay(Duration::from_micros(10), Duration::from_micros(50))
             .with_kill(ProcId(2), 100)
-            .with_partition(ProcId(1), 40);
+            .with_partition(ProcId(1), 40)
+            .with_corrupt_at(ProcId(0), 3, CorruptKind::Truncate);
         assert_eq!(plan.rto, Duration::from_millis(5));
         assert_eq!(plan.max_retransmits, 8);
-        assert_eq!(plan.events.len(), 2);
+        assert_eq!(plan.corrupt_rate, 0.03);
+        assert_eq!(plan.events.len(), 3);
+        assert!(matches!(
+            plan.events[2],
+            FaultEvent::CorruptAt {
+                node: ProcId(0),
+                at_frame: 3,
+                kind: CorruptKind::Truncate
+            }
+        ));
         assert!(matches!(
             plan.events[0],
             FaultEvent::Kill {

@@ -32,6 +32,18 @@ pub enum WireError {
     Trailing(usize),
     /// A declared length was implausibly large.
     BadLength(u64),
+    /// A frame did not open with [`FRAME_MAGIC`].
+    BadMagic {
+        /// The bytes found where the magic belongs.
+        got: u32,
+    },
+    /// A frame's body did not hash to the checksum it carried.
+    Checksum {
+        /// Checksum carried by the frame header.
+        expected: u32,
+        /// Checksum computed over the received body.
+        got: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -46,6 +58,15 @@ impl fmt::Display for WireError {
             WireError::BadTag { what, tag } => write!(f, "bad tag {tag} decoding {what}"),
             WireError::Trailing(n) => write!(f, "{n} trailing bytes after decode"),
             WireError::BadLength(n) => write!(f, "implausible length {n}"),
+            WireError::BadMagic { got } => {
+                write!(
+                    f,
+                    "bad frame magic {got:#010x} (expected {FRAME_MAGIC:#010x})"
+                )
+            }
+            WireError::Checksum { expected, got } => {
+                write!(f, "frame checksum mismatch: header says {expected:#010x}, body hashes to {got:#010x}")
+            }
         }
     }
 }
@@ -84,6 +105,38 @@ impl<'a> Reader<'a> {
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+
+    /// Takes exactly `N` bytes as a fixed-size array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than `N` bytes remain.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
+    /// Validates a declared element count against the unread bytes *before*
+    /// anything is allocated: `count` elements of at least `min_elem_bytes`
+    /// each must fit in what remains.  Every length-prefixed decoder runs
+    /// its prefix through this, so a hostile (or bit-flipped) length can
+    /// cost at most the real frame size, never an attacker-chosen
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadLength`] if the declared count cannot fit.
+    pub fn check_count(&self, count: u64, min_elem_bytes: u64) -> Result<usize, WireError> {
+        let need = count
+            .checked_mul(min_elem_bytes.max(1))
+            .ok_or(WireError::BadLength(count))?;
+        if need > self.remaining() as u64 {
+            return Err(WireError::BadLength(count));
+        }
+        Ok(count as usize)
     }
 
     /// Finishes decoding, failing if bytes remain.
@@ -138,6 +191,14 @@ pub trait Wire: Sized {
         self.encode(&mut buf);
         buf.len() as u64
     }
+
+    /// Lower bound on the encoded size of *any* value of this type, used
+    /// by [`Reader::check_count`] to reject hostile length prefixes before
+    /// allocating.  The default (1 byte) is always sound; fixed-size types
+    /// override it with their exact size to tighten the bound.
+    fn min_wire_size() -> u64 {
+        1
+    }
 }
 
 macro_rules! wire_int {
@@ -147,11 +208,12 @@ macro_rules! wire_int {
                 buf.extend_from_slice(&self.to_le_bytes());
             }
             fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-                let n = core::mem::size_of::<$t>();
-                let b = r.take(n)?;
-                Ok(<$t>::from_le_bytes(b.try_into().expect("sized take")))
+                Ok(<$t>::from_le_bytes(r.take_array()?))
             }
             fn wire_size(&self) -> u64 {
+                core::mem::size_of::<$t>() as u64
+            }
+            fn min_wire_size() -> u64 {
                 core::mem::size_of::<$t>() as u64
             }
         }
@@ -168,6 +230,9 @@ impl Wire for f64 {
         Ok(f64::from_bits(u64::decode(r)?))
     }
     fn wire_size(&self) -> u64 {
+        8
+    }
+    fn min_wire_size() -> u64 {
         8
     }
 }
@@ -196,13 +261,12 @@ impl<T: Wire> Wire for Vec<T> {
         }
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
-        let n = u32::decode(r)?;
-        // A count can never exceed the remaining byte count (items are at
-        // least one byte); reject early to avoid huge preallocations.
-        if n as usize > r.remaining() {
-            return Err(WireError::BadLength(u64::from(n)));
-        }
-        let mut v = Vec::with_capacity(n as usize);
+        // A count can never need more bytes than remain in the frame;
+        // reject early (against the element type's minimum encoded size)
+        // to bound preallocation by the real input length.
+        let declared = u32::decode(r)?;
+        let n = r.check_count(u64::from(declared), T::min_wire_size())?;
+        let mut v = Vec::with_capacity(n);
         for _ in 0..n {
             v.push(T::decode(r)?);
         }
@@ -210,6 +274,9 @@ impl<T: Wire> Wire for Vec<T> {
     }
     fn wire_size(&self) -> u64 {
         4 + self.iter().map(Wire::wire_size).sum::<u64>()
+    }
+    fn min_wire_size() -> u64 {
+        4
     }
 }
 
@@ -226,6 +293,9 @@ impl<T: Wire> Wire for std::sync::Arc<T> {
     }
     fn wire_size(&self) -> u64 {
         T::wire_size(self)
+    }
+    fn min_wire_size() -> u64 {
+        T::min_wire_size()
     }
 }
 
@@ -265,6 +335,9 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     fn wire_size(&self) -> u64 {
         self.0.wire_size() + self.1.wire_size()
     }
+    fn min_wire_size() -> u64 {
+        A::min_wire_size() + B::min_wire_size()
+    }
 }
 
 impl Wire for String {
@@ -283,6 +356,92 @@ impl Wire for String {
     fn wire_size(&self) -> u64 {
         4 + self.len() as u64
     }
+    fn min_wire_size() -> u64 {
+        4
+    }
+}
+
+/// Magic constant opening every wire frame ("CVMF" in ASCII).
+pub const FRAME_MAGIC: u32 = 0x464D_5643;
+
+/// Bytes prepended to each frame body: magic + body length + CRC-32C.
+pub const FRAME_HEADER_BYTES: usize = 12;
+
+/// Reflected CRC-32C (Castagnoli) polynomial, the checksum family used by
+/// SCTP and iSCSI for exactly this job: it guarantees detection of every
+/// error of up to 3 flipped bits at any datagram length we can send
+/// (Hamming distance 4 to 2^31 bits), and of any single error burst up to
+/// 32 bits.
+const CRC32C_POLY: u32 = 0x82F6_3B78;
+
+const fn crc32c_build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ CRC32C_POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32C_TABLE: [u32; 256] = crc32c_build_table();
+
+/// CRC-32C (Castagnoli) checksum of `bytes`.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32C_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Wraps an encoded datagram body in an integrity frame:
+/// `magic | body length | crc32c(body) | body`.
+pub fn encode_frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
+    FRAME_MAGIC.encode(&mut out);
+    (body.len() as u32).encode(&mut out);
+    crc32c(body).encode(&mut out);
+    out.extend_from_slice(body);
+    out
+}
+
+/// Verifies a frame's magic, length, and checksum, returning the body.
+///
+/// Every corruption is caught by one of the checks: a flip in the magic
+/// fails the magic test, a flip in the length field leaves the body short
+/// ([`WireError::Truncated`]) or long ([`WireError::Trailing`]), and a
+/// flip in the body or the checksum field fails the CRC.
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`], [`WireError::Truncated`],
+/// [`WireError::Trailing`], or [`WireError::Checksum`] as above.
+pub fn decode_frame(frame: &[u8]) -> Result<&[u8], WireError> {
+    let mut r = Reader::new(frame);
+    let magic = u32::decode(&mut r)?;
+    if magic != FRAME_MAGIC {
+        return Err(WireError::BadMagic { got: magic });
+    }
+    let len = u32::decode(&mut r)? as usize;
+    let expected = u32::decode(&mut r)?;
+    let body = r.take(len)?;
+    r.finish()?;
+    let got = crc32c(body);
+    if got != expected {
+        return Err(WireError::Checksum { expected, got });
+    }
+    Ok(body)
 }
 
 // Wire implementations for the page-substrate vocabulary, kept here so the
@@ -299,6 +458,9 @@ impl Wire for PageId {
     fn wire_size(&self) -> u64 {
         4
     }
+    fn min_wire_size() -> u64 {
+        4
+    }
 }
 
 impl Wire for GAddr {
@@ -309,6 +471,9 @@ impl Wire for GAddr {
         Ok(GAddr(u64::decode(r)?))
     }
     fn wire_size(&self) -> u64 {
+        8
+    }
+    fn min_wire_size() -> u64 {
         8
     }
 }
@@ -322,10 +487,8 @@ impl Wire for Bitmap {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let nbits = u32::decode(r)? as usize;
-        let nwords = nbits.div_ceil(64);
-        if nwords * 8 > r.remaining() {
-            return Err(WireError::BadLength(nbits as u64));
-        }
+        let nwords = (nbits as u64).div_ceil(64);
+        let nwords = r.check_count(nwords, 8)?;
         let mut raw = Vec::with_capacity(nwords);
         for _ in 0..nwords {
             raw.push(u64::decode(r)?);
@@ -334,6 +497,9 @@ impl Wire for Bitmap {
     }
     fn wire_size(&self) -> u64 {
         4 + self.wire_bytes()
+    }
+    fn min_wire_size() -> u64 {
+        4
     }
 }
 
@@ -351,6 +517,9 @@ impl Wire for PageBitmaps {
     fn wire_size(&self) -> u64 {
         self.read.wire_size() + self.write.wire_size()
     }
+    fn min_wire_size() -> u64 {
+        8
+    }
 }
 
 impl Wire for Diff {
@@ -366,6 +535,9 @@ impl Wire for Diff {
     }
     fn wire_size(&self) -> u64 {
         self.page.wire_size() + 4 + self.entries.len() as u64 * 12
+    }
+    fn min_wire_size() -> u64 {
+        8
     }
 }
 
@@ -383,6 +555,9 @@ impl Wire for ProcId {
     fn wire_size(&self) -> u64 {
         2
     }
+    fn min_wire_size() -> u64 {
+        2
+    }
 }
 
 impl Wire for VClock {
@@ -394,6 +569,9 @@ impl Wire for VClock {
     }
     fn wire_size(&self) -> u64 {
         4 + self.len() as u64 * 4
+    }
+    fn min_wire_size() -> u64 {
+        4
     }
 }
 
@@ -411,6 +589,9 @@ impl Wire for IntervalId {
     fn wire_size(&self) -> u64 {
         6
     }
+    fn min_wire_size() -> u64 {
+        6
+    }
 }
 
 impl Wire for IntervalStamp {
@@ -421,10 +602,21 @@ impl Wire for IntervalStamp {
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
         let id = IntervalId::decode(r)?;
         let vc = VClock::decode(r)?;
+        // `IntervalStamp::new` asserts the stamp's own-entry invariant;
+        // on wire input that must be a structured error, not a panic.
+        if id.proc.index() >= vc.len() || vc.get(id.proc) != id.index {
+            return Err(WireError::BadTag {
+                what: "IntervalStamp(own entry)",
+                tag: 0,
+            });
+        }
         Ok(IntervalStamp::new(id, vc))
     }
     fn wire_size(&self) -> u64 {
         self.id.wire_size() + self.vc.wire_size()
+    }
+    fn min_wire_size() -> u64 {
+        10
     }
 }
 
@@ -529,5 +721,99 @@ mod tests {
             remaining: 3,
         };
         assert!(e.to_string().contains("needed 8"));
+        let e = WireError::Checksum {
+            expected: 1,
+            got: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+        assert!(WireError::BadMagic { got: 0 }.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn crc32c_known_vector() {
+        // The RFC 3720 check value for "123456789".
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        assert_ne!(crc32c(b"a"), crc32c(b"b"));
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        for body in [&b""[..], b"x", b"hello frame", &[0u8; 300]] {
+            let frame = encode_frame(body);
+            assert_eq!(frame.len(), FRAME_HEADER_BYTES + body.len());
+            assert_eq!(decode_frame(&frame).expect("own frame"), body);
+        }
+    }
+
+    #[test]
+    fn frame_rejects_every_single_bit_flip() {
+        let frame = encode_frame(b"some datagram body");
+        for bit in 0..frame.len() * 8 {
+            let mut bad = frame.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode_frame(&bad).is_err(),
+                "bit {bit} flipped yet the frame decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_rejects_truncation_and_garbage_tail() {
+        let frame = encode_frame(b"body");
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut long = frame.clone();
+        long.push(0xAB);
+        assert_eq!(decode_frame(&long), Err(WireError::Trailing(1)));
+        let mut wrong_magic = frame;
+        wrong_magic[0] ^= 0xFF;
+        assert!(matches!(
+            decode_frame(&wrong_magic),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn check_count_bounds_allocation() {
+        let bytes = [0u8; 16];
+        let r = Reader::new(&bytes);
+        assert_eq!(r.check_count(2, 8), Ok(2));
+        assert_eq!(r.check_count(3, 8), Err(WireError::BadLength(3)));
+        // Zero-size elements still count at least one byte each.
+        assert_eq!(r.check_count(17, 0), Err(WireError::BadLength(17)));
+        // Overflowing count * size must not wrap around to "fits".
+        assert_eq!(
+            r.check_count(u64::MAX, 8),
+            Err(WireError::BadLength(u64::MAX))
+        );
+    }
+
+    #[test]
+    fn hostile_sized_vec_rejected_via_min_wire_size() {
+        // 8 declared u64s but only 9 body bytes: the old 1-byte-per-item
+        // bound would have allocated; the element-size-aware bound rejects.
+        let mut bytes = 8u32.to_bytes();
+        bytes.extend_from_slice(&[0; 9]);
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(WireError::BadLength(8))
+        ));
+    }
+
+    #[test]
+    fn forged_interval_stamp_errors_instead_of_panicking() {
+        // Stamp whose clock disagrees with its own index.
+        let mut bytes = Vec::new();
+        IntervalId::new(ProcId(0), 9).encode(&mut bytes);
+        VClock::from(vec![3, 1]).encode(&mut bytes);
+        assert!(IntervalStamp::from_bytes(&bytes).is_err());
+        // Stamp whose proc is outside its own clock.
+        let mut bytes = Vec::new();
+        IntervalId::new(ProcId(7), 1).encode(&mut bytes);
+        VClock::from(vec![3, 1]).encode(&mut bytes);
+        assert!(IntervalStamp::from_bytes(&bytes).is_err());
     }
 }
