@@ -1,0 +1,160 @@
+//! App-level resource-governance matrix: each of the paper's four
+//! applications runs under the harshest sustainable constraints — link
+//! capacity 1 (one unacked datagram per flow) and a 1-byte soft memory
+//! budget (proactive GC fires at every interval close) — and must produce
+//! application results and race fingerprints byte-identical to an
+//! unconstrained run, under both protocols.
+//!
+//! FFT and SOR are barrier-only and deterministic, so their baseline is a
+//! plain unconstrained run.  TSP and Water acquire locks, and grant order
+//! steers their racy accesses — so the baseline *records* its
+//! synchronization schedule (§6.1) and the constrained run *replays* it,
+//! making byte-identity a meaningful assertion rather than a coin flip.
+
+use cvm_apps::{fft, sor, tsp, water};
+use cvm_dsm::{DsmConfig, FaultPlan, MemBudget, Protocol, RunReport};
+
+const NPROCS: usize = 4;
+
+/// Capacity 1 is the tightest window that can make progress; a 1-byte soft
+/// budget is the smallest viable one — it forces a GC pass at every close
+/// while the unlimited hard limit keeps the run sustainable by
+/// construction.
+fn constrained_cfg(protocol: Protocol, seed: u64) -> DsmConfig {
+    let mut cfg = DsmConfig::new(NPROCS);
+    cfg.protocol = protocol;
+    cfg.net_loss = Some(FaultPlan::clean(seed).with_link_capacity(1));
+    cfg.budget = MemBudget {
+        soft_bytes: 1,
+        hard_bytes: u64::MAX,
+    };
+    cfg
+}
+
+fn unconstrained_cfg(protocol: Protocol) -> DsmConfig {
+    let mut cfg = DsmConfig::new(NPROCS);
+    cfg.protocol = protocol;
+    cfg
+}
+
+fn race_fingerprint(report: &RunReport) -> Vec<String> {
+    let mut rendered: Vec<String> = report
+        .races
+        .reports()
+        .iter()
+        .map(|r| format!("{:?}@{} {}", r.kind, r.epoch, r.render(&report.segments)))
+        .collect();
+    rendered.sort();
+    rendered
+}
+
+fn assert_governed(report: &RunReport, app: &str, protocol: Protocol) {
+    assert!(
+        report.resources.queue_high_water <= 1,
+        "{app} ({protocol:?}): in-flight depth {} over capacity 1",
+        report.resources.queue_high_water
+    );
+    assert!(
+        report.resources.soft_gcs > 0,
+        "{app} ({protocol:?}): a 1-byte soft budget must trigger GC"
+    );
+    assert!(
+        report.resources.retained_bytes_high_water > 0,
+        "{app} ({protocol:?}): the budget meter never ran"
+    );
+}
+
+#[test]
+fn fft_is_exact_under_minimum_resources() {
+    let params = fft::FftParams::small();
+    let input = fft::input_signal(params.n());
+    let expect = fft::dft_reference(&input, params.inverse);
+    for protocol in [Protocol::SingleWriter, Protocol::MultiWriter] {
+        let (clean, _) = fft::run_on(unconstrained_cfg(protocol), params, &input);
+        let (report, result) = fft::run_on(constrained_cfg(protocol, 31), params, &input);
+        assert_governed(&report, "fft", protocol);
+        for (i, (a, b)) in result.data.iter().zip(&expect).enumerate() {
+            assert!(
+                (a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9,
+                "{protocol:?} element {i}: {a:?} vs {b:?}"
+            );
+        }
+        assert_eq!(
+            race_fingerprint(&clean),
+            race_fingerprint(&report),
+            "{protocol:?}: constraints changed FFT's race fingerprint"
+        );
+    }
+}
+
+#[test]
+fn sor_is_exact_under_minimum_resources() {
+    let params = sor::SorParams::small();
+    let expect = sor::reference(params);
+    for protocol in [Protocol::SingleWriter, Protocol::MultiWriter] {
+        let (clean, _) = sor::run(unconstrained_cfg(protocol), params);
+        let (report, result) = sor::run(constrained_cfg(protocol, 32), params);
+        assert_governed(&report, "sor", protocol);
+        for (i, (a, b)) in result.grid.iter().zip(&expect).enumerate() {
+            assert!((a - b).abs() < 1e-12, "{protocol:?} cell {i}");
+        }
+        assert_eq!(
+            race_fingerprint(&clean),
+            race_fingerprint(&report),
+            "{protocol:?}: constraints changed SOR's race fingerprint"
+        );
+    }
+}
+
+#[test]
+fn tsp_is_optimal_under_minimum_resources_with_replayed_schedule() {
+    let params = tsp::TspParams::small();
+    let dist = tsp::distance_matrix(params.ncities, params.seed);
+    let (opt, _) = tsp::solve_reference(&dist, params.ncities);
+    for protocol in [Protocol::SingleWriter, Protocol::MultiWriter] {
+        let mut rec_cfg = unconstrained_cfg(protocol);
+        rec_cfg.record_sync = true;
+        let (clean, clean_result) = tsp::run(rec_cfg, params);
+        assert_eq!(clean_result.best_len, opt, "{protocol:?}");
+        let mut cfg = constrained_cfg(protocol, 33);
+        cfg.replay = Some(clean.schedule.clone());
+        let (report, result) = tsp::run(cfg, params);
+        assert_governed(&report, "tsp", protocol);
+        assert_eq!(
+            result.best_len, opt,
+            "{protocol:?}: constrained search must stay optimal"
+        );
+        assert_eq!(
+            race_fingerprint(&clean),
+            race_fingerprint(&report),
+            "{protocol:?}: constraints changed TSP's race fingerprint"
+        );
+        assert!(
+            !report.races.reports().is_empty(),
+            "{protocol:?}: the benign bound race must survive governance"
+        );
+    }
+}
+
+#[test]
+fn water_is_exact_under_minimum_resources_with_replayed_schedule() {
+    let params = water::WaterParams::small();
+    let expect = water::reference(&params);
+    for protocol in [Protocol::SingleWriter, Protocol::MultiWriter] {
+        let mut rec_cfg = unconstrained_cfg(protocol);
+        rec_cfg.record_sync = true;
+        let (clean, _) = water::run(rec_cfg, params);
+        let mut cfg = constrained_cfg(protocol, 34);
+        cfg.replay = Some(clean.schedule.clone());
+        let (report, result) = water::run(cfg, params);
+        assert_governed(&report, "water", protocol);
+        for (i, (a, b)) in result.positions.iter().zip(&expect.positions).enumerate() {
+            assert!((a - b).abs() < 1e-9, "{protocol:?} position {i}");
+        }
+        assert_eq!(
+            race_fingerprint(&clean),
+            race_fingerprint(&report),
+            "{protocol:?}: constraints changed Water's race fingerprint"
+        );
+    }
+}

@@ -232,6 +232,24 @@ pub fn wire_summary(r: &RunReport) -> String {
     )
 }
 
+/// One-line summary of a run's resource-governance marks: retained-state
+/// high waters, credit-window pressure, and checkpoint eviction.
+pub fn resource_summary(r: &RunReport) -> String {
+    let s = &r.resources;
+    format!(
+        "{} records / {} bitmaps / {:.1} KB retained peak / {} soft GCs / \
+         queue hw {} / {} credit stalls / {} cuts evicted / {:.1} KB ckpt live",
+        s.log_high_water,
+        s.bitmap_high_water,
+        s.retained_bytes_high_water as f64 / 1024.0,
+        s.soft_gcs,
+        s.queue_high_water,
+        s.credit_stalls,
+        s.cuts_evicted,
+        s.checkpoint_bytes_live as f64 / 1024.0
+    )
+}
+
 /// Prints a horizontal rule sized for the harness tables.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
@@ -306,6 +324,22 @@ mod tests {
         assert!(line.contains("0 recoveries"), "{line}");
         let off = cvm_apps::sor::run(paper_config(2, false), cvm_apps::sor::SorParams::small()).0;
         assert_eq!(recovery_summary(&off), "no checkpointing");
+    }
+
+    #[test]
+    fn resource_summary_formats() {
+        let r = cvm_apps::sor::run(paper_config(2, true), cvm_apps::sor::SorParams::small()).0;
+        let line = resource_summary(&r);
+        assert!(line.contains("records"), "{line}");
+        assert!(line.contains("queue hw"), "{line}");
+        // Detection retains records and bitmaps, so the marks are live.
+        assert!(r.resources.log_high_water > 0, "{:?}", r.resources);
+        assert!(
+            r.resources.retained_bytes_high_water > 0,
+            "{:?}",
+            r.resources
+        );
+        assert_eq!(r.resources.soft_gcs, 0, "{:?}", r.resources);
     }
 }
 

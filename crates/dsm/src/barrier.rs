@@ -441,6 +441,9 @@ pub(crate) fn apply_release(
             .push(cvm_race::trace::TraceEvent::BarrierResume { epoch });
     }
     st.apply_records(records, &vc);
+    // The merged release clock is now every process's knowledge floor:
+    // soft-budget GC may drop remote state at or below it.
+    st.barrier_floor = vc.clone();
     st.open_interval();
     st.race_log.extend(races.iter().cloned());
     st.epoch += 1;
@@ -466,7 +469,9 @@ pub(crate) fn apply_release(
         });
     };
     let _ = tx.send(());
-    Ok(())
+    // Re-measure after the release merge: the grant records just applied
+    // are the epoch's last retained-state growth.
+    st.check_budget()
 }
 
 /// Closes the current (empty) interval without network interaction.

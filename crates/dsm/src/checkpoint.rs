@@ -163,6 +163,8 @@ fn node_stats_to_vec(s: &NodeStats) -> Vec<u64> {
         s.shared_writes,
         s.log_high_water,
         s.bitmap_high_water,
+        s.retained_bytes_high_water,
+        s.soft_gcs,
     ]
 }
 
@@ -183,11 +185,13 @@ fn node_stats_from_vec(v: &[u64]) -> NodeStats {
         shared_writes: v[12],
         log_high_water: v[13],
         bitmap_high_water: v[14],
+        retained_bytes_high_water: v[15],
+        soft_gcs: v[16],
     }
 }
 
 const DET_STATS_FIELDS: usize = 9;
-const NODE_STATS_FIELDS: usize = 15;
+const NODE_STATS_FIELDS: usize = 17;
 
 impl Wire for NodeImage {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -501,6 +505,10 @@ pub(crate) fn restore(st: &mut NodeCore, img: &NodeImage) {
         .collect();
     st.trace = img.trace.clone();
     st.trace_last_release = img.trace_last_release.iter().copied().collect();
+    // The restored node has no current barrier floor: a stale floor from a
+    // pre-kill epoch could let soft GC drop restored records that replay
+    // still needs.  Reset it; the next release re-establishes it.
+    st.barrier_floor = VClock::new(st.cfg.nprocs);
 }
 
 /// In-memory store of recovery images, shared by every node of a run.
@@ -508,17 +516,49 @@ pub(crate) fn restore(st: &mut NodeCore, img: &NodeImage) {
 /// Keyed by `(epoch, proc)`.  `Cluster::run` keeps it across recovery
 /// attempts so a replacement node can be rebuilt from the newest epoch for
 /// which *every* process deposited an image.
-#[derive(Debug, Default)]
+///
+/// With a retention bound ([`with_retention`](Self::with_retention)) the
+/// store keeps only the newest K *complete* epochs: depositing an image
+/// evicts every epoch — complete or partial — older than the K-th newest
+/// complete cut.  Partial cuts newer than that floor are in flight and
+/// always survive.  Lifetime counters (`checkpoints_taken`,
+/// `bytes_snapshotted`) are unaffected by eviction.
+#[derive(Debug)]
 pub struct CheckpointStore {
     inner: Mutex<HashMap<(u64, u16), Vec<u8>>>,
     checkpoints_taken: AtomicU64,
     bytes_snapshotted: AtomicU64,
+    cuts_evicted: AtomicU64,
+    /// Complete epochs to retain; `usize::MAX` means unlimited.
+    retain: usize,
+    /// Cluster size, needed to recognize a complete cut (unused when
+    /// retention is unlimited).
+    nprocs: usize,
+}
+
+impl Default for CheckpointStore {
+    fn default() -> Self {
+        CheckpointStore::with_retention(usize::MAX, 0)
+    }
 }
 
 impl CheckpointStore {
-    /// An empty store.
+    /// An empty store with unlimited retention.
     pub fn new() -> Self {
         CheckpointStore::default()
+    }
+
+    /// An empty store retaining the newest `retain` complete epochs for a
+    /// cluster of `nprocs` processes.
+    pub fn with_retention(retain: usize, nprocs: usize) -> Self {
+        CheckpointStore {
+            inner: Mutex::new(HashMap::new()),
+            checkpoints_taken: AtomicU64::new(0),
+            bytes_snapshotted: AtomicU64::new(0),
+            cuts_evicted: AtomicU64::new(0),
+            retain,
+            nprocs,
+        }
     }
 
     /// Deposits one node's encoded image for `epoch`.
@@ -526,7 +566,53 @@ impl CheckpointStore {
         self.checkpoints_taken.fetch_add(1, Ordering::Relaxed);
         self.bytes_snapshotted
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-        self.inner.lock().unwrap().insert((epoch, proc), bytes);
+        let mut inner = self.inner.lock().unwrap();
+        inner.insert((epoch, proc), bytes);
+        self.enforce_retention(&mut inner, self.retain);
+    }
+
+    /// Evicts every epoch older than the `keep`-th newest complete cut.
+    /// Recovery is unaffected: it steers to the newest complete cut, which
+    /// is always retained.
+    fn enforce_retention(&self, inner: &mut HashMap<(u64, u16), Vec<u8>>, keep: usize) {
+        if keep == usize::MAX || self.nprocs == 0 {
+            return;
+        }
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for (epoch, _) in inner.keys() {
+            *counts.entry(*epoch).or_insert(0) += 1;
+        }
+        let mut complete: Vec<u64> = counts
+            .into_iter()
+            .filter(|(_, n)| *n == self.nprocs)
+            .map(|(e, _)| e)
+            .collect();
+        complete.sort_unstable_by(|a, b| b.cmp(a));
+        if complete.len() <= keep {
+            return;
+        }
+        let floor = complete[keep - 1];
+        let mut evicted: Vec<u64> = inner
+            .keys()
+            .map(|(e, _)| *e)
+            .filter(|e| *e < floor)
+            .collect();
+        evicted.sort_unstable();
+        evicted.dedup();
+        inner.retain(|(e, _), _| *e >= floor);
+        self.cuts_evicted
+            .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Soft-budget pressure: shrink to the single newest complete cut (and
+    /// anything newer still in flight), regardless of the configured
+    /// retention.  No-op on an unbounded store.
+    pub fn evict_under_pressure(&self) {
+        if self.nprocs == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        self.enforce_retention(&mut inner, 1);
     }
 
     /// Decodes the stored image of `proc` at `epoch`, if present.
@@ -582,6 +668,32 @@ impl CheckpointStore {
     /// Total encoded bytes deposited over the store's lifetime.
     pub fn bytes_snapshotted(&self) -> u64 {
         self.bytes_snapshotted.load(Ordering::Relaxed)
+    }
+
+    /// Epochs evicted by the retention bound over the store's lifetime.
+    pub fn cuts_evicted(&self) -> u64 {
+        self.cuts_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Encoded bytes currently resident (after eviction).
+    pub fn checkpoint_bytes_live(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .values()
+            .map(|b| b.len() as u64)
+            .sum()
+    }
+
+    /// Encoded bytes currently resident for one process's images.
+    pub fn bytes_live_for(&self, proc: ProcId) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|((_, p), _)| *p == proc.0)
+            .map(|(_, b)| b.len() as u64)
+            .sum()
     }
 }
 
@@ -696,7 +808,10 @@ pub(crate) fn on_ckpt_go(st: &mut NodeCore, epoch: u64) -> Result<(), DsmError> 
         });
     };
     let _ = tx.send(());
-    Ok(())
+    // The fresh image is the one allocation in this path; meter it after
+    // the release so a budget failure drains the cluster instead of
+    // wedging the barrier.
+    st.check_budget()
 }
 
 #[cfg(test)]
@@ -837,6 +952,65 @@ mod tests {
         store.put(2, 0, vec![5]);
         store.put(2, 1, vec![6]);
         assert_eq!(store.last_complete_epoch(2), Some(2));
+    }
+
+    #[test]
+    fn retention_keeps_newest_complete_cuts() {
+        let store = CheckpointStore::with_retention(2, 2);
+        for epoch in 1..=4u64 {
+            store.put(epoch, 0, vec![0; 8]);
+            store.put(epoch, 1, vec![0; 8]);
+        }
+        // Epochs 3 and 4 survive; 1 and 2 were evicted as newer complete
+        // cuts arrived.
+        assert_eq!(store.last_complete_epoch(2), Some(4));
+        assert!(!store.inner.lock().unwrap().contains_key(&(2, 0)));
+        assert!(store.inner.lock().unwrap().contains_key(&(3, 0)));
+        assert_eq!(store.cuts_evicted(), 2);
+        // Two retained epochs, two images each, 8 bytes apiece.
+        assert_eq!(store.checkpoint_bytes_live(), 32);
+        // Lifetime counters ignore eviction.
+        assert_eq!(store.checkpoints_taken(), 8);
+        assert_eq!(store.bytes_snapshotted(), 8 * 8);
+    }
+
+    #[test]
+    fn retention_never_evicts_inflight_partial_cuts() {
+        let store = CheckpointStore::with_retention(1, 2);
+        store.put(1, 0, vec![1]);
+        store.put(1, 1, vec![2]);
+        store.put(2, 0, vec![3]);
+        store.put(2, 1, vec![4]);
+        // Epoch 3 is partial (in flight): it must survive even though only
+        // one complete cut is retained.
+        store.put(3, 0, vec![5]);
+        assert_eq!(store.last_complete_epoch(2), Some(2));
+        let present = |e, p| store.inner.lock().unwrap().contains_key(&(e, p));
+        assert!(!present(1, 0));
+        assert!(present(2, 0));
+        assert!(present(3, 0));
+        assert_eq!(store.bytes_live_for(ProcId(0)), 2);
+        assert_eq!(store.bytes_live_for(ProcId(1)), 1);
+    }
+
+    #[test]
+    fn pressure_eviction_shrinks_to_one_complete_cut() {
+        let store = CheckpointStore::with_retention(3, 2);
+        for epoch in 1..=3u64 {
+            store.put(epoch, 0, vec![0; 4]);
+            store.put(epoch, 1, vec![0; 4]);
+        }
+        let present = |s: &CheckpointStore, e, p| s.inner.lock().unwrap().contains_key(&(e, p));
+        assert!(present(&store, 1, 0));
+        store.evict_under_pressure();
+        assert!(!present(&store, 1, 0));
+        assert!(!present(&store, 2, 0));
+        assert_eq!(store.last_complete_epoch(2), Some(3));
+        // An unbounded store ignores pressure entirely.
+        let unbounded = CheckpointStore::new();
+        unbounded.put(1, 0, vec![1]);
+        unbounded.evict_under_pressure();
+        assert!(present(&unbounded, 1, 0));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::msg::Msg;
 use crate::node::NodeCore;
 use crate::pages::Node;
 use crate::replay::ReplayCursor;
-use crate::report::{NodeReport, RecoveryStats, RunReport};
+use crate::report::{NodeReport, RecoveryStats, ResourceStats, RunReport};
 
 /// Builder/runner for simulated CVM clusters.
 ///
@@ -77,7 +77,7 @@ impl Cluster {
 
         let store: Option<Arc<CheckpointStore>> = cfg
             .checkpointing()
-            .then(|| Arc::new(CheckpointStore::new()));
+            .then(|| Arc::new(CheckpointStore::with_retention(cfg.ckpt_retain, nprocs)));
         let retries = match cfg.recovery {
             RecoveryPolicy::Abort => 0,
             RecoveryPolicy::Recover { max_attempts } => u64::from(max_attempts),
@@ -203,9 +203,10 @@ where
             for (i, (node, ep)) in nodes.iter().zip(endpoints).enumerate() {
                 let node = Arc::clone(node);
                 let ctl = Arc::clone(&ctl);
+                let rs = rstats.clone();
                 scope.spawn(move || {
                     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        service_loop(&node, ep)
+                        service_loop(&node, ep, rs)
                     }));
                     if r.is_err() && !ctl.tearing_down() {
                         ctl.fail(DsmError::NodeFailed { proc: i as u16 });
@@ -271,6 +272,7 @@ where
         let mut schedule = crate::replay::SyncSchedule::new();
         let mut watch_hits = Vec::new();
         let mut traces = Vec::with_capacity(nprocs);
+        let mut resources = ResourceStats::default();
         for node in nodes {
             let node = Arc::into_inner(node).expect("all threads joined");
             let core = node.state.into_inner();
@@ -281,6 +283,14 @@ where
             schedule.merge(core.sched_rec.clone());
             watch_hits.extend(core.watch_hits.iter().copied());
             traces.push(core.trace.clone());
+            resources.log_high_water = resources.log_high_water.max(core.stats.log_high_water);
+            resources.bitmap_high_water = resources
+                .bitmap_high_water
+                .max(core.stats.bitmap_high_water);
+            resources.retained_bytes_high_water = resources
+                .retained_bytes_high_water
+                .max(core.stats.retained_bytes_high_water);
+            resources.soft_gcs += core.stats.soft_gcs;
             reports.push(NodeReport {
                 proc: core.proc,
                 stats: core.stats,
@@ -289,6 +299,21 @@ where
                 shared_calls: core.analysis.shared_calls(),
                 private_calls: core.analysis.private_calls(),
             });
+        }
+
+        // Transport- and store-side marks (read before `rstats` moves into
+        // the report).  These counters are timing-dependent, which is why
+        // they live here and not in the deterministic snapshots.
+        resources.link_high_water = net_stats.link_high_water();
+        if let Some(rs) = &rstats {
+            use std::sync::atomic::Ordering;
+            resources.queue_high_water = rs.queue_high_water.load(Ordering::Relaxed);
+            resources.credit_stalls = rs.credit_stalls.load(Ordering::Relaxed);
+            resources.link_high_water = resources.link_high_water.max(rs.link_high_water());
+        }
+        if let Some(s) = store {
+            resources.cuts_evicted = s.cuts_evicted();
+            resources.checkpoint_bytes_live = s.checkpoint_bytes_live();
         }
 
         let report = RunReport {
@@ -302,6 +327,7 @@ where
             watch_hits,
             traces,
             recovery: RecoveryStats::default(),
+            resources,
             wall: started.elapsed(),
         };
         match ctl.failure() {
@@ -320,13 +346,24 @@ where
 /// partitioned node never receives the shutdown message it sends itself).
 /// Handler errors outside teardown fail the run; the loop keeps draining so
 /// peers' in-flight requests do not back up behind the failure.
-fn service_loop(node: &Node, ep: Endpoint) {
+///
+/// Idle polls also run the overload watchdog: a credit-stalled link with no
+/// datagram delivery and no virtual-time progress for a full `op_deadline`
+/// is a diagnosed credit deadlock, converted into a named
+/// [`DsmError::Timeout`] instead of hanging until some blocked operation's
+/// own deadline fires anonymously.
+fn service_loop(node: &Node, ep: Endpoint, rstats: Option<Arc<ReliabilityStats>>) {
+    let op_deadline = node.state.lock().cfg.op_deadline;
+    let mut watchdog = Watchdog::default();
     loop {
         let pkt = match ep.recv_timeout(SERVICE_POLL) {
             Ok(pkt) => pkt,
             Err(NetError::Empty) => {
                 if node.ctl.tearing_down() {
                     return;
+                }
+                if let Some(rs) = &rstats {
+                    watchdog.poll(node, rs, op_deadline);
                 }
                 continue;
             }
@@ -446,6 +483,50 @@ fn service_loop(node: &Node, ep: Endpoint) {
     }
 }
 
+/// Overload-watchdog state for one service loop.
+///
+/// Progress is `(datagrams delivered fabric-wide, this node's virtual
+/// clock)`; the timer arms only while some sender is credit-stalled and
+/// resets whenever either measure moves or the stall clears, so ordinary
+/// backpressure (slow but moving) never trips it.
+#[derive(Default)]
+struct Watchdog {
+    last_progress: (u64, u64),
+    stalled_since: Option<Instant>,
+    diagnosed: bool,
+}
+
+impl Watchdog {
+    fn poll(&mut self, node: &Node, rs: &ReliabilityStats, op_deadline: std::time::Duration) {
+        use std::sync::atomic::Ordering;
+        if self.diagnosed {
+            return;
+        }
+        if rs.credit_stalled_now.load(Ordering::Relaxed) == 0 {
+            self.stalled_since = None;
+            return;
+        }
+        let progress = (
+            rs.delivered.load(Ordering::Relaxed),
+            node.state.lock().clock.now(),
+        );
+        match self.stalled_since {
+            Some(since) if progress == self.last_progress => {
+                if since.elapsed() >= op_deadline {
+                    self.diagnosed = true;
+                    node.ctl.fail(DsmError::Timeout {
+                        op: "credit-window progress",
+                    });
+                }
+            }
+            _ => {
+                self.last_progress = progress;
+                self.stalled_since = Some(Instant::now());
+            }
+        }
+    }
+}
+
 /// A `Disconnected` send from a protocol handler means *this* node's wire
 /// endpoint is gone — a scripted kill landing mid-dispatch.  Name the node
 /// so the failure is retryable under [`RecoveryPolicy::Recover`], matching
@@ -454,5 +535,86 @@ fn name_own_death(err: DsmError, me: ProcId) -> DsmError {
     match err {
         DsmError::Net(NetError::Disconnected) => DsmError::NodeFailed { proc: me.0 },
         other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    use cvm_net::NetConfig;
+
+    use super::*;
+    use crate::fault::ClusterCtl;
+
+    fn idle_node() -> (Node, Vec<Endpoint>) {
+        let (eps, _) = Network::new(2, NetConfig::default());
+        let node = Node {
+            state: Mutex::new(NodeCore::new(DsmConfig::new(2), ProcId(0))),
+            sender: eps[0].sender(),
+            ctl: Arc::new(ClusterCtl::new()),
+        };
+        (node, eps)
+    }
+
+    #[test]
+    fn watchdog_diagnoses_a_stuck_credit_stall() {
+        let (node, _eps) = idle_node();
+        let rs = ReliabilityStats::default();
+        rs.credit_stalled_now.store(1, Ordering::Relaxed);
+        let mut wd = Watchdog::default();
+        // First observation only arms the timer.
+        wd.poll(&node, &rs, Duration::ZERO);
+        assert!(node.ctl.failure().is_none(), "one sample is not a deadlock");
+        // Same (delivered, virtual clock) past the deadline: diagnosed.
+        wd.poll(&node, &rs, Duration::ZERO);
+        assert_eq!(
+            node.ctl.failure(),
+            Some(DsmError::Timeout {
+                op: "credit-window progress"
+            })
+        );
+        // Latched: one diagnosis per loop, even if polled again.
+        wd.poll(&node, &rs, Duration::ZERO);
+        assert!(wd.diagnosed);
+    }
+
+    #[test]
+    fn watchdog_resets_on_progress_or_stall_clearing() {
+        let (node, _eps) = idle_node();
+        let rs = ReliabilityStats::default();
+        let mut wd = Watchdog::default();
+        rs.credit_stalled_now.store(1, Ordering::Relaxed);
+        wd.poll(&node, &rs, Duration::ZERO);
+        // Fabric delivery between polls is progress: re-arm, don't fire.
+        rs.delivered.fetch_add(1, Ordering::Relaxed);
+        wd.poll(&node, &rs, Duration::ZERO);
+        assert!(
+            node.ctl.failure().is_none(),
+            "progress must reset the timer"
+        );
+        // The stall clearing disarms the timer entirely.
+        rs.credit_stalled_now.store(0, Ordering::Relaxed);
+        wd.poll(&node, &rs, Duration::ZERO);
+        assert!(wd.stalled_since.is_none());
+        assert!(node.ctl.failure().is_none());
+        // A fresh stall with frozen progress still ends in a diagnosis.
+        rs.credit_stalled_now.store(1, Ordering::Relaxed);
+        wd.poll(&node, &rs, Duration::ZERO);
+        wd.poll(&node, &rs, Duration::ZERO);
+        assert!(matches!(node.ctl.failure(), Some(DsmError::Timeout { .. })));
+    }
+
+    #[test]
+    fn watchdog_ignores_healthy_links() {
+        let (node, _eps) = idle_node();
+        let rs = ReliabilityStats::default();
+        let mut wd = Watchdog::default();
+        for _ in 0..3 {
+            wd.poll(&node, &rs, Duration::ZERO);
+        }
+        assert!(node.ctl.failure().is_none());
+        assert!(wd.stalled_since.is_none());
     }
 }

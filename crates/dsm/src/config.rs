@@ -63,6 +63,54 @@ pub enum RecoveryPolicy {
     },
 }
 
+/// Per-node memory budget over *retained* detection and consistency state:
+/// interval records, access bitmaps, multi-writer twins, and this node's
+/// live checkpoint images.
+///
+/// Crossing `soft_bytes` triggers proactive degradation — consistency-info
+/// GC of provably cluster-known records plus checkpoint-cut eviction down
+/// to the newest complete cut — and counts a `soft_gcs` on the node.
+/// Crossing `hard_bytes` *after* that GC fails the operation with
+/// [`DsmError::ResourceExhausted`](crate::DsmError::ResourceExhausted),
+/// which unwinds through the cluster's first-error path: the run returns a
+/// drained partial report rather than allocating until the process dies.
+///
+/// Budget checks never charge virtual time and the unlimited default takes
+/// no action at all, so race reports and cost accounting stay
+/// byte-identical to an unbudgeted run for any budget above the
+/// application's actual peak.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemBudget {
+    /// Soft limit: crossing it triggers GC/eviction, not failure.
+    pub soft_bytes: u64,
+    /// Hard limit: crossing it (post-GC) fails the run cleanly.
+    pub hard_bytes: u64,
+}
+
+impl Default for MemBudget {
+    fn default() -> Self {
+        MemBudget {
+            soft_bytes: u64::MAX,
+            hard_bytes: u64::MAX,
+        }
+    }
+}
+
+impl MemBudget {
+    /// Both limits set to the same value.
+    pub fn exact(bytes: u64) -> Self {
+        MemBudget {
+            soft_bytes: bytes,
+            hard_bytes: bytes,
+        }
+    }
+
+    /// Whether this budget can never trip (the default).
+    pub fn is_unlimited(&self) -> bool {
+        self.soft_bytes == u64::MAX && self.hard_bytes == u64::MAX
+    }
+}
+
 /// Race-detection configuration (off for the uninstrumented baseline runs).
 #[derive(Clone, Copy, Debug)]
 pub struct DetectConfig {
@@ -172,6 +220,14 @@ pub struct DsmConfig {
     /// What to do when a node dies mid-run: abort (default) or restore
     /// from barrier-epoch checkpoints and complete the run.
     pub recovery: RecoveryPolicy,
+    /// Per-node budget over retained records/bitmaps/twins/checkpoint
+    /// images.  Unlimited by default (no behavior change at all).
+    pub budget: MemBudget,
+    /// Complete checkpoint cuts retained in the in-process store: older
+    /// cuts are evicted as newer ones complete.  Recovery always steers to
+    /// the newest retained complete cut, so any value ≥ 1 is safe; the
+    /// default keeps one cut of slack for a node that dies mid-commit.
+    pub ckpt_retain: usize,
 }
 
 impl DsmConfig {
@@ -192,6 +248,8 @@ impl DsmConfig {
             record_sync: false,
             replay: None,
             recovery: RecoveryPolicy::default(),
+            budget: MemBudget::default(),
+            ckpt_retain: 2,
         }
     }
 
@@ -220,6 +278,11 @@ impl DsmConfig {
                 "diff-based write detection requires the multi-writer protocol"
             );
         }
+        assert!(
+            self.budget.hard_bytes >= self.budget.soft_bytes,
+            "hard budget below soft budget"
+        );
+        assert!(self.ckpt_retain >= 1, "must retain at least one cut");
     }
 }
 
@@ -259,5 +322,31 @@ mod tests {
     fn detect_on_off_toggles() {
         assert!(DetectConfig::on().enabled);
         assert!(!DetectConfig::off().enabled);
+    }
+
+    #[test]
+    fn budget_defaults_unlimited() {
+        let b = MemBudget::default();
+        assert!(b.is_unlimited());
+        assert!(!MemBudget::exact(1 << 20).is_unlimited());
+    }
+
+    #[test]
+    #[should_panic(expected = "hard budget below soft")]
+    fn inverted_budget_invalid() {
+        let mut c = DsmConfig::new(2);
+        c.budget = MemBudget {
+            soft_bytes: 100,
+            hard_bytes: 50,
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cut")]
+    fn zero_retention_invalid() {
+        let mut c = DsmConfig::new(2);
+        c.ckpt_retain = 0;
+        c.validate();
     }
 }

@@ -34,6 +34,43 @@ pub enum DsmError {
         /// What was violated.
         context: &'static str,
     },
+    /// A node's retained state crossed the hard
+    /// [`MemBudget`](crate::MemBudget) limit even after soft-limit GC —
+    /// the run fails cleanly through the first-error path (with a drained
+    /// partial report) instead of allocating until the process dies.
+    ResourceExhausted {
+        /// The node that exceeded its budget.
+        node: u16,
+        /// The dominant consumer at the moment of exhaustion.
+        kind: ResourceKind,
+        /// Total retained bytes at the moment of exhaustion.
+        bytes: u64,
+    },
+}
+
+/// Which class of retained state dominated a
+/// [`DsmError::ResourceExhausted`] failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// Interval records retained for detection/consistency forwarding.
+    Records,
+    /// Per-interval read/write access bitmaps.
+    Bitmaps,
+    /// Multi-writer twin pages held for diffing.
+    Twins,
+    /// This node's live images in the checkpoint store.
+    Checkpoints,
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Records => write!(f, "interval records"),
+            ResourceKind::Bitmaps => write!(f, "access bitmaps"),
+            ResourceKind::Twins => write!(f, "twin pages"),
+            ResourceKind::Checkpoints => write!(f, "checkpoint images"),
+        }
+    }
 }
 
 impl fmt::Display for DsmError {
@@ -44,6 +81,10 @@ impl fmt::Display for DsmError {
             DsmError::NodeFailed { proc } => write!(f, "process P{proc} failed"),
             DsmError::Timeout { op } => write!(f, "operation timed out: {op}"),
             DsmError::Protocol { context } => write!(f, "protocol invariant violated: {context}"),
+            DsmError::ResourceExhausted { node, kind, bytes } => write!(
+                f,
+                "process P{node} exhausted its memory budget: {bytes} bytes retained, mostly {kind}"
+            ),
         }
     }
 }
@@ -98,5 +139,20 @@ mod tests {
         let n = DsmError::Net(NetError::Disconnected);
         assert!(n.to_string().contains("network"));
         assert!(DsmError::NodeFailed { proc: 3 }.to_string().contains("P3"));
+        let r = DsmError::ResourceExhausted {
+            node: 2,
+            kind: ResourceKind::Records,
+            bytes: 4096,
+        };
+        let text = r.to_string();
+        assert!(text.contains("P2") && text.contains("4096") && text.contains("interval records"));
+        for kind in [
+            ResourceKind::Records,
+            ResourceKind::Bitmaps,
+            ResourceKind::Twins,
+            ResourceKind::Checkpoints,
+        ] {
+            assert!(!kind.to_string().is_empty());
+        }
     }
 }

@@ -71,12 +71,14 @@ mod simtime;
 
 pub use checkpoint::{CheckpointStore, NodeImage};
 pub use cluster::Cluster;
-pub use config::{DetectConfig, DsmConfig, Protocol, RecoveryPolicy, Watch, WriteDetection};
+pub use config::{
+    DetectConfig, DsmConfig, MemBudget, Protocol, RecoveryPolicy, Watch, WriteDetection,
+};
 pub use cvm_net::{CorruptKind, FaultEvent, FaultPlan, ReliabilitySnapshot};
-pub use error::{DsmError, RunError};
+pub use error::{DsmError, ResourceKind, RunError};
 pub use handle::{EpochStepper, ProcHandle};
 pub use msg::Msg;
 pub use node::NodeStats;
 pub use replay::SyncSchedule;
-pub use report::{NodeReport, RecoveryStats, RunReport, WatchHit};
+pub use report::{NodeReport, RecoveryStats, ResourceStats, RunReport, WatchHit};
 pub use simtime::{CostModel, OverheadCat, VirtualClock, CLOCK_HZ, NCATS};

@@ -294,7 +294,9 @@ pub(crate) fn handle_grant(
         });
     };
     let _ = tx.send(());
-    Ok(())
+    // Grant records are the only retained-state growth between barriers;
+    // meter them against the budget here.
+    st.check_budget()
 }
 
 /// Reacts to a peer declared dead by the reliability layer: any lock we

@@ -118,6 +118,11 @@ pub struct NodeStats {
     pub log_high_water: u64,
     /// High-water mark of retained access bitmaps (GC boundedness).
     pub bitmap_high_water: u64,
+    /// High-water mark of estimated retained bytes across all metered
+    /// classes (records, bitmaps, twins, checkpoint images).
+    pub retained_bytes_high_water: u64,
+    /// Soft-budget crossings that triggered proactive GC.
+    pub soft_gcs: u64,
 }
 
 /// Mutable state of one node, shared between its application thread and its
@@ -193,6 +198,12 @@ pub(crate) struct NodeCore {
     /// Destination for recovery images (present only under
     /// [`RecoveryPolicy::Recover`](crate::RecoveryPolicy)).
     pub ckpt: Option<Arc<crate::checkpoint::CheckpointStore>>,
+    /// The merged release clock of the last barrier: every peer's knowledge
+    /// is at least this.  Remote consistency state at or below the floor is
+    /// redundant (each peer already applied it), so soft-budget GC may drop
+    /// it without weakening LRC.  Barrier GC normally leaves nothing below
+    /// the floor; the sweep matters after a checkpoint restore.
+    pub barrier_floor: VClock,
 }
 
 impl NodeCore {
@@ -244,6 +255,7 @@ impl NodeCore {
             pending_ckpt: None,
             ckpt_acks: HashMap::new(),
             ckpt: None,
+            barrier_floor: VClock::new(nprocs),
         }
     }
 
@@ -385,7 +397,7 @@ impl NodeCore {
         self.cur.read.clear();
         self.cur.bitmaps.clear();
         self.note_high_water();
-        Ok(())
+        self.check_budget()
     }
 
     /// Updates the retained-state high-water marks (used to verify that
@@ -395,6 +407,105 @@ impl NodeCore {
     pub fn note_high_water(&mut self) {
         self.stats.log_high_water = self.stats.log_high_water.max(self.log.len() as u64);
         self.stats.bitmap_high_water = self.stats.bitmap_high_water.max(self.bitmaps.len() as u64);
+    }
+
+    /// Estimated bytes retained per metered resource class.
+    ///
+    /// Records are costed at their wire size (an exact arithmetic figure)
+    /// plus a fixed in-memory overhead; bitmaps at two bits per page word;
+    /// twins at one page of words; checkpoints at this node's live images
+    /// in the shared store.  Estimates only steer the budget — they never
+    /// charge virtual time, so the simulated timeline is identical with
+    /// and without a budget configured.
+    pub(crate) fn retained_breakdown(&self) -> [(crate::error::ResourceKind, u64); 4] {
+        use crate::error::ResourceKind;
+        const RECORD_OVERHEAD: u64 = 48;
+        let record_bytes: u64 = self
+            .log
+            .values()
+            .map(|rec| rec.wire_size() + RECORD_OVERHEAD)
+            .sum();
+        let page_words = self.cfg.geometry.page_words as u64;
+        let bitmap_bytes = self.bitmaps.len() as u64 * (page_words / 4).max(1);
+        let twin_bytes = self
+            .pages
+            .pages()
+            .filter(|&p| self.pages.frame(p).is_some_and(|f| f.twin.is_some()))
+            .count() as u64
+            * page_words
+            * 8;
+        let ckpt_bytes = self
+            .ckpt
+            .as_ref()
+            .map_or(0, |store| store.bytes_live_for(self.proc));
+        [
+            (ResourceKind::Records, record_bytes),
+            (ResourceKind::Bitmaps, bitmap_bytes),
+            (ResourceKind::Twins, twin_bytes),
+            (ResourceKind::Checkpoints, ckpt_bytes),
+        ]
+    }
+
+    /// Re-measures retained state against the configured
+    /// [`MemBudget`](crate::MemBudget) and updates the byte high-water
+    /// mark.
+    ///
+    /// Crossing the soft limit triggers one proactive GC pass (see
+    /// [`soft_gc`](Self::soft_gc)); still exceeding the hard limit after
+    /// GC fails the operation with
+    /// [`DsmError::ResourceExhausted`](crate::error::DsmError), which
+    /// unwinds through the cluster's first-error path — never a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`DsmError::ResourceExhausted`](crate::error::DsmError) when
+    /// retained bytes exceed the hard limit even after the soft-GC pass.
+    pub fn check_budget(&mut self) -> Result<(), crate::error::DsmError> {
+        let total: u64 = self.retained_breakdown().iter().map(|(_, b)| b).sum();
+        self.stats.retained_bytes_high_water = self.stats.retained_bytes_high_water.max(total);
+        let budget = self.cfg.budget;
+        if budget.is_unlimited() || total <= budget.soft_bytes {
+            return Ok(());
+        }
+        self.soft_gc();
+        let breakdown = self.retained_breakdown();
+        let total: u64 = breakdown.iter().map(|(_, b)| b).sum();
+        if total > budget.hard_bytes {
+            let (kind, _) = breakdown
+                .iter()
+                .max_by_key(|(_, b)| *b)
+                .copied()
+                .expect("breakdown is non-empty");
+            return Err(crate::error::DsmError::ResourceExhausted {
+                node: self.proc.0,
+                kind,
+                bytes: total,
+            });
+        }
+        Ok(())
+    }
+
+    /// One soft-budget GC pass.
+    ///
+    /// Barrier-boundary GC already reclaims every remote record at each
+    /// release (§6.3), so between barriers the only droppable consistency
+    /// state is remote records/bitmaps at or below the barrier floor —
+    /// knowledge every peer already holds (normally none; non-empty after
+    /// a restore).  The substantive lever is the checkpoint store: evict
+    /// down to the newest complete cut.  Own records and bitmaps are never
+    /// dropped here — they are unsent or awaiting the master's bitmap
+    /// request.
+    fn soft_gc(&mut self) {
+        self.stats.soft_gcs += 1;
+        let me = self.proc;
+        let floor = self.barrier_floor.clone();
+        self.log
+            .retain(|id, _| id.proc == me || id.index > floor.get(id.proc));
+        self.bitmaps
+            .retain(|(id, _)| id.proc == me || id.index > floor.get(id.proc));
+        if let Some(store) = &self.ckpt {
+            store.evict_under_pressure();
+        }
     }
 
     /// Opens the next interval with a fresh stamp snapshot.
@@ -777,6 +888,60 @@ mod tests {
         assert!(core.cur.bitmaps.is_empty());
         assert_eq!(core.analysis.total_calls(), 0);
         assert_eq!(core.clock.now(), 0);
+    }
+
+    #[test]
+    fn hard_budget_exhaustion_surfaces_resource_error() {
+        let mut cfg = DsmConfig::new(2);
+        cfg.budget = crate::config::MemBudget::exact(1);
+        let (eps, _) = Network::new(2, NetConfig::default());
+        let mut core = NodeCore::new(cfg, ProcId(0));
+        core.cur.dirty.insert(PageId(3));
+        let err = core.close_interval(&eps[0].sender()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::DsmError::ResourceExhausted { node: 0, .. }
+        ));
+        // The soft pass ran (and found nothing droppable) before failing.
+        assert_eq!(core.stats.soft_gcs, 1);
+        // Own record survives: it is unsent consistency information.
+        assert!(core.log.contains_key(&IntervalId::new(ProcId(0), 1)));
+    }
+
+    #[test]
+    fn soft_gc_drops_only_remote_state_below_floor() {
+        let mut cfg = DsmConfig::new(2);
+        cfg.budget = crate::config::MemBudget {
+            soft_bytes: 1,
+            hard_bytes: u64::MAX,
+        };
+        let (eps, _) = Network::new(2, NetConfig::default());
+        let mut core = NodeCore::new(cfg, ProcId(0));
+        // A remote record below the floor (as after a restore) and one
+        // above it.
+        let old = cvm_race::make_interval(1, 2, vec![0, 2], &[7], &[]);
+        let new = cvm_race::make_interval(1, 9, vec![0, 9], &[8], &[]);
+        core.apply_records(
+            vec![Arc::new(old), Arc::new(new)],
+            &VClock::from(vec![0, 9]),
+        );
+        core.barrier_floor = VClock::from(vec![0, 5]);
+        core.cur.dirty.insert(PageId(0));
+        core.close_interval(&eps[0].sender()).unwrap();
+        assert_eq!(core.stats.soft_gcs, 1);
+        assert!(!core.log.contains_key(&IntervalId::new(ProcId(1), 2)));
+        assert!(core.log.contains_key(&IntervalId::new(ProcId(1), 9)));
+        assert!(core.log.contains_key(&IntervalId::new(ProcId(0), 1)));
+        assert!(core.stats.retained_bytes_high_water > 0);
+    }
+
+    #[test]
+    fn unlimited_budget_takes_no_action() {
+        let (mut core, tx) = core_pair();
+        core.cur.dirty.insert(PageId(1));
+        core.close_interval(&tx).unwrap();
+        assert_eq!(core.stats.soft_gcs, 0);
+        assert!(core.stats.retained_bytes_high_water > 0);
     }
 
     #[test]

@@ -56,6 +56,35 @@ pub struct RecoveryStats {
     pub epochs_replayed: u64,
 }
 
+/// Resource-governance high-water marks and counters of one run.
+///
+/// Node-side marks are cluster maxima (the most loaded node); queue and
+/// link marks come from the transport; checkpoint counters from the shared
+/// store.  All are observability-only: none feed back into protocol
+/// decisions, so enabling them costs nothing in virtual time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResourceStats {
+    /// Max retained interval records on any node.
+    pub log_high_water: u64,
+    /// Max retained access bitmaps on any node.
+    pub bitmap_high_water: u64,
+    /// Max estimated retained bytes on any node (budget meter).
+    pub retained_bytes_high_water: u64,
+    /// Soft-budget crossings that triggered proactive GC, cluster-wide.
+    pub soft_gcs: u64,
+    /// Deepest credit window (in-flight unacked datagrams) on any link;
+    /// bounded by the configured link capacity.
+    pub queue_high_water: u64,
+    /// Sends that waited for the credit window to reopen.
+    pub credit_stalls: u64,
+    /// Deepest in-process link queue anywhere in the fabric.
+    pub link_high_water: u64,
+    /// Checkpoint epochs evicted by the retention bound.
+    pub cuts_evicted: u64,
+    /// Encoded checkpoint bytes still resident at run end.
+    pub checkpoint_bytes_live: u64,
+}
+
 /// Everything measured in one cluster run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -80,6 +109,8 @@ pub struct RunReport {
     pub traces: Vec<Vec<cvm_race::trace::TraceEvent>>,
     /// Checkpoint/recovery activity (zeros when checkpointing is off).
     pub recovery: RecoveryStats,
+    /// Resource-governance marks (queues, budgets, eviction).
+    pub resources: ResourceStats,
     /// Wall-clock duration of the simulation itself.
     pub wall: Duration,
 }
@@ -190,6 +221,7 @@ mod tests {
             watch_hits: Vec::new(),
             traces: Vec::new(),
             recovery: RecoveryStats::default(),
+            resources: ResourceStats::default(),
             wall: Duration::from_secs(0),
         }
     }

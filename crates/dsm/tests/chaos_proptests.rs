@@ -17,16 +17,15 @@ use proptest::prelude::*;
 type Op = (usize, usize, bool);
 
 /// Runs `epochs` (each a list of ops, barrier-terminated) and returns the
-/// rendered race reports (sorted for schedule-independent comparison)
-/// plus the wire-level counters, when the run had a wire.
-fn run_program_full(
+/// completed run's full report.
+fn run_program_report(
     nprocs: usize,
     protocol: Protocol,
     words: usize,
     epochs: &[Vec<Op>],
     plan: Option<FaultPlan>,
     recovery: RecoveryPolicy,
-) -> (Vec<String>, Option<ReliabilitySnapshot>) {
+) -> cvm_dsm::RunReport {
     let mut cfg = DsmConfig::new(nprocs);
     cfg.protocol = protocol;
     cfg.net_loss = plan;
@@ -56,14 +55,34 @@ fn run_program_full(
         },
     )
     .expect("survivable chaos must not fail the run");
-    let mut rendered: Vec<String> = report
+    report
+}
+
+/// Race reports rendered and sorted for schedule-independent comparison.
+fn rendered(report: &cvm_dsm::RunReport) -> Vec<String> {
+    let mut v: Vec<String> = report
         .races
         .reports()
         .iter()
         .map(|r| r.render(&report.segments))
         .collect();
-    rendered.sort();
-    (rendered, report.reliability)
+    v.sort();
+    v
+}
+
+/// [`run_program_report`] reduced to the rendered race reports plus the
+/// wire-level counters, when the run had a wire.
+fn run_program_full(
+    nprocs: usize,
+    protocol: Protocol,
+    words: usize,
+    epochs: &[Vec<Op>],
+    plan: Option<FaultPlan>,
+    recovery: RecoveryPolicy,
+) -> (Vec<String>, Option<ReliabilitySnapshot>) {
+    let report = run_program_report(nprocs, protocol, words, epochs, plan, recovery);
+    let races = rendered(&report);
+    (races, report.reliability)
 }
 
 /// [`run_program_full`] when only the race reports matter.
@@ -211,6 +230,60 @@ proptest! {
             &clean, &killed,
             "{:?} victim {} killed at {}: recovered race reports must match",
             protocol, victim, kill_at
+        );
+    }
+
+    /// Resource governance composes with recovery: a slow consumer behind a
+    /// finite-capacity link *and* a scripted kill under
+    /// [`RecoveryPolicy::Recover`] still completes with race reports
+    /// byte-identical to the same wire without either fault, and the credit
+    /// window keeps the sender queues bounded throughout rollback/replay.
+    #[test]
+    fn slow_consumer_with_recovery_keeps_reports_identical(
+        nprocs in 2usize..4,
+        words in 1usize..6,
+        epochs in proptest::collection::vec(
+            proptest::collection::vec((0usize..4, 0usize..6, any::<bool>()), 0..8),
+            2..5,
+        ),
+        kill_at in 20u64..120,
+        capacity in 1u32..5,
+        seed in any::<u64>(),
+        // Slow node, dwell onset, kill victim, and protocol, packed to fit
+        // the strategy-tuple arity.
+        knobs in any::<u64>(),
+    ) {
+        let protocol = if knobs & 1 == 1 { Protocol::MultiWriter } else { Protocol::SingleWriter };
+        let slow = ((knobs >> 1) as usize % nprocs) as u16;
+        let slow_at = (knobs >> 8) % 60;
+        let victim = ((knobs >> 16) as usize % nprocs) as u16;
+        let epochs: Vec<Vec<Op>> = epochs
+            .iter()
+            .map(|ops| ops.iter().map(|&(p, w, is_w)| (p, w % words, is_w)).collect())
+            .collect();
+        let recover = RecoveryPolicy::Recover { max_attempts: 3 };
+        let wire = |seed: u64| {
+            FaultPlan::clean(seed)
+                .with_rto(Duration::from_millis(2), Duration::from_millis(16))
+                .with_max_retransmits(8)
+        };
+        let clean = run_program(nprocs, protocol, words, &epochs, Some(wire(seed)), recover);
+        let faulted = wire(seed)
+            .with_link_capacity(capacity)
+            .with_slow_consumer(ProcId(slow), slow_at, Duration::from_millis(1))
+            .with_kill(ProcId(victim), kill_at);
+        let report = run_program_report(
+            nprocs, protocol, words, &epochs, Some(faulted), recover,
+        );
+        prop_assert_eq!(
+            &clean, &rendered(&report),
+            "{:?} slow P{} cap {} victim {}: race reports must match",
+            protocol, slow, capacity, victim
+        );
+        prop_assert!(
+            report.resources.queue_high_water <= u64::from(capacity),
+            "queue high water {} over capacity {}",
+            report.resources.queue_high_water, capacity
         );
     }
 }

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod link;
 mod network;
 pub mod reliable;
 mod stats;

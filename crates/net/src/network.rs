@@ -3,9 +3,10 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use crossbeam::channel::TryRecvError;
 use cvm_vclock::ProcId;
 
+use crate::link::{metered_link, LinkRx, LinkTx};
 use crate::stats::{ByteBreakdown, NetStats, TrafficClass};
 use crate::wire::Wire;
 
@@ -136,11 +137,11 @@ pub enum NetEvent {
 /// How packets leave a sender.
 #[derive(Clone)]
 enum Transport {
-    /// Straight into the destination's channel (a reliable link).
-    Direct(Arc<Vec<Sender<NetEvent>>>),
+    /// Straight into the destination's channel (a reliable, metered link).
+    Direct(Arc<Vec<LinkTx<NetEvent>>>),
     /// Through the owning node's reliability engine (lossy wire
     /// underneath; see [`crate::reliable`]).
-    Reliable(Sender<(ProcId, Packet)>),
+    Reliable(LinkTx<(ProcId, Packet)>),
 }
 
 /// Cloneable sending half bound to a source process.
@@ -233,7 +234,7 @@ impl NetSender {
 pub struct Endpoint {
     id: ProcId,
     sender: NetSender,
-    rx: Receiver<NetEvent>,
+    rx: LinkRx<NetEvent>,
 }
 
 impl Endpoint {
@@ -306,7 +307,9 @@ impl Network {
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = channel::unbounded();
+            // Metered: the shared gauge makes even the "reliable" direct
+            // links' deepest queue observable in the resource report.
+            let (tx, rx) = metered_link(stats.link_gauge());
             txs.push(tx);
             rxs.push(rx);
         }

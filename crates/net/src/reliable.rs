@@ -48,14 +48,14 @@
 //! [`NetSender`]: crate::NetSender
 //! [`Network::with_loss`]: crate::Network::with_loss
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, Sender};
 use cvm_vclock::ProcId;
 
+use crate::link::{metered_link, LinkRx, LinkTx};
 use crate::wire::{decode_frame, encode_frame, Wire};
 use crate::{NetEvent, Packet};
 
@@ -104,6 +104,21 @@ pub enum FaultEvent {
         /// The mutation applied.
         kind: CorruptKind,
     },
+    /// After `at_datagram` datagrams have crossed `node`'s wire interface,
+    /// its engine dwells `dwell` on every subsequent wire arrival — a slow
+    /// consumer that drains its receive path far behind its peers' send
+    /// rate.  With a finite [`FaultPlan::link_capacity`] the senders'
+    /// credit windows close against it (bounded queues, `credit_stalls`
+    /// counted); it is the scripted fault proving a stalled peer cannot
+    /// exhaust sender memory.
+    SlowConsumer {
+        /// The slow node.
+        node: ProcId,
+        /// Node-local wire-datagram count at which the slowdown begins.
+        at_datagram: u64,
+        /// Processing dwell added per wire arrival from then on.
+        dwell: Duration,
+    },
 }
 
 /// Wire fault model: seeded, deterministic fault injection plus the
@@ -142,6 +157,13 @@ pub struct FaultPlan {
     /// and a [`NetEvent::PeerDead`](crate::NetEvent) is delivered instead
     /// of retrying forever.  `u32::MAX` disables the threshold.
     pub max_retransmits: u32,
+    /// Per-link credit window: the maximum number of unacknowledged data
+    /// datagrams a sender may have in flight to one peer.  Each ACK
+    /// returns credits (the cumulative acknowledgement *is* the credit
+    /// grant), and packets arriving while the window is closed wait in a
+    /// per-flow pending queue (`credit_stalls` counts the waits).
+    /// `u32::MAX` is the unbounded-equivalent; the minimum is 1.
+    pub link_capacity: u32,
     /// Scripted partition/kill events.
     pub events: Vec<FaultEvent>,
 }
@@ -166,6 +188,7 @@ impl FaultPlan {
             rto: Duration::from_millis(2),
             max_rto: Duration::from_millis(64),
             max_retransmits: 64,
+            link_capacity: u32::MAX,
             events: Vec::new(),
         }
     }
@@ -260,6 +283,27 @@ impl FaultPlan {
         self.events.push(FaultEvent::Kill { node, at_event });
         self
     }
+
+    /// Bounds every link's in-flight window to `capacity` datagrams
+    /// (credit-based flow control; minimum 1).
+    #[must_use]
+    pub fn with_link_capacity(mut self, capacity: u32) -> Self {
+        assert!(capacity >= 1, "link capacity below 1 cannot make progress");
+        self.link_capacity = capacity;
+        self
+    }
+
+    /// Scripts a slow consumer: from its `at_datagram`-th wire datagram
+    /// on, `node`'s engine dwells `dwell` per wire arrival.
+    #[must_use]
+    pub fn with_slow_consumer(mut self, node: ProcId, at_datagram: u64, dwell: Duration) -> Self {
+        self.events.push(FaultEvent::SlowConsumer {
+            node,
+            at_datagram,
+            dwell,
+        });
+        self
+    }
 }
 
 /// Counters kept by the reliability layer.
@@ -296,6 +340,26 @@ pub struct ReliabilityStats {
     /// decode/validation (malformed datagram, out-of-range process id);
     /// quarantined rather than delivered.
     pub decode_errors: AtomicU64,
+    /// Outbound packets that found their link's credit window closed and
+    /// waited in the pending queue.  Timing-dependent (how often a window
+    /// is momentarily full depends on scheduling), so it lives outside
+    /// [`ReliabilitySnapshot`].
+    pub credit_stalls: AtomicU64,
+    /// Deepest any flow's in-flight (unacknowledged) window ever got —
+    /// bounded by [`FaultPlan::link_capacity`] by construction.  Also
+    /// timing-dependent; outside the snapshot.
+    pub queue_high_water: AtomicU64,
+    /// In-order packets handed to application endpoints.  Progress signal
+    /// for the overload watchdog; timing-dependent totals only matter as
+    /// "changed since last look", so it too stays outside the snapshot.
+    pub delivered: AtomicU64,
+    /// Gauge: flows currently credit-stalled (non-empty pending queue)
+    /// across all engines.  Non-zero here plus no delivery progress is the
+    /// watchdog's credit-deadlock signature.
+    pub credit_stalled_now: AtomicU64,
+    /// Deepest any transport channel (wire, outbound, delivery) ever got,
+    /// shared by the fabric's metered links.
+    link_high_water: Arc<AtomicU64>,
 }
 
 /// Point-in-time copy of every [`ReliabilityStats`] counter.
@@ -330,6 +394,16 @@ pub struct ReliabilitySnapshot {
 }
 
 impl ReliabilityStats {
+    /// Deepest any of the fabric's channel queues ever got, in messages.
+    pub fn link_high_water(&self) -> u64 {
+        self.link_high_water.load(Ordering::Relaxed)
+    }
+
+    /// The shared gauge the fabric's metered links feed.
+    pub(crate) fn link_gauge(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.link_high_water)
+    }
+
     /// Snapshot of `(data wire drops, retransmissions, duplicates)`.
     pub fn snapshot(&self) -> (u64, u64, u64) {
         (
@@ -466,6 +540,21 @@ struct Unacked {
 struct FlowTx {
     next_seq: u64,
     unacked: Vec<Unacked>,
+    /// Packets waiting for the credit window to reopen.  Retransmissions
+    /// never queue here — a retransmitted datagram already holds a credit
+    /// (it sits in `unacked`), which is what keeps a lossy capacity-1 link
+    /// from deadlocking.
+    pending: VecDeque<Packet>,
+}
+
+impl FlowTx {
+    fn new() -> Self {
+        FlowTx {
+            next_seq: 1,
+            unacked: Vec::new(),
+            pending: VecDeque::new(),
+        }
+    }
 }
 
 /// Receiving-half state for one flow (one peer → this node).
@@ -528,15 +617,21 @@ pub(crate) struct ReliabilityEngine {
     /// Raw wire senders to every node (faulty).  The wire carries encoded,
     /// checksummed frames — bytes, not structures — so the fault plan can
     /// corrupt them like a real physical layer.
-    wire_txs: Vec<Sender<Vec<u8>>>,
+    wire_txs: Vec<LinkTx<Vec<u8>>>,
     /// Raw wire receiver.
-    wire_rx: Receiver<Vec<u8>>,
+    wire_rx: LinkRx<Vec<u8>>,
     /// New outbound packets from this node's senders.
-    outbound_rx: Receiver<(ProcId, Packet)>,
+    outbound_rx: LinkRx<(ProcId, Packet)>,
     /// In-order delivery (and peer-death events) to the application
     /// endpoint.
-    deliver_tx: Sender<NetEvent>,
+    deliver_tx: LinkTx<NetEvent>,
     plan: FaultPlan,
+    /// Credit window: max unacknowledged data datagrams per flow
+    /// (`max(1, plan.link_capacity)`).
+    window: u64,
+    /// Scripted slow-consumer trigger for this node: `(at_datagram,
+    /// dwell)`.
+    slow: Option<(u64, Duration)>,
     dice: FaultDice,
     /// Precomputed Bernoulli thresholds.
     drop_t: u64,
@@ -569,8 +664,8 @@ pub(crate) struct ReliabilityEngine {
     rx_flows: HashMap<ProcId, FlowRx>,
     /// Keep-alive senders for parked (closed) input channels, so `select!`
     /// blocks on the tick instead of spinning on a disconnected receiver.
-    parked_outbound: Option<Sender<(ProcId, Packet)>>,
-    parked_wire: Option<Sender<Vec<u8>>>,
+    parked_outbound: Option<LinkTx<(ProcId, Packet)>>,
+    parked_wire: Option<LinkTx<Vec<u8>>>,
 }
 
 impl ReliabilityEngine {
@@ -738,16 +833,40 @@ impl ReliabilityEngine {
     }
 
     fn handle_outbound(&mut self, dst: ProcId, packet: Packet) {
-        let flow = self.tx_flows.entry(dst).or_insert(FlowTx {
-            next_seq: 1,
-            unacked: Vec::new(),
-        });
+        let window = self.window;
+        let flow = self.tx_flows.entry(dst).or_insert_with(FlowTx::new);
+        // Credit gate: a packet may only enter the wire while the flow
+        // holds a free credit, and never ahead of earlier stalled packets.
+        if (flow.unacked.len() as u64) < window && flow.pending.is_empty() {
+            self.admit(dst, packet);
+        } else {
+            if flow.pending.is_empty() {
+                self.stats
+                    .credit_stalled_now
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            flow.pending.push_back(packet);
+            self.stats.credit_stalls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Consumes one credit for `dst` and puts `packet` on the wire.  The
+    /// caller guarantees a credit is free, making the in-flight window —
+    /// and therefore `queue_high_water` — at most the configured capacity
+    /// by construction.
+    fn admit(&mut self, dst: ProcId, packet: Packet) {
+        let flow = self.tx_flows.get_mut(&dst).expect("flow exists");
         let seq = flow.next_seq;
         flow.next_seq += 1;
+        let inflight = flow.unacked.len() as u64 + 1;
+        debug_assert!(inflight <= self.window, "credit window overrun");
+        self.stats
+            .queue_high_water
+            .fetch_max(inflight, Ordering::Relaxed);
         let due = Instant::now() + self.rto_for(dst, seq, 0);
         self.tx_flows
             .get_mut(&dst)
-            .expect("entry above")
+            .expect("flow exists")
             .unacked
             .push(Unacked {
                 seq,
@@ -758,8 +877,43 @@ impl ReliabilityEngine {
         self.send_data(dst, seq, 0, packet);
     }
 
+    /// Spends credits freed by an ACK on the flow's stalled packets, in
+    /// arrival order.
+    fn admit_pending(&mut self, dst: ProcId) {
+        let Some(flow) = self.tx_flows.get_mut(&dst) else {
+            return;
+        };
+        if flow.pending.is_empty() {
+            return;
+        }
+        while let Some(flow) = self.tx_flows.get_mut(&dst) {
+            if flow.pending.is_empty() || flow.unacked.len() as u64 >= self.window {
+                break;
+            }
+            let packet = flow.pending.pop_front().expect("checked non-empty");
+            self.admit(dst, packet);
+        }
+        let drained = match self.tx_flows.get(&dst) {
+            Some(flow) => flow.pending.is_empty(),
+            None => true,
+        };
+        if drained {
+            self.stats
+                .credit_stalled_now
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
     fn handle_wire(&mut self, frame: Vec<u8>) {
         self.note_wire_dgram();
+        // Scripted slow consumer: dwell on every arrival past the trigger.
+        // The dwell sits *before* the ACK is produced, so peers see their
+        // credits come back late — the overload this fault exists to model.
+        if let Some((at, dwell)) = self.slow {
+            if self.wire_sends > at {
+                std::thread::sleep(dwell);
+            }
+        }
         if self.partitioned {
             // A partitioned node hears nothing either.
             self.stats.partition_drops.fetch_add(1, Ordering::Relaxed);
@@ -804,6 +958,7 @@ impl ReliabilityEngine {
                     flow.buffer.insert(seq, packet);
                     while let Some(pkt) = flow.buffer.remove(&flow.expected) {
                         flow.expected += 1;
+                        self.stats.delivered.fetch_add(1, Ordering::Relaxed);
                         // The application endpoint outliving us is not
                         // required during shutdown.
                         let _ = self.deliver_tx.send(NetEvent::Packet(pkt));
@@ -817,6 +972,9 @@ impl ReliabilityEngine {
                 if let Some(flow) = self.tx_flows.get_mut(&flow_dst) {
                     flow.unacked.retain(|u| u.seq > upto);
                 }
+                // The cumulative ACK is the credit grant: spend whatever
+                // it freed on this flow's stalled packets.
+                self.admit_pending(flow_dst);
             }
         }
     }
@@ -862,9 +1020,16 @@ impl ReliabilityEngine {
                     .peers_declared_dead
                     .fetch_add(1, Ordering::Relaxed);
                 // Abandon the flow: the peer is gone, and holding unacked
-                // data would stall shutdown draining forever.
+                // or credit-stalled data would stall shutdown draining
+                // forever.
                 if let Some(flow) = self.tx_flows.get_mut(&dst) {
                     flow.unacked.clear();
+                    if !flow.pending.is_empty() {
+                        flow.pending.clear();
+                        self.stats
+                            .credit_stalled_now
+                            .fetch_sub(1, Ordering::Relaxed);
+                    }
                 }
                 let _ = self.deliver_tx.send(NetEvent::PeerDead { peer: dst });
             }
@@ -906,13 +1071,13 @@ impl ReliabilityEngine {
     /// Parks the closed outbound channel behind a never-ready receiver so
     /// `select!` blocks on the tick instead of spinning on the disconnect.
     fn park_outbound(&mut self) {
-        let (tx, rx) = channel::unbounded();
+        let (tx, rx) = metered_link(self.stats.link_gauge());
         self.parked_outbound = Some(tx);
         self.outbound_rx = rx;
     }
 
     fn park_wire(&mut self) {
-        let (tx, rx) = channel::unbounded();
+        let (tx, rx) = metered_link(self.stats.link_gauge());
         self.parked_wire = Some(tx);
         self.wire_rx = rx;
     }
@@ -962,7 +1127,10 @@ impl ReliabilityEngine {
                 self.retransmit_due();
             }
             if !outbound_open {
-                let drained = self.tx_flows.values().all(|f| f.unacked.is_empty())
+                let drained = self
+                    .tx_flows
+                    .values()
+                    .all(|f| f.unacked.is_empty() && f.pending.is_empty())
                     && self.delayed.is_empty()
                     && self.holdback.is_empty();
                 if drained || !wire_open {
@@ -992,31 +1160,42 @@ impl SaturatingShl for u64 {
 /// `NetSender`), in-order event receivers (for `Endpoint`), and the
 /// shared stats block.
 pub(crate) type ReliableFabric = (
-    Vec<Sender<(ProcId, Packet)>>,
-    Vec<Receiver<NetEvent>>,
+    Vec<LinkTx<(ProcId, Packet)>>,
+    Vec<LinkRx<NetEvent>>,
     Arc<ReliabilityStats>,
 );
 
-/// Builds the per-node engines and wiring for a faulty network.
+/// Builds the per-node engines and wiring for a faulty network.  Every
+/// channel — wire, outbound, delivery — is a metered link feeding the
+/// shared [`ReliabilityStats::link_high_water`] gauge, so no unobservable
+/// queue survives in the transport.
 pub(crate) fn build_reliable_fabric(n: usize, plan: FaultPlan) -> ReliableFabric {
     let stats = Arc::new(ReliabilityStats::default());
     let mut wire_txs = Vec::with_capacity(n);
     let mut wire_rxs = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = channel::unbounded::<Vec<u8>>();
+        let (tx, rx) = metered_link::<Vec<u8>>(stats.link_gauge());
         wire_txs.push(tx);
         wire_rxs.push(rx);
     }
     let mut outbound_txs = Vec::with_capacity(n);
     let mut deliver_rxs = Vec::with_capacity(n);
     for (i, wire_rx) in wire_rxs.into_iter().enumerate() {
-        let (outbound_tx, outbound_rx) = channel::unbounded();
-        let (deliver_tx, deliver_rx) = channel::unbounded();
+        let (outbound_tx, outbound_rx) = metered_link(stats.link_gauge());
+        let (deliver_tx, deliver_rx) = metered_link(stats.link_gauge());
         outbound_txs.push(outbound_tx);
         deliver_rxs.push(deliver_rx);
         let me = ProcId::from_index(i);
         let partition_at = plan.events.iter().find_map(|e| match e {
             FaultEvent::Partition { node, at_datagram } if *node == me => Some(*at_datagram),
+            _ => None,
+        });
+        let slow = plan.events.iter().find_map(|e| match e {
+            FaultEvent::SlowConsumer {
+                node,
+                at_datagram,
+                dwell,
+            } if *node == me => Some((*at_datagram, *dwell)),
             _ => None,
         });
         let kill_at = plan.events.iter().find_map(|e| match e {
@@ -1052,6 +1231,8 @@ pub(crate) fn build_reliable_fabric(n: usize, plan: FaultPlan) -> ReliableFabric
             delay_ns: plan
                 .delay
                 .map(|(min, max)| (min.as_nanos() as u64, (max - min).as_nanos() as u64)),
+            window: u64::from(plan.link_capacity.max(1)),
+            slow,
             partition_at,
             kill_at,
             corrupt_at,
@@ -1243,5 +1424,29 @@ mod tests {
                 at_event: 100
             }
         ));
+    }
+
+    #[test]
+    fn link_capacity_defaults_unbounded_and_composes() {
+        let plan = FaultPlan::clean(3);
+        assert_eq!(plan.link_capacity, u32::MAX);
+        let plan =
+            plan.with_link_capacity(4)
+                .with_slow_consumer(ProcId(1), 50, Duration::from_millis(2));
+        assert_eq!(plan.link_capacity, 4);
+        assert_eq!(
+            plan.events[0],
+            FaultEvent::SlowConsumer {
+                node: ProcId(1),
+                at_datagram: 50,
+                dwell: Duration::from_millis(2)
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "link capacity below 1")]
+    fn zero_link_capacity_rejected() {
+        let _ = FaultPlan::clean(1).with_link_capacity(0);
     }
 }

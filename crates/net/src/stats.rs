@@ -103,6 +103,11 @@ impl Wire for ByteBreakdown {
 pub struct NetStats {
     msgs: AtomicU64,
     bytes: [AtomicU64; NCLASSES],
+    /// Deepest any transport link queue ever got (shared gauge across all
+    /// of this network's metered links).  Kept out of [`StatsSnapshot`]:
+    /// queue depth is timing-dependent, and the snapshot must stay
+    /// byte-identical across identically-seeded runs.
+    link_high_water: Arc<AtomicU64>,
 }
 
 impl NetStats {
@@ -110,6 +115,16 @@ impl NetStats {
     #[allow(clippy::new_ret_no_self)]
     pub fn new() -> Arc<Self> {
         Arc::new(NetStats::default())
+    }
+
+    /// Deepest any of this network's link queues ever got, in messages.
+    pub fn link_high_water(&self) -> u64 {
+        self.link_high_water.load(Ordering::Relaxed)
+    }
+
+    /// The shared gauge the network's metered links feed.
+    pub(crate) fn link_gauge(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.link_high_water)
     }
 
     /// Records one message with the given byte breakdown.
