@@ -1,111 +1,40 @@
 //! End-to-end benchmark of one barrier-master detection epoch at paper
 //! scale (8 nodes), comparing the paper's serial master configuration
 //! (naive all-pairs enumeration, one worker) against this codebase's
-//! default (binary-search pruned enumeration, summary-guarded chunk
-//! comparison, auto worker count).
+//! default (binary-search pruned enumeration, summary-guarded SWAR chunk
+//! comparison, auto worker count), with and without the persistent
+//! per-epoch arena the pipelined stage uses.
 //!
-//! The epoch models a lock-heavy application (TSP/Water shape): intervals
-//! close in a global round-robin acquire order, so each interval is
-//! concurrent only with the handful of peers "in flight" around it and
-//! ordered with everything else — the structure the pruned enumeration
-//! exploits.  Page lists overlap between neighbours and the word-level
-//! bitmaps are mostly disjoint (false sharing), the common case the
-//! bitmap summary word short-circuits.
-//!
-//! Results are harvested from the `CSV:` lines into
+//! The synthetic epoch lives in [`cvm_bench::epoch_synth`]; the
+//! `pipeline_overlap` harness binary replays the same epochs with simple
+//! wall-clock timing and persists the rows to
 //! `bench_results/detector_epoch.csv`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cvm_page::{Geometry, PageBitmaps, PageId};
-use cvm_race::{make_interval, BitmapStore, EpochDetector, Interval, PairEnumeration};
+use cvm_bench::epoch_synth::{bitmaps, epoch, PAGE_WORDS};
+use cvm_page::Geometry;
+use cvm_race::{BitmapStore, EpochArena, EpochDetector, Interval, PairEnumeration};
 use std::hint::black_box;
-
-const NPROCS: u16 = 8;
-const PER_PROC: u32 = 192;
-/// Intervals "in flight" at once: interval `t` has only seen intervals
-/// that closed at least `WINDOW` positions earlier, so each interval is
-/// concurrent with its `WINDOW - 1` global neighbours on either side —
-/// the paper's observation that almost all pairs are ordered, with a thin
-/// concurrent frontier.
-const WINDOW: u32 = 2;
-const PAGES_PER_LIST: u32 = 4;
-const PAGE_WORDS: usize = 1024; // 8 KB DECstation pages.
-
-/// One lock-heavy barrier epoch: interval `t` of the global round-robin
-/// order belongs to process `t % 8`.  Knowledge propagates with a lag of
-/// [`WINDOW`] positions (the release chains are still in transit for
-/// anything closer), producing the realistic mostly-ordered structure
-/// with a bounded concurrency window that the pruned enumeration
-/// exploits.  Per-process knowledge of each peer is non-decreasing in
-/// program order by construction.
-fn epoch() -> Vec<Interval> {
-    let nprocs = u32::from(NPROCS);
-    let total = nprocs * PER_PROC;
-    let mut out = Vec::new();
-    for t in 0..total {
-        let p = (t % nprocs) as u16;
-        let index = t / nprocs + 1;
-        let mut vc = vec![0u32; usize::from(NPROCS)];
-        for q in 0..nprocs {
-            // Number of q's intervals with global position <= t - WINDOW.
-            vc[q as usize] = if t >= WINDOW + q {
-                (t - WINDOW - q) / nprocs + 1
-            } else {
-                0
-            };
-        }
-        vc[usize::from(p)] = index;
-        let writes: Vec<u32> = (0..PAGES_PER_LIST)
-            .map(|k| (u32::from(p) * 7 + index + k) % 32)
-            .collect();
-        let reads: Vec<u32> = (0..PAGES_PER_LIST)
-            .map(|k| (u32::from(p) * 11 + index + k * 3) % 32)
-            .collect();
-        out.push(make_interval(p, index, vc, &writes, &reads));
-    }
-    out
-}
-
-/// Sparse, mostly per-process-disjoint word bitmaps for every page an
-/// interval noticed: the false-sharing common case, with occasional true
-/// overlaps so the comparison also produces reports.
-fn bitmaps(intervals: &[Interval], g: Geometry) -> BitmapStore {
-    let mut store = BitmapStore::new();
-    for iv in intervals {
-        let p = u32::from(iv.proc().0);
-        let index = iv.id().index;
-        let mut pages: Vec<PageId> = iv
-            .write_notices
-            .iter()
-            .chain(iv.read_notices.iter())
-            .copied()
-            .collect();
-        pages.sort_unstable();
-        pages.dedup();
-        for page in pages {
-            let mut bm = PageBitmaps::new(g.page_words);
-            for k in 0..8u32 {
-                // Word sets are offset by process so most pairs are
-                // word-disjoint; every 16th interval collides on word 0.
-                let w = (p * 101 + k * 37) as usize % g.page_words;
-                if iv.write_notices.contains(&page) {
-                    bm.write.set(w);
-                } else {
-                    bm.read.set(w);
-                }
-            }
-            if index % 16 == 0 && iv.write_notices.contains(&page) {
-                bm.write.set(0);
-            }
-            store.insert(iv.id(), page, bm);
-        }
-    }
-    store
-}
 
 fn run_epoch(d: &EpochDetector, intervals: &[Interval], store: &BitmapStore, g: Geometry) -> usize {
     let mut plan = d.plan(intervals);
     let reports = d.compare(&mut plan, store, g, 0).expect("bitmaps present");
+    reports.len()
+}
+
+/// The pipelined stage's steady state: plan and compare through one
+/// long-lived arena, so the epoch runs without mid-epoch heap allocation.
+fn run_epoch_arena(
+    d: &EpochDetector,
+    intervals: &[Interval],
+    store: &BitmapStore,
+    g: Geometry,
+    arena: &mut EpochArena,
+) -> usize {
+    let mut plan = d.plan_with(intervals, arena);
+    let reports = d
+        .compare_with(&mut plan, store, g, 0, arena)
+        .expect("bitmaps present");
     reports.len()
 }
 
@@ -125,7 +54,7 @@ fn bench_epoch(c: &mut Criterion) {
         ..EpochDetector::new()
     };
 
-    // Both configurations must agree bit-for-bit on the reports, and the
+    // All configurations must agree bit-for-bit on the reports, and the
     // epoch must genuinely exercise the comparison phase.
     let probe = optimized.plan(&intervals);
     assert!(
@@ -133,9 +62,15 @@ fn bench_epoch(c: &mut Criterion) {
         "check list unexpectedly small: {}",
         probe.check.entries.len()
     );
+    let mut arena = EpochArena::new();
+    let baseline_reports = run_epoch(&serial, &intervals, &store, g);
     assert_eq!(
-        run_epoch(&serial, &intervals, &store, g),
-        run_epoch(&optimized, &intervals, &store, g),
+        baseline_reports,
+        run_epoch(&optimized, &intervals, &store, g)
+    );
+    assert_eq!(
+        baseline_reports,
+        run_epoch_arena(&optimized, &intervals, &store, g, &mut arena)
     );
 
     c.bench_function("epoch_8node_serial_baseline", |b| {
@@ -143,6 +78,19 @@ fn bench_epoch(c: &mut Criterion) {
     });
     c.bench_function("epoch_8node_optimized_default", |b| {
         b.iter(|| black_box(run_epoch(&optimized, black_box(&intervals), &store, g)))
+    });
+    // The pipelined stage's configuration: same detector, one warm arena
+    // reused across iterations (epochs).
+    c.bench_function("epoch_8node_swar_arena", |b| {
+        b.iter(|| {
+            black_box(run_epoch_arena(
+                &optimized,
+                black_box(&intervals),
+                &store,
+                g,
+                &mut arena,
+            ))
+        })
     });
 
     // Phase split: planning alone (enumeration being the serial master's
@@ -155,7 +103,7 @@ fn bench_epoch(c: &mut Criterion) {
     });
 
     // Comparison alone, on the same plan, isolating the summary-guarded
-    // chunk walk.
+    // SWAR chunk walk.
     let mut plan = optimized.plan(&intervals);
     c.bench_function("compare_8node_summary_guarded", |b| {
         b.iter(|| {

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod epoch_synth;
 pub mod results;
 
 use cvm_apps::{fft, sor, tsp, water, App};

@@ -193,6 +193,50 @@ impl BitmapStore {
     }
 }
 
+/// Reusable per-epoch scratch buffers for the detector's planning and
+/// word-level comparison phases.
+///
+/// Both phases used to allocate inside their hot loops: planning built a
+/// fresh page-overlap vector per concurrent pair (three intermediate
+/// vectors per pair under the list strategies), and the comparison built a
+/// fresh write-write chunk vector per `(entry, page)`.  An arena owns one
+/// scratch set per worker shard and hands it back cleared, so a master
+/// that keeps its arena across barrier epochs does **zero mid-epoch heap
+/// allocation** in the comparison (outputs — check entries and race
+/// reports — still allocate, exactly as before).
+///
+/// Reuse never changes results: every buffer is cleared before use, and
+/// running two epochs through one arena is property-tested identical to
+/// running them through two fresh arenas.
+#[derive(Default, Debug)]
+pub struct EpochArena {
+    workers: Vec<WorkerScratch>,
+}
+
+impl EpochArena {
+    /// Creates an empty arena (buffers grow on first use).
+    pub fn new() -> Self {
+        EpochArena::default()
+    }
+
+    /// Hands out one scratch set per shard, growing the pool as needed.
+    fn scratches(&mut self, n: usize) -> &mut [WorkerScratch] {
+        if self.workers.len() < n {
+            self.workers.resize_with(n, WorkerScratch::default);
+        }
+        &mut self.workers[..n]
+    }
+}
+
+/// One worker shard's scratch buffers (cleared before each use).
+#[derive(Default, Debug)]
+struct WorkerScratch {
+    /// Page-overlap output for the pair currently being planned.
+    pages: Vec<PageId>,
+    /// Write-write chunk masks for the page currently being compared.
+    ww: Vec<(usize, u64)>,
+}
+
 /// Error from the word-level comparison phase.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DetectError {
@@ -268,6 +312,18 @@ impl EpochDetector {
     /// pairs for [`PairEnumeration::Pruned`]); the merged check list,
     /// request set, and statistics are identical to the serial ones.
     pub fn plan<I: std::borrow::Borrow<Interval>>(&self, intervals: &[I]) -> DetectionPlan {
+        self.plan_with(intervals, &mut EpochArena::new())
+    }
+
+    /// [`EpochDetector::plan`] with caller-owned scratch: a master that
+    /// keeps one [`EpochArena`] across epochs plans without re-allocating
+    /// its per-pair overlap buffers.  Results are identical to
+    /// [`EpochDetector::plan`].
+    pub fn plan_with<I: std::borrow::Borrow<Interval>>(
+        &self,
+        intervals: &[I],
+        arena: &mut EpochArena,
+    ) -> DetectionPlan {
         // Accepting any borrow of `Interval` lets the barrier master plan
         // directly over its `Arc`-shared records without copying them.
         let intervals: Vec<&Interval> = intervals.iter().map(std::borrow::Borrow::borrow).collect();
@@ -285,8 +341,8 @@ impl EpochDetector {
                 // Outer index i is compared against everything after it.
                 let n = intervals.len();
                 let weights: Vec<u64> = (0..n).map(|i| (n - 1 - i) as u64).collect();
-                self.run_plan_shards(&weights, |planner, range| {
-                    planner.naive(intervals, range);
+                self.run_plan_shards(arena, &weights, |planner, scratch, range| {
+                    planner.naive(scratch, intervals, range);
                 })
             }
             PairEnumeration::Pruned => {
@@ -300,8 +356,8 @@ impl EpochDetector {
                 }
                 let weights: Vec<u64> =
                     pairs.iter().map(|(p, _)| by_proc[p].len() as u64).collect();
-                self.run_plan_shards(&weights, |planner, range| {
-                    planner.pruned(&by_proc, &pairs[range]);
+                self.run_plan_shards(arena, &weights, |planner, scratch, range| {
+                    planner.pruned(scratch, &by_proc, &pairs[range]);
                 })
             }
         };
@@ -328,17 +384,24 @@ impl EpochDetector {
     /// iteration order and returns the per-shard planners **in shard
     /// order**, so concatenating their outputs reproduces the serial
     /// result exactly.
-    fn run_plan_shards<F>(&self, weights: &[u64], fill: F) -> Vec<Planner<'_>>
+    fn run_plan_shards<F>(
+        &self,
+        arena: &mut EpochArena,
+        weights: &[u64],
+        fill: F,
+    ) -> Vec<Planner<'_>>
     where
-        F: Fn(&mut Planner<'_>, Range<usize>) + Sync,
+        F: Fn(&mut Planner<'_>, &mut WorkerScratch, Range<usize>) + Sync,
     {
         let ranges = balanced_ranges(weights, self.effective_workers(weights.len()));
+        let scratches = arena.scratches(ranges.len());
         if ranges.len() <= 1 {
             return ranges
                 .into_iter()
-                .map(|r| {
+                .zip(scratches)
+                .map(|(r, scratch)| {
                     let mut p = Planner::new(self);
-                    fill(&mut p, r);
+                    fill(&mut p, scratch, r);
                     p
                 })
                 .collect();
@@ -347,10 +410,11 @@ impl EpochDetector {
             let fill = &fill;
             let handles: Vec<_> = ranges
                 .into_iter()
-                .map(|r| {
+                .zip(scratches.iter_mut())
+                .map(|(r, scratch)| {
                     s.spawn(move || {
                         let mut p = Planner::new(self);
-                        fill(&mut p, r);
+                        fill(&mut p, scratch, r);
                         p
                     })
                 })
@@ -378,20 +442,28 @@ impl EpochDetector {
     /// Pages on which `a` and `b` conflict: written by one and read *or*
     /// written by the other.
     pub fn overlap_pages(&self, a: &Interval, b: &Interval) -> Vec<PageId> {
-        let mut pages = match self.overlap {
+        let mut pages = Vec::new();
+        self.overlap_pages_into(a, b, &mut pages);
+        pages
+    }
+
+    /// [`EpochDetector::overlap_pages`] into a caller-owned buffer (cleared
+    /// first): the planner's per-pair hot path, which allocates nothing
+    /// when the buffer is reused across pairs.
+    pub fn overlap_pages_into(&self, a: &Interval, b: &Interval, out: &mut Vec<PageId>) {
+        out.clear();
+        match self.overlap {
             OverlapStrategy::Quadratic => {
-                let mut v = quadratic_intersect(&a.write_notices, &b.write_notices);
-                v.extend(quadratic_intersect(&a.write_notices, &b.read_notices));
-                v.extend(quadratic_intersect(&a.read_notices, &b.write_notices));
-                v
+                quadratic_intersect(&a.write_notices, &b.write_notices, out);
+                quadratic_intersect(&a.write_notices, &b.read_notices, out);
+                quadratic_intersect(&a.read_notices, &b.write_notices, out);
             }
             OverlapStrategy::SortedMerge => {
-                let mut v = merge_intersect(&a.write_notices, &b.write_notices);
-                v.extend(merge_intersect(&a.write_notices, &b.read_notices));
-                v.extend(merge_intersect(&a.read_notices, &b.write_notices));
-                v
+                merge_intersect(&a.write_notices, &b.write_notices, out);
+                merge_intersect(&a.write_notices, &b.read_notices, out);
+                merge_intersect(&a.read_notices, &b.write_notices, out);
             }
-            OverlapStrategy::PageBitmap => bitmap_conflict(a, b),
+            OverlapStrategy::PageBitmap => bitmap_conflict(a, b, out),
             OverlapStrategy::Auto => {
                 let longest = a
                     .write_notices
@@ -404,16 +476,16 @@ impl EpochDetector {
                 } else {
                     OverlapStrategy::SortedMerge
                 };
-                return EpochDetector {
+                EpochDetector {
                     overlap: strategy,
                     ..*self
                 }
-                .overlap_pages(a, b);
+                .overlap_pages_into(a, b, out);
+                return;
             }
-        };
-        pages.sort_unstable();
-        pages.dedup();
-        pages
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Step 5: word-level bitmap comparison for every check-list entry.
@@ -437,20 +509,45 @@ impl EpochDetector {
         geometry: Geometry,
         epoch: u64,
     ) -> Result<Vec<RaceReport>, DetectError> {
+        self.compare_with(plan, bitmaps, geometry, epoch, &mut EpochArena::new())
+    }
+
+    /// [`EpochDetector::compare`] with caller-owned scratch: with a reused
+    /// [`EpochArena`] the word-level comparison performs zero mid-epoch
+    /// heap allocation (reports excepted).  Results are identical to
+    /// [`EpochDetector::compare`].
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::MissingBitmap`] if `bitmaps` lacks an entry named by
+    /// the check list.
+    pub fn compare_with(
+        &self,
+        plan: &mut DetectionPlan,
+        bitmaps: &BitmapStore,
+        geometry: Geometry,
+        epoch: u64,
+        arena: &mut EpochArena,
+    ) -> Result<Vec<RaceReport>, DetectError> {
         let entries = &plan.check.entries;
         let weights: Vec<u64> = entries.iter().map(|e| e.pages.len() as u64).collect();
         let ranges = balanced_ranges(&weights, self.effective_workers(entries.len()));
+        let scratches = arena.scratches(ranges.len());
         let shards: Vec<CompareShard> = if ranges.len() <= 1 {
             ranges
                 .into_iter()
-                .map(|r| compare_entries(&entries[r], bitmaps, geometry, epoch))
+                .zip(scratches)
+                .map(|(r, scratch)| compare_entries(&entries[r], bitmaps, geometry, epoch, scratch))
                 .collect()
         } else {
             std::thread::scope(|s| {
                 let handles: Vec<_> = ranges
                     .into_iter()
-                    .map(|r| {
-                        s.spawn(move || compare_entries(&entries[r], bitmaps, geometry, epoch))
+                    .zip(scratches.iter_mut())
+                    .map(|(r, scratch)| {
+                        s.spawn(move || {
+                            compare_entries(&entries[r], bitmaps, geometry, epoch, scratch)
+                        })
                     })
                     .collect();
                 handles
@@ -531,6 +628,7 @@ fn compare_entries(
     bitmaps: &BitmapStore,
     geometry: Geometry,
     epoch: u64,
+    scratch: &mut WorkerScratch,
 ) -> CompareShard {
     let mut shard = CompareShard {
         reports: Vec::new(),
@@ -554,7 +652,16 @@ fn compare_entries(
                 break 'entries;
             };
             shard.comparisons += 1;
-            compare_page(entry, page, ba, bb, geometry, epoch, &mut shard.reports);
+            compare_page(
+                entry,
+                page,
+                ba,
+                bb,
+                geometry,
+                epoch,
+                &mut scratch.ww,
+                &mut shard.reports,
+            );
         }
     }
     shard
@@ -584,31 +691,32 @@ impl<'d> Planner<'d> {
     }
 
     /// Handles one *known-concurrent* pair: page overlap + check list.
-    fn concurrent_pair(&mut self, a: &Interval, b: &Interval) {
+    fn concurrent_pair(&mut self, scratch: &mut WorkerScratch, a: &Interval, b: &Interval) {
         self.stats.pairs_concurrent += 1;
         if a.is_quiet() && b.is_quiet() {
             return;
         }
-        let pages = self.detector.overlap_pages(a, b);
+        self.detector.overlap_pages_into(a, b, &mut scratch.pages);
+        let pages = &scratch.pages;
         if pages.is_empty() {
             return;
         }
         self.stats.pairs_overlapping += 1;
         self.used.insert(a.id());
         self.used.insert(b.id());
-        for &pg in &pages {
+        for &pg in pages {
             self.requests.insert((a.id(), pg));
             self.requests.insert((b.id(), pg));
         }
         self.check.entries.push(CheckEntry {
             a: a.id(),
             b: b.id(),
-            pages,
+            pages: pages.clone(),
         });
     }
 
     /// The paper's all-pairs scan, over one range of outer indices.
-    fn naive(&mut self, intervals: &[&Interval], range: Range<usize>) {
+    fn naive(&mut self, scratch: &mut WorkerScratch, intervals: &[&Interval], range: Range<usize>) {
         for i in range {
             let a = intervals[i];
             for &b in &intervals[i + 1..] {
@@ -617,7 +725,7 @@ impl<'d> Planner<'d> {
                 }
                 self.stats.pair_comparisons += 1;
                 if a.stamp.concurrent_with(&b.stamp) {
-                    self.concurrent_pair(a, b);
+                    self.concurrent_pair(scratch, a, b);
                 }
             }
         }
@@ -626,7 +734,12 @@ impl<'d> Planner<'d> {
     /// Binary-search pruning over one run of process pairs: per pair, the
     /// intervals of `q` concurrent with a fixed interval of `p` form a
     /// contiguous run.
-    fn pruned(&mut self, by_proc: &BTreeMap<ProcId, Vec<&Interval>>, pairs: &[(ProcId, ProcId)]) {
+    fn pruned(
+        &mut self,
+        scratch: &mut WorkerScratch,
+        by_proc: &BTreeMap<ProcId, Vec<&Interval>>,
+        pairs: &[(ProcId, ProcId)],
+    ) {
         for &(p, q) in pairs {
             let pa = &by_proc[&p];
             let qb = &by_proc[&q];
@@ -641,7 +754,7 @@ impl<'d> Planner<'d> {
                     partition_probe(&qb[lo..], &mut self.stats, |b| b.stamp.vc.get(p) < own) + lo;
                 for b in &qb[lo..hi] {
                     debug_assert!(a.stamp.concurrent_with(&b.stamp));
-                    self.concurrent_pair(a, b);
+                    self.concurrent_pair(scratch, a, b);
                 }
             }
         }
@@ -684,10 +797,13 @@ fn mask_bits(wi: usize, mut mask: u64) -> impl Iterator<Item = usize> {
 
 /// Compares one page's bitmaps for one concurrent interval pair.
 ///
-/// Works a 64-word chunk at a time via [`Bitmap::overlap_chunks`]: the
-/// summary guard skips disjoint bitmap pairs (the false-sharing common
-/// case) without scanning, and the mask arithmetic below suppresses
-/// duplicate reports per chunk instead of per bit.
+/// Works a 64-word chunk at a time via [`Bitmap::overlap_chunks`] (the
+/// SWAR 4-lane AND-walk): the summary guard skips disjoint bitmap pairs
+/// (the false-sharing common case) without scanning, and the mask
+/// arithmetic below suppresses duplicate reports per chunk instead of per
+/// bit.  `ww` is caller-owned scratch for the write-write chunk masks
+/// (cleared here), so a reused arena makes this loop allocation-free.
+#[allow(clippy::too_many_arguments)]
 fn compare_page(
     entry: &CheckEntry,
     page: PageId,
@@ -695,6 +811,7 @@ fn compare_page(
     b: &PageBitmaps,
     geometry: Geometry,
     epoch: u64,
+    ww: &mut Vec<(usize, u64)>,
     out: &mut Vec<RaceReport>,
 ) {
     let report = |word: usize, kind: RaceKind| RaceReport {
@@ -706,7 +823,7 @@ fn compare_page(
     };
     // Write-write conflicts take precedence; collect them first, keeping
     // the racy chunk masks to suppress duplicate read-write reports.
-    let mut ww: Vec<(usize, u64)> = Vec::new();
+    ww.clear();
     for (wi, m) in a.write.overlap_chunks(&b.write) {
         for w in mask_bits(wi, m) {
             out.push(report(w, RaceKind::WriteWrite));
@@ -733,8 +850,7 @@ fn compare_page(
     }
 }
 
-fn quadratic_intersect(a: &[PageId], b: &[PageId]) -> Vec<PageId> {
-    let mut out = Vec::new();
+fn quadratic_intersect(a: &[PageId], b: &[PageId], out: &mut Vec<PageId>) {
     for &x in a {
         for &y in b {
             if x == y {
@@ -742,11 +858,9 @@ fn quadratic_intersect(a: &[PageId], b: &[PageId]) -> Vec<PageId> {
             }
         }
     }
-    out
 }
 
-fn merge_intersect(a: &[PageId], b: &[PageId]) -> Vec<PageId> {
-    let mut out = Vec::new();
+fn merge_intersect(a: &[PageId], b: &[PageId], out: &mut Vec<PageId>) {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -759,10 +873,9 @@ fn merge_intersect(a: &[PageId], b: &[PageId]) -> Vec<PageId> {
             }
         }
     }
-    out
 }
 
-fn bitmap_conflict(a: &Interval, b: &Interval) -> Vec<PageId> {
+fn bitmap_conflict(a: &Interval, b: &Interval, out: &mut Vec<PageId>) {
     let max_page = a
         .pages_touched()
         .iter()
@@ -786,15 +899,12 @@ fn bitmap_conflict(a: &Interval, b: &Interval) -> Vec<PageId> {
     for p in &b.read_notices {
         rb.set(p.index());
     }
-    let mut out: Vec<PageId> = wa
-        .overlap_words(&wb)
-        .chain(wa.overlap_words(&rb))
-        .chain(ra.overlap_words(&wb))
-        .map(|i| PageId(i as u32))
-        .collect();
-    out.sort_unstable();
-    out.dedup();
-    out
+    out.extend(
+        wa.overlap_words(&wb)
+            .chain(wa.overlap_words(&rb))
+            .chain(ra.overlap_words(&wb))
+            .map(|i| PageId(i as u32)),
+    );
 }
 
 #[cfg(test)]
@@ -1134,6 +1244,82 @@ mod tests {
                 "x{workers}"
             );
             assert_eq!(plan.stats.races_found, 0);
+        }
+    }
+
+    /// Builds a deterministic synthetic epoch: intervals with clustered
+    /// page accesses plus matching bitmaps, varied by `seed`.
+    fn synth_epoch(seed0: u64, g: Geometry) -> (Vec<Interval>, BitmapStore) {
+        let nprocs = 4usize;
+        let mut seed = seed0;
+        let mut rng = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        let mut intervals = Vec::new();
+        let mut store = BitmapStore::new();
+        for p in 0..nprocs {
+            let mut prev = vec![0u32; nprocs];
+            for idx in 1..=5u32 {
+                let mut vc = vec![0u32; nprocs];
+                for (q, slot) in vc.iter_mut().enumerate() {
+                    *slot = if q == p {
+                        idx
+                    } else {
+                        prev[q].max(rng() % (idx + 1))
+                    };
+                }
+                prev.clone_from(&vc);
+                let pages: Vec<u32> = (0..(rng() % 4)).map(|_| rng() % 6).collect();
+                let reads: Vec<u32> = (0..(rng() % 4)).map(|_| rng() % 6).collect();
+                let iv = make_interval(p as u16, idx, vc, &pages, &reads);
+                for pg in pages.iter().chain(&reads) {
+                    let mut bm = PageBitmaps::new(g.page_words);
+                    for _ in 0..3 {
+                        let w = (rng() as usize) % g.page_words;
+                        if rng() % 2 == 0 {
+                            bm.write.set(w);
+                        } else {
+                            bm.read.set(w);
+                        }
+                    }
+                    store.insert(iv.id(), PageId(*pg), bm);
+                }
+                intervals.push(iv);
+            }
+        }
+        (intervals, store)
+    }
+
+    /// Running two different epochs through one reused [`EpochArena`]
+    /// yields exactly the plans and reports of two fresh arenas: leftover
+    /// scratch contents never leak into the next epoch's results.
+    #[test]
+    fn arena_reuse_matches_fresh_arenas() {
+        let g = Geometry { page_words: 128 };
+        let det = EpochDetector {
+            workers: 3,
+            ..Default::default()
+        };
+        let mut arena = EpochArena::new();
+        for seed in [0x9e37u64, 0xdead_beef, 0x1234_5678] {
+            let (intervals, store) = synth_epoch(seed, g);
+            let mut fresh_plan = det.plan_with(&intervals, &mut EpochArena::new());
+            let fresh_reports = det
+                .compare_with(&mut fresh_plan, &store, g, 7, &mut EpochArena::new())
+                .unwrap();
+            let mut plan = det.plan_with(&intervals, &mut arena);
+            assert_eq!(
+                plan.check.entries, fresh_plan.check.entries,
+                "seed {seed:#x}"
+            );
+            let reports = det
+                .compare_with(&mut plan, &store, g, 7, &mut arena)
+                .unwrap();
+            assert_eq!(reports, fresh_reports, "seed {seed:#x}");
+            assert_eq!(plan.stats, fresh_plan.stats, "seed {seed:#x}");
         }
     }
 }

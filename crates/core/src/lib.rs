@@ -66,8 +66,8 @@ mod stats;
 pub mod trace;
 
 pub use detector::{
-    BitmapStore, CheckEntry, CheckList, DetectError, DetectionPlan, EpochDetector, OverlapStrategy,
-    PairClass, PairEnumeration, AUTO_OVERLAP_CUTOVER,
+    BitmapStore, CheckEntry, CheckList, DetectError, DetectionPlan, EpochArena, EpochDetector,
+    OverlapStrategy, PairClass, PairEnumeration, AUTO_OVERLAP_CUTOVER,
 };
 pub use first::filter_first_races;
 pub use interval::{make_interval, Interval};

@@ -180,6 +180,29 @@ proptest! {
         }
     }
 
+    /// Two random epochs pushed through one reused [`EpochArena`] produce
+    /// exactly the plans and reports of two fresh arenas: scratch left
+    /// behind by the first epoch never bleeds into the second.
+    #[test]
+    fn arena_reuse_is_invisible(raw1 in arb_epoch(), raw2 in arb_epoch()) {
+        use cvm_race::EpochArena;
+        let g = Geometry { page_words: PAGE_WORDS };
+        let d = EpochDetector { workers: 2, ..EpochDetector::new() };
+        let mut arena = EpochArena::new();
+        for (epoch, raw) in [(0u64, &raw1), (1, &raw2)] {
+            let (intervals, store) = normalize(raw);
+            let mut fresh_plan = d.plan_with(&intervals, &mut EpochArena::new());
+            let fresh = d
+                .compare_with(&mut fresh_plan, &store, g, epoch, &mut EpochArena::new())
+                .unwrap();
+            let mut plan = d.plan_with(&intervals, &mut arena);
+            prop_assert_eq!(&plan.check.entries, &fresh_plan.check.entries);
+            let reports = d.compare_with(&mut plan, &store, g, epoch, &mut arena).unwrap();
+            prop_assert_eq!(reports, fresh);
+            prop_assert_eq!(plan.stats, fresh_plan.stats);
+        }
+    }
+
     /// Write-write reports always name a word both intervals wrote;
     /// read-write reports name a word with at least one write.
     #[test]

@@ -39,6 +39,10 @@ use crate::simtime::OverheadCat;
 pub(crate) struct BarrierMaster {
     nprocs: usize,
     phase: Phase,
+    /// Present when detection runs pipelined (see [`crate::pipeline`]):
+    /// the barrier releases on settlement and detection is deferred to the
+    /// stage thread this state feeds.
+    pub(crate) pipe: Option<crate::pipeline::PipelineState>,
 }
 
 #[derive(Debug)]
@@ -68,6 +72,7 @@ impl BarrierMaster {
                 arrived: Vec::new(),
                 records: Vec::new(),
             },
+            pipe: None,
         }
     }
 }
@@ -230,6 +235,23 @@ fn run_detection(st: &mut NodeCore, node: &Node) -> Result<(), DsmError> {
         return do_release(st, node, arrived, records, Vec::new());
     }
 
+    // Canonicalize the epoch's record order: arrivals land in wall-clock
+    // order, but pair enumeration orients each reported pair by record
+    // position, so detection must see a deterministic order for reports to
+    // be reproducible run-to-run (and byte-identical between the
+    // synchronous and pipelined masters).
+    let mut records = records;
+    records.sort_unstable_by_key(|r| r.id());
+
+    // Pipelined mode: release immediately, detect off the critical path.
+    if st
+        .barrier
+        .as_ref()
+        .is_some_and(|master| master.pipe.is_some())
+    {
+        return crate::pipeline::pipelined_epoch(st, node, arrived, records);
+    }
+
     let detector = EpochDetector {
         overlap: st.cfg.detect.overlap,
         enumeration: st.cfg.detect.enumeration,
@@ -289,6 +311,13 @@ pub(crate) fn on_bitmap_reply(
     node: &Node,
     items: Vec<(IntervalId, (PageId, cvm_page::PageBitmaps))>,
 ) -> Result<(), DsmError> {
+    if st
+        .barrier
+        .as_ref()
+        .is_some_and(|master| master.pipe.is_some())
+    {
+        return crate::pipeline::on_bitmap_reply(st, items);
+    }
     let finished = {
         let Some(master) = st.barrier.as_mut() else {
             return Err(DsmError::Protocol {
@@ -373,7 +402,7 @@ fn finish_detection(
 }
 
 /// Sends releases and completes the barrier at the master itself.
-fn do_release(
+pub(crate) fn do_release(
     st: &mut NodeCore,
     node: &Node,
     arrived: Vec<(ProcId, VClock)>,
@@ -452,8 +481,18 @@ pub(crate) fn apply_release(
     // just-closed quiet interval (still unshipped).
     let me = st.proc;
     st.log.retain(|id, _| id.proc == me && id.index >= boundary);
+    // Pipelined detection reads this epoch's bitmaps *after* the release
+    // (the master's own locally, the workers' via a bitmap round that
+    // arrives next epoch), so every node lags bitmap GC by one boundary.
+    // The depth-1 stall gate guarantees that by the time the next release
+    // applies, the in-between epoch's detection has drained.
+    let bitmap_floor = if st.detection_pipelined() {
+        std::mem::replace(&mut st.prev_gc_boundary, boundary)
+    } else {
+        boundary
+    };
     st.bitmaps
-        .retain(|(id, _)| id.proc != me || id.index >= boundary);
+        .retain(|(id, _)| id.proc != me || id.index >= bitmap_floor);
     if st.cfg.checkpointing() {
         // Withhold the app-thread release: the node snapshots (now, or
         // when its multi-writer diffs settle) and acks the master, which

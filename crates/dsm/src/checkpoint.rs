@@ -165,6 +165,8 @@ fn node_stats_to_vec(s: &NodeStats) -> Vec<u64> {
         s.bitmap_high_water,
         s.retained_bytes_high_water,
         s.soft_gcs,
+        s.pipelined_epochs,
+        s.pipeline_stalls,
     ]
 }
 
@@ -187,11 +189,13 @@ fn node_stats_from_vec(v: &[u64]) -> NodeStats {
         bitmap_high_water: v[14],
         retained_bytes_high_water: v[15],
         soft_gcs: v[16],
+        pipelined_epochs: v[17],
+        pipeline_stalls: v[18],
     }
 }
 
 const DET_STATS_FIELDS: usize = 9;
-const NODE_STATS_FIELDS: usize = 17;
+const NODE_STATS_FIELDS: usize = 19;
 
 impl Wire for NodeImage {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -783,10 +787,27 @@ pub(crate) fn on_ckpt_ack(st: &mut NodeCore, node: &Node, epoch: u64) -> Result<
         return Ok(());
     }
     st.ckpt_acks.remove(&epoch);
-    for p in 1..nprocs as u16 {
-        st.send_msg(&node.sender, ProcId(p), &Msg::CkptGo { epoch })?;
+    // Pipelined detection: the cut must not commit before its epoch's
+    // detection drains — the commit then carries the drained reports so
+    // every image matches the synchronous run's race log at this cut.
+    if st
+        .barrier
+        .as_ref()
+        .is_some_and(|master| master.pipe.is_some())
+    {
+        return crate::pipeline::commit_or_gate(st, node, epoch);
     }
-    on_ckpt_go(st, epoch)
+    for p in 1..nprocs as u16 {
+        st.send_msg(
+            &node.sender,
+            ProcId(p),
+            &Msg::CkptGo {
+                epoch,
+                races: Vec::new(),
+            },
+        )?;
+    }
+    on_ckpt_go(st, epoch, Vec::new())
 }
 
 /// The commit: every node is quiescent, so snapshot this node's image
@@ -796,11 +817,21 @@ pub(crate) fn on_ckpt_ack(st: &mut NodeCore, node: &Node, epoch: u64) -> Result<
 /// recovery then rolls back one epoch further, which is still a
 /// consistent cut.
 ///
+/// In pipelined runs the commit carries any race reports whose detection
+/// drained between the cut being requested and committed; they join the
+/// race log *before* the snapshot so the image matches a synchronous
+/// run's.  Synchronous commits always pass an empty list.
+///
 /// # Errors
 ///
 /// [`DsmError::Protocol`] if no application thread is waiting.
-pub(crate) fn on_ckpt_go(st: &mut NodeCore, epoch: u64) -> Result<(), DsmError> {
+pub(crate) fn on_ckpt_go(
+    st: &mut NodeCore,
+    epoch: u64,
+    races: Vec<cvm_race::RaceReport>,
+) -> Result<(), DsmError> {
     debug_assert_eq!(st.epoch, epoch, "checkpoint commit for a stale epoch");
+    st.race_log.extend(races);
     take_checkpoint(st);
     let Some(tx) = st.barrier_wait.take() else {
         return Err(DsmError::Protocol {

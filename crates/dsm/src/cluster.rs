@@ -169,6 +169,11 @@ where
 
         let resume = store.and_then(|s| s.last_complete_epoch(nprocs));
         let ctl = Arc::new(ClusterCtl::new());
+        // Pipelined detection: the master's barrier feeds a dedicated
+        // stage thread (spawned below) through this channel.
+        let pipelined =
+            cfg.detect.pipelined && cfg.detect.enabled && !cfg.detect.instrumentation_only;
+        let mut stage_rx = None;
         let nodes: Vec<Arc<Node>> = endpoints
             .iter()
             .enumerate()
@@ -176,7 +181,13 @@ where
                 let proc = ProcId::from_index(i);
                 let mut core = NodeCore::new(cfg.clone(), proc);
                 if i == 0 {
-                    core.barrier = Some(BarrierMaster::new(nprocs));
+                    let mut master = BarrierMaster::new(nprocs);
+                    if pipelined {
+                        let (tx, rx) = crossbeam::channel::unbounded();
+                        master.pipe = Some(crate::pipeline::PipelineState::new(tx));
+                        stage_rx = Some(rx);
+                    }
+                    core.barrier = Some(master);
                 }
                 if let Some(schedule) = &cfg.replay {
                     core.replay = Some(ReplayCursor::new(schedule.clone()));
@@ -210,6 +221,21 @@ where
                     }));
                     if r.is_err() && !ctl.tearing_down() {
                         ctl.fail(DsmError::NodeFailed { proc: i as u16 });
+                    }
+                });
+            }
+            // The master's detection stage (pipelined mode only).
+            if let Some(rx) = stage_rx.take() {
+                let node = Arc::clone(&nodes[0]);
+                let ctl = Arc::clone(&ctl);
+                let detect = cfg.detect;
+                let geometry = cfg.geometry;
+                scope.spawn(move || {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        crate::pipeline::detection_stage(&node, &rx, detect, geometry)
+                    }));
+                    if r.is_err() && !ctl.tearing_down() {
+                        ctl.fail(DsmError::NodeFailed { proc: 0 });
                     }
                 });
             }
@@ -249,6 +275,27 @@ where
                 if let Ok(Some(payload)) = app.join() {
                     genuine.get_or_insert(payload);
                 }
+            }
+            // Reports are delivered one epoch deferred, so the final
+            // epoch's detection may still be in flight; drain it while the
+            // worker service threads (which answer the bitmap round) are
+            // still up, then flush the deferred reports into the master's
+            // race log.  A failed run gets a short bounded drain — dead
+            // peers will never answer.
+            if pipelined {
+                let grace = if ctl.failed() {
+                    std::time::Duration::from_millis(200)
+                } else {
+                    cfg.op_deadline
+                };
+                let limit = Instant::now() + grace;
+                while crate::pipeline::pending_epochs(&nodes[0].state.lock()) > 0 {
+                    if Instant::now() >= limit {
+                        break;
+                    }
+                    std::thread::sleep(crate::fault::APP_POLL);
+                }
+                crate::pipeline::flush_deferred(&mut nodes[0].state.lock());
             }
             // Orderly shutdown: stop the service threads.  Send errors are
             // expected here (dead nodes have no wiring left).
@@ -471,7 +518,7 @@ fn service_loop(node: &Node, ep: Endpoint, rstats: Option<Arc<ReliabilityStats>>
                 epoch,
             } => crate::barrier::apply_release(&mut st, node, records, vc, races, epoch),
             Msg::CkptAck { from: _, epoch } => crate::checkpoint::on_ckpt_ack(&mut st, node, epoch),
-            Msg::CkptGo { epoch } => crate::checkpoint::on_ckpt_go(&mut st, epoch),
+            Msg::CkptGo { epoch, races } => crate::checkpoint::on_ckpt_go(&mut st, epoch, races),
             Msg::Shutdown => unreachable!("handled above"),
         };
         drop(st);

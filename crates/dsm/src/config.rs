@@ -140,6 +140,17 @@ pub struct DetectConfig {
     pub write_detection: WriteDetection,
     /// Optional §6.1 watchpoint for replay runs.
     pub watch: Option<Watch>,
+    /// Pipelined detection epochs: the barrier master releases the barrier
+    /// as soon as epoch `N`'s consistency information has settled and runs
+    /// the comparison for epoch `N` on a dedicated stage thread while the
+    /// nodes compute epoch `N+1`.  Race reports are delivered one epoch
+    /// deferred (flushed at run end) with byte-identical content and
+    /// ordering to the synchronous run; under
+    /// [`RecoveryPolicy::Recover`] a checkpoint cut commits only after its
+    /// epoch's detection has drained, so recovery images carry the same
+    /// race log either way.  Off by default (the paper's synchronous
+    /// master).
+    pub pipelined: bool,
 }
 
 impl DetectConfig {
@@ -154,6 +165,17 @@ impl DetectConfig {
             workers: 0,
             write_detection: WriteDetection::Instrumentation,
             watch: None,
+            pipelined: false,
+        }
+    }
+
+    /// Detection fully enabled with the pipelined epoch stage: the barrier
+    /// releases before the comparison runs, and reports arrive one epoch
+    /// deferred but byte-identical to [`DetectConfig::on`].
+    pub fn pipelined() -> Self {
+        DetectConfig {
+            pipelined: true,
+            ..DetectConfig::on()
         }
     }
 
@@ -322,6 +344,14 @@ mod tests {
     fn detect_on_off_toggles() {
         assert!(DetectConfig::on().enabled);
         assert!(!DetectConfig::off().enabled);
+    }
+
+    #[test]
+    fn pipelined_defaults_off_and_composes() {
+        assert!(!DetectConfig::on().pipelined);
+        assert!(!DetectConfig::off().pipelined);
+        let p = DetectConfig::pipelined();
+        assert!(p.pipelined && p.enabled && !p.instrumentation_only);
     }
 
     #[test]

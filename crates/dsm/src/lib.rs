@@ -65,6 +65,7 @@ mod locks;
 mod msg;
 mod node;
 mod pages;
+mod pipeline;
 mod replay;
 mod report;
 mod simtime;

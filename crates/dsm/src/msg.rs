@@ -167,6 +167,12 @@ pub enum Msg {
     CkptGo {
         /// The committed epoch.
         epoch: u64,
+        /// Race reports whose detection drained between the cut being
+        /// requested and committed (pipelined mode): receivers fold these
+        /// into their race log *before* imaging, so a checkpoint never
+        /// commits ahead of its epoch's detection.  Always empty in
+        /// synchronous mode, where detection completes inside the barrier.
+        races: Vec<RaceReport>,
     },
 }
 
@@ -312,9 +318,10 @@ impl Wire for Msg {
                 from.encode(buf);
                 epoch.encode(buf);
             }
-            Msg::CkptGo { epoch } => {
+            Msg::CkptGo { epoch, races } => {
                 buf.push(TAG_CKPT_GO);
                 epoch.encode(buf);
+                races.encode(buf);
             }
         }
     }
@@ -367,9 +374,13 @@ impl Wire for Msg {
             }
             Msg::Shutdown => 0,
             Msg::CkptAck { .. } => 2 + 8,
-            Msg::CkptGo { .. } => 8,
+            Msg::CkptGo { races, .. } => 8 + 4 + races.iter().map(Wire::wire_size).sum::<u64>(),
         };
         1 + body
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        Msg::from_bytes_borrowed(bytes)
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -452,13 +463,81 @@ impl Wire for Msg {
             },
             TAG_CKPT_GO => Msg::CkptGo {
                 epoch: u64::decode(r)?,
+                races: Vec::<RaceReport>::decode(r)?,
             },
             tag => return Err(WireError::BadTag { what: "Msg", tag }),
         })
     }
 }
 
+/// Fixed encoded size of the four page request/forward variants:
+/// tag + `PageId` + `ProcId`.
+const PAGE_REQ_BYTES: usize = 1 + 4 + 2;
+/// Fixed encoded size of a checkpoint acknowledgement: tag + `ProcId` +
+/// epoch.
+const CKPT_ACK_BYTES: usize = 1 + 2 + 8;
+
 impl Msg {
+    /// Decodes a message from a borrowed frame body without the generic
+    /// length-prefixed [`Reader`] walk where the layout permits.
+    ///
+    /// Every variant's encoded size is known arithmetically (see
+    /// [`Wire::wire_size`]), which this path exploits two ways:
+    ///
+    /// * **Fixed-size messages** — the page request/forward quartet,
+    ///   checkpoint acks, and `Shutdown` — are recognized by `tag` +
+    ///   exact length and their fields read straight out of the slice,
+    ///   with no cursor, no per-field bounds checks, and no allocation.
+    /// * **Bitmap replies**, the detector's hot inbound message, decode
+    ///   through a specialized loop that sizes the item vector exactly
+    ///   from the validated count prefix; each bitmap's word region is
+    ///   then taken with a single bounds check and bulk-converted (see
+    ///   `Bitmap`'s wire impl), so the frame parses without intermediate
+    ///   `Vec` staging.
+    ///
+    /// Anything else — and any fixed-size candidate whose length does not
+    /// match, so malformed input reports byte-identical errors — falls
+    /// back to the generic decoder.  `Msg::from_bytes` delegates here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on truncated, malformed, or oversized
+    /// input, exactly as the generic decoder would.
+    pub fn from_bytes_borrowed(bytes: &[u8]) -> Result<Msg, WireError> {
+        match bytes.first() {
+            Some(
+                &tag
+                @ (TAG_PAGE_READ_REQ | TAG_PAGE_READ_FWD | TAG_PAGE_OWN_REQ | TAG_PAGE_OWN_FWD),
+            ) if bytes.len() == PAGE_REQ_BYTES => {
+                let page = PageId(u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]));
+                let requester = ProcId(u16::from_le_bytes([bytes[5], bytes[6]]));
+                Ok(match tag {
+                    TAG_PAGE_READ_REQ => Msg::PageReadReq { page, requester },
+                    TAG_PAGE_READ_FWD => Msg::PageReadFwd { page, requester },
+                    TAG_PAGE_OWN_REQ => Msg::PageOwnReq { page, requester },
+                    _ => Msg::PageOwnFwd { page, requester },
+                })
+            }
+            Some(&TAG_CKPT_ACK) if bytes.len() == CKPT_ACK_BYTES => {
+                let from = ProcId(u16::from_le_bytes([bytes[1], bytes[2]]));
+                let mut e = [0u8; 8];
+                e.copy_from_slice(&bytes[3..11]);
+                Ok(Msg::CkptAck {
+                    from,
+                    epoch: u64::from_le_bytes(e),
+                })
+            }
+            Some(&TAG_SHUTDOWN) if bytes.len() == 1 => Ok(Msg::Shutdown),
+            Some(&TAG_BITMAP_REPLY) => decode_bitmap_reply(&bytes[1..]),
+            _ => {
+                let mut r = Reader::new(bytes);
+                let msg = Msg::decode(&mut r)?;
+                r.finish()?;
+                Ok(msg)
+            }
+        }
+    }
+
     /// Structural validation of a freshly decoded message against the
     /// cluster shape: every process id must be in range and every vector
     /// clock as wide as the cluster.
@@ -559,11 +638,17 @@ impl Msg {
                 Ok(())
             }
             Msg::CkptAck { from, .. } => proc_ok(*from, nprocs),
+            Msg::CkptGo { races, .. } => {
+                for race in races {
+                    id_ok(race.a, nprocs)?;
+                    id_ok(race.b, nprocs)?;
+                }
+                Ok(())
+            }
             Msg::PageReadReply { .. }
             | Msg::PageOwnReply { .. }
             | Msg::PageFetchReply { .. }
-            | Msg::Shutdown
-            | Msg::CkptGo { .. } => Ok(()),
+            | Msg::Shutdown => Ok(()),
         }
     }
 
@@ -612,6 +697,31 @@ impl Msg {
             _ => ByteBreakdown::single(TrafficClass::Control, total),
         }
     }
+}
+
+/// Specialized decoder for [`Msg::BitmapReply`] bodies (tag stripped).
+///
+/// Semantically identical to the generic path — same hostile-length
+/// guard, same error values — but the item vector is allocated once at
+/// its exact final size and each element decodes in a straight line, so
+/// the master's bitmap-collection round never re-allocates mid-frame.
+fn decode_bitmap_reply(body: &[u8]) -> Result<Msg, WireError> {
+    // A minimal item is an interval id, a page id, and two empty bitmaps
+    // (their 4-byte length prefixes): the count guard below rejects any
+    // prefix claiming more items than the body could possibly hold.
+    const MIN_ITEM_BYTES: u64 = 6 + 4 + (4 + 4);
+    let mut r = Reader::new(body);
+    let count = u32::decode(&mut r)?;
+    let count = r.check_count(u64::from(count), MIN_ITEM_BYTES)?;
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = IntervalId::decode(&mut r)?;
+        let page = PageId::decode(&mut r)?;
+        let bitmaps = PageBitmaps::decode(&mut r)?;
+        items.push((id, (page, bitmaps)));
+    }
+    r.finish()?;
+    Ok(Msg::BitmapReply { items })
 }
 
 #[cfg(test)]
@@ -709,7 +819,113 @@ mod tests {
             from: ProcId(2),
             epoch: 41,
         });
-        roundtrip(Msg::CkptGo { epoch: 41 });
+        roundtrip(Msg::CkptGo {
+            epoch: 41,
+            races: vec![],
+        });
+        roundtrip(Msg::CkptGo {
+            epoch: 42,
+            races: vec![cvm_race::RaceReport {
+                addr: cvm_page::GAddr(64),
+                kind: cvm_race::RaceKind::WriteWrite,
+                a: iv.id(),
+                b: iv.id(),
+                epoch: 42,
+            }],
+        });
+    }
+
+    /// The fixed-size fast path and the generic decoder agree on every
+    /// eligible variant, and malformed lengths report the same errors.
+    #[test]
+    fn borrowed_fast_path_matches_generic_decode() {
+        let fixed = [
+            Msg::PageReadReq {
+                page: PageId(7),
+                requester: ProcId(1),
+            },
+            Msg::PageReadFwd {
+                page: PageId(0xdead),
+                requester: ProcId(3),
+            },
+            Msg::PageOwnReq {
+                page: PageId(0),
+                requester: ProcId(0),
+            },
+            Msg::PageOwnFwd {
+                page: PageId(u32::MAX),
+                requester: ProcId(u16::MAX),
+            },
+            Msg::CkptAck {
+                from: ProcId(2),
+                epoch: u64::MAX - 1,
+            },
+            Msg::Shutdown,
+        ];
+        for msg in &fixed {
+            let bytes = msg.to_bytes();
+            let mut r = Reader::new(&bytes);
+            let generic = Msg::decode(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(&Msg::from_bytes_borrowed(&bytes).unwrap(), msg);
+            assert_eq!(generic, *msg);
+            // Truncation and trailing garbage must fail identically to the
+            // generic path (the fast path falls back on length mismatch).
+            let mut long = bytes.clone();
+            long.push(0);
+            let generic_err = |b: &[u8]| {
+                let mut r = Reader::new(b);
+                Msg::decode(&mut r).and_then(|_| r.finish())
+            };
+            assert_eq!(
+                Msg::from_bytes_borrowed(&long).unwrap_err(),
+                generic_err(&long).unwrap_err(),
+                "{msg:?}"
+            );
+            if bytes.len() > 1 {
+                let short = &bytes[..bytes.len() - 1];
+                assert_eq!(
+                    Msg::from_bytes_borrowed(short).unwrap_err(),
+                    generic_err(short).unwrap_err(),
+                    "{msg:?}"
+                );
+            }
+        }
+    }
+
+    /// The specialized bitmap-reply decoder is byte-equivalent to the
+    /// generic one, including on truncated and hostile-length input.
+    #[test]
+    fn bitmap_reply_fast_path_matches_generic_decode() {
+        let iv = make_interval(1, 3, vec![2, 3], &[1, 2], &[7]);
+        let mut odd = PageBitmaps::new(65);
+        odd.read.set(64);
+        odd.write.set(3);
+        let msg = Msg::BitmapReply {
+            items: vec![
+                (iv.id(), (PageId(1), PageBitmaps::new(64))),
+                (iv.id(), (PageId(2), odd)),
+            ],
+        };
+        let bytes = msg.to_bytes();
+        assert_eq!(Msg::from_bytes_borrowed(&bytes).unwrap(), msg);
+        for cut in 1..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            let generic = Msg::decode(&mut r).and_then(|_| r.finish());
+            assert_eq!(
+                Msg::from_bytes_borrowed(&bytes[..cut]),
+                generic.map(|()| unreachable!("truncated decode succeeded")),
+                "cut at {cut}"
+            );
+        }
+        // A count prefix claiming more items than the body can hold is
+        // rejected before any allocation.
+        let mut hostile = vec![TAG_BITMAP_REPLY];
+        u32::MAX.encode(&mut hostile);
+        assert_eq!(
+            Msg::from_bytes_borrowed(&hostile).unwrap_err(),
+            WireError::BadLength(u64::from(u32::MAX)),
+        );
     }
 
     /// The arithmetic `wire_size` must match the encoder byte-for-byte on

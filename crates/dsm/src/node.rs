@@ -123,6 +123,12 @@ pub struct NodeStats {
     pub retained_bytes_high_water: u64,
     /// Soft-budget crossings that triggered proactive GC.
     pub soft_gcs: u64,
+    /// Barrier epochs whose detection ran overlapped on the pipeline stage
+    /// (master only; zero in synchronous mode).
+    pub pipelined_epochs: u64,
+    /// Barriers that stalled waiting for the previous epoch's detection to
+    /// drain (master only; the depth-1 pipeline was full).
+    pub pipeline_stalls: u64,
 }
 
 /// Mutable state of one node, shared between its application thread and its
@@ -204,6 +210,10 @@ pub(crate) struct NodeCore {
     /// it without weakening LRC.  Barrier GC normally leaves nothing below
     /// the floor; the sweep matters after a checkpoint restore.
     pub barrier_floor: VClock,
+    /// The *previous* release's GC boundary.  Pipelined detection reads an
+    /// epoch's bitmaps after its release has been applied, so release GC
+    /// lags bitmap pruning by one boundary (see `apply_release`).
+    pub prev_gc_boundary: u32,
 }
 
 impl NodeCore {
@@ -256,7 +266,16 @@ impl NodeCore {
             ckpt_acks: HashMap::new(),
             ckpt: None,
             barrier_floor: VClock::new(nprocs),
+            prev_gc_boundary: 0,
         }
+    }
+
+    /// Whether this run defers detection to the master's pipeline stage
+    /// (gates the lagged bitmap GC on every node).
+    pub(crate) fn detection_pipelined(&self) -> bool {
+        self.cfg.detect.pipelined
+            && self.cfg.detect.enabled
+            && !self.cfg.detect.instrumentation_only
     }
 
     /// Returns `true` if shared accesses must be tracked at word

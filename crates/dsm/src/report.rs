@@ -186,6 +186,17 @@ impl RunReport {
             self.nodes.iter().map(|n| n.stats.write_faults).sum(),
         )
     }
+
+    /// Pipelined-detection counters `(epochs, stalls)`: epochs whose
+    /// comparison ran on the stage thread, and barriers that had to wait
+    /// for a still-running previous comparison.  Both zero for the
+    /// synchronous master ([`DetectConfig::on`](crate::DetectConfig::on)).
+    pub fn pipeline(&self) -> (u64, u64) {
+        (
+            self.nodes.iter().map(|n| n.stats.pipelined_epochs).sum(),
+            self.nodes.iter().map(|n| n.stats.pipeline_stalls).sum(),
+        )
+    }
 }
 
 #[cfg(test)]

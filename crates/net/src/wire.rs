@@ -489,10 +489,15 @@ impl Wire for Bitmap {
         let nbits = u32::decode(r)? as usize;
         let nwords = (nbits as u64).div_ceil(64);
         let nwords = r.check_count(nwords, 8)?;
-        let mut raw = Vec::with_capacity(nwords);
-        for _ in 0..nwords {
-            raw.push(u64::decode(r)?);
-        }
+        // The word count is known arithmetically from the bit-length
+        // prefix, so the whole word region is taken with one bounds check
+        // and bulk-converted — no per-word cursor arithmetic on the hot
+        // bitmap-reply path.
+        let words = r.take(nwords * 8)?;
+        let raw: Vec<u64> = words
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect();
         Ok(Bitmap::from_raw(nbits, raw))
     }
     fn wire_size(&self) -> u64 {

@@ -167,10 +167,48 @@ impl Bitmap {
     /// uses: callers combine masks across read/write bitmaps without
     /// re-deriving word indices bit by bit.
     ///
+    /// Behind the summary short-circuit, the walk is a 4-lane SWAR kernel:
+    /// backing words are ANDed four at a time (`u64x4`), the four lane
+    /// results are ORed into one combined word, and a zero combined word
+    /// skips the whole chunk with a single branch — the common false-sharing
+    /// case where page overlap carries no word overlap.  The yielded
+    /// sequence is identical, word for word, to the scalar walk
+    /// ([`Bitmap::overlap_chunks_scalar`], the property-test oracle).
+    ///
     /// # Panics
     ///
     /// Panics if the bitmaps have different widths.
-    pub fn overlap_chunks<'a>(
+    pub fn overlap_chunks<'a>(&'a self, other: &'a Bitmap) -> OverlapChunks<'a> {
+        assert_eq!(
+            self.nbits, other.nbits,
+            "comparing bitmaps of different widths"
+        );
+        // Disjoint summaries: skip the scan entirely (empty sub-slice).
+        let n = if self.summary & other.summary == 0 {
+            0
+        } else {
+            self.bits.len()
+        };
+        OverlapChunks {
+            a: &self.bits[..n],
+            b: &other.bits[..n],
+            next: 0,
+            base: 0,
+            lanes: [0; 4],
+            live: 0,
+        }
+    }
+
+    /// Reference scalar AND-walk: yields exactly the sequence of
+    /// [`Bitmap::overlap_chunks`], one backing word at a time, behind the
+    /// same summary guard.  Kept as the oracle the SWAR kernel is
+    /// property-tested against (and as the readable specification of what
+    /// the kernel computes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmaps have different widths.
+    pub fn overlap_chunks_scalar<'a>(
         &'a self,
         other: &'a Bitmap,
     ) -> impl Iterator<Item = (usize, u64)> + 'a {
@@ -178,7 +216,6 @@ impl Bitmap {
             self.nbits, other.nbits,
             "comparing bitmaps of different widths"
         );
-        // Disjoint summaries: skip the scan entirely (empty sub-slice).
         let n = if self.summary & other.summary == 0 {
             0
         } else {
@@ -286,6 +323,69 @@ impl Bitmap {
 impl fmt::Debug for Bitmap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Bitmap[{}/{} set]", self.count(), self.nbits)
+    }
+}
+
+/// Iterator returned by [`Bitmap::overlap_chunks`]: a 4-lane SWAR AND-walk
+/// over two bitmaps' backing words.
+///
+/// Words are processed in `u64x4` chunks; a chunk whose four AND lanes OR
+/// to zero is skipped with one branch, and the non-zero lanes of a hit
+/// chunk are drained in ascending word order, so the yielded sequence is
+/// identical to the scalar word-at-a-time walk.
+pub struct OverlapChunks<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+    /// Next backing-word index the chunked scan has not yet consumed.
+    next: usize,
+    /// Base word index of the chunk currently being drained.
+    base: usize,
+    /// AND lanes of the current chunk.
+    lanes: [u64; 4],
+    /// Bit `i` set ⇔ `lanes[i]` is non-zero and not yet yielded.
+    live: u8,
+}
+
+impl Iterator for OverlapChunks<'_> {
+    type Item = (usize, u64);
+
+    fn next(&mut self) -> Option<(usize, u64)> {
+        loop {
+            // Drain the non-zero lanes of the current chunk first.
+            if self.live != 0 {
+                let i = self.live.trailing_zeros() as usize;
+                self.live &= self.live - 1;
+                return Some((self.base + i, self.lanes[i]));
+            }
+            if self.next + 4 <= self.a.len() {
+                let w = self.next;
+                self.next += 4;
+                let m0 = self.a[w] & self.b[w];
+                let m1 = self.a[w + 1] & self.b[w + 1];
+                let m2 = self.a[w + 2] & self.b[w + 2];
+                let m3 = self.a[w + 3] & self.b[w + 3];
+                if m0 | m1 | m2 | m3 == 0 {
+                    continue;
+                }
+                self.base = w;
+                self.lanes = [m0, m1, m2, m3];
+                self.live = u8::from(m0 != 0)
+                    | u8::from(m1 != 0) << 1
+                    | u8::from(m2 != 0) << 2
+                    | u8::from(m3 != 0) << 3;
+                continue;
+            }
+            // Scalar tail: fewer than four words remain.
+            while self.next < self.a.len() {
+                let w = self.next;
+                self.next += 1;
+                let m = self.a[w] & self.b[w];
+                if m != 0 {
+                    return Some((w, m));
+                }
+            }
+            return None;
+        }
     }
 }
 
@@ -496,6 +596,42 @@ mod tests {
         assert_eq!(from_chunks, direct);
         assert_eq!(direct, vec![1, 70, 200]);
         assert_eq!(a.count_overlap(&b), 3);
+    }
+
+    #[test]
+    fn swar_chunks_match_scalar_walk() {
+        // Deterministic LCG-filled pairs across widths that exercise every
+        // chunk shape: exact multiples of the 4-word lane width, a lone
+        // tail word, and tails of 1–3 words.
+        for nbits in [1usize, 63, 64, 65, 128, 192, 256, 257, 300, 511, 512, 1024] {
+            let mut seed = nbits as u64 ^ 0x9E37_79B9_7F4A_7C15;
+            let mut rng = move || {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (seed >> 33) as usize
+            };
+            let mut a = Bitmap::new(nbits);
+            let mut b = Bitmap::new(nbits);
+            for _ in 0..nbits / 2 + 1 {
+                a.set(rng() % nbits);
+                b.set(rng() % nbits);
+            }
+            let swar: Vec<(usize, u64)> = a.overlap_chunks(&b).collect();
+            let scalar: Vec<(usize, u64)> = a.overlap_chunks_scalar(&b).collect();
+            assert_eq!(swar, scalar, "nbits={nbits}");
+            // The bit-level expansion agrees too.
+            let words: Vec<usize> = a.overlap_words(&b).collect();
+            let expanded: Vec<usize> = swar
+                .iter()
+                .flat_map(|&(wi, m)| {
+                    (0..64)
+                        .filter(move |j| m & (1 << j) != 0)
+                        .map(move |j| wi * 64 + j)
+                })
+                .collect();
+            assert_eq!(words, expanded, "nbits={nbits}");
+        }
     }
 
     #[test]

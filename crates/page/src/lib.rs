@@ -53,7 +53,7 @@ mod frame;
 mod geometry;
 
 pub use alloc::{AllocError, SegmentInfo, SegmentMap, SharedAlloc};
-pub use bitmap::{Bitmap, PageBitmaps};
+pub use bitmap::{Bitmap, OverlapChunks, PageBitmaps};
 pub use diff::Diff;
 pub use frame::{Frame, PageStore, Protection};
 pub use geometry::{GAddr, Geometry, PageId, SHARED_BASE, WORD_BYTES};

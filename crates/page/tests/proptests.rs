@@ -41,6 +41,48 @@ proptest! {
         prop_assert_eq!(ba.overlap_words(&bb).collect::<Vec<_>>(), expect);
     }
 
+    /// The SWAR 4-lane AND-walk yields exactly the scalar walk's sequence,
+    /// word for word, for dense random words at widths covering every
+    /// chunk/tail shape.
+    #[test]
+    fn swar_and_walk_equals_scalar_and_walk(
+        nbits in 0usize..600,
+        raw_a in proptest::collection::vec(any::<u64>(), 10),
+        raw_b in proptest::collection::vec(any::<u64>(), 10),
+    ) {
+        let words = nbits.div_ceil(64);
+        let mut a = raw_a[..words].to_vec();
+        let mut b = raw_b[..words].to_vec();
+        if nbits % 64 != 0 {
+            // Keep the tail word inside the bitmap's declared width.
+            let keep = (1u64 << (nbits % 64)) - 1;
+            a[words - 1] &= keep;
+            b[words - 1] &= keep;
+        }
+        let ba = Bitmap::from_raw(nbits, a);
+        let bb = Bitmap::from_raw(nbits, b);
+        let swar: Vec<(usize, u64)> = ba.overlap_chunks(&bb).collect();
+        let scalar: Vec<(usize, u64)> = ba.overlap_chunks_scalar(&bb).collect();
+        prop_assert_eq!(swar, scalar);
+    }
+
+    /// Sparse pairs (the false-sharing common case) take the summary
+    /// short-circuit identically through both kernels.
+    #[test]
+    fn swar_and_walk_equals_scalar_on_sparse_pairs(
+        a in arb_bits(512),
+        b in arb_bits(512),
+    ) {
+        let mut ba = Bitmap::new(512);
+        let mut bb = Bitmap::new(512);
+        for &i in &a { ba.set(i); }
+        for &i in &b { bb.set(i); }
+        prop_assert_eq!(
+            ba.overlap_chunks(&bb).collect::<Vec<_>>(),
+            ba.overlap_chunks_scalar(&bb).collect::<Vec<_>>()
+        );
+    }
+
     #[test]
     fn bitmap_union_is_superset(a in arb_bits(128), b in arb_bits(128)) {
         let mut ba = Bitmap::new(128);

@@ -1,8 +1,13 @@
 //! Cross-crate invariants exercised on whole cluster runs.
 
-use cvm_repro::dsm::{Cluster, DetectConfig, DsmConfig, Protocol};
+use std::time::Duration;
+
+use cvm_repro::dsm::{
+    Cluster, DetectConfig, DsmConfig, FaultPlan, Protocol, RecoveryPolicy, RunReport,
+};
 use cvm_repro::net::TrafficClass;
 use cvm_repro::race::OverlapStrategy;
+use cvm_repro::vclock::ProcId;
 
 /// Every overlap strategy yields identical race sets on the same
 /// deterministic program.
@@ -212,4 +217,177 @@ fn consolidation_equals_barrier_detection() {
         via_barrier.races.distinct_addrs(),
         via_consolidation.races.distinct_addrs()
     );
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined-vs-synchronous detection matrix.
+//
+// Pipelined mode defers each epoch's detection off the barrier critical
+// path and delivers its reports one release late (flushed at run end), so
+// the contract is: byte-identical race-report *content and ordering* to
+// the synchronous run — across protocols, recovery policies, and scripted
+// faults.  Virtual time is explicitly NOT compared: overlapping detection
+// with the next epoch changes when costs are charged relative to message
+// receipt, which is the entire point of the mode.
+// ---------------------------------------------------------------------------
+
+/// Sorted, rendered race lines: the canonical content+ordering fingerprint.
+fn race_fingerprint(report: &RunReport) -> Vec<String> {
+    let mut rendered: Vec<String> = report
+        .races
+        .reports()
+        .iter()
+        .map(|r| format!("{:?}@{} {}", r.kind, r.epoch, r.render(&report.segments)))
+        .collect();
+    rendered.sort();
+    rendered
+}
+
+/// A deterministic barrier-only program racing in every one of 4 epochs:
+/// each process owns a page-sized stripe but also writes a shared clash
+/// word per epoch (true races) and straddles a neighbour's words (false
+/// sharing the bitmap comparison must discard).
+fn racy_epochs_body(h: &cvm_repro::dsm::ProcHandle, arr: &cvm_repro::page::GAddr) {
+    let me = h.proc() as u64;
+    let n = h.nprocs() as u64;
+    // Recovery-aware: a restored process skips checkpointed phases, so the
+    // killed runs report the same epochs as the clean ones.
+    let mut epochs = h.epochs();
+    for epoch in 0..4u64 {
+        epochs.step(|| {
+            for k in 0..24u64 {
+                h.write(arr.word(me * 512 + (epoch * 24 + k) % 512), epoch);
+            }
+            // All processes collide on one word per epoch...
+            h.write(arr.word(n * 512 + epoch), me);
+            // ...and read the next process's stripe (ordered by the
+            // previous barrier: concurrent only in epoch 0's interval).
+            let _ = h.read(arr.word(((me + 1) % n) * 512 + epoch));
+        });
+    }
+}
+
+/// Tight RTO/backoff so a scripted corpse is declared dead in
+/// milliseconds (same wire for both members of a compared pair).
+/// `PIPELINE_SEED` (CI's matrix axis) shifts every wire seed so reruns
+/// explore different loss/timing schedules without editing the test.
+fn matrix_wire(seed: u64) -> FaultPlan {
+    let base = std::env::var("PIPELINE_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    FaultPlan::clean(seed + base * 1000)
+        .with_rto(Duration::from_millis(2), Duration::from_millis(16))
+        .with_max_retransmits(8)
+}
+
+fn matrix_cfg(protocol: Protocol, pipelined: bool, seed: Option<u64>) -> DsmConfig {
+    let mut cfg = DsmConfig::new(3);
+    cfg.protocol = protocol;
+    cfg.op_deadline = Duration::from_secs(5);
+    cfg.detect = if pipelined {
+        DetectConfig::pipelined()
+    } else {
+        DetectConfig::on()
+    };
+    if let Some(seed) = seed {
+        cfg.net_loss = Some(matrix_wire(seed));
+    }
+    cfg
+}
+
+fn run_matrix_cell(cfg: DsmConfig) -> Result<RunReport, cvm_repro::dsm::RunError> {
+    Cluster::run(
+        cfg,
+        |alloc| alloc.alloc_page_aligned("arr", 4096 * 4).unwrap(),
+        racy_epochs_body,
+    )
+}
+
+/// Clean runs: both protocols, Abort policy.  Pipelined reports must be
+/// byte-identical to synchronous, and the pipeline must actually engage.
+#[test]
+fn pipelined_matches_synchronous_clean() {
+    for protocol in [Protocol::SingleWriter, Protocol::MultiWriter] {
+        let sync = run_matrix_cell(matrix_cfg(protocol, false, None)).expect("sync run");
+        let piped = run_matrix_cell(matrix_cfg(protocol, true, None)).expect("pipelined run");
+        assert!(
+            !sync.races.is_empty(),
+            "{protocol:?}: the program must actually race"
+        );
+        assert_eq!(
+            race_fingerprint(&sync),
+            race_fingerprint(&piped),
+            "{protocol:?}: pipelined reports diverged"
+        );
+        // Same detection work, just moved off the critical path.
+        assert_eq!(sync.det_stats, piped.det_stats, "{protocol:?}");
+        assert_eq!(piped.nodes[0].stats.pipelined_epochs, 4, "{protocol:?}");
+        assert_eq!(sync.nodes[0].stats.pipelined_epochs, 0, "{protocol:?}");
+    }
+}
+
+/// Recovery runs: both protocols, `Recover` policy with a scripted worker
+/// kill, under several wire seeds.  Checkpointing makes every barrier a
+/// cut, so this also pins the gating rule: a cut must not commit before
+/// its epoch's detection drains — otherwise the restored race log (and
+/// hence the final report) would silently drop the gated epoch's races.
+#[test]
+fn pipelined_matches_synchronous_through_recovery() {
+    for protocol in [Protocol::SingleWriter, Protocol::MultiWriter] {
+        for seed in [11u64, 29, 47] {
+            let recover = |pipelined: bool, kill: bool| {
+                let mut cfg = matrix_cfg(protocol, pipelined, Some(seed));
+                cfg.recovery = RecoveryPolicy::Recover { max_attempts: 3 };
+                if kill {
+                    cfg.net_loss = Some(matrix_wire(seed).with_kill(ProcId(2), 30));
+                }
+                run_matrix_cell(cfg).expect("recovered run")
+            };
+            let sync_clean = recover(false, false);
+            let piped_clean = recover(true, false);
+            assert_eq!(
+                race_fingerprint(&sync_clean),
+                race_fingerprint(&piped_clean),
+                "{protocol:?}/seed {seed}: clean checkpointing runs diverged"
+            );
+            let sync_killed = recover(false, true);
+            let piped_killed = recover(true, true);
+            assert!(
+                piped_killed.recovery.recoveries >= 1,
+                "{protocol:?}/seed {seed}: the kill must trigger recovery"
+            );
+            assert_eq!(
+                race_fingerprint(&sync_killed),
+                race_fingerprint(&piped_killed),
+                "{protocol:?}/seed {seed}: recovered runs diverged"
+            );
+            assert_eq!(
+                race_fingerprint(&sync_clean),
+                race_fingerprint(&sync_killed),
+                "{protocol:?}/seed {seed}: recovery changed the sync report"
+            );
+        }
+    }
+}
+
+/// Abort policy with a scripted kill: both modes fail, and the pipelined
+/// partial report is a subset of the clean run's (a drained pipeline never
+/// invents races).
+#[test]
+fn pipelined_abort_kill_yields_partial_subset() {
+    let clean = run_matrix_cell(matrix_cfg(Protocol::SingleWriter, false, Some(7)))
+        .expect("clean baseline");
+    let full: Vec<String> = race_fingerprint(&clean);
+    for pipelined in [false, true] {
+        let mut cfg = matrix_cfg(Protocol::SingleWriter, pipelined, Some(7));
+        cfg.net_loss = Some(matrix_wire(7).with_kill(ProcId(1), 30));
+        let err = run_matrix_cell(cfg).expect_err("the kill must fail an Abort run");
+        for line in race_fingerprint(&err.partial) {
+            assert!(
+                full.contains(&line),
+                "pipelined={pipelined}: partial report invented a race: {line}"
+            );
+        }
+    }
 }
