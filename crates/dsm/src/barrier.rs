@@ -34,7 +34,9 @@ use crate::node::NodeCore;
 use crate::pages::Node;
 use crate::simtime::OverheadCat;
 
-/// Master-side barrier state machine (lives on node 0).
+/// Master-side barrier state machine.  Lives on whichever node currently
+/// holds the master seat (`NodeCore::master`): proc 0 on a fresh start, the
+/// lowest-numbered survivor after a failover.
 #[derive(Debug)]
 pub(crate) struct BarrierMaster {
     nprocs: usize,
@@ -86,7 +88,10 @@ pub(crate) fn app_barrier(node: &Node, consolidation: bool) {
         st.stats.barriers += 1;
     }
     let me = st.proc;
+    let master = st.master;
     let deadline = st.cfg.op_deadline;
+    let r = st.phase_strike(cvm_net::ProtocolPhase::BarrierCollect);
+    fault::check(node, me, r);
     // Arrival is a release: close the working interval.
     let r = st.close_interval(&node.sender);
     fault::check(node, me, r);
@@ -103,7 +108,7 @@ pub(crate) fn app_barrier(node: &Node, consolidation: bool) {
     assert!(st.barrier_wait.is_none(), "nested barrier()");
     st.barrier_wait = Some(tx);
     let vc = st.vc.clone();
-    let r = if me == ProcId(0) {
+    let r = if me == master {
         on_arrive(&mut st, node, me, vc, records)
     } else {
         let msg = Msg::BarrierArrive {
@@ -111,11 +116,11 @@ pub(crate) fn app_barrier(node: &Node, consolidation: bool) {
             vc,
             records,
         };
-        st.send_msg(&node.sender, ProcId(0), &msg)
+        st.send_msg(&node.sender, master, &msg)
     };
     fault::check(node, me, r);
     drop(st);
-    await_release(node, &rx, deadline, me);
+    await_release(node, &rx, deadline, me, master);
 }
 
 /// Blocks an arrived application thread until the release, the cluster
@@ -123,12 +128,8 @@ pub(crate) fn app_barrier(node: &Node, consolidation: bool) {
 /// on expiry, inspects its own collection state to name the process that
 /// never arrived; workers wait half again as long so the master — the only
 /// node that can identify the missing peer — classifies the failure first.
-fn await_release(node: &Node, rx: &Receiver<()>, wait: Duration, me: ProcId) {
-    let wait = if me == ProcId(0) {
-        wait
-    } else {
-        wait + wait / 2
-    };
+fn await_release(node: &Node, rx: &Receiver<()>, wait: Duration, me: ProcId, master: ProcId) {
+    let wait = if me == master { wait } else { wait + wait / 2 };
     let limit = Instant::now() + wait;
     loop {
         match rx.recv_timeout(fault::APP_POLL) {
@@ -138,7 +139,7 @@ fn await_release(node: &Node, rx: &Receiver<()>, wait: Duration, me: ProcId) {
                     fault::unwind();
                 }
                 if Instant::now() >= limit {
-                    if me == ProcId(0) {
+                    if me == master {
                         if let Some(missing) = missing_arrival(node) {
                             fault::die(&node.ctl, DsmError::NodeFailed { proc: missing.0 });
                         }
@@ -151,9 +152,9 @@ fn await_release(node: &Node, rx: &Receiver<()>, wait: Duration, me: ProcId) {
                     }
                     // Only the master can release a worker.  It was given
                     // half again the deadline to classify the failure
-                    // itself; silence past that means node 0 is the one
-                    // that died, not some anonymous timeout.
-                    fault::die(&node.ctl, DsmError::NodeFailed { proc: 0 });
+                    // itself; silence past that means the master is the
+                    // one that died, not some anonymous timeout.
+                    fault::die(&node.ctl, DsmError::NodeFailed { proc: master.0 });
                 }
             }
             Err(RecvTimeoutError::Disconnected) => {
@@ -252,6 +253,7 @@ fn run_detection(st: &mut NodeCore, node: &Node) -> Result<(), DsmError> {
         return crate::pipeline::pipelined_epoch(st, node, arrived, records);
     }
 
+    st.phase_strike(cvm_net::ProtocolPhase::BitmapRound)?;
     let detector = EpochDetector {
         overlap: st.cfg.detect.overlap,
         enumeration: st.cfg.detect.enumeration,
@@ -535,6 +537,7 @@ pub(crate) fn on_bitmap_req(
     node: &Node,
     items: Vec<(IntervalId, PageId)>,
 ) -> Result<(), DsmError> {
+    st.phase_strike(cvm_net::ProtocolPhase::BitmapRound)?;
     let mut replies: Vec<(IntervalId, (PageId, cvm_page::PageBitmaps))> =
         Vec::with_capacity(items.len());
     for (id, page) in items {
@@ -546,5 +549,45 @@ pub(crate) fn on_bitmap_req(
         replies.push((id, (page, bm.clone())));
     }
     let msg = Msg::BitmapReply { items: replies };
-    st.send_msg(&node.sender, ProcId(0), &msg)
+    let master = st.master;
+    st.send_msg(&node.sender, master, &msg)
+}
+
+/// Worker: a failover successor announced its master seat and resume
+/// epoch.  Validate the epoch against our own restored resume point,
+/// adopt the seat, and acknowledge.
+pub(crate) fn on_master_handoff(
+    st: &mut NodeCore,
+    node: &Node,
+    master: ProcId,
+    epoch: u64,
+) -> Result<(), DsmError> {
+    if epoch != st.resume_epoch {
+        return Err(DsmError::Protocol {
+            context: "master handoff epoch disagrees with restored cut",
+        });
+    }
+    st.master = master;
+    let msg = Msg::MasterHandoffAck {
+        from: st.proc,
+        epoch,
+    };
+    st.send_msg(&node.sender, master, &msg)
+}
+
+/// Successor master: one survivor agreed to the new seat.  The cluster
+/// loop holds the epoch loop until every survivor has acknowledged.
+pub(crate) fn on_master_handoff_ack(st: &mut NodeCore, epoch: u64) -> Result<(), DsmError> {
+    if st.barrier.is_none() {
+        return Err(DsmError::Protocol {
+            context: "handoff ack at non-master",
+        });
+    }
+    if epoch != st.resume_epoch {
+        return Err(DsmError::Protocol {
+            context: "handoff ack for a different resume epoch",
+        });
+    }
+    st.handoff_acks += 1;
+    Ok(())
 }

@@ -93,6 +93,10 @@ pub struct NodeImage {
     pub(crate) watch_hits: Vec<((ProcId, u32), (bool, u32))>,
     pub(crate) trace: Vec<TraceEvent>,
     pub(crate) trace_last_release: Vec<(u32, u32)>,
+    /// The barrier-master seat at the time of the cut.  Recovery reads
+    /// this to find where the detector's accumulated statistics live when
+    /// a failover has moved the seat since the cut was taken.
+    pub(crate) master: ProcId,
 }
 
 /// A lock's local state in an image: `((have_token, held), release_vc)`.
@@ -132,7 +136,7 @@ fn det_stats_to_vec(s: &DetectorStats) -> Vec<u64> {
     ]
 }
 
-fn det_stats_from_vec(v: &[u64]) -> DetectorStats {
+pub(crate) fn det_stats_from_vec(v: &[u64]) -> DetectorStats {
     DetectorStats {
         intervals_total: v[0],
         intervals_used: v[1],
@@ -227,6 +231,7 @@ impl Wire for NodeImage {
         self.watch_hits.encode(out);
         self.trace.encode(out);
         self.trace_last_release.encode(out);
+        self.master.encode(out);
     }
 
     fn decode(r: &mut Reader) -> Result<Self, WireError> {
@@ -259,6 +264,7 @@ impl Wire for NodeImage {
             watch_hits: Wire::decode(r)?,
             trace: Wire::decode(r)?,
             trace_last_release: Wire::decode(r)?,
+            master: Wire::decode(r)?,
         };
         if img.clock_cats.len() != NCATS
             || img.det_stats.len() != DET_STATS_FIELDS
@@ -411,6 +417,7 @@ pub(crate) fn snapshot(st: &NodeCore) -> NodeImage {
         watch_hits,
         trace: st.trace.clone(),
         trace_last_release,
+        master: st.master,
     }
 }
 
@@ -509,6 +516,10 @@ pub(crate) fn restore(st: &mut NodeCore, img: &NodeImage) {
         .collect();
     st.trace = img.trace.clone();
     st.trace_last_release = img.trace_last_release.iter().copied().collect();
+    // The seat recorded at the cut.  On a failover attempt the cluster
+    // overrides this with the successor after every restore, but reads it
+    // first to locate the cut-time master's detector statistics.
+    st.master = img.master;
     // The restored node has no current barrier floor: a stale floor from a
     // pre-kill epoch could let soft GC drop restored records that replay
     // still needs.  Reset it; the next release re-establishes it.
@@ -764,11 +775,13 @@ pub(crate) fn maybe_complete(st: &mut NodeCore, node: &Node) -> Result<(), DsmEr
         return Ok(());
     }
     st.pending_ckpt = None;
+    st.phase_strike(cvm_net::ProtocolPhase::CkptWindow)?;
     let me = st.proc;
-    if me == ProcId(0) {
+    let master = st.master;
+    if me == master {
         on_ckpt_ack(st, node, epoch)
     } else {
-        st.send_msg(&node.sender, ProcId(0), &Msg::CkptAck { from: me, epoch })
+        st.send_msg(&node.sender, master, &Msg::CkptAck { from: me, epoch })
     }
 }
 
@@ -797,10 +810,11 @@ pub(crate) fn on_ckpt_ack(st: &mut NodeCore, node: &Node, epoch: u64) -> Result<
     {
         return crate::pipeline::commit_or_gate(st, node, epoch);
     }
-    for p in 1..nprocs as u16 {
+    let me = st.proc;
+    for p in (0..nprocs as u16).map(ProcId).filter(|p| *p != me) {
         st.send_msg(
             &node.sender,
-            ProcId(p),
+            p,
             &Msg::CkptGo {
                 epoch,
                 races: Vec::new(),

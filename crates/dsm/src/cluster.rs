@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 
 use crate::barrier::BarrierMaster;
 use crate::checkpoint::CheckpointStore;
-use crate::config::{DsmConfig, RecoveryPolicy};
+use crate::config::{DsmConfig, FailoverPolicy, RecoveryPolicy};
 use crate::error::{DsmError, RunError};
 use crate::fault::{ClusterCtl, DsmUnwind, SERVICE_POLL};
 use crate::handle::ProcHandle;
@@ -83,11 +83,21 @@ impl Cluster {
             RecoveryPolicy::Recover { max_attempts } => u64::from(max_attempts),
         };
         let mut plan = cfg.net_loss.clone();
+        let backoff_seed = plan.as_ref().map_or(0, |p| p.seed);
         let mut recoveries = 0u64;
         let mut epochs_replayed = 0u64;
+        let mut failovers = 0u64;
+        let mut backoff_waits = 0u64;
+        // The barrier-master seat, carried across attempts: proc 0 until a
+        // failover moves it to the lowest-numbered survivor.
+        let mut master = ProcId(0);
         loop {
             let mut attempt_cfg = cfg.clone();
             attempt_cfg.net_loss = plan.clone();
+            // Every recovery attempt starts with a handoff round: the
+            // (possibly re-seated) master announces the seat and the resume
+            // epoch, and holds the epoch loop until every survivor agrees.
+            let announce = recoveries > 0 && nprocs > 1;
             let result = run_attempt(
                 &attempt_cfg,
                 &app_state,
@@ -95,6 +105,8 @@ impl Cluster {
                 segments.clone(),
                 store.as_ref(),
                 started,
+                master,
+                announce,
             );
             let fill = |stats: &mut RecoveryStats| {
                 if let Some(s) = &store {
@@ -103,6 +115,8 @@ impl Cluster {
                 }
                 stats.recoveries = recoveries;
                 stats.epochs_replayed = epochs_replayed;
+                stats.failovers = failovers;
+                stats.backoff_waits = backoff_waits;
             };
             match result {
                 Ok(mut report) => {
@@ -124,21 +138,69 @@ impl Cluster {
                     let resume = s.last_complete_epoch(nprocs).unwrap_or(0);
                     s.prune_above(resume);
                     epochs_replayed += err.partial.barriers().saturating_sub(resume);
+                    if let DsmError::NodeFailed { proc } = err.error {
+                        // The master itself died: deterministic succession
+                        // re-seats the role on the lowest-numbered survivor
+                        // for the next attempt (the dead node is still
+                        // resurrected from its image, as a worker).
+                        if ProcId(proc) == master
+                            && nprocs > 1
+                            && cfg.failover == FailoverPolicy::Succession
+                        {
+                            master = (0..nprocs as u16)
+                                .map(ProcId)
+                                .find(|p| p.0 != proc)
+                                .expect("nprocs > 1 has a survivor");
+                            failovers += 1;
+                        }
+                    }
                     // The scripted kill fired; its replacement node must
                     // not be killed again.  Persistent faults (partitions,
                     // loss) stay in the plan.
                     if let Some(p) = plan.as_mut() {
-                        p.events
-                            .retain(|e| !matches!(e, cvm_net::FaultEvent::Kill { .. }));
+                        p.events.retain(|e| {
+                            !matches!(
+                                e,
+                                cvm_net::FaultEvent::Kill { .. }
+                                    | cvm_net::FaultEvent::KillAtPhase { .. }
+                            )
+                        });
                     }
+                    // Exponential backoff with seeded jitter before the
+                    // next attempt, so a persistent fault cannot spin the
+                    // loop into a recovery storm.
+                    backoff_waits += 1;
+                    std::thread::sleep(backoff_delay(recoveries, backoff_seed));
                 }
             }
         }
     }
 }
 
+/// Deterministic pause before recovery attempt `attempt` (1-based):
+/// exponential from 1 ms, capped at 64 ms, minus up to half a step of
+/// seeded jitter so co-failing runs do not retry in lockstep.
+fn backoff_delay(attempt: u64, seed: u64) -> std::time::Duration {
+    const CAP_MS: u64 = 64;
+    let step_ms = 1u64 << attempt.saturating_sub(1).min(6);
+    let step_ms = step_ms.min(CAP_MS);
+    let jitter_us =
+        splitmix64(seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % (step_ms * 500);
+    std::time::Duration::from_micros(step_ms * 1000 - jitter_us)
+}
+
+/// SplitMix64 finalizer (same keyed-dice construction as the transport's
+/// fault injection): one u64 in, one well-mixed u64 out.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// One execution attempt: build the network and nodes (restoring from the
 /// newest complete checkpoint cut, if any), run the application, collect.
+#[allow(clippy::too_many_arguments)]
 fn run_attempt<S, F>(
     cfg: &DsmConfig,
     app_state: &S,
@@ -146,12 +208,15 @@ fn run_attempt<S, F>(
     segments: cvm_page::SegmentMap,
     store: Option<&Arc<CheckpointStore>>,
     started: Instant,
+    master: ProcId,
+    announce: bool,
 ) -> Result<RunReport, RunError>
 where
     S: Sync,
     F: Fn(&ProcHandle, &S) + Sync,
 {
     let nprocs = cfg.nprocs;
+    let mi = master.0 as usize;
     {
         let (endpoints, net_stats, rstats): (_, _, Option<Arc<ReliabilityStats>>) =
             match &cfg.net_loss {
@@ -180,17 +245,33 @@ where
             .map(|(i, ep)| {
                 let proc = ProcId::from_index(i);
                 let mut core = NodeCore::new(cfg.clone(), proc);
-                if i == 0 {
-                    let mut master = BarrierMaster::new(nprocs);
+                if i == mi {
+                    let mut bm = BarrierMaster::new(nprocs);
                     if pipelined {
                         let (tx, rx) = crossbeam::channel::unbounded();
-                        master.pipe = Some(crate::pipeline::PipelineState::new(tx));
+                        bm.pipe = Some(crate::pipeline::PipelineState::new(tx));
                         stage_rx = Some(rx);
                     }
-                    core.barrier = Some(master);
+                    core.barrier = Some(bm);
                 }
                 if let Some(schedule) = &cfg.replay {
                     core.replay = Some(ReplayCursor::new(schedule.clone()));
+                }
+                if let Some(p) = &cfg.net_loss {
+                    // Scripted protocol-window strikes aimed at this node:
+                    // the transport carries them, this layer fires them.
+                    core.phase_kills = p
+                        .events
+                        .iter()
+                        .filter_map(|e| match e {
+                            cvm_net::FaultEvent::KillAtPhase { node, phase, hit }
+                                if *node == proc =>
+                            {
+                                Some((*phase, *hit))
+                            }
+                            _ => None,
+                        })
+                        .collect();
                 }
                 if let Some(s) = store {
                     core.ckpt = Some(Arc::clone(s));
@@ -199,8 +280,22 @@ where
                             .image(epoch, proc.0)
                             .expect("complete epoch has every node's image");
                         crate::checkpoint::restore(&mut core, &img);
+                        // A failover moved the seat since this cut was
+                        // taken: the detector's accumulated statistics live
+                        // in the cut-time master's image (workers carry
+                        // zeros), so the successor adopts them — together
+                        // with its own restored race log, that is the full
+                        // master state reconstructed from the cut.
+                        if i == mi && core.master != master {
+                            if let Some(prev) = s.image(epoch, core.master.0) {
+                                core.det_stats =
+                                    crate::checkpoint::det_stats_from_vec(&prev.det_stats);
+                            }
+                        }
                     }
                 }
+                // The attempt's seat overrides whatever the image recorded.
+                core.master = master;
                 Arc::new(Node {
                     state: Mutex::new(core),
                     sender: ep.sender(),
@@ -226,7 +321,7 @@ where
             }
             // The master's detection stage (pipelined mode only).
             if let Some(rx) = stage_rx.take() {
-                let node = Arc::clone(&nodes[0]);
+                let node = Arc::clone(&nodes[mi]);
                 let ctl = Arc::clone(&ctl);
                 let detect = cfg.detect;
                 let geometry = cfg.geometry;
@@ -234,10 +329,55 @@ where
                     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         crate::pipeline::detection_stage(&node, &rx, detect, geometry)
                     }));
+                    // A stage panic is a protocol failure, not a node
+                    // death: naming it keeps the diagnosis honest (nothing
+                    // crashed the *node*) and keeps it non-retryable — a
+                    // panicking detector would panic identically on replay.
+                    // Blocked peers observe the error cell within one poll
+                    // interval, so the run ends well inside the op
+                    // deadline instead of hanging on the stall gate.
                     if r.is_err() && !ctl.tearing_down() {
-                        ctl.fail(DsmError::NodeFailed { proc: 0 });
+                        ctl.fail(DsmError::Protocol {
+                            context: "detection stage thread panicked",
+                        });
                     }
                 });
+            }
+            // Seat-announcement round: on a recovery attempt the master
+            // (re-seated or not) broadcasts `MasterHandoff` with its view
+            // of the resume epoch and holds the epoch loop until every
+            // survivor acknowledges agreement.
+            if announce {
+                let epoch = resume.unwrap_or(0);
+                let r = {
+                    let mut st = nodes[mi].state.lock();
+                    (0..nprocs as u16)
+                        .map(ProcId)
+                        .filter(|p| *p != master)
+                        .try_for_each(|p| {
+                            st.send_msg(&nodes[mi].sender, p, &Msg::MasterHandoff { master, epoch })
+                        })
+                };
+                if let Err(err) = r {
+                    ctl.fail(name_own_death(err, master));
+                } else {
+                    let limit = Instant::now() + cfg.op_deadline;
+                    loop {
+                        if nodes[mi].state.lock().handoff_acks >= nprocs - 1 {
+                            break;
+                        }
+                        if ctl.failed() {
+                            break;
+                        }
+                        if Instant::now() >= limit {
+                            ctl.fail(DsmError::Timeout {
+                                op: "master handoff",
+                            });
+                            break;
+                        }
+                        std::thread::sleep(crate::fault::APP_POLL);
+                    }
+                }
             }
             // Application threads.  A failing thread unwinds with the
             // `DsmUnwind` sentinel (the diagnosis is already in the control
@@ -289,13 +429,13 @@ where
                     cfg.op_deadline
                 };
                 let limit = Instant::now() + grace;
-                while crate::pipeline::pending_epochs(&nodes[0].state.lock()) > 0 {
+                while crate::pipeline::pending_epochs(&nodes[mi].state.lock()) > 0 {
                     if Instant::now() >= limit {
                         break;
                     }
                     std::thread::sleep(crate::fault::APP_POLL);
                 }
-                crate::pipeline::flush_deferred(&mut nodes[0].state.lock());
+                crate::pipeline::flush_deferred(&mut nodes[mi].state.lock());
             }
             // Orderly shutdown: stop the service threads.  Send errors are
             // expected here (dead nodes have no wiring left).
@@ -323,7 +463,7 @@ where
         for node in nodes {
             let node = Arc::into_inner(node).expect("all threads joined");
             let core = node.state.into_inner();
-            if core.proc == ProcId(0) {
+            if core.proc == master {
                 races = Some(core.race_log.clone());
                 det_stats = core.det_stats;
             }
@@ -519,6 +659,12 @@ fn service_loop(node: &Node, ep: Endpoint, rstats: Option<Arc<ReliabilityStats>>
             } => crate::barrier::apply_release(&mut st, node, records, vc, races, epoch),
             Msg::CkptAck { from: _, epoch } => crate::checkpoint::on_ckpt_ack(&mut st, node, epoch),
             Msg::CkptGo { epoch, races } => crate::checkpoint::on_ckpt_go(&mut st, epoch, races),
+            Msg::MasterHandoff { master, epoch } => {
+                crate::barrier::on_master_handoff(&mut st, node, master, epoch)
+            }
+            Msg::MasterHandoffAck { from: _, epoch } => {
+                crate::barrier::on_master_handoff_ack(&mut st, epoch)
+            }
             Msg::Shutdown => unreachable!("handled above"),
         };
         drop(st);

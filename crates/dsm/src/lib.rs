@@ -73,9 +73,10 @@ mod simtime;
 pub use checkpoint::{CheckpointStore, NodeImage};
 pub use cluster::Cluster;
 pub use config::{
-    DetectConfig, DsmConfig, MemBudget, Protocol, RecoveryPolicy, Watch, WriteDetection,
+    DetectConfig, DsmConfig, FailoverPolicy, MemBudget, Protocol, RecoveryPolicy, Watch,
+    WriteDetection,
 };
-pub use cvm_net::{CorruptKind, FaultEvent, FaultPlan, ReliabilitySnapshot};
+pub use cvm_net::{CorruptKind, FaultEvent, FaultPlan, ProtocolPhase, ReliabilitySnapshot};
 pub use error::{DsmError, ResourceKind, RunError};
 pub use handle::{EpochStepper, ProcHandle};
 pub use msg::Msg;

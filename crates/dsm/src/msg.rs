@@ -174,6 +174,26 @@ pub enum Msg {
         /// synchronous mode, where detection completes inside the barrier.
         races: Vec<RaceReport>,
     },
+    /// Master-seat announcement after a failover: the successor tells
+    /// every survivor it now holds the barrier-master role and which
+    /// barrier epoch the cluster resumes from (its view of the newest
+    /// complete checkpoint cut).  Receivers validate the epoch against
+    /// their own restored resume point and acknowledge.
+    MasterHandoff {
+        /// The node assuming the master role.
+        master: ProcId,
+        /// The resume epoch: last complete checkpoint cut (0 if none).
+        epoch: u64,
+    },
+    /// Acknowledgement of a [`Msg::MasterHandoff`]: the sender agrees on
+    /// the master seat and the resume epoch.  The successor holds the run
+    /// until every survivor has acknowledged.
+    MasterHandoffAck {
+        /// Acknowledging node.
+        from: ProcId,
+        /// The resume epoch the sender agreed to.
+        epoch: u64,
+    },
 }
 
 const TAG_LOCK_REQ: u8 = 0;
@@ -195,6 +215,8 @@ const TAG_BARRIER_RELEASE: u8 = 15;
 const TAG_SHUTDOWN: u8 = 16;
 const TAG_CKPT_ACK: u8 = 17;
 const TAG_CKPT_GO: u8 = 18;
+const TAG_MASTER_HANDOFF: u8 = 19;
+const TAG_MASTER_HANDOFF_ACK: u8 = 20;
 
 impl Wire for Msg {
     fn encode(&self, buf: &mut Vec<u8>) {
@@ -323,6 +345,16 @@ impl Wire for Msg {
                 epoch.encode(buf);
                 races.encode(buf);
             }
+            Msg::MasterHandoff { master, epoch } => {
+                buf.push(TAG_MASTER_HANDOFF);
+                master.encode(buf);
+                epoch.encode(buf);
+            }
+            Msg::MasterHandoffAck { from, epoch } => {
+                buf.push(TAG_MASTER_HANDOFF_ACK);
+                from.encode(buf);
+                epoch.encode(buf);
+            }
         }
     }
 
@@ -375,6 +407,7 @@ impl Wire for Msg {
             Msg::Shutdown => 0,
             Msg::CkptAck { .. } => 2 + 8,
             Msg::CkptGo { races, .. } => 8 + 4 + races.iter().map(Wire::wire_size).sum::<u64>(),
+            Msg::MasterHandoff { .. } | Msg::MasterHandoffAck { .. } => 2 + 8,
         };
         1 + body
     }
@@ -464,6 +497,14 @@ impl Wire for Msg {
             TAG_CKPT_GO => Msg::CkptGo {
                 epoch: u64::decode(r)?,
                 races: Vec::<RaceReport>::decode(r)?,
+            },
+            TAG_MASTER_HANDOFF => Msg::MasterHandoff {
+                master: ProcId::decode(r)?,
+                epoch: u64::decode(r)?,
+            },
+            TAG_MASTER_HANDOFF_ACK => Msg::MasterHandoffAck {
+                from: ProcId::decode(r)?,
+                epoch: u64::decode(r)?,
             },
             tag => return Err(WireError::BadTag { what: "Msg", tag }),
         })
@@ -638,6 +679,8 @@ impl Msg {
                 Ok(())
             }
             Msg::CkptAck { from, .. } => proc_ok(*from, nprocs),
+            Msg::MasterHandoff { master, .. } => proc_ok(*master, nprocs),
+            Msg::MasterHandoffAck { from, .. } => proc_ok(*from, nprocs),
             Msg::CkptGo { races, .. } => {
                 for race in races {
                     id_ok(race.a, nprocs)?;
@@ -832,6 +875,14 @@ mod tests {
                 b: iv.id(),
                 epoch: 42,
             }],
+        });
+        roundtrip(Msg::MasterHandoff {
+            master: ProcId(1),
+            epoch: 7,
+        });
+        roundtrip(Msg::MasterHandoffAck {
+            from: ProcId(2),
+            epoch: 7,
         });
     }
 
@@ -1074,6 +1125,14 @@ mod tests {
                 from: ProcId(1),
                 epoch: 1,
             },
+            Msg::MasterHandoff {
+                master: ProcId(1),
+                epoch: 3,
+            },
+            Msg::MasterHandoffAck {
+                from: ProcId(0),
+                epoch: 3,
+            },
         ];
         for m in &msgs {
             assert_eq!(m.validate(2), Ok(()), "{m:?}");
@@ -1109,6 +1168,12 @@ mod tests {
             page: PageId(0),
             requester: ProcId(0),
             needed: vec![(ProcId(9), 1)],
+        };
+        assert!(m.validate(2).is_err());
+        // A handoff claiming a master seat outside the cluster.
+        let m = Msg::MasterHandoff {
+            master: ProcId(3),
+            epoch: 0,
         };
         assert!(m.validate(2).is_err());
     }

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use crossbeam::channel::Sender;
 use cvm_instrument::AnalysisRuntime;
 use cvm_net::wire::Wire;
-use cvm_net::{NetSender, Packet, TrafficClass};
+use cvm_net::{NetSender, Packet, ProtocolPhase, TrafficClass};
 use cvm_page::{Diff, GAddr, PageBitmaps, PageId, PageStore, Protection};
 use cvm_race::{BitmapStore, Interval, RaceLog};
 use cvm_vclock::{IntervalId, IntervalStamp, ProcId, VClock};
@@ -166,8 +166,23 @@ pub(crate) struct NodeCore {
     pub mw_seen: HashMap<PageId, Vec<(ProcId, u32)>>,
     pub locks: HashMap<u32, LockLocal>,
     pub lock_mgr: HashMap<u32, LockMgr>,
-    /// Barrier master state (node 0 only).
+    /// Barrier master state (present only on the node currently seated as
+    /// master — proc 0 on a fresh start, a survivor after failover).
     pub barrier: Option<crate::barrier::BarrierMaster>,
+    /// The barrier master's seat: every arrival, checkpoint ack, and
+    /// bitmap reply is addressed here.  `ProcId(0)` on a fresh start;
+    /// re-seated by failover (see
+    /// [`FailoverPolicy`](crate::FailoverPolicy)).
+    pub master: ProcId,
+    /// Master only: `MasterHandoffAck`s collected while announcing a
+    /// failover seat change.
+    pub handoff_acks: usize,
+    /// Scripted protocol-window strikes armed for this node: `(phase,
+    /// hit)` pairs from the fault plan's `KillAtPhase` events.
+    pub phase_kills: Vec<(ProtocolPhase, u64)>,
+    /// Times this node has entered each protocol window (indexed by
+    /// [`ProtocolPhase::index`]); drives the `hit` ordinals above.
+    pub phase_counts: [u64; ProtocolPhase::COUNT],
     /// Application thread blocked in `barrier()`.
     pub barrier_wait: Option<Sender<()>>,
     /// Barrier epochs completed.
@@ -250,6 +265,10 @@ impl NodeCore {
             locks: HashMap::new(),
             lock_mgr: HashMap::new(),
             barrier: None,
+            master: ProcId(0),
+            handoff_acks: 0,
+            phase_kills: Vec::new(),
+            phase_counts: [0; ProtocolPhase::COUNT],
             barrier_wait: None,
             epoch: 0,
             race_log: RaceLog::new(),
@@ -268,6 +287,24 @@ impl NodeCore {
             barrier_floor: VClock::new(nprocs),
             prev_gc_boundary: 0,
         }
+    }
+
+    /// Counts an entry into protocol window `phase` and fires any armed
+    /// `KillAtPhase` strike whose `hit` ordinal matches: the node
+    /// self-inflicts [`DsmError::NodeFailed`](crate::DsmError) for itself,
+    /// which unwinds through the first-error path exactly like a
+    /// wire-detected death.  A no-op when no strikes are armed.
+    pub(crate) fn phase_strike(&mut self, phase: ProtocolPhase) -> Result<(), crate::DsmError> {
+        let n = self.phase_counts[phase.index()];
+        self.phase_counts[phase.index()] = n + 1;
+        if self
+            .phase_kills
+            .iter()
+            .any(|&(p, hit)| p == phase && hit == n)
+        {
+            return Err(crate::DsmError::NodeFailed { proc: self.proc.0 });
+        }
+        Ok(())
     }
 
     /// Whether this run defers detection to the master's pipeline stage
@@ -796,6 +833,8 @@ fn msg_kind(msg: &Msg) -> &'static str {
         Msg::BarrierRelease { .. } => "BarrierRelease",
         Msg::CkptAck { .. } => "CkptAck",
         Msg::CkptGo { .. } => "CkptGo",
+        Msg::MasterHandoff { .. } => "MasterHandoff",
+        Msg::MasterHandoffAck { .. } => "MasterHandoffAck",
         Msg::Shutdown => "Shutdown",
     }
 }

@@ -247,10 +247,11 @@ fn commit_cut(st: &mut NodeCore, node: &Node, epoch: u64) -> Result<(), DsmError
         take_deferred(pipe)
     };
     let nprocs = st.cfg.nprocs;
-    for p in 1..nprocs as u16 {
+    let me = st.proc;
+    for p in (0..nprocs as u16).map(ProcId).filter(|p| *p != me) {
         st.send_msg(
             &node.sender,
-            ProcId(p),
+            p,
             &Msg::CkptGo {
                 epoch,
                 races: races.clone(),
@@ -299,6 +300,12 @@ pub(crate) fn detection_stage(
             Ok(job) => {
                 let r = match job {
                     Job::Detect { epoch, records } => {
+                        if detect.stage_panic_epoch == Some(epoch) {
+                            // Scripted fault: a raw panic (not a DsmError)
+                            // exercising the stage's catch_unwind
+                            // containment in `cluster.rs`.
+                            panic!("injected detection-stage panic at epoch {epoch}");
+                        }
                         run_detect(node, &detector, epoch, records, &mut arena)
                     }
                     Job::Compare(inflight) => {
@@ -336,6 +343,7 @@ fn run_detect(
     let plan = detector.plan_with(&records, arena);
 
     let mut st = node.state.lock();
+    st.phase_strike(cvm_net::ProtocolPhase::BitmapRound)?;
     let c = st.cfg.costs;
     let geometry = st.cfg.geometry;
     st.clock.add(
@@ -393,6 +401,11 @@ fn run_compare(
     arena: &mut EpochArena,
     geometry: Geometry,
 ) -> Result<(), DsmError> {
+    {
+        // Scripted-strike window: "mid-compare" on the stage thread.
+        let mut st = node.state.lock();
+        st.phase_strike(cvm_net::ProtocolPhase::PipelinedCompare)?;
+    }
     let reports = detector
         .compare_with(
             &mut inflight.plan,

@@ -54,6 +54,13 @@ pub struct RecoveryStats {
     pub recoveries: u64,
     /// Barrier epochs re-entered after rollbacks (work lost to failures).
     pub epochs_replayed: u64,
+    /// Times the barrier-master role moved to a survivor because the
+    /// master itself died (see
+    /// [`FailoverPolicy`](crate::FailoverPolicy)).
+    pub failovers: u64,
+    /// Backoff sleeps taken between recovery attempts (exponential with
+    /// seeded jitter, so persistent faults cannot spin the attempt loop).
+    pub backoff_waits: u64,
 }
 
 /// Resource-governance high-water marks and counters of one run.

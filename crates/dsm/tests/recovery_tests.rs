@@ -90,6 +90,22 @@ fn assert_recovers(protocol: Protocol, victim: u16) {
         "{protocol:?} victim {victim}: the kill must actually trigger recovery"
     );
     assert!(
+        recovered.recovery.backoff_waits >= 1,
+        "{protocol:?} victim {victim}: retry attempts must back off"
+    );
+    if victim == 0 {
+        // Killing the barrier master re-seats it on the lowest survivor.
+        assert!(
+            recovered.recovery.failovers >= 1,
+            "{protocol:?} victim {victim}: master death must move the seat"
+        );
+    } else {
+        assert_eq!(
+            recovered.recovery.failovers, 0,
+            "{protocol:?} victim {victim}: a worker death must not move the seat"
+        );
+    }
+    assert!(
         recovered.recovery.checkpoints_taken > 0,
         "checkpoints must be taken under Recover"
     );

@@ -41,5 +41,7 @@ pub mod wire;
 pub use network::{
     Endpoint, NetConfig, NetError, NetEvent, NetSender, Network, Packet, HEADER_BYTES,
 };
-pub use reliable::{CorruptKind, FaultEvent, FaultPlan, ReliabilitySnapshot, ReliabilityStats};
+pub use reliable::{
+    CorruptKind, FaultEvent, FaultPlan, ProtocolPhase, ReliabilitySnapshot, ReliabilityStats,
+};
 pub use stats::{ByteBreakdown, NetStats, StatsSnapshot, TrafficClass};

@@ -70,6 +70,41 @@ pub enum CorruptKind {
     GarbageTail,
 }
 
+/// A protocol window inside the layer above the transport (the DSM
+/// detection machinery).  The reliability engine carries these names in
+/// the [`FaultPlan`] but never interprets them: a
+/// [`FaultEvent::KillAtPhase`] strike is read back out of the plan by the
+/// protocol layer, which self-destructs the named node the `hit`-th time
+/// it enters the window.  That keeps strikes deterministic per plan (no
+/// wire-timing dependence) while letting tests land kills inside windows
+/// the transport cannot see.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolPhase {
+    /// Barrier arrival: closing the interval and collecting at the master.
+    BarrierCollect,
+    /// The access-bitmap request/reply round of detection.
+    BitmapRound,
+    /// The checkpoint ack → commit (CkptAck/CkptGo) window.
+    CkptWindow,
+    /// The pipelined stage thread's word-level comparison.
+    PipelinedCompare,
+}
+
+impl ProtocolPhase {
+    /// Number of phases (sizes per-phase counter arrays).
+    pub const COUNT: usize = 4;
+
+    /// Dense index for per-phase occurrence counters.
+    pub fn index(self) -> usize {
+        match self {
+            ProtocolPhase::BarrierCollect => 0,
+            ProtocolPhase::BitmapRound => 1,
+            ProtocolPhase::CkptWindow => 2,
+            ProtocolPhase::PipelinedCompare => 3,
+        }
+    }
+}
+
 /// A scripted fault: something that happens to one node at a
 /// deterministic point in its own event stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +153,21 @@ pub enum FaultEvent {
         at_datagram: u64,
         /// Processing dwell added per wire arrival from then on.
         dwell: Duration,
+    },
+    /// `node` dies the `hit`-th time (0-based) it enters protocol window
+    /// `phase`.  Opaque to the transport — the reliability engine ignores
+    /// this strike entirely; the protocol layer above extracts it from the
+    /// plan and inflicts the death itself, so the kill lands at a
+    /// deterministic point in the *protocol's* event stream rather than
+    /// the wire's.
+    KillAtPhase {
+        /// The node that dies.
+        node: ProcId,
+        /// The protocol window the strike fires in.
+        phase: ProtocolPhase,
+        /// Which entry into the window fires the strike (0-based), so a
+        /// test can target a later epoch's pass through the same window.
+        hit: u64,
     },
 }
 
@@ -281,6 +331,16 @@ impl FaultPlan {
     #[must_use]
     pub fn with_kill(mut self, node: ProcId, at_event: u64) -> Self {
         self.events.push(FaultEvent::Kill { node, at_event });
+        self
+    }
+
+    /// Scripts the death of `node` the `hit`-th time (0-based) it enters
+    /// protocol window `phase`.  The transport carries but ignores the
+    /// strike; the protocol layer interprets it.
+    #[must_use]
+    pub fn with_kill_at_phase(mut self, node: ProcId, phase: ProtocolPhase, hit: u64) -> Self {
+        self.events
+            .push(FaultEvent::KillAtPhase { node, phase, hit });
         self
     }
 
@@ -1404,11 +1464,20 @@ mod tests {
             .with_delay(Duration::from_micros(10), Duration::from_micros(50))
             .with_kill(ProcId(2), 100)
             .with_partition(ProcId(1), 40)
-            .with_corrupt_at(ProcId(0), 3, CorruptKind::Truncate);
+            .with_corrupt_at(ProcId(0), 3, CorruptKind::Truncate)
+            .with_kill_at_phase(ProcId(0), ProtocolPhase::BitmapRound, 2);
         assert_eq!(plan.rto, Duration::from_millis(5));
         assert_eq!(plan.max_retransmits, 8);
         assert_eq!(plan.corrupt_rate, 0.03);
-        assert_eq!(plan.events.len(), 3);
+        assert_eq!(plan.events.len(), 4);
+        assert!(matches!(
+            plan.events[3],
+            FaultEvent::KillAtPhase {
+                node: ProcId(0),
+                phase: ProtocolPhase::BitmapRound,
+                hit: 2
+            }
+        ));
         assert!(matches!(
             plan.events[2],
             FaultEvent::CorruptAt {

@@ -371,6 +371,156 @@ fn pipelined_matches_synchronous_through_recovery() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Barrier-master failover & the fault-hardened pipeline.
+//
+// Process 0 is the barrier master and, in pipelined mode, hosts the
+// detection stage thread — killing it used to abort the whole attempt.
+// Under `RecoveryPolicy::Recover` with the default
+// `FailoverPolicy::Succession`, the lowest-numbered survivor now assumes
+// the master seat (a `MasterHandoff` round pins cluster agreement on the
+// seat and resume epoch), reconstructs detection state from the newest
+// committed cut, and resumes.  Contract: race reports byte-identical to
+// the fault-free run, with `RunReport.recovery.failovers` counting the
+// seat changes.
+// ---------------------------------------------------------------------------
+
+/// Same wire as [`matrix_wire`], but shifted by `FAILOVER_SEED` (the CI
+/// failover job's chaos axis) instead of `PIPELINE_SEED`, so the two
+/// matrices explore loss/timing schedules independently.
+fn failover_wire(seed: u64) -> FaultPlan {
+    let base = std::env::var("FAILOVER_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    FaultPlan::clean(seed + base * 1000)
+        .with_rto(Duration::from_millis(2), Duration::from_millis(16))
+        .with_max_retransmits(8)
+}
+
+fn failover_cfg(protocol: Protocol, pipelined: bool, seed: u64) -> DsmConfig {
+    let mut cfg = matrix_cfg(protocol, pipelined, None);
+    cfg.net_loss = Some(failover_wire(seed));
+    cfg.recovery = RecoveryPolicy::Recover { max_attempts: 3 };
+    cfg
+}
+
+/// Tentpole acceptance: a scripted master kill under `Recover` completes
+/// via failover — no full-attempt abort — with byte-identical race
+/// reports in sync AND pipelined modes, and the recovery counters
+/// (failovers, backoff waits) surfaced in the report.
+#[test]
+fn failover_master_kill_matches_clean() {
+    for protocol in [Protocol::SingleWriter, Protocol::MultiWriter] {
+        for pipelined in [false, true] {
+            let clean = run_matrix_cell(failover_cfg(protocol, pipelined, 13))
+                .expect("clean checkpointing run");
+            assert_eq!(
+                clean.recovery.failovers, 0,
+                "{protocol:?}/pipelined={pipelined}: no faults, no failovers"
+            );
+            assert_eq!(clean.recovery.backoff_waits, 0);
+            let mut cfg = failover_cfg(protocol, pipelined, 13);
+            cfg.net_loss = Some(failover_wire(13).with_kill(ProcId(0), 30));
+            let failed_over = run_matrix_cell(cfg).expect("master kill must fail over, not abort");
+            assert!(
+                failed_over.recovery.recoveries >= 1,
+                "{protocol:?}/pipelined={pipelined}: the kill must trigger recovery"
+            );
+            assert!(
+                failed_over.recovery.failovers >= 1,
+                "{protocol:?}/pipelined={pipelined}: the master seat must move"
+            );
+            assert!(
+                failed_over.recovery.backoff_waits >= 1,
+                "{protocol:?}/pipelined={pipelined}: retries must back off"
+            );
+            assert_eq!(
+                race_fingerprint(&clean),
+                race_fingerprint(&failed_over),
+                "{protocol:?}/pipelined={pipelined}: failover changed the report"
+            );
+        }
+    }
+}
+
+/// Scripted `KillAtPhase` strikes: the victim self-destructs inside a
+/// named protocol window — the master mid-(pipelined)-compare, a worker
+/// answering the bitmap round an in-flight compare depends on, and either
+/// role inside the CkptAck→CkptGo commit window (where, in pipelined
+/// mode, the cut can be parked in the drain gate).  Every cell must
+/// recover to a byte-identical report; the master cells must fail over.
+#[test]
+fn failover_phase_strikes_match_clean() {
+    use cvm_repro::dsm::ProtocolPhase;
+    let cells: [(u16, ProtocolPhase, u64, bool); 5] = [
+        (0, ProtocolPhase::PipelinedCompare, 1, true), // master mid-compare
+        (1, ProtocolPhase::BitmapRound, 1, true),      // worker mid-round
+        (0, ProtocolPhase::CkptWindow, 1, true),       // master, cut in drain gate
+        (1, ProtocolPhase::CkptWindow, 1, true),       // worker, cut in drain gate
+        (0, ProtocolPhase::BitmapRound, 2, false),     // master, sync detection
+    ];
+    for protocol in [Protocol::SingleWriter, Protocol::MultiWriter] {
+        for (victim, phase, hit, pipelined) in cells {
+            let clean = run_matrix_cell(failover_cfg(protocol, pipelined, 19))
+                .expect("clean checkpointing run");
+            let mut cfg = failover_cfg(protocol, pipelined, 19);
+            cfg.net_loss = Some(failover_wire(19).with_kill_at_phase(ProcId(victim), phase, hit));
+            let struck = run_matrix_cell(cfg).expect("phase strike must recover");
+            assert!(
+                struck.recovery.recoveries >= 1,
+                "{protocol:?} P{victim}@{phase:?}#{hit}: the strike must land"
+            );
+            if victim == 0 {
+                assert!(
+                    struck.recovery.failovers >= 1,
+                    "{protocol:?} P{victim}@{phase:?}#{hit}: master strike must fail over"
+                );
+            } else {
+                assert_eq!(
+                    struck.recovery.failovers, 0,
+                    "{protocol:?} P{victim}@{phase:?}#{hit}: worker strike must not move the seat"
+                );
+            }
+            assert_eq!(
+                race_fingerprint(&clean),
+                race_fingerprint(&struck),
+                "{protocol:?} P{victim}@{phase:?}#{hit}: strike changed the report"
+            );
+        }
+    }
+}
+
+/// A panic on the detection stage thread must surface as a *named*
+/// protocol error within the op deadline — not hang the barrier waiters,
+/// and not be retried (a deterministic panic would panic identically on
+/// replay), regardless of recovery policy.
+#[test]
+fn failover_stage_panic_surfaces_named_error() {
+    for recovery in [
+        RecoveryPolicy::Abort,
+        RecoveryPolicy::Recover { max_attempts: 3 },
+    ] {
+        let mut cfg = matrix_cfg(Protocol::SingleWriter, true, None);
+        cfg.recovery = recovery;
+        cfg.detect.stage_panic_epoch = Some(1);
+        let deadline = cfg.op_deadline;
+        let start = std::time::Instant::now();
+        let err = run_matrix_cell(cfg).expect_err("injected stage panic must fail the run");
+        assert_eq!(
+            err.error,
+            cvm_repro::dsm::DsmError::Protocol {
+                context: "detection stage thread panicked"
+            },
+            "{recovery:?}"
+        );
+        assert!(
+            start.elapsed() < deadline + Duration::from_secs(5),
+            "{recovery:?}: the panic must be diagnosed promptly, not deadline out"
+        );
+    }
+}
+
 /// Abort policy with a scripted kill: both modes fail, and the pipelined
 /// partial report is a subset of the clean run's (a drained pipeline never
 /// invents races).
