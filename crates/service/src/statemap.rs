@@ -1,0 +1,130 @@
+//! Concurrent session-state map: `Arc<RwLock<BTreeMap<K, Arc<V>>>>`.
+//!
+//! The daemon's job table follows the StateMap idiom of long-lived agent
+//! daemons: readers (status polls, the TCP front end) take the read lock
+//! and clone the `Arc` out, so a held job handle stays valid while the
+//! writer side inserts, lists, or evicts concurrently.  Lock poisoning is
+//! tolerated rather than propagated — a panicked writer must never take
+//! the whole daemon's bookkeeping down with it.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// A concurrent ordered map of shared state entries.
+#[derive(Debug)]
+pub struct StateMap<K, V> {
+    inner: Arc<RwLock<BTreeMap<K, Arc<V>>>>,
+}
+
+impl<K, V> Clone for StateMap<K, V> {
+    fn clone(&self) -> Self {
+        StateMap {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<K: Ord + Clone, V> Default for StateMap<K, V> {
+    fn default() -> Self {
+        StateMap::new()
+    }
+}
+
+impl<K: Ord + Clone, V> StateMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        StateMap {
+            inner: Arc::new(RwLock::new(BTreeMap::new())),
+        }
+    }
+
+    /// Inserts `value` under `key`, returning the shared handle.
+    pub fn insert(&self, key: K, value: V) -> Arc<V> {
+        let entry = Arc::new(value);
+        let mut guard = self.inner.write().unwrap_or_else(|p| p.into_inner());
+        guard.insert(key, Arc::clone(&entry));
+        entry
+    }
+
+    /// The entry under `key`, if present.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let guard = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        guard.get(key).cloned()
+    }
+
+    /// Removes and returns the entry under `key`.
+    pub fn remove(&self, key: &K) -> Option<Arc<V>> {
+        let mut guard = self.inner.write().unwrap_or_else(|p| p.into_inner());
+        guard.remove(key)
+    }
+
+    /// All keys, in order.
+    pub fn keys(&self) -> Vec<K> {
+        let guard = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        guard.keys().cloned().collect()
+    }
+
+    /// All entries, in key order.
+    pub fn entries(&self) -> Vec<(K, Arc<V>)> {
+        let guard = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        guard
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        let guard = self.inner.read().unwrap_or_else(|p| p.into_inner());
+        guard.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let map: StateMap<u64, String> = StateMap::new();
+        assert!(map.is_empty());
+        let held = map.insert(2, "two".into());
+        map.insert(1, "one".into());
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.keys(), vec![1, 2]);
+        assert_eq!(map.get(&2).unwrap().as_str(), "two");
+        let removed = map.remove(&2).unwrap();
+        assert!(map.get(&2).is_none());
+        // The handle cloned out before removal stays valid.
+        assert_eq!(held.as_str(), "two");
+        assert_eq!(removed.as_str(), "two");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let map: StateMap<u64, u64> = StateMap::new();
+        let clone = map.clone();
+        map.insert(7, 42);
+        assert_eq!(*clone.get(&7).unwrap(), 42);
+    }
+
+    #[test]
+    fn survives_a_panicked_writer() {
+        let map: StateMap<u64, u64> = StateMap::new();
+        map.insert(1, 1);
+        let m2 = map.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.inner.write().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        // Poisoned lock is tolerated: the daemon keeps serving.
+        map.insert(2, 2);
+        assert_eq!(map.len(), 2);
+    }
+}

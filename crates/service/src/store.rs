@@ -1,0 +1,274 @@
+//! Bounded, deduplicating result store.
+//!
+//! Every completed seed run merges its race reports here, keyed by the
+//! stable [`RaceReport::fingerprint`](cvm_race::RaceReport::fingerprint):
+//! across a job's whole seed range each distinct race is stored once, with
+//! a hit count, a representative rendered report, and the first seed that
+//! produced it.  Retention is bounded in *bytes* (the PR 5 budget
+//! philosophy applied to results): when the store crosses its budget, the
+//! oldest terminal jobs' entries are evicted whole — never a partial job —
+//! and the eviction is counted, not silent.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use cvm_dsm::RunReport;
+use parking_lot::Mutex;
+
+use crate::job::JobId;
+
+/// One deduplicated race across a job's seed range.
+#[derive(Clone, Debug)]
+pub struct DedupedRace {
+    /// Stable fingerprint (dedup key).
+    pub fingerprint: u64,
+    /// Representative rendered report (first occurrence, symbolized).
+    pub rendered: String,
+    /// Reports folded into this entry, across all the job's seeds.
+    pub hits: u64,
+    /// First seed whose run produced it.
+    pub first_seed: u64,
+}
+
+/// A job's deduplicated result set.
+#[derive(Clone, Debug, Default)]
+pub struct JobRaces {
+    /// Distinct races, ordered by fingerprint.
+    pub races: Vec<DedupedRace>,
+    /// Total (pre-dedup) reports merged across the job's seeds.
+    pub reports_merged: u64,
+}
+
+#[derive(Debug, Default)]
+struct JobEntry {
+    by_print: BTreeMap<u64, DedupedRace>,
+    reports_merged: u64,
+    bytes: u64,
+    sealed: bool,
+}
+
+impl JobEntry {
+    fn merge(&mut self, seed: u64, report: &RunReport) {
+        for race in report.races.reports() {
+            self.reports_merged += 1;
+            let print = race.fingerprint();
+            if let Some(entry) = self.by_print.get_mut(&print) {
+                entry.hits += 1;
+            } else {
+                let rendered = race.render(&report.segments);
+                // Entry overhead: fingerprint + counters + map node, called
+                // 48 bytes, plus the rendered text.
+                self.bytes += 48 + rendered.len() as u64;
+                self.by_print.insert(
+                    print,
+                    DedupedRace {
+                        fingerprint: print,
+                        rendered,
+                        hits: 1,
+                        first_seed: seed,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Store-wide counters, surfaced through daemon stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Bytes currently retained.
+    pub bytes_live: u64,
+    /// Jobs whose results were evicted by the retention bound.
+    pub jobs_evicted: u64,
+    /// Distinct races currently retained, across all jobs.
+    pub distinct_races: u64,
+}
+
+/// The bounded store.  All methods take `&self`; a single mutex guards the
+/// interior (result merging is far off any hot path).
+#[derive(Debug)]
+pub struct ResultStore {
+    inner: Mutex<StoreInner>,
+    budget_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    jobs: BTreeMap<JobId, JobEntry>,
+    /// Jobs in seal order: the eviction queue (oldest sealed first).
+    sealed_order: VecDeque<JobId>,
+    jobs_evicted: u64,
+}
+
+impl ResultStore {
+    /// A store retaining at most `budget_bytes` of deduplicated results.
+    pub fn new(budget_bytes: u64) -> Self {
+        ResultStore {
+            inner: Mutex::new(StoreInner::default()),
+            budget_bytes,
+        }
+    }
+
+    /// Merges one seed run's reports into `job`'s entry.
+    pub fn merge(&self, job: JobId, seed: u64, report: &RunReport) {
+        let mut inner = self.inner.lock();
+        inner.jobs.entry(job).or_default().merge(seed, report);
+        self.enforce_budget(&mut inner);
+    }
+
+    /// Marks `job` complete: its entry becomes evictable.  In-flight jobs
+    /// are never evicted, so a running job's dedup state cannot vanish
+    /// under it.
+    pub fn seal(&self, job: JobId) {
+        let mut inner = self.inner.lock();
+        let known = match inner.jobs.get_mut(&job) {
+            Some(entry) if !entry.sealed => {
+                entry.sealed = true;
+                true
+            }
+            Some(_) => false,
+            // A job with zero reports still seals an (empty) entry so
+            // `races` distinguishes "no races" from "evicted/unknown".
+            None => {
+                inner.jobs.insert(
+                    job,
+                    JobEntry {
+                        sealed: true,
+                        ..JobEntry::default()
+                    },
+                );
+                true
+            }
+        };
+        if known {
+            inner.sealed_order.push_back(job);
+        }
+        self.enforce_budget(&mut inner);
+    }
+
+    /// The deduplicated result set of `job`: `None` when the job is
+    /// unknown or its results were evicted.
+    pub fn races(&self, job: JobId) -> Option<JobRaces> {
+        let inner = self.inner.lock();
+        inner.jobs.get(&job).map(|entry| JobRaces {
+            races: entry.by_print.values().cloned().collect(),
+            reports_merged: entry.reports_merged,
+        })
+    }
+
+    /// Distinct races currently retained for `job` (0 when evicted).
+    pub fn distinct_count(&self, job: JobId) -> usize {
+        let inner = self.inner.lock();
+        inner.jobs.get(&job).map_or(0, |e| e.by_print.len())
+    }
+
+    /// Store-wide counters.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock();
+        StoreStats {
+            bytes_live: inner.jobs.values().map(|e| e.bytes).sum(),
+            jobs_evicted: inner.jobs_evicted,
+            distinct_races: inner.jobs.values().map(|e| e.by_print.len() as u64).sum(),
+        }
+    }
+
+    fn enforce_budget(&self, inner: &mut StoreInner) {
+        let mut live: u64 = inner.jobs.values().map(|e| e.bytes).sum();
+        while live > self.budget_bytes {
+            let Some(oldest) = inner.sealed_order.pop_front() else {
+                break; // Only in-flight jobs left: nothing evictable.
+            };
+            if let Some(entry) = inner.jobs.remove(&oldest) {
+                live = live.saturating_sub(entry.bytes);
+                inner.jobs_evicted += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvm_dsm::{Cluster, DsmConfig};
+
+    fn racy_report(seed: u64) -> RunReport {
+        let mut cfg = DsmConfig::new(2);
+        cfg.net_loss = Some(cvm_dsm::FaultPlan::clean(seed));
+        Cluster::run(
+            cfg,
+            |alloc| alloc.alloc("w", 64).unwrap(),
+            |h, &w| {
+                h.write(w, h.proc() as u64);
+                h.barrier();
+            },
+        )
+        .expect("healthy run")
+    }
+
+    #[test]
+    fn dedups_across_seeds() {
+        let store = ResultStore::new(u64::MAX);
+        let job = JobId(1);
+        let a = racy_report(1);
+        let b = racy_report(2);
+        store.merge(job, 1, &a);
+        store.merge(job, 2, &b);
+        store.seal(job);
+        let races = store.races(job).expect("sealed job retained");
+        // Deterministic workload: both seeds produce the same race set,
+        // so dedup folds them.
+        assert_eq!(races.races.len(), a.races.distinct_fingerprints().len());
+        assert_eq!(races.reports_merged, (a.races.len() + b.races.len()) as u64);
+        assert!(races.races.iter().all(|r| r.hits >= 2));
+        assert!(races.races.iter().all(|r| r.first_seed == 1));
+        assert!(races.races.iter().all(|r| r.rendered.contains("DATA RACE")));
+    }
+
+    #[test]
+    fn sealed_empty_job_reads_as_no_races() {
+        let store = ResultStore::new(u64::MAX);
+        store.seal(JobId(9));
+        let races = store.races(JobId(9)).expect("sealed job known");
+        assert!(races.races.is_empty());
+        assert!(store.races(JobId(10)).is_none(), "unknown job is None");
+    }
+
+    #[test]
+    fn budget_evicts_oldest_sealed_jobs_whole() {
+        let report = racy_report(1);
+        let store = ResultStore::new(u64::MAX);
+        store.merge(JobId(1), 1, &report);
+        let one_job_bytes = store.stats().bytes_live;
+        assert!(one_job_bytes > 0);
+
+        // Budget fits two jobs but not three.
+        let store = ResultStore::new(one_job_bytes * 2);
+        for id in 1..=3u64 {
+            store.merge(JobId(id), 1, &report);
+            store.seal(JobId(id));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.jobs_evicted, 1, "third job must evict the first");
+        assert!(store.races(JobId(1)).is_none(), "oldest evicted");
+        assert!(store.races(JobId(3)).is_some(), "newest retained");
+        assert!(stats.bytes_live <= one_job_bytes * 2);
+    }
+
+    #[test]
+    fn in_flight_jobs_are_never_evicted() {
+        let report = racy_report(1);
+        let probe = ResultStore::new(u64::MAX);
+        probe.merge(JobId(1), 1, &report);
+        let one_job_bytes = probe.stats().bytes_live;
+
+        // Budget below a single job, but the job is not sealed: it must
+        // survive (dedup state cannot vanish under a running job).
+        let store = ResultStore::new(one_job_bytes / 2);
+        store.merge(JobId(1), 1, &report);
+        assert!(store.races(JobId(1)).is_some());
+        assert_eq!(store.stats().jobs_evicted, 0);
+        // Sealing makes it evictable and the budget bites.
+        store.seal(JobId(1));
+        assert!(store.races(JobId(1)).is_none());
+        assert_eq!(store.stats().jobs_evicted, 1);
+    }
+}

@@ -1,0 +1,345 @@
+//! Named, deterministic detection workloads and the job → `DsmConfig`
+//! expansion.
+//!
+//! A service job cannot ship a closure over the wire, so it names one of a
+//! fixed menu of workloads instead.  Every workload is deterministic in
+//! `(spec, seed)`: the daemon's run for a seed and a direct
+//! [`Cluster::run`] with [`run_direct`] produce byte-identical race
+//! reports — that equivalence is the soak suite's central assertion.
+
+use std::time::Duration;
+
+use cvm_dsm::{Cluster, DsmConfig, FaultPlan, ProcHandle, RunError, RunReport};
+use cvm_page::GAddr;
+use cvm_vclock::ProcId;
+
+use crate::job::JobSpec;
+
+/// The workload menu: small kernels with known race characters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Workload {
+    /// Every process writes a shared counter word unsynchronized each
+    /// epoch: guaranteed write-write races.
+    RacyCounter {
+        /// Barrier epochs to run.
+        epochs: u64,
+    },
+    /// Each process writes only its own stripe: race-free by
+    /// construction (any report is a detector bug).
+    DisjointGrid {
+        /// Barrier epochs to run.
+        epochs: u64,
+    },
+    /// Races, false sharing, and a race-free stripe mixed: proc `p`
+    /// writes words `p + 16k` and reads a word another proc writes.
+    MixedStripes {
+        /// Barrier epochs to run.
+        epochs: u64,
+    },
+    /// Lock-protected shared counter: race-free, exercises the
+    /// distributed lock path under service load.
+    LockedCounter {
+        /// Barrier epochs to run.
+        epochs: u64,
+    },
+    /// Disjoint writes plus a real wall-clock dwell per epoch: the
+    /// workload for exercising per-run deadlines.
+    SleepyGrid {
+        /// Barrier epochs to run.
+        epochs: u64,
+        /// Milliseconds of wall-clock dwell per epoch per process.
+        dwell_ms: u64,
+    },
+    /// Disjoint writes, but process 0 panics (a genuine application bug,
+    /// not a `DsmError`) after the last barrier: the workload for
+    /// exercising the pool's crash isolation — `Cluster::run` re-throws
+    /// genuine app panics after draining.
+    PanickyApp {
+        /// Barrier epochs to run before the scripted panic.
+        epochs: u64,
+    },
+}
+
+impl Workload {
+    /// Wire name of the workload kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::RacyCounter { .. } => "racy_counter",
+            Workload::DisjointGrid { .. } => "disjoint_grid",
+            Workload::MixedStripes { .. } => "mixed_stripes",
+            Workload::LockedCounter { .. } => "locked_counter",
+            Workload::SleepyGrid { .. } => "sleepy_grid",
+            Workload::PanickyApp { .. } => "panicky_app",
+        }
+    }
+
+    /// Parses a wire name plus parameters.
+    pub fn from_name(name: &str, epochs: u64, dwell_ms: u64) -> Option<Workload> {
+        Some(match name {
+            "racy_counter" => Workload::RacyCounter { epochs },
+            "disjoint_grid" => Workload::DisjointGrid { epochs },
+            "mixed_stripes" => Workload::MixedStripes { epochs },
+            "locked_counter" => Workload::LockedCounter { epochs },
+            "sleepy_grid" => Workload::SleepyGrid { epochs, dwell_ms },
+            "panicky_app" => Workload::PanickyApp { epochs },
+            _ => return None,
+        })
+    }
+
+    /// Barrier epochs the workload executes.
+    pub fn epochs(self) -> u64 {
+        match self {
+            Workload::RacyCounter { epochs }
+            | Workload::DisjointGrid { epochs }
+            | Workload::MixedStripes { epochs }
+            | Workload::LockedCounter { epochs }
+            | Workload::SleepyGrid { epochs, .. }
+            | Workload::PanickyApp { epochs } => epochs,
+        }
+    }
+
+    /// Bytes of shared segment every workload allocates.
+    pub fn alloc_bytes(self) -> u64 {
+        8 * 256
+    }
+
+    /// Sanity bounds, mirrored into [`JobSpec::validate`].
+    pub fn validate(self) -> Result<(), String> {
+        if self.epochs() == 0 {
+            return Err("workload epochs must be at least 1".into());
+        }
+        if self.epochs() > 256 {
+            return Err("workload epochs above 256 is not a service-shaped run".into());
+        }
+        if let Workload::SleepyGrid { dwell_ms, .. } = self {
+            if dwell_ms > 10_000 {
+                return Err("sleepy_grid dwell above 10s".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// One process's body, against the shared base address.
+    pub fn body(self, h: &ProcHandle, base: GAddr) {
+        let me = h.proc() as u64;
+        match self {
+            Workload::RacyCounter { epochs } => {
+                for e in 0..epochs {
+                    h.write(base, me + e); // Shared word: the race.
+                    h.write(base.word(1 + me), e); // Private stripe.
+                    h.barrier();
+                }
+            }
+            Workload::DisjointGrid { epochs } => {
+                for e in 0..epochs {
+                    for k in 0..4u64 {
+                        h.write(base.word(me * 16 + k), e + k);
+                    }
+                    h.barrier();
+                }
+            }
+            Workload::MixedStripes { epochs } => {
+                for e in 0..epochs {
+                    for k in 0..4u64 {
+                        h.write(base.word((me + k * 16 + e) % 128), me + e);
+                    }
+                    let _ = h.read(base.word((me + e + 1) % 32));
+                    h.barrier();
+                }
+            }
+            Workload::LockedCounter { epochs } => {
+                for _ in 0..epochs {
+                    h.lock(0);
+                    let v = h.read(base);
+                    h.write(base, v + 1);
+                    h.unlock(0);
+                    h.barrier();
+                }
+            }
+            Workload::SleepyGrid { epochs, dwell_ms } => {
+                for e in 0..epochs {
+                    std::thread::sleep(Duration::from_millis(dwell_ms));
+                    h.write(base.word(me * 16), e);
+                    h.barrier();
+                }
+            }
+            Workload::PanickyApp { epochs } => {
+                for e in 0..epochs {
+                    h.write(base.word(me * 16), e);
+                    h.barrier();
+                }
+                if me == 0 {
+                    panic!("scripted application bug after epoch {epochs}");
+                }
+            }
+        }
+    }
+}
+
+/// Scripted node death: `node` dies at its `at_event`-th reliability-engine
+/// event.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct KillSpec {
+    /// The victim.
+    pub node: u16,
+    /// Engine-event ordinal at which it dies.
+    pub at_event: u64,
+}
+
+/// Wire-fault knobs of a job, keyed by each run's seed (the plan itself is
+/// identical across seeds; the injection *stream* differs per seed).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct FaultSpec {
+    /// Bernoulli datagram loss in `[0, 1)`.
+    pub drop_rate: f64,
+    /// Seeded payload corruption in `[0, 1)`.
+    pub corrupt_rate: f64,
+    /// Scripted kill, if any.
+    pub kill: Option<KillSpec>,
+}
+
+impl FaultSpec {
+    /// Whether any fault is configured (a fault-free spec runs on perfect
+    /// channels, skipping the reliability layer entirely).
+    pub fn is_faulty(&self) -> bool {
+        self.drop_rate > 0.0 || self.corrupt_rate > 0.0 || self.kill.is_some()
+    }
+
+    /// Range checks, surfaced to the submitter.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.drop_rate) {
+            return Err("drop_rate out of [0, 1)".into());
+        }
+        if !(0.0..1.0).contains(&self.corrupt_rate) {
+            return Err("corrupt_rate out of [0, 1)".into());
+        }
+        Ok(())
+    }
+
+    /// The transport plan for one seed: tight RTO/backoff so scripted
+    /// kills are diagnosed in milliseconds, not deployment-default
+    /// timeouts.
+    pub fn plan(&self, seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.drop_rate, seed)
+            .with_rto(Duration::from_millis(2), Duration::from_millis(16))
+            .with_max_retransmits(8);
+        if self.corrupt_rate > 0.0 {
+            plan = plan.with_corruption(self.corrupt_rate);
+        }
+        if let Some(kill) = self.kill {
+            plan = plan.with_kill(ProcId(kill.node), kill.at_event);
+        }
+        plan
+    }
+}
+
+/// Expands `(spec, seed)` into the exact `DsmConfig` the daemon runs —
+/// exported so tests and clients can reproduce any service run directly.
+pub fn build_config(spec: &JobSpec, seed: u64) -> DsmConfig {
+    let mut cfg = DsmConfig::new(spec.nprocs);
+    cfg.protocol = spec.protocol;
+    cfg.detect.pipelined = spec.pipelined;
+    cfg.detect.stage_panic_epoch = spec.stage_panic_epoch;
+    cfg.recovery = spec.recovery;
+    cfg.op_deadline = Duration::from_secs(10);
+    if spec.fault.is_faulty() {
+        cfg.net_loss = Some(spec.fault.plan(seed));
+    }
+    cfg
+}
+
+/// Runs one seed of `spec` directly, bypassing the daemon: the reference
+/// execution service outputs are compared against.
+pub fn run_direct(spec: &JobSpec, seed: u64) -> Result<RunReport, RunError> {
+    run_with_config(spec, build_config(spec, seed))
+}
+
+/// Runs one seed with an explicit (possibly cancellation-carrying) config.
+pub(crate) fn run_with_config(spec: &JobSpec, cfg: DsmConfig) -> Result<RunReport, RunError> {
+    let workload = spec.workload;
+    Cluster::run(
+        cfg,
+        |alloc| {
+            alloc
+                .alloc("shared", workload.alloc_bytes())
+                .expect("workload allocation fits the default segment")
+        },
+        move |h, &base| workload.body(h, base),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for w in [
+            Workload::RacyCounter { epochs: 2 },
+            Workload::DisjointGrid { epochs: 2 },
+            Workload::MixedStripes { epochs: 2 },
+            Workload::LockedCounter { epochs: 2 },
+            Workload::SleepyGrid {
+                epochs: 2,
+                dwell_ms: 1,
+            },
+        ] {
+            assert_eq!(Workload::from_name(w.name(), 2, 1), Some(w));
+            assert!(w.validate().is_ok());
+        }
+        assert_eq!(Workload::from_name("nonsense", 2, 0), None);
+        assert!(Workload::RacyCounter { epochs: 0 }.validate().is_err());
+    }
+
+    #[test]
+    fn racy_counter_races_and_disjoint_grid_does_not() {
+        let racy = JobSpec::new(Workload::RacyCounter { epochs: 2 }, 3, 1, 1);
+        let report = run_direct(&racy, 1).expect("healthy run");
+        assert!(!report.races.is_empty(), "racy_counter must race");
+
+        let clean = JobSpec::new(Workload::DisjointGrid { epochs: 2 }, 3, 1, 1);
+        let report = run_direct(&clean, 1).expect("healthy run");
+        assert!(report.races.is_empty(), "disjoint_grid must not race");
+
+        let locked = JobSpec::new(Workload::LockedCounter { epochs: 2 }, 3, 1, 1);
+        let report = run_direct(&locked, 1).expect("healthy run");
+        assert!(report.races.is_empty(), "locked_counter must not race");
+    }
+
+    #[test]
+    fn fault_spec_builds_the_expected_plan() {
+        let spec = FaultSpec {
+            drop_rate: 0.1,
+            corrupt_rate: 0.05,
+            kill: Some(KillSpec {
+                node: 1,
+                at_event: 40,
+            }),
+        };
+        assert!(spec.is_faulty());
+        assert!(spec.validate().is_ok());
+        let plan = spec.plan(9);
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.events.len(), 1);
+        assert!((plan.drop_rate - 0.1).abs() < 1e-12);
+        assert!(!FaultSpec::default().is_faulty());
+        assert!(FaultSpec {
+            drop_rate: 1.5,
+            ..FaultSpec::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = JobSpec::new(Workload::MixedStripes { epochs: 2 }, 3, 5, 1);
+        let a = run_direct(&spec, 5).expect("run a");
+        let b = run_direct(&spec, 5).expect("run b");
+        assert_eq!(
+            a.races.fingerprints(),
+            b.races.fingerprints(),
+            "same (spec, seed) must reproduce the same reports"
+        );
+    }
+}

@@ -541,3 +541,66 @@ fn pipelined_abort_kill_yields_partial_subset() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fingerprint stability: the canonical `RaceReport::fingerprint` is the
+// race-hunt service's dedup key, so it must be invariant across every
+// knob that is documented not to change detection output — worker counts
+// and the sync-vs-pipelined master.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+/// A deterministic mixed workload (true races + false sharing + a
+/// race-free stripe) parameterized enough for the property to explore
+/// different plans and report sets.
+fn fingerprint_run(
+    nprocs: usize,
+    epochs: u64,
+    stride: u64,
+    workers: usize,
+    pipelined: bool,
+) -> std::collections::BTreeSet<u64> {
+    let mut cfg = DsmConfig::new(nprocs);
+    cfg.detect.workers = workers;
+    cfg.detect.pipelined = pipelined;
+    let report = Cluster::run(
+        cfg,
+        |alloc| alloc.alloc("arr", 8 * 128).unwrap(),
+        |h, &arr| {
+            let me = h.proc() as u64;
+            for e in 0..epochs {
+                for k in 0..4u64 {
+                    h.write(arr.word((me * stride + k * 16 + e) % 128), me + e);
+                }
+                let _ = h.read(arr.word((me + e) % 32));
+                h.barrier();
+            }
+        },
+    )
+    .expect("healthy run");
+    report.races.distinct_fingerprints()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        max_shrink_iters: 8,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn fingerprints_invariant_across_workers_and_pipelining(
+        nprocs in 2usize..=4,
+        epochs in 1u64..=3,
+        stride in 1u64..=5,
+    ) {
+        let reference = fingerprint_run(nprocs, epochs, stride, 1, false);
+        for workers in [2usize, 4] {
+            let got = fingerprint_run(nprocs, epochs, stride, workers, false);
+            prop_assert_eq!(&got, &reference, "workers={} diverged", workers);
+        }
+        let piped = fingerprint_run(nprocs, epochs, stride, 0, true);
+        prop_assert_eq!(&piped, &reference, "pipelined master diverged");
+    }
+}
