@@ -434,6 +434,7 @@ pub(crate) fn do_release(
             records: missing,
             races: Arc::clone(&races),
             epoch,
+            term: st.seat_term,
         };
         st.send_msg(&node.sender, *worker, &msg)?;
     }
@@ -554,20 +555,32 @@ pub(crate) fn on_bitmap_req(
 }
 
 /// Worker: a failover successor announced its master seat and resume
-/// epoch.  Validate the epoch against our own restored resume point,
-/// adopt the seat, and acknowledge.
+/// epoch.  A stale-term announcement (an old master re-asserting a seat
+/// across a healed partition) is fenced — counted and dropped, never
+/// acknowledged.  Otherwise validate the epoch against our own restored
+/// resume point, adopt the seat and its term, and acknowledge.
 pub(crate) fn on_master_handoff(
     st: &mut NodeCore,
     node: &Node,
     master: ProcId,
     epoch: u64,
+    term: u64,
 ) -> Result<(), DsmError> {
+    if st.fence_stale(term) {
+        return Ok(());
+    }
     if epoch != st.resume_epoch {
         return Err(DsmError::Protocol {
             context: "master handoff epoch disagrees with restored cut",
         });
     }
     st.master = master;
+    st.seat_term = term;
+    // Adopting a newer seat demotes any master role this node restored
+    // from its image: exactly one node drives detection per term.
+    if master != st.proc {
+        st.barrier = None;
+    }
     let msg = Msg::MasterHandoffAck {
         from: st.proc,
         epoch,

@@ -97,6 +97,11 @@ pub struct NodeImage {
     /// this to find where the detector's accumulated statistics live when
     /// a failover has moved the seat since the cut was taken.
     pub(crate) master: ProcId,
+    /// The master-seat term the node had adopted at the cut.  A restored
+    /// node resumes at this (possibly stale) term; only an accepted
+    /// `MasterHandoff` moves it forward, so an old master restored across
+    /// a re-seating speaks with a stale term and is fenced.
+    pub(crate) seat_term: u64,
 }
 
 /// A lock's local state in an image: `((have_token, held), release_vc)`.
@@ -232,6 +237,7 @@ impl Wire for NodeImage {
         self.trace.encode(out);
         self.trace_last_release.encode(out);
         self.master.encode(out);
+        self.seat_term.encode(out);
     }
 
     fn decode(r: &mut Reader) -> Result<Self, WireError> {
@@ -265,6 +271,7 @@ impl Wire for NodeImage {
             trace: Wire::decode(r)?,
             trace_last_release: Wire::decode(r)?,
             master: Wire::decode(r)?,
+            seat_term: Wire::decode(r)?,
         };
         if img.clock_cats.len() != NCATS
             || img.det_stats.len() != DET_STATS_FIELDS
@@ -418,6 +425,7 @@ pub(crate) fn snapshot(st: &NodeCore) -> NodeImage {
         trace: st.trace.clone(),
         trace_last_release,
         master: st.master,
+        seat_term: st.seat_term,
     }
 }
 
@@ -520,6 +528,7 @@ pub(crate) fn restore(st: &mut NodeCore, img: &NodeImage) {
     // overrides this with the successor after every restore, but reads it
     // first to locate the cut-time master's detector statistics.
     st.master = img.master;
+    st.seat_term = img.seat_term;
     // The restored node has no current barrier floor: a stale floor from a
     // pre-kill epoch could let soft GC drop restored records that replay
     // still needs.  Reset it; the next release re-establishes it.
@@ -818,6 +827,7 @@ pub(crate) fn on_ckpt_ack(st: &mut NodeCore, node: &Node, epoch: u64) -> Result<
             &Msg::CkptGo {
                 epoch,
                 races: Vec::new(),
+                term: st.seat_term,
             },
         )?;
     }

@@ -88,9 +88,18 @@ impl Cluster {
         let mut epochs_replayed = 0u64;
         let mut failovers = 0u64;
         let mut backoff_waits = 0u64;
+        let mut partitions_healed = 0u64;
+        let mut stale_msgs_fenced = 0u64;
+        let mut quorum_losses = 0u64;
+        let mut rejoin_restores = 0u64;
         // The barrier-master seat, carried across attempts: proc 0 until a
         // failover moves it to the lowest-numbered survivor.
         let mut master = ProcId(0);
+        // The seat's monotone term: bumped on every re-seating, stamped
+        // into every master-originated message, and fenced by receivers —
+        // an old master reappearing across a healed partition speaks with
+        // a stale term and cannot drive detection.
+        let mut seat_term = 0u64;
         loop {
             let mut attempt_cfg = cfg.clone();
             attempt_cfg.net_loss = plan.clone();
@@ -106,8 +115,43 @@ impl Cluster {
                 store.as_ref(),
                 started,
                 master,
+                seat_term,
                 announce,
             );
+            // Partition/fencing telemetry accumulates across attempts: a
+            // failed attempt's fences and heals are part of the run's
+            // story even though its report is discarded.  (Heals are
+            // accounted per attempt outcome below — in-engine for an
+            // attempt that ran to its end, at the strip for a retried
+            // one — so a window is never counted twice.)
+            {
+                let rec = match &result {
+                    Ok(r) => &r.recovery,
+                    Err(e) => &e.partial.recovery,
+                };
+                stale_msgs_fenced += rec.stale_msgs_fenced;
+                rejoin_restores += rec.rejoin_restores;
+                let will_retry = match &result {
+                    Ok(_) => false,
+                    Err(e) => {
+                        store.is_some()
+                            && recoveries < retries
+                            && matches!(e.error, DsmError::NodeFailed { .. })
+                    }
+                };
+                if !will_retry {
+                    let rel = match &result {
+                        Ok(r) => r.reliability.as_ref(),
+                        Err(e) => e.partial.reliability.as_ref(),
+                    };
+                    partitions_healed += rel.map_or(0, |r| r.partitions_healed);
+                }
+            }
+            if let Err(e) = &result {
+                if matches!(e.error, DsmError::QuorumLost { .. }) {
+                    quorum_losses += 1;
+                }
+            }
             let fill = |stats: &mut RecoveryStats| {
                 if let Some(s) = &store {
                     stats.checkpoints_taken = s.checkpoints_taken();
@@ -117,6 +161,10 @@ impl Cluster {
                 stats.epochs_replayed = epochs_replayed;
                 stats.failovers = failovers;
                 stats.backoff_waits = backoff_waits;
+                stats.partitions_healed = partitions_healed;
+                stats.stale_msgs_fenced = stale_msgs_fenced;
+                stats.quorum_losses = quorum_losses;
+                stats.rejoin_restores = rejoin_restores;
             };
             match result {
                 Ok(mut report) => {
@@ -139,30 +187,69 @@ impl Cluster {
                     s.prune_above(resume);
                     epochs_replayed += err.partial.barriers().saturating_sub(resume);
                     if let DsmError::NodeFailed { proc } = err.error {
-                        // The master itself died: deterministic succession
-                        // re-seats the role on the lowest-numbered survivor
-                        // for the next attempt (the dead node is still
-                        // resurrected from its image, as a worker).
-                        if ProcId(proc) == master
+                        // The master itself died — or the failed attempt's
+                        // plan scripted a partition against the master's
+                        // interface.  In the latter case *which* side's
+                        // retransmits exhaust first (and hence which
+                        // `NodeFailed` wins the failure cell) is a
+                        // wall-clock race, while the master's connectivity
+                        // is equally suspect either way; succession must
+                        // not depend on that race, so any master-side cut
+                        // re-seats deterministically.
+                        let master_cut = attempt_cfg.net_loss.as_ref().is_some_and(|p| {
+                            p.events.iter().any(|e| {
+                                matches!(e, cvm_net::FaultEvent::Partition { node, .. }
+                                    if *node == master)
+                            })
+                        });
+                        if (ProcId(proc) == master || master_cut)
                             && nprocs > 1
                             && cfg.failover == FailoverPolicy::Succession
                         {
+                            // Deterministic succession: the seat moves to
+                            // the lowest-numbered node that is not the
+                            // deposed master (it is still resurrected from
+                            // its image, as a worker).
+                            let deposed = master;
                             master = (0..nprocs as u16)
                                 .map(ProcId)
-                                .find(|p| p.0 != proc)
+                                .find(|p| *p != deposed)
                                 .expect("nprocs > 1 has a survivor");
                             failovers += 1;
+                            // Re-seating opens a new term; the old seat's
+                            // messages are fenced from here on.
+                            seat_term += 1;
                         }
                     }
                     // The scripted kill fired; its replacement node must
-                    // not be killed again.  Persistent faults (partitions,
-                    // loss) stay in the plan.
+                    // not be killed again.  Transient partition windows
+                    // are healed by the time the next attempt starts (the
+                    // backoff pause outlasts the scripted glitch), so they
+                    // come out of the plan too — counted as heals.
+                    // Permanent faults (heal-less partitions, loss) stay.
                     if let Some(p) = plan.as_mut() {
+                        partitions_healed += p
+                            .events
+                            .iter()
+                            .filter(|e| {
+                                matches!(
+                                    e,
+                                    cvm_net::FaultEvent::Partition {
+                                        heal_at: Some(_),
+                                        ..
+                                    }
+                                )
+                            })
+                            .count() as u64;
                         p.events.retain(|e| {
                             !matches!(
                                 e,
                                 cvm_net::FaultEvent::Kill { .. }
                                     | cvm_net::FaultEvent::KillAtPhase { .. }
+                                    | cvm_net::FaultEvent::Partition {
+                                        heal_at: Some(_),
+                                        ..
+                                    }
                             )
                         });
                     }
@@ -209,6 +296,7 @@ fn run_attempt<S, F>(
     store: Option<&Arc<CheckpointStore>>,
     started: Instant,
     master: ProcId,
+    term: u64,
     announce: bool,
 ) -> Result<RunReport, RunError>
 where
@@ -239,6 +327,12 @@ where
         let pipelined =
             cfg.detect.pipelined && cfg.detect.enabled && !cfg.detect.instrumentation_only;
         let mut stage_rx = None;
+        // The cut-time master when a failover has moved the seat since
+        // the restored cut was taken: `(node, its stale seat term)`.  Used
+        // for the split-brain scrub after the announce round, and counted
+        // as a rejoin-from-cut.
+        let mut old_master: Option<(ProcId, u64)> = None;
+        let mut rejoin_restores = 0u64;
         let nodes: Vec<Arc<Node>> = endpoints
             .iter()
             .enumerate()
@@ -280,6 +374,13 @@ where
                             .image(epoch, proc.0)
                             .expect("complete epoch has every node's image");
                         crate::checkpoint::restore(&mut core, &img);
+                        // The cut-time master lost the seat since this cut
+                        // was taken: it was cut off from the re-seating
+                        // (dead or partitioned) and now rejoins from the
+                        // agreed cut at the current term, as a worker.
+                        if core.master == proc && core.master != master {
+                            rejoin_restores += 1;
+                        }
                         // A failover moved the seat since this cut was
                         // taken: the detector's accumulated statistics live
                         // in the cut-time master's image (workers carry
@@ -287,6 +388,7 @@ where
                         // with its own restored race log, that is the full
                         // master state reconstructed from the cut.
                         if i == mi && core.master != master {
+                            old_master = Some((core.master, img.seat_term));
                             if let Some(prev) = s.image(epoch, core.master.0) {
                                 core.det_stats =
                                     crate::checkpoint::det_stats_from_vec(&prev.det_stats);
@@ -294,8 +396,13 @@ where
                         }
                     }
                 }
-                // The attempt's seat overrides whatever the image recorded.
+                // The attempt's seat overrides whatever the image recorded
+                // (workers keep their restored — possibly stale — term and
+                // adopt the current one through the handoff round).
                 core.master = master;
+                if i == mi {
+                    core.seat_term = term;
+                }
                 Arc::new(Node {
                     state: Mutex::new(core),
                     sender: ep.sender(),
@@ -345,8 +452,12 @@ where
             }
             // Seat-announcement round: on a recovery attempt the master
             // (re-seated or not) broadcasts `MasterHandoff` with its view
-            // of the resume epoch and holds the epoch loop until every
-            // survivor acknowledges agreement.
+            // of the resume epoch and the seat's term, and holds the
+            // epoch loop until a strict majority of the configured nodes
+            // (its own seat included) agrees.  A would-be master that
+            // cannot assemble that quorum is on the minority side of a
+            // partition: it surfaces the named `QuorumLost`, never a raw
+            // timeout, and never drives detection.
             if announce {
                 let epoch = resume.unwrap_or(0);
                 let r = {
@@ -355,27 +466,68 @@ where
                         .map(ProcId)
                         .filter(|p| *p != master)
                         .try_for_each(|p| {
-                            st.send_msg(&nodes[mi].sender, p, &Msg::MasterHandoff { master, epoch })
+                            st.send_msg(
+                                &nodes[mi].sender,
+                                p,
+                                &Msg::MasterHandoff {
+                                    master,
+                                    epoch,
+                                    term,
+                                },
+                            )
                         })
                 };
+                let needed = nprocs / 2 + 1;
                 if let Err(err) = r {
                     ctl.fail(name_own_death(err, master));
                 } else {
                     let limit = Instant::now() + cfg.op_deadline;
                     loop {
-                        if nodes[mi].state.lock().handoff_acks >= nprocs - 1 {
+                        if nodes[mi].state.lock().handoff_acks + 1 >= needed {
                             break;
                         }
                         if ctl.failed() {
+                            // A peer declared dead while the seat is still
+                            // short of its majority is the quorum loss
+                            // itself, observed through the transport.
+                            let got = nodes[mi].state.lock().handoff_acks + 1;
+                            if got < needed {
+                                ctl.reclassify_as_quorum_loss(got, needed);
+                            }
                             break;
                         }
                         if Instant::now() >= limit {
-                            ctl.fail(DsmError::Timeout {
-                                op: "master handoff",
-                            });
+                            let got = nodes[mi].state.lock().handoff_acks + 1;
+                            ctl.fail(DsmError::QuorumLost { got, needed });
                             break;
                         }
                         std::thread::sleep(crate::fault::APP_POLL);
+                    }
+                }
+                // Split-brain scrub: the restored cut-time master still
+                // holds a claim to the seat it lost while cut off.  It
+                // re-asserts that claim — under the stale term its image
+                // recorded — against the node now holding the seat, which
+                // fences it.  Exercising the fence on every failover keeps
+                // the guarantee hot: two masters can never both drive
+                // detection, whatever a healed partition delivers late.
+                if !ctl.failed() {
+                    if let Some((o, stale_term)) = old_master {
+                        let r = {
+                            let mut st = nodes[o.index()].state.lock();
+                            st.send_msg(
+                                &nodes[o.index()].sender,
+                                master,
+                                &Msg::MasterHandoff {
+                                    master: o,
+                                    epoch,
+                                    term: stale_term,
+                                },
+                            )
+                        };
+                        if let Err(err) = r {
+                            ctl.fail(name_own_death(err, o));
+                        }
                     }
                 }
             }
@@ -460,9 +612,11 @@ where
         let mut watch_hits = Vec::new();
         let mut traces = Vec::with_capacity(nprocs);
         let mut resources = ResourceStats::default();
+        let mut stale_fenced = 0u64;
         for node in nodes {
             let node = Arc::into_inner(node).expect("all threads joined");
             let core = node.state.into_inner();
+            stale_fenced += core.stale_msgs_fenced;
             if core.proc == master {
                 races = Some(core.race_log.clone());
                 det_stats = core.det_stats;
@@ -513,7 +667,11 @@ where
             schedule,
             watch_hits,
             traces,
-            recovery: RecoveryStats::default(),
+            recovery: RecoveryStats {
+                stale_msgs_fenced: stale_fenced,
+                rejoin_restores,
+                ..RecoveryStats::default()
+            },
             resources,
             wall: started.elapsed(),
         };
@@ -666,12 +824,27 @@ fn service_loop(node: &Node, ep: Endpoint, rstats: Option<Arc<ReliabilityStats>>
                 records,
                 races,
                 epoch,
-            } => crate::barrier::apply_release(&mut st, node, records, vc, races, epoch),
-            Msg::CkptAck { from: _, epoch } => crate::checkpoint::on_ckpt_ack(&mut st, node, epoch),
-            Msg::CkptGo { epoch, races } => crate::checkpoint::on_ckpt_go(&mut st, epoch, races),
-            Msg::MasterHandoff { master, epoch } => {
-                crate::barrier::on_master_handoff(&mut st, node, master, epoch)
+                term,
+            } => {
+                if st.fence_stale(term) {
+                    Ok(())
+                } else {
+                    crate::barrier::apply_release(&mut st, node, records, vc, races, epoch)
+                }
             }
+            Msg::CkptAck { from: _, epoch } => crate::checkpoint::on_ckpt_ack(&mut st, node, epoch),
+            Msg::CkptGo { epoch, races, term } => {
+                if st.fence_stale(term) {
+                    Ok(())
+                } else {
+                    crate::checkpoint::on_ckpt_go(&mut st, epoch, races)
+                }
+            }
+            Msg::MasterHandoff {
+                master,
+                epoch,
+                term,
+            } => crate::barrier::on_master_handoff(&mut st, node, master, epoch, term),
             Msg::MasterHandoffAck { from: _, epoch } => {
                 crate::barrier::on_master_handoff_ack(&mut st, epoch)
             }
@@ -819,5 +992,65 @@ mod tests {
         }
         assert!(node.ctl.failure().is_none());
         assert!(wd.stalled_since.is_none());
+    }
+
+    #[test]
+    fn stale_term_master_messages_are_fenced_not_applied() {
+        // A node whose seat term has advanced to 2 receives master-
+        // originated traffic stamped with term 1 — exactly what a healed
+        // partition delivers late.  Every such message must be dropped at
+        // dispatch and counted, never applied: an applied `BarrierRelease`
+        // for a bogus epoch (or an adopted stale `MasterHandoff`) would
+        // fail the run, so "no failure recorded" is itself the proof.
+        let (mut eps, _) = Network::new(2, NetConfig::default());
+        let ep1 = eps.pop().expect("two endpoints");
+        let ep0 = eps.pop().expect("two endpoints");
+        let node = Node {
+            state: Mutex::new(NodeCore::new(DsmConfig::new(2), ProcId(0))),
+            sender: ep0.sender(),
+            ctl: Arc::new(ClusterCtl::new()),
+        };
+        node.state.lock().seat_term = 2;
+        let mut peer = NodeCore::new(DsmConfig::new(2), ProcId(1));
+        std::thread::scope(|s| {
+            s.spawn(|| service_loop(&node, ep0, None));
+            let stale_release = Msg::BarrierRelease {
+                vc: cvm_vclock::VClock::from(vec![7, 7]),
+                records: vec![],
+                races: Arc::new(vec![]),
+                epoch: 99,
+                term: 1,
+            };
+            let stale_seat = Msg::MasterHandoff {
+                master: ProcId(1),
+                epoch: 0,
+                term: 1,
+            };
+            peer.send_msg(&ep1.sender(), ProcId(0), &stale_release)
+                .unwrap();
+            peer.send_msg(&ep1.sender(), ProcId(0), &stale_seat)
+                .unwrap();
+            peer.send_msg(&ep1.sender(), ProcId(0), &Msg::Shutdown)
+                .unwrap();
+        });
+        let st = node.state.lock();
+        assert_eq!(st.stale_msgs_fenced, 2, "both stale messages counted");
+        assert_eq!(st.master, ProcId(0), "stale seat claim must not adopt");
+        assert_eq!(st.seat_term, 2, "the term never moves backward");
+        assert!(
+            node.ctl.failure().is_none(),
+            "fenced traffic must not fail the run: {:?}",
+            node.ctl.failure()
+        );
+        drop(st);
+
+        // A *current*-term handoff is the legitimate succession path: it
+        // must still adopt (the fence is term-keyed, not a blanket drop).
+        let mut st = node.state.lock();
+        crate::barrier::on_master_handoff(&mut st, &node, ProcId(1), 0, 3)
+            .expect("current-term handoff applies");
+        assert_eq!(st.master, ProcId(1));
+        assert_eq!(st.seat_term, 3);
+        assert_eq!(st.stale_msgs_fenced, 2, "adoption is not a fence event");
     }
 }

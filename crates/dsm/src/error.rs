@@ -51,6 +51,20 @@ pub enum DsmError {
     /// abort, not a fault.  Supervisors treat it as neither retryable nor a
     /// failure of the workload.
     Cancelled,
+    /// A re-seating master could not collect handoff acknowledgements
+    /// from a strict majority of the configured nodes: it is on the
+    /// minority side of a partition and must not drive detection.  Named
+    /// (instead of a generic [`DsmError::Timeout`]) so supervisors can
+    /// tell "the cluster lost quorum" from "an operation was slow", and
+    /// never retried within the attempt — a minority stays a minority
+    /// until the partition heals.
+    QuorumLost {
+        /// Handoff acknowledgements collected (the would-be master's own
+        /// seat included).
+        got: usize,
+        /// Strict majority of the configured cluster.
+        needed: usize,
+    },
 }
 
 impl DsmError {
@@ -80,7 +94,8 @@ impl DsmError {
             | DsmError::Alloc(_)
             | DsmError::Net(NetError::MsgTooLarge { .. })
             | DsmError::Net(NetError::Empty)
-            | DsmError::Cancelled => false,
+            | DsmError::Cancelled
+            | DsmError::QuorumLost { .. } => false,
         }
     }
 }
@@ -123,6 +138,10 @@ impl fmt::Display for DsmError {
                 "process P{node} exhausted its memory budget: {bytes} bytes retained, mostly {kind}"
             ),
             DsmError::Cancelled => write!(f, "run cancelled"),
+            DsmError::QuorumLost { got, needed } => write!(
+                f,
+                "master seat lost quorum: {got} of {needed} required handoff acknowledgements"
+            ),
         }
     }
 }
@@ -201,6 +220,8 @@ mod tests {
             assert!(!kind.to_string().is_empty());
         }
         assert!(DsmError::Cancelled.to_string().contains("cancelled"));
+        let q = DsmError::QuorumLost { got: 1, needed: 2 };
+        assert!(q.to_string().contains("quorum") && q.to_string().contains("1 of 2"));
     }
 
     #[test]
@@ -238,6 +259,8 @@ mod tests {
         .is_transient());
         // Cancellation is a decision, not a fault.
         assert!(!DsmError::Cancelled.is_transient());
+        // A minority cannot vote itself into a majority by retrying.
+        assert!(!DsmError::QuorumLost { got: 1, needed: 2 }.is_transient());
     }
 
     #[test]

@@ -93,6 +93,18 @@ impl ClusterCtl {
         }
     }
 
+    /// During the seat-announcement round a peer death is a symptom, not
+    /// the diagnosis: the seat could not assemble its ack majority.
+    /// Replaces a recorded `NodeFailed` with the named `QuorumLost` so a
+    /// minority-side master never surfaces a generic failure (or worse, a
+    /// raw timeout) for what is structurally a lost quorum.
+    pub(crate) fn reclassify_as_quorum_loss(&self, got: usize, needed: usize) {
+        let mut cell = self.failure.lock();
+        if matches!(*cell, Some(DsmError::NodeFailed { .. })) {
+            *cell = Some(DsmError::QuorumLost { got, needed });
+        }
+    }
+
     /// The recorded failure, if any.
     pub(crate) fn failure(&self) -> Option<DsmError> {
         self.failure.lock().clone()

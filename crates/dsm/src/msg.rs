@@ -149,6 +149,10 @@ pub enum Msg {
         races: Arc<Vec<RaceReport>>,
         /// Epoch number just completed.
         epoch: u64,
+        /// Master seat term the release was issued under (fencing: a
+        /// receiver that has adopted a newer seat drops stale-term
+        /// releases instead of applying them).
+        term: u64,
     },
     /// Orderly service-thread shutdown.
     Shutdown,
@@ -173,6 +177,8 @@ pub enum Msg {
         /// commits ahead of its epoch's detection.  Always empty in
         /// synchronous mode, where detection completes inside the barrier.
         races: Vec<RaceReport>,
+        /// Master seat term the commit was issued under (fencing).
+        term: u64,
     },
     /// Master-seat announcement after a failover: the successor tells
     /// every survivor it now holds the barrier-master role and which
@@ -184,6 +190,11 @@ pub enum Msg {
         master: ProcId,
         /// The resume epoch: last complete checkpoint cut (0 if none).
         epoch: u64,
+        /// The monotone seat term of this seating.  Receivers adopt the
+        /// seat only for a term at least as new as their own; an old
+        /// master reappearing after a heal carries a stale term and is
+        /// fenced, so two masters can never both drive detection.
+        term: u64,
     },
     /// Acknowledgement of a [`Msg::MasterHandoff`]: the sender agrees on
     /// the master seat and the resume epoch.  The successor holds the run
@@ -327,12 +338,14 @@ impl Wire for Msg {
                 records,
                 races,
                 epoch,
+                term,
             } => {
                 buf.push(TAG_BARRIER_RELEASE);
                 vc.encode(buf);
                 records.encode(buf);
                 races.encode(buf);
                 epoch.encode(buf);
+                term.encode(buf);
             }
             Msg::Shutdown => buf.push(TAG_SHUTDOWN),
             Msg::CkptAck { from, epoch } => {
@@ -340,15 +353,21 @@ impl Wire for Msg {
                 from.encode(buf);
                 epoch.encode(buf);
             }
-            Msg::CkptGo { epoch, races } => {
+            Msg::CkptGo { epoch, races, term } => {
                 buf.push(TAG_CKPT_GO);
                 epoch.encode(buf);
                 races.encode(buf);
+                term.encode(buf);
             }
-            Msg::MasterHandoff { master, epoch } => {
+            Msg::MasterHandoff {
+                master,
+                epoch,
+                term,
+            } => {
                 buf.push(TAG_MASTER_HANDOFF);
                 master.encode(buf);
                 epoch.encode(buf);
+                term.encode(buf);
             }
             Msg::MasterHandoffAck { from, epoch } => {
                 buf.push(TAG_MASTER_HANDOFF_ACK);
@@ -403,11 +422,13 @@ impl Wire for Msg {
                     + 4
                     + races.iter().map(Wire::wire_size).sum::<u64>()
                     + 8
+                    + 8
             }
             Msg::Shutdown => 0,
             Msg::CkptAck { .. } => 2 + 8,
-            Msg::CkptGo { races, .. } => 8 + 4 + races.iter().map(Wire::wire_size).sum::<u64>(),
-            Msg::MasterHandoff { .. } | Msg::MasterHandoffAck { .. } => 2 + 8,
+            Msg::CkptGo { races, .. } => 8 + 4 + races.iter().map(Wire::wire_size).sum::<u64>() + 8,
+            Msg::MasterHandoff { .. } => 2 + 8 + 8,
+            Msg::MasterHandoffAck { .. } => 2 + 8,
         };
         1 + body
     }
@@ -488,6 +509,7 @@ impl Wire for Msg {
                 records: Vec::<Arc<Interval>>::decode(r)?,
                 races: Arc::<Vec<RaceReport>>::decode(r)?,
                 epoch: u64::decode(r)?,
+                term: u64::decode(r)?,
             },
             TAG_SHUTDOWN => Msg::Shutdown,
             TAG_CKPT_ACK => Msg::CkptAck {
@@ -497,10 +519,12 @@ impl Wire for Msg {
             TAG_CKPT_GO => Msg::CkptGo {
                 epoch: u64::decode(r)?,
                 races: Vec::<RaceReport>::decode(r)?,
+                term: u64::decode(r)?,
             },
             TAG_MASTER_HANDOFF => Msg::MasterHandoff {
                 master: ProcId::decode(r)?,
                 epoch: u64::decode(r)?,
+                term: u64::decode(r)?,
             },
             TAG_MASTER_HANDOFF_ACK => Msg::MasterHandoffAck {
                 from: ProcId::decode(r)?,
@@ -856,6 +880,7 @@ mod tests {
             records: vec![Arc::new(iv.clone())],
             races: Arc::new(vec![]),
             epoch: 9,
+            term: 3,
         });
         roundtrip(Msg::Shutdown);
         roundtrip(Msg::CkptAck {
@@ -865,6 +890,7 @@ mod tests {
         roundtrip(Msg::CkptGo {
             epoch: 41,
             races: vec![],
+            term: 0,
         });
         roundtrip(Msg::CkptGo {
             epoch: 42,
@@ -875,10 +901,12 @@ mod tests {
                 b: iv.id(),
                 epoch: 42,
             }],
+            term: 2,
         });
         roundtrip(Msg::MasterHandoff {
             master: ProcId(1),
             epoch: 7,
+            term: 1,
         });
         roundtrip(Msg::MasterHandoffAck {
             from: ProcId(2),
@@ -1069,6 +1097,7 @@ mod tests {
                 },
             ]),
             epoch: 3,
+            term: 1,
         });
     }
 
@@ -1128,6 +1157,7 @@ mod tests {
             Msg::MasterHandoff {
                 master: ProcId(1),
                 epoch: 3,
+                term: 2,
             },
             Msg::MasterHandoffAck {
                 from: ProcId(0),
@@ -1174,6 +1204,7 @@ mod tests {
         let m = Msg::MasterHandoff {
             master: ProcId(3),
             epoch: 0,
+            term: 1,
         };
         assert!(m.validate(2).is_err());
     }

@@ -174,6 +174,15 @@ pub(crate) struct NodeCore {
     /// re-seated by failover (see
     /// [`FailoverPolicy`](crate::FailoverPolicy)).
     pub master: ProcId,
+    /// Monotone master-seat term this node has adopted: 0 for the initial
+    /// seating, bumped by every accepted `MasterHandoff`.  Master-originated
+    /// messages carry the issuing term; anything below this value is a
+    /// stale master talking across a healed partition and is fenced.
+    pub seat_term: u64,
+    /// Stale-term master messages fenced (dropped, never applied) by this
+    /// node.  Not part of the checkpoint image — it is diagnostic
+    /// telemetry, summed into `RunReport.recovery.stale_msgs_fenced`.
+    pub stale_msgs_fenced: u64,
     /// Master only: `MasterHandoffAck`s collected while announcing a
     /// failover seat change.
     pub handoff_acks: usize,
@@ -266,6 +275,8 @@ impl NodeCore {
             lock_mgr: HashMap::new(),
             barrier: None,
             master: ProcId(0),
+            seat_term: 0,
+            stale_msgs_fenced: 0,
             handoff_acks: 0,
             phase_kills: Vec::new(),
             phase_counts: [0; ProtocolPhase::COUNT],
@@ -286,6 +297,20 @@ impl NodeCore {
             ckpt: None,
             barrier_floor: VClock::new(nprocs),
             prev_gc_boundary: 0,
+        }
+    }
+
+    /// Fences a master-originated message issued under seat term `term`:
+    /// returns `true` (and counts the drop) when the term is older than
+    /// the seat this node has adopted.  The sender is a stale master
+    /// talking across a healed partition; its message must be ignored,
+    /// never applied and never a panic.
+    pub(crate) fn fence_stale(&mut self, term: u64) -> bool {
+        if term < self.seat_term {
+            self.stale_msgs_fenced += 1;
+            true
+        } else {
+            false
         }
     }
 

@@ -255,6 +255,7 @@ fn commit_cut(st: &mut NodeCore, node: &Node, epoch: u64) -> Result<(), DsmError
             &Msg::CkptGo {
                 epoch,
                 races: races.clone(),
+                term: st.seat_term,
             },
         )?;
     }

@@ -61,6 +61,19 @@ pub struct RecoveryStats {
     /// Backoff sleeps taken between recovery attempts (exponential with
     /// seeded jitter, so persistent faults cannot spin the attempt loop).
     pub backoff_waits: u64,
+    /// Scripted partition windows that reached their heal point and let
+    /// traffic flow again (from the reliability layer).
+    pub partitions_healed: u64,
+    /// Stale-term master messages fenced (dropped, never applied) across
+    /// the cluster: an old master talking across a healed partition.
+    pub stale_msgs_fenced: u64,
+    /// Re-seating rounds abandoned because the would-be master could not
+    /// collect a strict majority of handoff acknowledgements.
+    pub quorum_losses: u64,
+    /// Nodes restored from the agreed checkpoint cut after having been cut
+    /// off from the re-seating (the healed old master rejoining at the
+    /// current term).
+    pub rejoin_restores: u64,
 }
 
 /// Resource-governance high-water marks and counters of one run.

@@ -203,6 +203,50 @@ fn exhausted_attempts_surface_the_failure() {
 }
 
 #[test]
+fn minority_master_surfaces_quorum_lost_by_name() {
+    // Attempt 1: the master (node 0) is killed, so attempt 2 re-seats the
+    // master on node 1 — which a permanent partition has cut off from the
+    // fabric since its first datagram.  The would-be master sits on the
+    // minority side of the partition: it can never assemble the strict
+    // majority of handoff acknowledgements (2 of 3, its own seat
+    // included), and the attempt must surface the *named* quorum loss —
+    // not a raw timeout, and not a generic peer-death — without retrying
+    // (a minority cannot vote itself into a majority by trying again).
+    let mut cfg = base_config(Protocol::SingleWriter);
+    cfg.net_loss = Some(
+        reliable_wire(23)
+            .with_kill(ProcId(0), 60)
+            .with_partition(ProcId(1), 0),
+    );
+    cfg.recovery = RecoveryPolicy::Recover { max_attempts: 3 };
+    let err = Cluster::run(
+        cfg,
+        |alloc| {
+            let base = alloc.alloc("words", NPROCS as u64 * 8).unwrap();
+            let racy = alloc.alloc("Racy", 8).unwrap();
+            (base, racy)
+        },
+        |h, &(base, racy)| epoch_loop(h, base, racy),
+    )
+    .expect_err("a minority-side master must not complete the run");
+    match err.error {
+        cvm_dsm::DsmError::QuorumLost { got, needed } => {
+            assert_eq!(needed, 2, "3-node majority is 2");
+            assert!(got < needed, "a lost quorum is short by definition");
+        }
+        other => panic!("expected QuorumLost by name, got {other:?}"),
+    }
+    assert!(
+        !err.error.is_transient(),
+        "quorum loss must not burn retry budget"
+    );
+    assert!(
+        err.partial.recovery.quorum_losses >= 1,
+        "the loss must be surfaced in the recovery counters"
+    );
+}
+
+#[test]
 fn lock_heavy_program_recovers_with_exact_state() {
     // A correctly-locked shared counter: each of the 3 processes adds 1
     // under lock 1 (whose manager, node 1, is the kill victim) in each of

@@ -112,12 +112,19 @@ pub enum FaultEvent {
     /// After `at_datagram` datagrams have crossed `node`'s wire interface
     /// (sent or received), all of its subsequent traffic in both
     /// directions is dropped: the node is partitioned from the rest of
-    /// the cluster but keeps running.
+    /// the cluster but keeps running.  If `heal_at` is set, the partition
+    /// is transient: once the node-local datagram count passes `heal_at`
+    /// (dropped traffic still advances the count), traffic flows again and
+    /// `partitions_healed` is bumped.  A node may carry several
+    /// partition/heal windows; overlapping windows union.
     Partition {
         /// The partitioned node.
         node: ProcId,
         /// Node-local wire-datagram count at which the partition begins.
         at_datagram: u64,
+        /// Node-local wire-datagram count at which the partition heals;
+        /// `None` is a permanent partition.
+        heal_at: Option<u64>,
     },
     /// After `node`'s reliability engine has processed `at_event` events
     /// (outbound packets + wire arrivals), the engine halts: channels
@@ -319,11 +326,33 @@ impl FaultPlan {
         self
     }
 
-    /// Scripts a partition of `node` at its `at_datagram`-th wire datagram.
+    /// Scripts a permanent partition of `node` at its `at_datagram`-th
+    /// wire datagram.
     #[must_use]
     pub fn with_partition(mut self, node: ProcId, at_datagram: u64) -> Self {
-        self.events
-            .push(FaultEvent::Partition { node, at_datagram });
+        self.events.push(FaultEvent::Partition {
+            node,
+            at_datagram,
+            heal_at: None,
+        });
+        self
+    }
+
+    /// Scripts a transient partition of `node`: traffic stops after its
+    /// `at_datagram`-th wire datagram and flows again once the node-local
+    /// count passes `heal_at` (dropped datagrams still advance the count,
+    /// keeping the heal keyed into the same deterministic stream).
+    #[must_use]
+    pub fn with_partition_healed(mut self, node: ProcId, at_datagram: u64, heal_at: u64) -> Self {
+        assert!(
+            heal_at > at_datagram,
+            "heal point not after partition start"
+        );
+        self.events.push(FaultEvent::Partition {
+            node,
+            at_datagram,
+            heal_at: Some(heal_at),
+        });
         self
     }
 
@@ -386,6 +415,9 @@ pub struct ReliabilityStats {
     /// Datagrams dropped because the sender was partitioned or the peer
     /// already declared dead.
     pub partition_drops: AtomicU64,
+    /// Scripted partition windows that reached their heal point and let
+    /// traffic flow again.
+    pub partitions_healed: AtomicU64,
     /// Datagrams lost because the peer's wire endpoint had closed
     /// (shutdown in progress) — distinguishable from wire loss.
     pub peer_closed: AtomicU64,
@@ -441,6 +473,8 @@ pub struct ReliabilitySnapshot {
     pub reordered: u64,
     /// Datagrams dropped while partitioned or to dead peers.
     pub partition_drops: u64,
+    /// Scripted partition windows that healed.
+    pub partitions_healed: u64,
     /// Datagrams lost to closed (shut-down) peer endpoints.
     pub peer_closed: u64,
     /// Peers declared dead after exhausting the retransmit budget.
@@ -484,6 +518,7 @@ impl ReliabilityStats {
             delayed: self.delayed.load(Ordering::Relaxed),
             reordered: self.reordered.load(Ordering::Relaxed),
             partition_drops: self.partition_drops.load(Ordering::Relaxed),
+            partitions_healed: self.partitions_healed.load(Ordering::Relaxed),
             peer_closed: self.peer_closed.load(Ordering::Relaxed),
             peers_declared_dead: self.peers_declared_dead.load(Ordering::Relaxed),
             corrupt_injected: self.corrupt_injected.load(Ordering::Relaxed),
@@ -701,8 +736,11 @@ pub(crate) struct ReliabilityEngine {
     corrupt_t: u64,
     /// Precomputed delay range in nanoseconds `(min, span)`.
     delay_ns: Option<(u64, u64)>,
-    /// Scripted event triggers for *this* node.
-    partition_at: Option<u64>,
+    /// Scripted partition windows for *this* node: `(start, heal,
+    /// heal_counted)` in node-local wire-datagram counts.  *Every*
+    /// `Partition` event in the plan lands here (not just the first), so
+    /// a node can partition, heal, and partition again.
+    partitions: Vec<(u64, Option<u64>, bool)>,
     kill_at: Option<u64>,
     /// Scripted corruption points: `(sent-frame ordinal, mutation)`.
     corrupt_at: Vec<(u64, CorruptKind)>,
@@ -742,15 +780,29 @@ impl ReliabilityEngine {
     }
 
     /// Counts one datagram crossing this node's wire interface (either
-    /// direction) and arms the scripted partition once the threshold is
-    /// passed.
+    /// direction) and recomputes the partitioned state from the scripted
+    /// windows: inside any un-healed window the node is cut off; past a
+    /// window's heal point traffic flows again (counted once per window).
+    /// Dropped datagrams advance the count too, so heal points stay keyed
+    /// to the same deterministic node-local stream as partition starts.
     fn note_wire_dgram(&mut self) {
         self.wire_sends += 1;
-        if let Some(at) = self.partition_at {
-            if self.wire_sends > at {
-                self.partitioned = true;
+        let mut inside = false;
+        for w in &mut self.partitions {
+            if self.wire_sends <= w.0 {
+                continue;
+            }
+            match w.1 {
+                Some(heal) if self.wire_sends > heal => {
+                    if !w.2 {
+                        w.2 = true;
+                        self.stats.partitions_healed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                _ => inside = true,
             }
         }
+        self.partitioned = inside;
     }
 
     /// Encodes one wire copy of `dgram` into a checksummed frame and
@@ -1246,10 +1298,21 @@ pub(crate) fn build_reliable_fabric(n: usize, plan: FaultPlan) -> ReliableFabric
         outbound_txs.push(outbound_tx);
         deliver_rxs.push(deliver_rx);
         let me = ProcId::from_index(i);
-        let partition_at = plan.events.iter().find_map(|e| match e {
-            FaultEvent::Partition { node, at_datagram } if *node == me => Some(*at_datagram),
-            _ => None,
-        });
+        // Collect *every* partition window scripted for this node — an
+        // earlier version `find_map`ed the first event only, silently
+        // dropping later scripted partitions.
+        let partitions: Vec<(u64, Option<u64>, bool)> = plan
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Partition {
+                    node,
+                    at_datagram,
+                    heal_at,
+                } if *node == me => Some((*at_datagram, *heal_at, false)),
+                _ => None,
+            })
+            .collect();
         let slow = plan.events.iter().find_map(|e| match e {
             FaultEvent::SlowConsumer {
                 node,
@@ -1293,7 +1356,7 @@ pub(crate) fn build_reliable_fabric(n: usize, plan: FaultPlan) -> ReliableFabric
                 .map(|(min, max)| (min.as_nanos() as u64, (max - min).as_nanos() as u64)),
             window: u64::from(plan.link_capacity.max(1)),
             slow,
-            partition_at,
+            partitions,
             kill_at,
             corrupt_at,
             wire_sends: 0,

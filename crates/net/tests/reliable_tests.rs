@@ -245,6 +245,61 @@ fn partitioned_node_stops_exchanging_datagrams() {
 }
 
 #[test]
+fn transient_partition_heals_and_flow_resumes() {
+    // Node 1 is cut off for a window of its own wire-datagram stream and
+    // then healed.  Retransmissions bridge the outage: every datagram
+    // still arrives, in order, without node 1 ever being declared dead.
+    let plan = FaultPlan::clean(13)
+        .with_rto(Duration::from_millis(1), Duration::from_millis(4))
+        .with_max_retransmits(40)
+        .with_partition_healed(ProcId(1), 3, 20);
+    let (eps, _, rstats) = Network::with_loss(2, NetConfig::default(), plan);
+    send_n(&eps, 0, 1, 30);
+    assert_eq!(recv_all(&eps, 1, 30), (0..30).collect::<Vec<_>>());
+    let snap = rstats.full();
+    assert!(snap.partition_drops > 0, "the window must eat datagrams");
+    assert_eq!(snap.partitions_healed, 1, "the heal must be observed once");
+    assert_eq!(snap.peers_declared_dead, 0, "a healed node is not dead");
+}
+
+#[test]
+fn multiple_partition_windows_on_one_node_all_apply() {
+    // Two disjoint outage windows scripted against the same node: both
+    // must arm (the plan is not first-match-wins) and both must heal.
+    let plan = FaultPlan::clean(17)
+        .with_rto(Duration::from_millis(1), Duration::from_millis(4))
+        .with_max_retransmits(60)
+        .with_partition_healed(ProcId(1), 3, 12)
+        .with_partition_healed(ProcId(1), 25, 40);
+    let (eps, _, rstats) = Network::with_loss(2, NetConfig::default(), plan);
+    send_n(&eps, 0, 1, 40);
+    assert_eq!(recv_all(&eps, 1, 40), (0..40).collect::<Vec<_>>());
+    let snap = rstats.full();
+    assert_eq!(snap.partitions_healed, 2, "both windows must open and heal");
+    assert!(snap.partition_drops > 0);
+}
+
+#[test]
+fn heal_accounting_is_deterministic_per_plan_and_seed() {
+    // Window membership is a pure function of the node-local wire-datagram
+    // ordinal, so two runs of the same (plan, seed) agree exactly on how
+    // many windows healed — even though retransmission *timing* is
+    // wall-clock noise.
+    let run = |seed: u64| {
+        let plan = FaultPlan::clean(seed)
+            .with_rto(Duration::from_millis(1), Duration::from_millis(4))
+            .with_max_retransmits(40)
+            .with_partition_healed(ProcId(1), 5, 18);
+        let (eps, _, rstats) = Network::with_loss(2, NetConfig::default(), plan);
+        send_n(&eps, 0, 1, 30);
+        assert_eq!(recv_all(&eps, 1, 30), (0..30).collect::<Vec<_>>());
+        rstats.full().partitions_healed
+    };
+    assert_eq!(run(0xACE), run(0xACE));
+    assert_eq!(run(0xACE), 1);
+}
+
+#[test]
 fn capacity_one_link_delivers_in_order_with_bounded_queue() {
     // The tightest possible credit window: one unacked datagram per flow.
     // 100 sends must still arrive complete and in order, with the in-flight

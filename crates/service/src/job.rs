@@ -118,6 +118,14 @@ impl JobSpec {
                 ));
             }
         }
+        if let Some(p) = &self.fault.partition {
+            if usize::from(p.node) >= self.nprocs {
+                return Err(format!(
+                    "partition targets node {} outside the {}-process cluster",
+                    p.node, self.nprocs
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -208,6 +216,16 @@ pub struct JobSnapshot {
     pub first_error: Option<String>,
     /// Distinct race fingerprints accumulated so far.
     pub distinct_races: usize,
+    /// Transient partitions observed healed, summed over completed runs.
+    pub partitions_healed: u64,
+    /// Stale-term master messages fenced, summed over completed runs.
+    pub stale_msgs_fenced: u64,
+    /// Master seats abandoned for lack of an ack quorum, summed over
+    /// completed runs.
+    pub quorum_losses: u64,
+    /// Cut-time masters restored back in as workers, summed over
+    /// completed runs.
+    pub rejoin_restores: u64,
 }
 
 /// Internal mutable job state, guarded by the job's lock.
@@ -220,6 +238,10 @@ pub(crate) struct JobInner {
     pub(crate) retries: u64,
     pub(crate) deadline_overruns: u64,
     pub(crate) retry_budget_left: u32,
+    pub(crate) partitions_healed: u64,
+    pub(crate) stale_msgs_fenced: u64,
+    pub(crate) quorum_losses: u64,
+    pub(crate) rejoin_restores: u64,
     pub(crate) first_error: Option<String>,
     pub(crate) outcomes: std::collections::BTreeMap<u64, SeedOutcome>,
     pub(crate) started: Option<Instant>,
@@ -255,6 +277,10 @@ impl JobState {
                 retries: 0,
                 deadline_overruns: 0,
                 retry_budget_left: budget,
+                partitions_healed: 0,
+                stale_msgs_fenced: 0,
+                quorum_losses: 0,
+                rejoin_restores: 0,
                 first_error: None,
                 outcomes: std::collections::BTreeMap::new(),
                 started: None,
@@ -290,6 +316,10 @@ impl JobState {
             deadline_overruns: inner.deadline_overruns,
             first_error: inner.first_error.clone(),
             distinct_races: 0,
+            partitions_healed: inner.partitions_healed,
+            stale_msgs_fenced: inner.stale_msgs_fenced,
+            quorum_losses: inner.quorum_losses,
+            rejoin_restores: inner.rejoin_restores,
         }
     }
 
@@ -360,6 +390,16 @@ impl JobState {
     /// Counts one deadline overrun.
     pub(crate) fn note_overrun(&self) {
         self.inner.lock().deadline_overruns += 1;
+    }
+
+    /// Accumulates a completed run's recovery telemetry into the job-wide
+    /// totals the status surface reports.
+    pub(crate) fn note_recovery(&self, rec: &cvm_dsm::RecoveryStats) {
+        let mut inner = self.inner.lock();
+        inner.partitions_healed += rec.partitions_healed;
+        inner.stale_msgs_fenced += rec.stale_msgs_fenced;
+        inner.quorum_losses += rec.quorum_losses;
+        inner.rejoin_restores += rec.rejoin_restores;
     }
 
     /// Wall-clock time from first seed start to terminal transition.

@@ -222,6 +222,7 @@ fn run_seed(task: &SeedTask, store: &ResultStore, stats: &PoolStats) {
 
         match attempt {
             Attempt::Done(report) => {
+                job.note_recovery(&report.recovery);
                 store.merge(job.id, seed, &report);
                 break SeedOutcome::Done {
                     races: report.races.len(),

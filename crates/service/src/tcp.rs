@@ -19,7 +19,7 @@ use cvm_dsm::{Protocol, RecoveryPolicy};
 use crate::daemon::{Daemon, SubmitError};
 use crate::job::{JobId, JobSnapshot, JobSpec};
 use crate::json::{parse, Value};
-use crate::workload::{FaultSpec, KillSpec, Workload};
+use crate::workload::{FaultSpec, KillSpec, PartitionSpec, Workload};
 
 /// A running TCP front end.  Dropping it (or calling
 /// [`stop`](TcpFrontEnd::stop)) closes the listener; the daemon behind it
@@ -350,6 +350,24 @@ fn spec_from_request(request: &Value) -> Result<JobSpec, WireError> {
             at_event: get_u64("kill_at_event", 40)?,
         });
     }
+    if let Some(v) = request.get("partition_node") {
+        let node = v.as_u64().ok_or((
+            "bad_request",
+            "field 'partition_node' must be a non-negative integer".to_string(),
+        ))?;
+        let heal_at = match request.get("partition_heal_at") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or((
+                "bad_request",
+                "field 'partition_heal_at' must be a non-negative integer".to_string(),
+            ))?),
+        };
+        fault.partition = Some(PartitionSpec {
+            node: node as u16,
+            at_datagram: get_u64("partition_at", 40)?,
+            heal_at,
+        });
+    }
     spec.fault = fault;
 
     if let Some(v) = request.get("run_deadline_ms") {
@@ -392,6 +410,16 @@ fn snapshot_value(snap: &JobSnapshot) -> Value {
             snap.first_error.clone().map_or(Value::Null, Value::Str),
         ),
         ("distinct_races", Value::Int(snap.distinct_races as i64)),
+        (
+            "partitions_healed",
+            Value::Int(snap.partitions_healed as i64),
+        ),
+        (
+            "stale_msgs_fenced",
+            Value::Int(snap.stale_msgs_fenced as i64),
+        ),
+        ("quorum_losses", Value::Int(snap.quorum_losses as i64)),
+        ("rejoin_restores", Value::Int(snap.rejoin_restores as i64)),
     ])
 }
 

@@ -186,6 +186,19 @@ pub struct KillSpec {
     pub at_event: u64,
 }
 
+/// Scripted network partition: `node` is cut from the fabric at its
+/// `at_datagram`-th wire datagram, healing (if ever) at `heal_at`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PartitionSpec {
+    /// The node cut off.
+    pub node: u16,
+    /// Wire-datagram ordinal at which the cut starts.
+    pub at_datagram: u64,
+    /// Wire-datagram ordinal at which the cut heals; `None` makes the
+    /// partition permanent for the run.
+    pub heal_at: Option<u64>,
+}
+
 /// Wire-fault knobs of a job, keyed by each run's seed (the plan itself is
 /// identical across seeds; the injection *stream* differs per seed).
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
@@ -196,13 +209,18 @@ pub struct FaultSpec {
     pub corrupt_rate: f64,
     /// Scripted kill, if any.
     pub kill: Option<KillSpec>,
+    /// Scripted partition (transient or permanent), if any.
+    pub partition: Option<PartitionSpec>,
 }
 
 impl FaultSpec {
     /// Whether any fault is configured (a fault-free spec runs on perfect
     /// channels, skipping the reliability layer entirely).
     pub fn is_faulty(&self) -> bool {
-        self.drop_rate > 0.0 || self.corrupt_rate > 0.0 || self.kill.is_some()
+        self.drop_rate > 0.0
+            || self.corrupt_rate > 0.0
+            || self.kill.is_some()
+            || self.partition.is_some()
     }
 
     /// Range checks, surfaced to the submitter.
@@ -212,6 +230,13 @@ impl FaultSpec {
         }
         if !(0.0..1.0).contains(&self.corrupt_rate) {
             return Err("corrupt_rate out of [0, 1)".into());
+        }
+        if let Some(p) = &self.partition {
+            if let Some(heal) = p.heal_at {
+                if heal <= p.at_datagram {
+                    return Err("partition_heal_at must be after partition_at".into());
+                }
+            }
         }
         Ok(())
     }
@@ -228,6 +253,12 @@ impl FaultSpec {
         }
         if let Some(kill) = self.kill {
             plan = plan.with_kill(ProcId(kill.node), kill.at_event);
+        }
+        if let Some(p) = self.partition {
+            plan = match p.heal_at {
+                Some(heal) => plan.with_partition_healed(ProcId(p.node), p.at_datagram, heal),
+                None => plan.with_partition(ProcId(p.node), p.at_datagram),
+            };
         }
         plan
     }
@@ -315,12 +346,17 @@ mod tests {
                 node: 1,
                 at_event: 40,
             }),
+            partition: Some(PartitionSpec {
+                node: 0,
+                at_datagram: 30,
+                heal_at: Some(90),
+            }),
         };
         assert!(spec.is_faulty());
         assert!(spec.validate().is_ok());
         let plan = spec.plan(9);
         assert_eq!(plan.seed, 9);
-        assert_eq!(plan.events.len(), 1);
+        assert_eq!(plan.events.len(), 2, "kill and partition both planned");
         assert!((plan.drop_rate - 0.1).abs() < 1e-12);
         assert!(!FaultSpec::default().is_faulty());
         assert!(FaultSpec {
@@ -329,6 +365,28 @@ mod tests {
         }
         .validate()
         .is_err());
+        // A heal point at or before the cut is a submitter error, not a
+        // builder panic inside the daemon.
+        assert!(FaultSpec {
+            partition: Some(PartitionSpec {
+                node: 0,
+                at_datagram: 50,
+                heal_at: Some(50),
+            }),
+            ..FaultSpec::default()
+        }
+        .validate()
+        .is_err());
+        let transient_only = FaultSpec {
+            partition: Some(PartitionSpec {
+                node: 1,
+                at_datagram: 40,
+                heal_at: None,
+            }),
+            ..FaultSpec::default()
+        };
+        assert!(transient_only.is_faulty());
+        assert_eq!(transient_only.plan(3).events.len(), 1);
     }
 
     #[test]

@@ -491,6 +491,130 @@ fn failover_phase_strikes_match_clean() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Partition tolerance: healing partitions, quorum-fenced succession, and
+// split-brain-safe rejoin.
+//
+// A transient partition cuts one node off the fabric for a window of its
+// own wire-datagram stream and then heals.  Short outages are bridged by
+// retransmission and never surface; long master-side outages depose the
+// seat — the survivors elect a successor under a higher term, fenced by a
+// strict-majority handoff quorum — and the deposed master rejoins from the
+// agreed checkpoint cut as a worker, its stale-term seat re-assertion
+// fenced and counted.  Contract: race reports byte-identical to the
+// fault-free run across ALL heal timings, with the partition/fencing
+// counters surfaced in `RunReport.recovery`.
+// ---------------------------------------------------------------------------
+
+/// Same wire as [`matrix_wire`], shifted by `PARTITION_SEED` (the CI
+/// partition job's chaos axis) so the partition matrix explores
+/// loss/timing schedules independently of the pipeline and failover jobs.
+fn partition_wire(seed: u64) -> FaultPlan {
+    let base = std::env::var("PARTITION_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    FaultPlan::clean(seed + base * 1000)
+        .with_rto(Duration::from_millis(2), Duration::from_millis(16))
+        .with_max_retransmits(8)
+}
+
+fn partition_cfg(protocol: Protocol, pipelined: bool, seed: u64) -> DsmConfig {
+    let mut cfg = matrix_cfg(protocol, pipelined, None);
+    cfg.net_loss = Some(partition_wire(seed));
+    cfg.recovery = RecoveryPolicy::Recover { max_attempts: 3 };
+    cfg
+}
+
+/// Tentpole acceptance: a transient master-side partition long enough to
+/// depose the seat.  The run must complete under `Recover` via quorum-
+/// fenced succession — partition, failover to the majority side, heal,
+/// old master fenced and rejoined from the cut — with race reports
+/// byte-identical to the fault-free run and every partition counter live.
+#[test]
+fn partition_master_failover_fences_and_rejoins() {
+    for protocol in [Protocol::SingleWriter, Protocol::MultiWriter] {
+        for pipelined in [false, true] {
+            let tag = format!("{protocol:?}/pipelined={pipelined}");
+            let clean = run_matrix_cell(partition_cfg(protocol, pipelined, 13))
+                .expect("clean checkpointing run");
+            assert_eq!(clean.recovery.partitions_healed, 0, "{tag}: clean wire");
+            assert_eq!(clean.recovery.stale_msgs_fenced, 0, "{tag}: clean wire");
+            let mut cfg = partition_cfg(protocol, pipelined, 13);
+            // The heal point is far beyond the attempt's traffic: within
+            // attempt 1 the outage is effectively permanent (the peers
+            // declare the master dead), and the window is observed healed
+            // during the recovery backoff pause.
+            cfg.net_loss = Some(partition_wire(13).with_partition_healed(ProcId(0), 80, 100_000));
+            let healed = run_matrix_cell(cfg)
+                .expect("a transient master partition must fail over, not abort");
+            assert!(
+                healed.recovery.recoveries >= 1,
+                "{tag}: the outage must trigger recovery"
+            );
+            assert!(
+                healed.recovery.failovers >= 1,
+                "{tag}: a cut master must lose the seat"
+            );
+            assert!(
+                healed.recovery.partitions_healed >= 1,
+                "{tag}: the transient window must be observed healed"
+            );
+            assert!(
+                healed.recovery.stale_msgs_fenced >= 1,
+                "{tag}: the deposed master's stale seat claim must be fenced"
+            );
+            assert!(
+                healed.recovery.rejoin_restores >= 1,
+                "{tag}: the deposed master must rejoin from the agreed cut"
+            );
+            assert_eq!(
+                healed.recovery.quorum_losses, 0,
+                "{tag}: the majority side never loses quorum"
+            );
+            assert_eq!(
+                race_fingerprint(&clean),
+                race_fingerprint(&healed),
+                "{tag}: the healed partition changed the report"
+            );
+        }
+    }
+}
+
+/// Byte-identity must hold across ALL heal timings, including outages
+/// short enough that retransmission bridges them without any recovery
+/// machinery engaging (the heal is then visible only in the counters).
+#[test]
+fn partition_reports_identical_across_heal_timings() {
+    for protocol in [Protocol::SingleWriter, Protocol::MultiWriter] {
+        for pipelined in [false, true] {
+            let clean = run_matrix_cell(partition_cfg(protocol, pipelined, 29))
+                .expect("clean checkpointing run");
+            for (victim, heal_gap) in [(0u16, 12u64), (1, 12), (1, 100_000), (2, 400)] {
+                let tag =
+                    format!("{protocol:?}/pipelined={pipelined}/victim={victim}/gap={heal_gap}");
+                let mut cfg = partition_cfg(protocol, pipelined, 29);
+                cfg.net_loss = Some(partition_wire(29).with_partition_healed(
+                    ProcId(victim),
+                    40,
+                    40 + heal_gap,
+                ));
+                let healed =
+                    run_matrix_cell(cfg).expect("every heal timing must complete under Recover");
+                assert!(
+                    healed.recovery.partitions_healed >= 1,
+                    "{tag}: the window must be observed healed"
+                );
+                assert_eq!(
+                    race_fingerprint(&clean),
+                    race_fingerprint(&healed),
+                    "{tag}: heal timing changed the report"
+                );
+            }
+        }
+    }
+}
+
 /// A panic on the detection stage thread must surface as a *named*
 /// protocol error within the op deadline — not hang the barrier waiters,
 /// and not be retried (a deterministic panic would panic identically on
