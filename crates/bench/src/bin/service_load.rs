@@ -8,13 +8,20 @@
 //! queue, so the bench also reports how many submissions saw `QueueFull`
 //! and had to wait for a slot.
 //!
-//! Columns: `workers,jobs,seeds_per_job,wall_ms,jobs_per_s,p50_ms,p95_ms,
-//! queue_full_rejections,retries`.
+//! A second sweep holds the pool at 4 workers and turns on the
+//! write-ahead journal under each fsync policy (`always` / `every:8` /
+//! `never`), so the durability tax is a row-to-row comparison in the same
+//! CSV; in-memory rows carry `none` in the `fsync` column.
+//!
+//! Columns: `workers,jobs,seeds_per_job,fsync,wall_ms,jobs_per_s,p50_ms,
+//! p95_ms,queue_full_rejections,retries`.
 
 use std::time::{Duration, Instant};
 
 use cvm_bench::results::Csv;
-use cvm_service::{Daemon, DaemonConfig, JobId, JobSpec, SubmitError, Workload};
+use cvm_service::{
+    Daemon, DaemonConfig, FsyncPolicy, JobId, JobSpec, PersistConfig, SubmitError, Workload,
+};
 
 const JOBS: usize = 24;
 const SEEDS_PER_JOB: u32 = 2;
@@ -27,11 +34,12 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx]
 }
 
-fn run_fleet(workers: usize) -> (f64, f64, f64, f64, u64, u64) {
+fn run_fleet(workers: usize, persist: PersistConfig) -> (f64, f64, f64, f64, u64, u64) {
     let daemon = Daemon::start(DaemonConfig {
         workers,
         // Deliberately tighter than the fleet so backpressure is visible.
         queue_capacity: JOBS / 2,
+        persist,
         ..DaemonConfig::default()
     });
 
@@ -103,6 +111,25 @@ fn run_fleet(workers: usize) -> (f64, f64, f64, f64, u64, u64) {
     )
 }
 
+fn report(csv: &mut Csv, workers: usize, fsync: &str, persist: PersistConfig) {
+    let (wall_ms, jobs_per_s, p50, p95, queue_full, retries) = run_fleet(workers, persist);
+    println!(
+        "{workers:>7} {JOBS:>6} {SEEDS_PER_JOB:>10} {fsync:>8} {wall_ms:>9.0} {jobs_per_s:>9.2} {p50:>8.0} {p95:>8.0} {queue_full:>10} {retries:>8}"
+    );
+    csv.row(&[
+        &workers,
+        &JOBS,
+        &SEEDS_PER_JOB,
+        &fsync,
+        &format!("{wall_ms:.1}"),
+        &format!("{jobs_per_s:.2}"),
+        &format!("{p50:.1}"),
+        &format!("{p95:.1}"),
+        &queue_full,
+        &retries,
+    ]);
+}
+
 fn main() {
     let mut csv = Csv::new(
         "service_load",
@@ -110,6 +137,7 @@ fn main() {
             "workers",
             "jobs",
             "seeds_per_job",
+            "fsync",
             "wall_ms",
             "jobs_per_s",
             "p50_ms",
@@ -119,10 +147,11 @@ fn main() {
         ],
     );
     println!(
-        "{:>7} {:>6} {:>10} {:>9} {:>9} {:>8} {:>8} {:>10} {:>8}",
+        "{:>7} {:>6} {:>10} {:>8} {:>9} {:>9} {:>8} {:>8} {:>10} {:>8}",
         "workers",
         "jobs",
         "seeds/job",
+        "fsync",
         "wall_ms",
         "jobs/s",
         "p50_ms",
@@ -131,21 +160,27 @@ fn main() {
         "retries"
     );
     for workers in [1usize, 2, 4, 8] {
-        let (wall_ms, jobs_per_s, p50, p95, queue_full, retries) = run_fleet(workers);
-        println!(
-            "{workers:>7} {JOBS:>6} {SEEDS_PER_JOB:>10} {wall_ms:>9.0} {jobs_per_s:>9.2} {p50:>8.0} {p95:>8.0} {queue_full:>10} {retries:>8}"
-        );
-        csv.row(&[
-            &workers,
-            &JOBS,
-            &SEEDS_PER_JOB,
-            &format!("{wall_ms:.1}"),
-            &format!("{jobs_per_s:.2}"),
-            &format!("{p50:.1}"),
-            &format!("{p95:.1}"),
-            &queue_full,
-            &retries,
-        ]);
+        report(&mut csv, workers, "none", PersistConfig::default());
+    }
+    // The durability tax: same fleet, fixed pool, journal on under each
+    // fsync policy.
+    for fsync in [
+        FsyncPolicy::Always,
+        FsyncPolicy::EveryN(8),
+        FsyncPolicy::Never,
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "cvm-bench-service-load-{}-{}",
+            fsync.name().replace(':', "_"),
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let persist = PersistConfig {
+            fsync,
+            ..PersistConfig::at(&dir)
+        };
+        report(&mut csv, 4, &fsync.name(), persist);
+        std::fs::remove_dir_all(&dir).ok();
     }
     csv.flush();
     println!("\nwrote bench_results/service_load.csv");

@@ -65,6 +65,16 @@ pub enum DsmError {
         /// Strict majority of the configured cluster.
         needed: usize,
     },
+    /// Durable-state I/O failed: the service's write-ahead journal or
+    /// snapshot could not be opened, appended, or compacted.  Owned storage
+    /// going bad is not fixed by re-running the same workload, so the
+    /// variant classifies as terminal; the failing path and OS error are
+    /// carried as text because `std::io::Error` is neither `Clone` nor
+    /// `Eq`.
+    Persist {
+        /// What the persistence layer was doing when the I/O failed.
+        context: String,
+    },
 }
 
 impl DsmError {
@@ -95,7 +105,8 @@ impl DsmError {
             | DsmError::Net(NetError::MsgTooLarge { .. })
             | DsmError::Net(NetError::Empty)
             | DsmError::Cancelled
-            | DsmError::QuorumLost { .. } => false,
+            | DsmError::QuorumLost { .. }
+            | DsmError::Persist { .. } => false,
         }
     }
 }
@@ -142,6 +153,7 @@ impl fmt::Display for DsmError {
                 f,
                 "master seat lost quorum: {got} of {needed} required handoff acknowledgements"
             ),
+            DsmError::Persist { context } => write!(f, "durable state I/O failed: {context}"),
         }
     }
 }
@@ -222,6 +234,10 @@ mod tests {
         assert!(DsmError::Cancelled.to_string().contains("cancelled"));
         let q = DsmError::QuorumLost { got: 1, needed: 2 };
         assert!(q.to_string().contains("quorum") && q.to_string().contains("1 of 2"));
+        let p = DsmError::Persist {
+            context: "append journal.bin: disk full".into(),
+        };
+        assert!(p.to_string().contains("durable") && p.to_string().contains("disk full"));
     }
 
     #[test]
@@ -261,6 +277,11 @@ mod tests {
         assert!(!DsmError::Cancelled.is_transient());
         // A minority cannot vote itself into a majority by retrying.
         assert!(!DsmError::QuorumLost { got: 1, needed: 2 }.is_transient());
+        // Bad owned storage stays bad across retries of the same workload.
+        assert!(!DsmError::Persist {
+            context: "open journal.bin: permission denied".into(),
+        }
+        .is_transient());
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! cvm-service [--addr 127.0.0.1:7199] [--workers 4] [--queue 64] [--store-mb 16]
+//!             [--data-dir PATH] [--fsync always|never|every:N] [--compact-every N]
+//!             [--crash POINT:N]
 //! ```
 //!
 //! Serves the line-delimited JSON protocol on `--addr` and prints
@@ -10,11 +12,16 @@
 //! admission, finish or cancel in-flight jobs, join the pool — when
 //! stdin reaches EOF or a line reading `drain` arrives; exits 0 iff
 //! every admitted job reached a terminal state.
+//!
+//! `--data-dir` turns on the write-ahead journal: job state survives a
+//! crash and is recovered on the next start from the same directory.
+//! `--crash` (recovery tests only) aborts the process at the Nth hit of
+//! a named persistence crash point, e.g. `--crash mid-record:3`.
 
 use std::io::BufRead;
 use std::time::Duration;
 
-use cvm_service::{Daemon, DaemonConfig, TcpFrontEnd};
+use cvm_service::{CrashSpec, Daemon, DaemonConfig, FsyncPolicy, TcpFrontEnd};
 
 struct Args {
     addr: String,
@@ -54,6 +61,29 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--drain-ms: {e}"))?;
             }
+            "--data-dir" => {
+                args.cfg.persist.data_dir = Some(value("--data-dir")?.into());
+                if args.cfg.persist.compact_every == 0 {
+                    args.cfg.persist.compact_every = 256;
+                }
+            }
+            "--fsync" => {
+                let policy = value("--fsync")?;
+                args.cfg.persist.fsync = FsyncPolicy::parse(&policy)
+                    .ok_or_else(|| format!("--fsync: '{policy}' (want always|never|every:N)"))?;
+            }
+            "--compact-every" => {
+                args.cfg.persist.compact_every = value("--compact-every")?
+                    .parse()
+                    .map_err(|e| format!("--compact-every: {e}"))?;
+            }
+            "--crash" => {
+                let spec = value("--crash")?;
+                args.cfg.persist.crash = Some(
+                    CrashSpec::parse(&spec)
+                        .ok_or_else(|| format!("--crash: '{spec}' (want POINT:N)"))?,
+                );
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -67,13 +97,20 @@ fn main() {
             eprintln!("cvm-service: {why}");
             eprintln!(
                 "usage: cvm-service [--addr HOST:PORT] [--workers N] [--queue N] \
-                 [--store-mb N] [--drain-ms N]"
+                 [--store-mb N] [--drain-ms N] [--data-dir PATH] \
+                 [--fsync always|never|every:N] [--compact-every N] [--crash POINT:N]"
             );
             std::process::exit(2);
         }
     };
 
-    let daemon = Daemon::start(args.cfg);
+    let daemon = match Daemon::open(args.cfg) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("cvm-service: cannot open data directory: {e}");
+            std::process::exit(1);
+        }
+    };
     let mut front = match TcpFrontEnd::serve(daemon.clone(), &args.addr) {
         Ok(front) => front,
         Err(e) => {
@@ -101,6 +138,20 @@ fn main() {
         "drained: {} jobs submitted, {} cancelled at shutdown, {} retries, {} panics caught",
         stats.jobs_submitted, report.jobs_cancelled, stats.pool.retries, stats.pool.panics_caught
     );
+    if stats.persist.journal_records
+        + stats.persist.snapshots_written
+        + stats.persist.recovered_jobs
+        + stats.persist.torn_tail_truncations
+        > 0
+    {
+        eprintln!(
+            "durable: {} journal records, {} snapshots, {} recovered jobs, {} torn tails truncated",
+            stats.persist.journal_records,
+            stats.persist.snapshots_written,
+            stats.persist.recovered_jobs,
+            stats.persist.torn_tail_truncations
+        );
+    }
     // Exit 0 iff every admitted job is terminal (drain guarantees this
     // unless the pool wedged, which is exactly what CI wants to catch).
     let all_terminal = daemon.jobs().iter().all(|j| j.phase.is_terminal());

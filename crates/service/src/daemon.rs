@@ -16,15 +16,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cvm_dsm::DsmError;
 use parking_lot::Mutex;
 
 use crate::job::{JobId, JobSnapshot, JobSpec, JobState};
+use crate::persist::{JournalRecord, OutcomeImage, Persist, PersistConfig, PersistStatsSnapshot};
 use crate::pool::{PoolStatsSnapshot, SeedTask, WorkerPool};
 use crate::statemap::StateMap;
 use crate::store::{JobRaces, ResultStore, StoreStats};
 
 /// Daemon sizing knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DaemonConfig {
     /// Supervising worker threads.
     pub workers: usize,
@@ -32,6 +34,9 @@ pub struct DaemonConfig {
     pub queue_capacity: usize,
     /// Byte budget of the deduplicated result store.
     pub store_budget_bytes: u64,
+    /// Durability: data directory, fsync policy, compaction interval.
+    /// The default (`data_dir: None`) keeps the daemon purely in-memory.
+    pub persist: PersistConfig,
 }
 
 impl Default for DaemonConfig {
@@ -40,6 +45,7 @@ impl Default for DaemonConfig {
             workers: 4,
             queue_capacity: 64,
             store_budget_bytes: 16 << 20,
+            persist: PersistConfig::default(),
         }
     }
 }
@@ -87,6 +93,8 @@ pub struct DaemonStats {
     pub pool: PoolStatsSnapshot,
     /// Result-store counters.
     pub store: StoreStats,
+    /// Durability counters (all zero when persistence is disabled).
+    pub persist: PersistStatsSnapshot,
 }
 
 /// Outcome of a graceful drain.
@@ -97,12 +105,16 @@ pub struct DrainReport {
     pub jobs_cancelled: usize,
     /// Whether every admitted job reached a terminal phase by return.
     pub clean: bool,
+    /// Durability counters at drain completion (after the final
+    /// compaction).
+    pub persist: PersistStatsSnapshot,
 }
 
 struct DaemonInner {
     cfg: DaemonConfig,
     jobs: StateMap<JobId, JobState>,
     store: Arc<ResultStore>,
+    persist: Arc<Persist>,
     pool: Mutex<WorkerPool>,
     next_id: AtomicU64,
     submitted: AtomicU64,
@@ -121,23 +133,122 @@ pub struct Daemon {
 }
 
 impl Daemon {
-    /// Starts a daemon with `cfg`.
+    /// Starts a daemon with `cfg`.  Infallible for in-memory daemons;
+    /// panics if a configured data directory cannot be opened (use
+    /// [`open`](Daemon::open) to handle that as an error).
     pub fn start(cfg: DaemonConfig) -> Daemon {
+        Daemon::open(cfg).expect("open daemon data directory")
+    }
+
+    /// Opens a daemon, recovering durable state when `cfg.persist` names
+    /// a data directory: the snapshot is loaded, the journal replayed
+    /// (torn tails truncated and counted, never panicked on), sealed
+    /// results are restored byte-identical from their journaled
+    /// fingerprints, and jobs that were still running at crash time are
+    /// re-admitted through the normal pool path — only their seeds
+    /// *without* a journaled outcome run again.
+    ///
+    /// # Errors
+    ///
+    /// [`DsmError::Persist`] when the data directory or its files cannot
+    /// be created or opened.
+    pub fn open(cfg: DaemonConfig) -> Result<Daemon, DsmError> {
+        let (persist, shadow) = Persist::open(&cfg.persist)?;
         let store = Arc::new(ResultStore::new(cfg.store_budget_bytes));
-        let pool = WorkerPool::new(cfg.workers, Arc::clone(&store));
-        Daemon {
+
+        // Restore sealed (and partially-merged) results from journaled
+        // fingerprints: completed seeds are never recomputed.
+        for (&id, sj) in &shadow.jobs {
+            if sj.evicted || !sj.has_store_entry() {
+                continue;
+            }
+            let (races, merged) = sj.replay_races();
+            store.restore_job(JobId(id), races, merged, sj.sealed);
+        }
+        store.restore_meta(
+            shadow.sealed_order.iter().map(|&id| JobId(id)).collect(),
+            shadow.jobs_evicted,
+        );
+
+        let pool = WorkerPool::new(cfg.workers, Arc::clone(&store), Arc::clone(&persist));
+        let jobs: StateMap<JobId, JobState> = StateMap::new();
+
+        // Rebuild job lifecycle state and collect the seeds still owed.
+        let mut pending: Vec<SeedTask> = Vec::new();
+        let mut recovered_jobs = 0u64;
+        for (&id, sj) in &shadow.jobs {
+            let id = JobId(id);
+            let job = jobs.insert(id, JobState::new(id, sj.spec.clone()));
+            job.mark_recovered();
+            if !sj.order.is_empty() {
+                job.note_started();
+            }
+            let mut retries_consumed = 0u64;
+            for seed in &sj.order {
+                let img = &sj.outcomes[seed];
+                retries_consumed += img.retries();
+                if let OutcomeImage::Done { recovery, .. } = img {
+                    let stats = cvm_dsm::RecoveryStats {
+                        partitions_healed: recovery[0],
+                        stale_msgs_fenced: recovery[1],
+                        quorum_losses: recovery[2],
+                        rejoin_restores: recovery[3],
+                        ..cvm_dsm::RecoveryStats::default()
+                    };
+                    job.note_recovery(&stats);
+                }
+                job.record_outcome(*seed, img.to_outcome());
+            }
+            job.restore_retries(retries_consumed);
+            if sj.cancelled {
+                job.cancel();
+            }
+            if job.is_terminal() {
+                // Terminal but never sealed: the crash hit between the
+                // last outcome record and the seal.  Finish the seal now.
+                if !sj.sealed {
+                    persist.record(&JournalRecord::Sealed { job: id });
+                    for evicted in store.seal(id) {
+                        persist.record(&JournalRecord::Evicted { job: evicted });
+                    }
+                }
+            } else {
+                recovered_jobs += 1;
+                for seed in job.spec.seeds() {
+                    if !sj.outcomes.contains_key(&seed) {
+                        pending.push(SeedTask {
+                            job: Arc::clone(&job),
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        persist.note_recovered_jobs(recovered_jobs);
+
+        let submitted = shadow.jobs.len() as u64;
+        let daemon = Daemon {
             inner: Arc::new(DaemonInner {
+                next_id: AtomicU64::new(shadow.next_job.max(1)),
                 cfg,
-                jobs: StateMap::new(),
+                jobs,
                 store,
+                persist,
                 pool: Mutex::new(pool),
-                next_id: AtomicU64::new(1),
-                submitted: AtomicU64::new(0),
+                submitted: AtomicU64::new(submitted),
                 rejected: AtomicU64::new(0),
                 draining: AtomicBool::new(false),
                 admit: Mutex::new(()),
             }),
+        };
+        // Re-admit the owed seeds through the normal pool path.
+        {
+            let pool = daemon.inner.pool.lock();
+            for task in pending {
+                pool.submit(task);
+            }
         }
+        Ok(daemon)
     }
 
     /// Validates and admits `spec`, expanding it onto the pool.
@@ -160,6 +271,11 @@ impl Daemon {
             }
             let id = JobId(inner.next_id.fetch_add(1, Ordering::SeqCst));
             let job = inner.jobs.insert(id, JobState::new(id, spec));
+            // Write-ahead: the admission is durable before any seed runs.
+            inner.persist.record(&JournalRecord::Submitted {
+                job: id,
+                spec: job.spec.clone(),
+            });
             let pool = inner.pool.lock();
             for seed in job.spec.seeds() {
                 pool.submit(SeedTask {
@@ -205,6 +321,9 @@ impl Daemon {
     pub fn cancel(&self, id: JobId) -> bool {
         match self.inner.jobs.get(&id) {
             Some(job) => {
+                self.inner
+                    .persist
+                    .record(&JournalRecord::Cancelled { job: id });
                 job.cancel();
                 true
             }
@@ -227,6 +346,7 @@ impl Daemon {
             draining: inner.draining.load(Ordering::SeqCst),
             pool: inner.pool.lock().stats(),
             store: inner.store.stats(),
+            persist: inner.persist.stats(),
         }
     }
 
@@ -261,9 +381,13 @@ impl Daemon {
         // Closing the queue and joining the workers forces every queued
         // and running seed to a terminal outcome.
         inner.pool.lock().shutdown();
+        // Fold the whole journal into a snapshot: the next open replays a
+        // compact image instead of the full record stream.
+        inner.persist.compact_now();
         DrainReport {
             jobs_cancelled: cancelled,
             clean: cancelled == 0 && self.active_jobs() == 0,
+            persist: inner.persist.stats(),
         }
     }
 

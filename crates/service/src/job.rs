@@ -28,7 +28,7 @@ impl fmt::Display for JobId {
 }
 
 /// Everything needed to expand a job into per-seed detection runs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JobSpec {
     /// The named workload to hunt races in.
     pub workload: Workload,
@@ -226,6 +226,10 @@ pub struct JobSnapshot {
     /// Cut-time masters restored back in as workers, summed over
     /// completed runs.
     pub rejoin_restores: u64,
+    /// Whether this job was rebuilt from the durable journal after a
+    /// daemon restart (its journaled seed outcomes were replayed, not
+    /// recomputed).
+    pub recovered: bool,
 }
 
 /// Internal mutable job state, guarded by the job's lock.
@@ -243,6 +247,7 @@ pub(crate) struct JobInner {
     pub(crate) quorum_losses: u64,
     pub(crate) rejoin_restores: u64,
     pub(crate) first_error: Option<String>,
+    pub(crate) recovered: bool,
     pub(crate) outcomes: std::collections::BTreeMap<u64, SeedOutcome>,
     pub(crate) started: Option<Instant>,
     pub(crate) finished: Option<Instant>,
@@ -282,6 +287,7 @@ impl JobState {
                 quorum_losses: 0,
                 rejoin_restores: 0,
                 first_error: None,
+                recovered: false,
                 outcomes: std::collections::BTreeMap::new(),
                 started: None,
                 finished: None,
@@ -315,6 +321,7 @@ impl JobState {
             retries: inner.retries,
             deadline_overruns: inner.deadline_overruns,
             first_error: inner.first_error.clone(),
+            recovered: inner.recovered,
             distinct_races: 0,
             partitions_healed: inner.partitions_healed,
             stale_msgs_fenced: inner.stale_msgs_fenced,
@@ -390,6 +397,23 @@ impl JobState {
     /// Counts one deadline overrun.
     pub(crate) fn note_overrun(&self) {
         self.inner.lock().deadline_overruns += 1;
+    }
+
+    /// Marks the job as rebuilt from the durable journal.
+    pub(crate) fn mark_recovered(&self) {
+        self.inner.lock().recovered = true;
+    }
+
+    /// Restores retry accounting replayed from the journal: the budget
+    /// shrinks by what past attempts consumed (saturating — a spec edit
+    /// between runs must not underflow) and the job-wide counter reflects
+    /// them.
+    pub(crate) fn restore_retries(&self, consumed: u64) {
+        let mut inner = self.inner.lock();
+        inner.retry_budget_left = inner
+            .retry_budget_left
+            .saturating_sub(consumed.min(u64::from(u32::MAX)) as u32);
+        inner.retries += consumed;
     }
 
     /// Accumulates a completed run's recovery telemetry into the job-wide

@@ -38,6 +38,7 @@
 pub mod daemon;
 pub mod job;
 pub mod json;
+pub mod persist;
 pub mod pool;
 pub mod statemap;
 pub mod store;
@@ -46,8 +47,12 @@ pub mod workload;
 
 pub use daemon::{Daemon, DaemonConfig, DaemonStats, DrainReport, SubmitError};
 pub use job::{JobId, JobPhase, JobSnapshot, JobSpec, JobState, SeedOutcome};
+pub use persist::{
+    CrashMode, CrashPoint, CrashSpec, FsyncPolicy, JournalRecord, OutcomeImage, Persist,
+    PersistConfig, PersistStatsSnapshot, ShadowState,
+};
 pub use pool::PoolStatsSnapshot;
 pub use statemap::StateMap;
 pub use store::{DedupedRace, JobRaces, ResultStore, StoreStats};
-pub use tcp::TcpFrontEnd;
+pub use tcp::{TcpFrontEnd, TcpTuning};
 pub use workload::{build_config, run_direct, FaultSpec, KillSpec, Workload};

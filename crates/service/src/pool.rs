@@ -30,6 +30,7 @@ use cvm_dsm::{CancelToken, DsmError};
 use parking_lot::Mutex;
 
 use crate::job::{JobState, SeedOutcome};
+use crate::persist::{JournalRecord, OutcomeImage, Persist};
 use crate::store::ResultStore;
 use crate::workload::{build_config, run_with_config};
 
@@ -65,6 +66,11 @@ pub struct PoolStats {
     pub retries: AtomicU64,
     /// Helper threads detached after the drain grace expired.
     pub detached_helpers: AtomicU64,
+    /// Attempts currently under supervision.  A detached helper leaves
+    /// the gauge when its supervisor gives up on it — its late result is
+    /// discarded anyway — so drain-time accounting can never be pinned by
+    /// a straggler that will not exit.
+    pub active_helpers: AtomicU64,
 }
 
 /// Point-in-time copy of [`PoolStats`], for stats queries.
@@ -82,6 +88,8 @@ pub struct PoolStatsSnapshot {
     pub retries: u64,
     /// Helper threads detached after the drain grace expired.
     pub detached_helpers: u64,
+    /// Attempts currently under supervision (detached helpers excluded).
+    pub active_helpers: u64,
 }
 
 impl PoolStats {
@@ -93,8 +101,37 @@ impl PoolStats {
             deadline_overruns: self.deadline_overruns.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             detached_helpers: self.detached_helpers.load(Ordering::Relaxed),
+            active_helpers: self.active_helpers.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Decrements the active-helper gauge on *every* exit from supervision —
+/// normal completion, cancellation, and the detach path alike.  Detach
+/// used to be the leak: a supervisor walking away from a stuck helper
+/// without releasing the gauge left drain deadlines counting a worker
+/// that would never report back.
+struct ActiveGuard<'a>(&'a AtomicU64);
+
+impl<'a> ActiveGuard<'a> {
+    fn arm(gauge: &'a AtomicU64) -> Self {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        ActiveGuard(gauge)
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Everything a worker thread needs to supervise attempts.
+struct WorkerCtx {
+    store: Arc<ResultStore>,
+    stats: Arc<PoolStats>,
+    persist: Arc<Persist>,
+    drain_grace: Duration,
 }
 
 /// The pool: a fixed set of supervising workers over a shared task queue.
@@ -105,8 +142,20 @@ pub(crate) struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `workers` supervising threads, merging results into `store`.
-    pub(crate) fn new(workers: usize, store: Arc<ResultStore>) -> Self {
+    /// Spawns `workers` supervising threads, merging results into `store`
+    /// and journaling lifecycle records through `persist`.
+    pub(crate) fn new(workers: usize, store: Arc<ResultStore>, persist: Arc<Persist>) -> Self {
+        WorkerPool::with_grace(workers, store, persist, DRAIN_GRACE)
+    }
+
+    /// [`new`](Self::new) with an explicit detach grace, so tests can
+    /// exercise the detach path without waiting out the production 10 s.
+    pub(crate) fn with_grace(
+        workers: usize,
+        store: Arc<ResultStore>,
+        persist: Arc<Persist>,
+        drain_grace: Duration,
+    ) -> Self {
         let (tx, rx) = unbounded::<SeedTask>();
         // mpsc receivers are single-consumer: workers share it through a
         // mutex, holding the lock only for the dequeue itself.
@@ -115,11 +164,15 @@ impl WorkerPool {
         let workers = (0..workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
-                let store = Arc::clone(&store);
-                let stats = Arc::clone(&stats);
+                let ctx = WorkerCtx {
+                    store: Arc::clone(&store),
+                    stats: Arc::clone(&stats),
+                    persist: Arc::clone(&persist),
+                    drain_grace,
+                };
                 std::thread::Builder::new()
                     .name(format!("svc-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &store, &stats))
+                    .spawn(move || worker_loop(&rx, &ctx))
                     .expect("spawn service worker")
             })
             .collect();
@@ -161,7 +214,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<SeedTask>>, store: &ResultStore, stats: &PoolStats) {
+fn worker_loop(rx: &Mutex<Receiver<SeedTask>>, ctx: &WorkerCtx) {
     loop {
         // Dequeue under the lock, run without it.
         let task = {
@@ -169,7 +222,7 @@ fn worker_loop(rx: &Mutex<Receiver<SeedTask>>, store: &ResultStore, stats: &Pool
             guard.recv_timeout(Duration::from_millis(20))
         };
         match task {
-            Ok(task) => run_seed(&task, store, stats),
+            Ok(task) => run_seed(&task, ctx),
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
         }
@@ -189,16 +242,23 @@ enum Attempt {
 }
 
 /// Runs `task.seed` to a terminal outcome: attempts, retries, recording.
-fn run_seed(task: &SeedTask, store: &ResultStore, stats: &PoolStats) {
+///
+/// Persistence is write-ahead throughout: the `SeedDone` record (with the
+/// full outcome image — fingerprints and rendered text for a completed
+/// run) is journaled *before* the in-memory store merge and the job's
+/// outcome recording, so a crash at any point leaves the journal at least
+/// as informed as the state it shadows.
+fn run_seed(task: &SeedTask, ctx: &WorkerCtx) {
+    let (store, stats) = (&ctx.store, &ctx.stats);
     let job = &task.job;
     let seed = task.seed;
     job.note_started();
 
     let mut retries: u32 = 0;
     let mut synthetic_left = job.spec.flaky_first;
-    let outcome = loop {
+    let (outcome, image) = loop {
         if job.cancel_requested() {
-            break SeedOutcome::Cancelled;
+            break (SeedOutcome::Cancelled, OutcomeImage::Cancelled);
         }
         if retries > 0 {
             // Capped exponential backoff with seeded jitter, keyed so
@@ -217,45 +277,79 @@ fn run_seed(task: &SeedTask, store: &ResultStore, stats: &PoolStats) {
                 transient: true,
             }
         } else {
-            run_attempt(task, stats)
+            run_attempt(task, ctx)
         };
 
         match attempt {
             Attempt::Done(report) => {
+                let image = OutcomeImage::from_report(&report, retries);
+                ctx.persist.record(&JournalRecord::SeedDone {
+                    job: job.id,
+                    seed,
+                    outcome: image.clone(),
+                });
                 job.note_recovery(&report.recovery);
-                store.merge(job.id, seed, &report);
-                break SeedOutcome::Done {
-                    races: report.races.len(),
-                    retries,
-                };
+                for evicted in store.merge(job.id, seed, &report) {
+                    ctx.persist.record(&JournalRecord::Evicted { job: evicted });
+                }
+                break (
+                    SeedOutcome::Done {
+                        races: report.races.len(),
+                        retries,
+                    },
+                    image,
+                );
             }
-            Attempt::Cancelled => break SeedOutcome::Cancelled,
+            Attempt::Cancelled => break (SeedOutcome::Cancelled, OutcomeImage::Cancelled),
             Attempt::Failed { error, transient } => {
                 if transient && job.try_consume_retry() {
                     stats.retries.fetch_add(1, Ordering::Relaxed);
                     retries += 1;
                     continue;
                 }
-                break SeedOutcome::Failed {
-                    error,
+                let image = OutcomeImage::Failed {
+                    error: error.clone(),
                     transient,
                     retries,
                 };
+                break (
+                    SeedOutcome::Failed {
+                        error,
+                        transient,
+                        retries,
+                    },
+                    image,
+                );
             }
         }
     };
 
+    // The `Done` arm already journaled its record (ahead of the merge);
+    // failure and cancellation images are journaled here.
+    if !matches!(outcome, SeedOutcome::Done { .. }) {
+        ctx.persist.record(&JournalRecord::SeedDone {
+            job: job.id,
+            seed,
+            outcome: image,
+        });
+    }
+
     stats.seeds_finished.fetch_add(1, Ordering::Relaxed);
     if job.record_outcome(seed, outcome) {
         // Last seed recorded: the job just went terminal.
-        store.seal(job.id);
+        ctx.persist.record(&JournalRecord::Sealed { job: job.id });
+        for evicted in store.seal(job.id) {
+            ctx.persist.record(&JournalRecord::Evicted { job: evicted });
+        }
     }
 }
 
 /// One crash-isolated, deadline-supervised attempt.
-fn run_attempt(task: &SeedTask, stats: &PoolStats) -> Attempt {
+fn run_attempt(task: &SeedTask, ctx: &WorkerCtx) -> Attempt {
+    let stats = &ctx.stats;
     let job = &task.job;
     let seed = task.seed;
+    let _active = ActiveGuard::arm(&stats.active_helpers);
     let attempt_cancel = CancelToken::new();
     let mut cfg = build_config(&job.spec, seed);
     cfg.cancel = Some(attempt_cancel.clone());
@@ -303,7 +397,7 @@ fn run_attempt(task: &SeedTask, stats: &PoolStats) -> Attempt {
             }
             Err(RecvTimeoutError::Timeout) => {
                 if let Some(why) = cancelled_for.take() {
-                    if started.elapsed() > deadline + DRAIN_GRACE {
+                    if started.elapsed() > deadline + ctx.drain_grace {
                         // The cluster refused to drain: detach the helper
                         // and report; a late duplicate recording is
                         // rejected by the job's terminal-state guard.
@@ -375,7 +469,10 @@ mod tests {
 
     fn pool_and_store(workers: usize) -> (WorkerPool, Arc<ResultStore>) {
         let store = Arc::new(ResultStore::new(u64::MAX));
-        (WorkerPool::new(workers, Arc::clone(&store)), store)
+        (
+            WorkerPool::new(workers, Arc::clone(&store), Persist::disabled()),
+            store,
+        )
     }
 
     fn wait_terminal(job: &Arc<JobState>, budget: Duration) {
@@ -563,6 +660,46 @@ mod tests {
         // Shutdown drains the queue before joining: all seeds terminal.
         assert!(job.is_terminal());
         assert_eq!(job.snapshot().phase, JobPhase::Done);
+    }
+
+    #[test]
+    fn detached_helper_releases_the_active_gauge() {
+        // A short grace plus a workload that dwells far past it forces
+        // the detach path: the supervisor walks away from the helper.
+        let store = Arc::new(ResultStore::new(u64::MAX));
+        let pool = WorkerPool::with_grace(
+            1,
+            Arc::clone(&store),
+            Persist::disabled(),
+            Duration::from_millis(50),
+        );
+        let mut spec = JobSpec::new(
+            Workload::SleepyGrid {
+                epochs: 1,
+                dwell_ms: 400,
+            },
+            2,
+            3,
+            1,
+        );
+        spec.run_deadline = Duration::from_millis(50);
+        spec.retry_budget = 0;
+        let job = Arc::new(JobState::new(JobId(8), spec));
+        pool.submit(SeedTask {
+            job: Arc::clone(&job),
+            seed: 3,
+        });
+        wait_terminal(&job, Duration::from_secs(30));
+        assert_eq!(job.snapshot().phase, JobPhase::Failed);
+        let stats = pool.stats();
+        assert!(
+            stats.detached_helpers >= 1,
+            "dwell past grace must detach: {stats:?}"
+        );
+        assert_eq!(
+            stats.active_helpers, 0,
+            "a detached helper must still release the active gauge"
+        );
     }
 
     #[test]

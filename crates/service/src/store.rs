@@ -108,17 +108,19 @@ impl ResultStore {
         }
     }
 
-    /// Merges one seed run's reports into `job`'s entry.
-    pub fn merge(&self, job: JobId, seed: u64, report: &RunReport) {
+    /// Merges one seed run's reports into `job`'s entry.  Returns the
+    /// jobs the byte budget evicted to make room (so a durable daemon can
+    /// journal the evictions).
+    pub fn merge(&self, job: JobId, seed: u64, report: &RunReport) -> Vec<JobId> {
         let mut inner = self.inner.lock();
         inner.jobs.entry(job).or_default().merge(seed, report);
-        self.enforce_budget(&mut inner);
+        self.enforce_budget(&mut inner)
     }
 
     /// Marks `job` complete: its entry becomes evictable.  In-flight jobs
     /// are never evicted, so a running job's dedup state cannot vanish
-    /// under it.
-    pub fn seal(&self, job: JobId) {
+    /// under it.  Returns the jobs the byte budget evicted.
+    pub fn seal(&self, job: JobId) -> Vec<JobId> {
         let mut inner = self.inner.lock();
         let known = match inner.jobs.get_mut(&job) {
             Some(entry) if !entry.sealed => {
@@ -142,7 +144,40 @@ impl ResultStore {
         if known {
             inner.sealed_order.push_back(job);
         }
-        self.enforce_budget(&mut inner);
+        self.enforce_budget(&mut inner)
+    }
+
+    /// Rebuilds one job's entry from journaled state (recovery path): the
+    /// deduplicated races, pre-dedup merge count, and seal flag are
+    /// restored verbatim; bytes are re-derived from the rendered text the
+    /// same way live merging derives them.  The caller restores the
+    /// eviction queue separately through [`restore_meta`](Self::restore_meta)
+    /// — sealing here must not re-enqueue in recovered order.
+    pub(crate) fn restore_job(
+        &self,
+        job: JobId,
+        races: Vec<DedupedRace>,
+        reports_merged: u64,
+        sealed: bool,
+    ) {
+        let mut entry = JobEntry {
+            reports_merged,
+            sealed,
+            ..JobEntry::default()
+        };
+        for race in races {
+            entry.bytes += 48 + race.rendered.len() as u64;
+            entry.by_print.insert(race.fingerprint, race);
+        }
+        self.inner.lock().jobs.insert(job, entry);
+    }
+
+    /// Restores the eviction queue (journal seal order) and the historic
+    /// eviction count after [`restore_job`](Self::restore_job) calls.
+    pub(crate) fn restore_meta(&self, sealed_order: Vec<JobId>, jobs_evicted: u64) {
+        let mut inner = self.inner.lock();
+        inner.sealed_order = sealed_order.into();
+        inner.jobs_evicted = jobs_evicted;
     }
 
     /// The deduplicated result set of `job`: `None` when the job is
@@ -171,7 +206,8 @@ impl ResultStore {
         }
     }
 
-    fn enforce_budget(&self, inner: &mut StoreInner) {
+    fn enforce_budget(&self, inner: &mut StoreInner) -> Vec<JobId> {
+        let mut evicted = Vec::new();
         let mut live: u64 = inner.jobs.values().map(|e| e.bytes).sum();
         while live > self.budget_bytes {
             let Some(oldest) = inner.sealed_order.pop_front() else {
@@ -180,8 +216,10 @@ impl ResultStore {
             if let Some(entry) = inner.jobs.remove(&oldest) {
                 live = live.saturating_sub(entry.bytes);
                 inner.jobs_evicted += 1;
+                evicted.push(oldest);
             }
         }
+        evicted
     }
 }
 

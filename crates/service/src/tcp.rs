@@ -6,13 +6,18 @@
 //! with a read timeout for the same reason.  A malformed request closes
 //! nothing: the error is reported on the wire (`{"ok":false,...}`) and
 //! the connection keeps serving.
+//!
+//! Hostile clients are bounded too ([`TcpTuning`]): a request line over
+//! the cap gets a named error and a closed connection instead of
+//! unbounded buffering, and a connection idle past its deadline is
+//! reclaimed rather than pinning its accept slot forever.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cvm_dsm::{Protocol, RecoveryPolicy};
 
@@ -20,6 +25,28 @@ use crate::daemon::{Daemon, SubmitError};
 use crate::job::{JobId, JobSnapshot, JobSpec};
 use crate::json::{parse, Value};
 use crate::workload::{FaultSpec, KillSpec, PartitionSpec, Workload};
+
+/// Per-connection protection bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpTuning {
+    /// Longest accepted request line, newline included.  A client pushing
+    /// more without a newline gets a `line_too_long` error and a closed
+    /// connection — the buffer never grows past the cap.
+    pub max_line_bytes: usize,
+    /// Idle deadline: a connection that sends nothing for this long gets
+    /// an `idle_timeout` error and is closed, so half-open sockets cannot
+    /// pin their slot forever.
+    pub idle_deadline: Duration,
+}
+
+impl Default for TcpTuning {
+    fn default() -> Self {
+        TcpTuning {
+            max_line_bytes: 64 * 1024,
+            idle_deadline: Duration::from_secs(60),
+        }
+    }
+}
 
 /// A running TCP front end.  Dropping it (or calling
 /// [`stop`](TcpFrontEnd::stop)) closes the listener; the daemon behind it
@@ -31,8 +58,18 @@ pub struct TcpFrontEnd {
 }
 
 impl TcpFrontEnd {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `daemon` over it.
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `daemon` over it
+    /// with default [`TcpTuning`].
     pub fn serve(daemon: Daemon, addr: &str) -> std::io::Result<TcpFrontEnd> {
+        TcpFrontEnd::serve_with(daemon, addr, TcpTuning::default())
+    }
+
+    /// [`serve`](TcpFrontEnd::serve) with explicit protection bounds.
+    pub fn serve_with(
+        daemon: Daemon,
+        addr: &str,
+        tuning: TcpTuning,
+    ) -> std::io::Result<TcpFrontEnd> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -41,7 +78,7 @@ impl TcpFrontEnd {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("svc-accept".into())
-                .spawn(move || accept_loop(&listener, &daemon, &stop))
+                .spawn(move || accept_loop(&listener, &daemon, &stop, tuning))
                 .expect("spawn accept loop")
         };
         Ok(TcpFrontEnd {
@@ -72,7 +109,7 @@ impl Drop for TcpFrontEnd {
     }
 }
 
-fn accept_loop(listener: &TcpListener, daemon: &Daemon, stop: &Arc<AtomicBool>) {
+fn accept_loop(listener: &TcpListener, daemon: &Daemon, stop: &Arc<AtomicBool>, tuning: TcpTuning) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -80,7 +117,7 @@ fn accept_loop(listener: &TcpListener, daemon: &Daemon, stop: &Arc<AtomicBool>) 
                 let stop = Arc::clone(stop);
                 let _ = std::thread::Builder::new()
                     .name("svc-conn".into())
-                    .spawn(move || serve_connection(stream, &daemon, &stop));
+                    .spawn(move || serve_connection(stream, &daemon, &stop, tuning));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -90,28 +127,51 @@ fn accept_loop(listener: &TcpListener, daemon: &Daemon, stop: &Arc<AtomicBool>) 
     }
 }
 
-fn serve_connection(stream: TcpStream, daemon: &Daemon, stop: &Arc<AtomicBool>) {
+fn serve_connection(stream: TcpStream, daemon: &Daemon, stop: &Arc<AtomicBool>, tuning: TcpTuning) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut reader = stream;
+    // Raw buffered reads (not `read_line`) so the accumulation is bounded
+    // by the tuning cap, not by how much the client cares to send.
+    let mut buffer: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut last_activity = Instant::now();
     while !stop.load(Ordering::SeqCst) {
-        line.clear();
-        match reader.read_line(&mut line) {
+        match reader.read(&mut chunk) {
             Ok(0) => return, // Peer closed.
-            Ok(_) => {
-                let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
+            Ok(n) => {
+                last_activity = Instant::now();
+                buffer.extend_from_slice(&chunk[..n]);
+                // Process every complete line in the buffer.
+                while let Some(pos) = buffer.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buffer.drain(..=pos).collect();
+                    let line = String::from_utf8_lossy(&line);
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let response = handle_line(daemon, trimmed);
+                    if writer
+                        .write_all(format!("{response}\n").as_bytes())
+                        .is_err()
+                    {
+                        return;
+                    }
                 }
-                let response = handle_line(daemon, trimmed);
-                if writer
-                    .write_all(format!("{response}\n").as_bytes())
-                    .is_err()
-                {
+                if buffer.len() > tuning.max_line_bytes {
+                    // No newline within the cap: reject and hang up
+                    // instead of buffering without bound.
+                    let response = error_response(
+                        "line_too_long",
+                        &format!(
+                            "request line exceeds {} bytes without a newline",
+                            tuning.max_line_bytes
+                        ),
+                    );
+                    let _ = writer.write_all(format!("{response}\n").as_bytes());
                     return;
                 }
             }
@@ -121,7 +181,15 @@ fn serve_connection(stream: TcpStream, daemon: &Daemon, stop: &Arc<AtomicBool>) 
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
-                continue; // Idle poll: re-check the stop flag.
+                // Idle poll: re-check the stop flag and the deadline.
+                if last_activity.elapsed() > tuning.idle_deadline {
+                    let response = error_response(
+                        "idle_timeout",
+                        &format!("no request within {} ms", tuning.idle_deadline.as_millis()),
+                    );
+                    let _ = writer.write_all(format!("{response}\n").as_bytes());
+                    return;
+                }
             }
             Err(_) => return,
         }
@@ -232,6 +300,23 @@ fn dispatch(daemon: &Daemon, request: &Value) -> Result<Value, WireError> {
                     "distinct_races",
                     Value::Int(stats.store.distinct_races as i64),
                 ),
+                (
+                    "journal_records",
+                    Value::Int(stats.persist.journal_records as i64),
+                ),
+                (
+                    "snapshots_written",
+                    Value::Int(stats.persist.snapshots_written as i64),
+                ),
+                (
+                    "recovered_jobs",
+                    Value::Int(stats.persist.recovered_jobs as i64),
+                ),
+                (
+                    "torn_tail_truncations",
+                    Value::Int(stats.persist.torn_tail_truncations as i64),
+                ),
+                ("fsyncs", Value::Int(stats.persist.fsyncs as i64)),
             ]))
         }
         "drain" => {
@@ -244,6 +329,22 @@ fn dispatch(daemon: &Daemon, request: &Value) -> Result<Value, WireError> {
                 ("ok", Value::Bool(true)),
                 ("clean", Value::Bool(report.clean)),
                 ("jobs_cancelled", Value::Int(report.jobs_cancelled as i64)),
+                (
+                    "journal_records",
+                    Value::Int(report.persist.journal_records as i64),
+                ),
+                (
+                    "snapshots_written",
+                    Value::Int(report.persist.snapshots_written as i64),
+                ),
+                (
+                    "recovered_jobs",
+                    Value::Int(report.persist.recovered_jobs as i64),
+                ),
+                (
+                    "torn_tail_truncations",
+                    Value::Int(report.persist.torn_tail_truncations as i64),
+                ),
             ]))
         }
         other => Err(("bad_request", format!("unknown op '{other}'"))),
@@ -420,6 +521,7 @@ fn snapshot_value(snap: &JobSnapshot) -> Value {
         ),
         ("quorum_losses", Value::Int(snap.quorum_losses as i64)),
         ("rejoin_restores", Value::Int(snap.rejoin_restores as i64)),
+        ("recovered", Value::Bool(snap.recovered)),
     ])
 }
 
@@ -427,6 +529,7 @@ fn snapshot_value(snap: &JobSnapshot) -> Value {
 mod tests {
     use super::*;
     use crate::daemon::DaemonConfig;
+    use std::io::{BufRead, BufReader};
 
     #[test]
     fn protocol_handles_ping_and_rejects_garbage() {
@@ -548,5 +651,64 @@ mod tests {
         front.stop();
         // The daemon outlives its front end.
         assert!(daemon.status(JobId(job)).is_some());
+    }
+
+    #[test]
+    fn oversized_line_gets_named_error_and_close() {
+        let daemon = Daemon::start(DaemonConfig::default());
+        let mut front = TcpFrontEnd::serve_with(
+            daemon,
+            "127.0.0.1:0",
+            TcpTuning {
+                max_line_bytes: 256,
+                ..TcpTuning::default()
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(front.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Push well past the cap without ever sending a newline.
+        stream.write_all(&vec![b'x'; 4096]).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.contains("line_too_long"),
+            "named error expected, got: {response}"
+        );
+        // read_to_string returning means the server closed the socket.
+        front.stop();
+    }
+
+    #[test]
+    fn idle_connection_is_reclaimed() {
+        let daemon = Daemon::start(DaemonConfig::default());
+        let mut front = TcpFrontEnd::serve_with(
+            daemon,
+            "127.0.0.1:0",
+            TcpTuning {
+                idle_deadline: Duration::from_millis(200),
+                ..TcpTuning::default()
+            },
+        )
+        .unwrap();
+        // A half-open client: connects, says nothing.
+        let mut stream = TcpStream::connect(front.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let started = Instant::now();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.contains("idle_timeout"),
+            "named error expected, got: {response}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(8),
+            "idle reclaim must not take the full read timeout"
+        );
+        front.stop();
     }
 }
